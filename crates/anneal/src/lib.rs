@@ -1,0 +1,76 @@
+//! Generic simulated-annealing engine for topological analog placement.
+//!
+//! Both the sequence-pair placer (Section II of the DATE 2009 survey) and the
+//! B*-tree / HB*-tree placer (Section III) explore their topological encodings
+//! with simulated annealing. This crate provides the shared engine:
+//!
+//! * [`AnnealState`] — the trait an encoding implements: propose a perturbation,
+//!   evaluate a cost, accept or roll back;
+//! * [`Schedule`] — geometric cooling schedules with configurable start/end
+//!   temperature, moves per temperature step, and an optional move budget;
+//! * [`Annealer`] — the driver, which reports [`AnnealStats`];
+//! * [`rng`] — deterministic seedable RNG helpers so that every experiment in
+//!   the workspace is exactly reproducible.
+//!
+//! # Example
+//!
+//! A toy "state" that anneals an integer toward zero:
+//!
+//! ```
+//! use apls_anneal::{AnnealState, Annealer, Schedule};
+//! use rand::Rng;
+//!
+//! struct Toy { value: i64, backup: i64 }
+//!
+//! impl AnnealState for Toy {
+//!     fn cost(&self) -> f64 { self.value.abs() as f64 }
+//!     fn propose(&mut self, rng: &mut dyn rand::RngCore) {
+//!         self.backup = self.value;
+//!         let delta: i64 = (rng.next_u32() % 7) as i64 - 3;
+//!         self.value += delta;
+//!     }
+//!     fn rollback(&mut self) { self.value = self.backup; }
+//! }
+//!
+//! let mut state = Toy { value: 100, backup: 0 };
+//! let schedule = Schedule::geometric(10.0, 0.01, 0.9, 50);
+//! let stats = Annealer::with_seed(7).run(&mut state, &schedule);
+//! assert!(state.value.abs() <= 100);
+//! assert!(stats.moves_attempted > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+pub mod rng;
+mod schedule;
+
+pub use annealer::{AnnealStats, Annealer};
+pub use schedule::Schedule;
+
+use rand::RngCore;
+
+/// A state that can be explored by simulated annealing.
+///
+/// The protocol is propose → (evaluate) → accept or [`AnnealState::rollback`].
+/// The engine calls [`AnnealState::propose`] exactly once per move and
+/// guarantees that `rollback` is only called for the most recent proposal, so
+/// implementations need to remember at most one undo record.
+pub trait AnnealState {
+    /// Cost of the current state (lower is better).
+    fn cost(&self) -> f64;
+
+    /// Applies a random perturbation to the state.
+    ///
+    /// Implementations must store whatever is needed to undo this single
+    /// perturbation if the engine rejects it.
+    fn propose(&mut self, rng: &mut dyn RngCore);
+
+    /// Undoes the most recent proposal.
+    fn rollback(&mut self);
+
+    /// Called when a proposal is accepted. The default does nothing; states
+    /// that cache expensive packings may use this hook to commit them.
+    fn commit(&mut self) {}
+}

@@ -1,0 +1,146 @@
+//! Cooling schedules.
+
+/// A geometric cooling schedule.
+///
+/// The temperature starts at `t_start`, is multiplied by `alpha` after every
+/// temperature step, and the run terminates once it drops below `t_end` (or
+/// when the optional move budget is exhausted). `moves_per_step` proposals are
+/// evaluated at every temperature.
+///
+/// # Example
+///
+/// ```
+/// use apls_anneal::Schedule;
+///
+/// let s = Schedule::geometric(100.0, 0.1, 0.95, 200);
+/// assert!(s.step_count() > 100);
+/// assert_eq!(s.moves_per_step(), 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    t_start: f64,
+    t_end: f64,
+    alpha: f64,
+    moves_per_step: usize,
+    max_moves: Option<u64>,
+}
+
+impl Schedule {
+    /// Creates a geometric schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperatures are not positive, `t_end > t_start`, or
+    /// `alpha` is not in `(0, 1)`.
+    #[must_use]
+    pub fn geometric(t_start: f64, t_end: f64, alpha: f64, moves_per_step: usize) -> Self {
+        assert!(t_start > 0.0 && t_end > 0.0, "temperatures must be positive");
+        assert!(t_end <= t_start, "end temperature must not exceed start temperature");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(moves_per_step > 0, "at least one move per step is required");
+        Schedule { t_start, t_end, alpha, moves_per_step, max_moves: None }
+    }
+
+    /// A quick default schedule scaled to the problem size `n` (number of
+    /// modules): more modules get more moves per temperature step.
+    #[must_use]
+    pub fn for_problem_size(n: usize) -> Self {
+        let moves = (n.max(4) * 12).min(4000);
+        Schedule::geometric(2_000.0, 0.05, 0.93, moves)
+    }
+
+    /// A short schedule for tests and smoke runs.
+    #[must_use]
+    pub fn fast() -> Self {
+        Schedule::geometric(500.0, 1.0, 0.85, 40)
+    }
+
+    /// Caps the total number of proposals (builder style).
+    #[must_use]
+    pub fn with_max_moves(mut self, max_moves: u64) -> Self {
+        self.max_moves = Some(max_moves);
+        self
+    }
+
+    /// Starting temperature.
+    #[must_use]
+    pub fn t_start(&self) -> f64 {
+        self.t_start
+    }
+
+    /// Final temperature.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    /// Cooling factor per temperature step.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Proposals evaluated at every temperature step.
+    #[must_use]
+    pub fn moves_per_step(&self) -> usize {
+        self.moves_per_step
+    }
+
+    /// Optional cap on the total number of proposals.
+    #[must_use]
+    pub fn max_moves(&self) -> Option<u64> {
+        self.max_moves
+    }
+
+    /// Number of temperature steps the schedule will run.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        let mut t = self.t_start;
+        let mut steps = 0usize;
+        while t >= self.t_end {
+            steps += 1;
+            t *= self.alpha;
+            if steps > 1_000_000 {
+                break;
+            }
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_count_matches_geometric_decay() {
+        let s = Schedule::geometric(100.0, 1.0, 0.5, 10);
+        // 100, 50, 25, 12.5, 6.25, 3.125, 1.5625 -> 7 steps >= 1.0
+        assert_eq!(s.step_count(), 7);
+    }
+
+    #[test]
+    fn problem_size_scaling_is_monotone() {
+        let small = Schedule::for_problem_size(10);
+        let large = Schedule::for_problem_size(100);
+        assert!(large.moves_per_step() >= small.moves_per_step());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = Schedule::geometric(10.0, 1.0, 1.5, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_temperature_panics() {
+        let _ = Schedule::geometric(-1.0, 1.0, 0.9, 10);
+    }
+
+    #[test]
+    fn max_moves_builder() {
+        let s = Schedule::fast().with_max_moves(123);
+        assert_eq!(s.max_moves(), Some(123));
+    }
+}

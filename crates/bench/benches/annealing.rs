@@ -1,0 +1,34 @@
+//! Cost of the annealing placers (bounded move budgets so the bench stays
+//! short): symmetric-feasible sequence-pair annealing vs hierarchical HB*-tree
+//! annealing on the same circuits.
+
+use apls_anneal::Schedule;
+use apls_btree::{HbTreePlacer, HbTreePlacerConfig};
+use apls_circuit::benchmarks;
+use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_annealers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annealing_1000_moves");
+    group.sample_size(10);
+    let schedule = Schedule::geometric(1000.0, 1.0, 0.9, 20).with_max_moves(1000);
+
+    for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()] {
+        let n = circuit.module_count();
+        let sp_config = SeqPairPlacerConfig { seed: 3, schedule, ..SeqPairPlacerConfig::default() };
+        let hb_config = HbTreePlacerConfig { seed: 3, schedule, ..HbTreePlacerConfig::default() };
+
+        group.bench_with_input(BenchmarkId::new("seqpair_sf", n), &n, |b, _| {
+            let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
+            b.iter(|| placer.run(&sp_config));
+        });
+        group.bench_with_input(BenchmarkId::new("hbtree", n), &n, |b, _| {
+            let placer = HbTreePlacer::new(&circuit);
+            b.iter(|| placer.run(&hb_config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_annealers);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment E8 — packing-engine scaling: sequence-pair constraint-graph vs
+//! FAST-SP (weighted LCS) vs B*-tree contour packing.
+//!
+//! Supports the complexity discussion of Section II (the placement
+//! construction is the inner loop of every annealing placer, so its scaling
+//! governs the whole exploration).
+
+use apls_bench::{random_dims, random_permutation};
+use apls_btree::{pack_btree, BStarTree};
+use apls_seqpair::pack::{pack_constraint_graph, pack_lcs};
+use apls_seqpair::SequencePair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    for &n in &[20usize, 50, 100, 200] {
+        let dims = random_dims(n, 7);
+        let alpha = random_permutation(n, 11);
+        let beta = random_permutation(n, 13);
+        let sp = SequencePair::from_sequences(alpha, beta).expect("same module set");
+        let tree = BStarTree::balanced(&random_permutation(n, 17));
+
+        group.bench_with_input(BenchmarkId::new("seqpair_constraint_graph", n), &n, |b, _| {
+            b.iter(|| pack_constraint_graph(&sp, &dims));
+        });
+        group.bench_with_input(BenchmarkId::new("seqpair_fast_sp_lcs", n), &n, |b, _| {
+            b.iter(|| pack_lcs(&sp, &dims));
+        });
+        group.bench_with_input(BenchmarkId::new("btree_contour", n), &n, |b, _| {
+            b.iter(|| pack_btree(&tree, &dims));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion companion of Table I: cost of one deterministic placement run
+//! with enhanced vs regular shape functions, and of a single enhanced vs
+//! regular shape addition.
+
+use apls_circuit::benchmarks;
+use apls_circuit::ModuleId;
+use apls_geometry::Dims;
+use apls_shapefn::{DeterministicPlacer, EnhancedShapeFunction, ShapeFunction, ShapeModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_deterministic_placer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deterministic_placer");
+    group.sample_size(10);
+    for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()] {
+        let placer = DeterministicPlacer::new(&circuit);
+        group.bench_with_input(
+            BenchmarkId::new("enhanced", circuit.module_count()),
+            &circuit.module_count(),
+            |b, _| b.iter(|| placer.run(ShapeModel::Enhanced)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("regular", circuit.module_count()),
+            &circuit.module_count(),
+            |b, _| b.iter(|| placer.run(ShapeModel::Regular)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_addition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape_addition");
+    let dims: Vec<Dims> = (0..8)
+        .map(|i| Dims::new(10 + 7 * i as i64, 40 - 4 * i as i64))
+        .collect();
+    let id = ModuleId::from_index;
+
+    let mut esf_a = EnhancedShapeFunction::for_module(id(0), &dims, true);
+    for i in 1..4 {
+        esf_a = esf_a.add(&EnhancedShapeFunction::for_module(id(i), &dims, true), &dims);
+    }
+    let mut esf_b = EnhancedShapeFunction::for_module(id(4), &dims, true);
+    for i in 5..8 {
+        esf_b = esf_b.add(&EnhancedShapeFunction::for_module(id(i), &dims, true), &dims);
+    }
+    group.bench_function("enhanced_add", |b| b.iter(|| esf_a.add(&esf_b, &dims)));
+
+    let mut sf_a = ShapeFunction::for_module(dims[0], true);
+    for i in 1..4 {
+        sf_a = sf_a.add_both(&ShapeFunction::for_module(dims[i], true));
+    }
+    let mut sf_b = ShapeFunction::for_module(dims[4], true);
+    for i in 5..8 {
+        sf_b = sf_b.add_both(&ShapeFunction::for_module(dims[i], true));
+    }
+    group.bench_function("regular_add", |b| b.iter(|| sf_a.add_both(&sf_b)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_deterministic_placer, bench_single_addition);
+criterion_main!(benches);

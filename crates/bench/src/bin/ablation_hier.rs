@@ -1,0 +1,50 @@
+//! Experiment E10 — ablation: hierarchical HB*-tree placement (symmetry
+//! islands + common-centroid patterns, Section III) vs flat B*-tree placement
+//! without constraint handling.
+//!
+//! ```text
+//! cargo run -p apls-bench --bin ablation_hier --release
+//! ```
+
+use apls_btree::{BTreePlacer, HbTreePlacer, HbTreePlacerConfig};
+use apls_circuit::benchmarks;
+use std::time::Instant;
+
+fn main() {
+    println!("E10 — hierarchical HB*-tree vs flat B*-tree placement");
+    println!(
+        "{:<16} {:>6} | {:>14} {:>11} {:>9} | {:>14} {:>11} {:>9}",
+        "circuit", "mods", "HB area use", "HB sym err", "HB time", "flat area use", "flat sym err", "flat time"
+    );
+    for circuit in [
+        benchmarks::comparator_v2(),
+        benchmarks::miller_v2(),
+        benchmarks::folded_cascode(),
+        benchmarks::buffer(),
+    ] {
+        let config = HbTreePlacerConfig { seed: 13, ..HbTreePlacerConfig::for_circuit(&circuit) };
+        let t0 = Instant::now();
+        let hierarchical = HbTreePlacer::new(&circuit).run(&config);
+        let t_hier = t0.elapsed();
+        let t1 = Instant::now();
+        let flat = BTreePlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+        let t_flat = t1.elapsed();
+        println!(
+            "{:<16} {:>6} | {:>13.1}% {:>11} {:>8.2}s | {:>13.1}% {:>11} {:>8.2}s",
+            circuit.name,
+            circuit.module_count(),
+            hierarchical.metrics.area_usage * 100.0,
+            hierarchical.symmetry_error,
+            t_hier.as_secs_f64(),
+            flat.metrics.area_usage * 100.0,
+            flat.symmetry_error,
+            t_flat.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nThe flat placer optimises area without respecting the analog constraints, so it\n\
+         usually reports a slightly lower area usage but a large symmetry error; the\n\
+         hierarchical placer keeps every group exactly mirrored (error 0), which is the\n\
+         trade Section III's hierarchical framework is designed to win."
+    );
+}

@@ -1,0 +1,51 @@
+//! Experiment E9 — ablation: restricting the sequence-pair annealer to
+//! symmetric-feasible encodings (the paper's approach, Section II) vs letting
+//! it roam freely and only penalising asymmetry in the cost function.
+//!
+//! ```text
+//! cargo run -p apls-bench --bin ablation_sf --release
+//! ```
+
+use apls_circuit::benchmarks;
+use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig, SymmetryMode};
+use std::time::Instant;
+
+fn main() {
+    println!("E9 — symmetric-feasible move set vs symmetry penalty (sequence-pair annealing)");
+    println!(
+        "{:<16} {:>6} | {:>14} {:>12} {:>9} | {:>14} {:>12} {:>9}",
+        "circuit", "mods", "S-F area use", "S-F sym err", "S-F time", "pen area use", "pen sym err", "pen time"
+    );
+    for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()] {
+        let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
+        let mut row = Vec::new();
+        for mode in [SymmetryMode::Exact, SymmetryMode::Penalty { weight: 50.0 }] {
+            let config = SeqPairPlacerConfig {
+                seed: 11,
+                symmetry_mode: mode,
+                ..SeqPairPlacerConfig::for_netlist(&circuit.netlist)
+            };
+            let start = Instant::now();
+            let result = placer.run(&config);
+            row.push((result, start.elapsed()));
+        }
+        let (sf, sf_t) = &row[0];
+        let (pen, pen_t) = &row[1];
+        println!(
+            "{:<16} {:>6} | {:>13.1}% {:>12} {:>8.2}s | {:>13.1}% {:>12} {:>8.2}s",
+            circuit.name,
+            circuit.module_count(),
+            sf.metrics.area_usage * 100.0,
+            sf.symmetry_error,
+            sf_t.as_secs_f64(),
+            pen.metrics.area_usage * 100.0,
+            pen.symmetry_error,
+            pen_t.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nThe S-F move set guarantees a symmetry error of 0 by construction; the penalty\n\
+         formulation leaves a residual error and wastes moves on infeasible encodings,\n\
+         which is the argument Section II makes for exploring only S-F codes."
+    );
+}

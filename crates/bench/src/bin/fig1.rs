@@ -1,0 +1,57 @@
+//! Experiment E2 — regenerates **Fig. 1** of the paper: the symmetric-feasible
+//! sequence-pair `(EBAFCDG, EBCDFAG)` and its exactly symmetric placement of
+//! the group `γ = {(C, D), (B, G), A, F}`.
+//!
+//! ```text
+//! cargo run -p apls-bench --bin fig1 --release
+//! ```
+
+use apls_circuit::benchmarks::fig1_circuit;
+use apls_seqpair::place::SymmetricPlacer;
+use apls_seqpair::symmetry::is_symmetric_feasible;
+use apls_seqpair::SequencePair;
+
+fn main() {
+    let (circuit, ids) = fig1_circuit();
+    let names = ["A", "B", "C", "D", "E", "F", "G"];
+    let by_name = |c: char| ids[names.iter().position(|&s| s == c.to_string()).unwrap()];
+    let alpha: Vec<_> = "EBAFCDG".chars().map(by_name).collect();
+    let beta: Vec<_> = "EBCDFAG".chars().map(by_name).collect();
+    let sp = SequencePair::from_sequences(alpha, beta).expect("valid permutations");
+    let group = &circuit.constraints.symmetry_groups()[0];
+
+    println!("Fig. 1 — sequence-pair (EBAFCDG, EBCDFAG)");
+    println!("symmetric-feasible (property (1)): {}", is_symmetric_feasible(&sp, group));
+
+    let placement = SymmetricPlacer::new(&circuit.netlist, &circuit.constraints).place(&sp);
+    let metrics = placement.metrics(&circuit.netlist);
+    println!("\ncell placements (dbu):");
+    for (name, &id) in names.iter().zip(&ids) {
+        println!("  {name}: {}", placement.rect_of(id));
+    }
+    println!(
+        "\nbounding box {}x{}, overlap {}, symmetry error {}",
+        metrics.width,
+        metrics.height,
+        metrics.overlap_area,
+        placement.symmetry_error(&circuit.constraints)
+    );
+
+    // crude ASCII rendering of the floorplan (1 char ≈ 10 dbu)
+    let scale = 10;
+    let w = (metrics.width / scale + 1) as usize;
+    let h = (metrics.height / scale + 1) as usize;
+    let mut grid = vec![vec![b'.'; w]; h];
+    for (name, &id) in names.iter().zip(&ids) {
+        let r = placement.rect_of(id);
+        for y in (r.y_min / scale)..(r.y_max / scale).max(r.y_min / scale + 1) {
+            for x in (r.x_min / scale)..(r.x_max / scale).max(r.x_min / scale + 1) {
+                grid[y as usize][x as usize] = name.as_bytes()[0];
+            }
+        }
+    }
+    println!();
+    for row in grid.iter().rev() {
+        println!("{}", String::from_utf8_lossy(row));
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment E7 — regenerates **Fig. 10** of the paper: electrical-only vs
+//! layout-aware sizing of the fully-differential folded-cascode amplifier.
+//!
+//! ```text
+//! cargo run -p apls-bench --bin fig10 --release
+//! ```
+
+use apls_layoutaware::model::Specs;
+use apls_layoutaware::sizing::{SizingConfig, SizingMode, SizingOptimizer};
+
+fn main() {
+    let specs = Specs::default();
+    println!("Fig. 10 — layout-aware sizing of the folded-cascode amplifier");
+    println!(
+        "specs: gain >= {} dB, GBW >= {} MHz, PM >= {} deg, power <= {} mW",
+        specs.min_gain_db,
+        specs.min_gbw_hz / 1e6,
+        specs.min_phase_margin_deg,
+        specs.max_power_w * 1e3
+    );
+    let optimizer = SizingOptimizer::new(specs);
+
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("(a) electrical-only sizing", SizingMode::ElectricalOnly),
+        ("(b) layout-aware sizing", SizingMode::LayoutAware),
+    ] {
+        let result = optimizer.run(&SizingConfig { mode, iterations: 4000, seed: 2009 });
+        println!("\n{label}");
+        println!(
+            "  layout outline          : {:.1} x {:.1} um (area {:.0} um^2, aspect ratio {:.2})",
+            result.layout.width_um(),
+            result.layout.height_um(),
+            result.layout.area_um2(),
+            result.layout.aspect_ratio()
+        );
+        println!(
+            "  believed (pre-layout)   : gain {:.1} dB, GBW {:.0} MHz, PM {:.1} deg, power {:.2} mW -> specs met: {}",
+            result.pre_layout.gain_db,
+            result.pre_layout.gbw_hz / 1e6,
+            result.pre_layout.phase_margin_deg,
+            result.pre_layout.power_w * 1e3,
+            result.specs_met_pre_layout
+        );
+        println!(
+            "  actual (post-layout)    : gain {:.1} dB, GBW {:.0} MHz, PM {:.1} deg, power {:.2} mW -> specs met: {}",
+            result.post_layout.gain_db,
+            result.post_layout.gbw_hz / 1e6,
+            result.post_layout.phase_margin_deg,
+            result.post_layout.power_w * 1e3,
+            result.specs_met_post_layout
+        );
+        println!(
+            "  extraction share of CPU : {:.1} % of {:.0} ms (paper reports ~17 %)",
+            result.extraction_fraction() * 100.0,
+            result.total_time.as_secs_f64() * 1e3
+        );
+        rows.push((label, result));
+    }
+
+    let a = &rows[0].1;
+    let b = &rows[1].1;
+    println!("\nsummary (paper: (a) 195.8 x 358.8 um failing specs, (b) 189.6 x 193.05 um meeting all specs):");
+    println!(
+        "  electrical-only : {:.1} x {:.1} um, post-layout specs met: {}",
+        a.layout.width_um(),
+        a.layout.height_um(),
+        a.specs_met_post_layout
+    );
+    println!(
+        "  layout-aware    : {:.1} x {:.1} um, post-layout specs met: {}",
+        b.layout.width_um(),
+        b.layout.height_um(),
+        b.specs_met_post_layout
+    );
+}

@@ -1,0 +1,67 @@
+//! Experiment E5 — regenerates **Fig. 7** of the paper: an enhanced shape
+//! addition whose result is `w_imp` narrower than the plain bounding-box
+//! addition because the second operand interleaves with the first operand's
+//! outline.
+//!
+//! ```text
+//! cargo run -p apls-bench --bin fig7 --release
+//! ```
+
+use apls_circuit::ModuleId;
+use apls_geometry::Dims;
+use apls_shapefn::{EnhancedShapeFunction, ShapeFunction};
+
+fn id(i: usize) -> ModuleId {
+    ModuleId::from_index(i)
+}
+
+fn main() {
+    // first operand: a wide low base with a narrow tall tower -> an L-shaped
+    // outline with a concavity at the top right
+    let dims = vec![
+        Dims::new(40, 12), // base
+        Dims::new(16, 30), // tower
+        Dims::new(20, 14), // the module added in the second operand
+    ];
+    let base = EnhancedShapeFunction::for_module(id(0), &dims, false);
+    let tower = EnhancedShapeFunction::for_module(id(1), &dims, false);
+    let operand1 = base.add(&tower, &dims);
+    let operand2 = EnhancedShapeFunction::for_module(id(2), &dims, false);
+
+    let op1_best = operand1.min_area_shape().expect("non-empty");
+    println!("operand 1 (w1, h1) = ({}, {})", op1_best.dims().w, op1_best.dims().h);
+    println!("operand 2 (w2, h2) = ({}, {})", dims[2].w, dims[2].h);
+
+    // regular (bounding-box) addition
+    let rsf1 = ShapeFunction::from_dims([op1_best.dims()]);
+    let rsf2 = ShapeFunction::from_dims([dims[2]]);
+    let rsf_sum = rsf1.add_horizontal(&rsf2).min_area_shape().expect("non-empty");
+    println!(
+        "\nregular shape addition     : ({}, {})",
+        rsf_sum.dims.w, rsf_sum.dims.h
+    );
+
+    // enhanced addition
+    let esf_sum = operand1.add(&operand2, &dims);
+    let best_width = esf_sum
+        .shapes()
+        .iter()
+        .map(|s| s.dims())
+        .filter(|d| d.h <= rsf_sum.dims.h)
+        .min_by_key(|d| d.w)
+        .expect("an interleaved candidate exists");
+    println!(
+        "enhanced shape addition    : ({}, {})",
+        best_width.w, best_width.h
+    );
+    println!(
+        "width improvement w_imp    : {} dbu ({:.1} % of the bounding-box width)",
+        rsf_sum.dims.w - best_width.w,
+        100.0 * (rsf_sum.dims.w - best_width.w) as f64 / rsf_sum.dims.w as f64
+    );
+
+    println!("\nfull enhanced shape function of the sum (width, height):");
+    for s in esf_sum.shapes() {
+        println!("  ({:>4}, {:>4})", s.dims().w, s.dims().h);
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment E1 — regenerates **Table I** of the paper: enhanced (ESF) vs
+//! regular (RSF) shape functions on the six benchmark circuits.
+//!
+//! ```text
+//! cargo run -p apls-bench --bin table1 --release
+//! ```
+
+use apls_circuit::benchmarks;
+use apls_shapefn::{DeterministicPlacer, ShapeModel};
+
+fn main() {
+    println!("Table I — enhanced (ESF) vs regular (RSF) shape functions");
+    println!(
+        "{:<16} {:>5} | {:>14} {:>10} | {:>14} {:>10} | {:>12} {:>10}",
+        "circuit", "mods", "ESF area usage", "ESF time", "RSF area usage", "RSF time", "improvement", "time ratio"
+    );
+    println!("{}", "-".repeat(112));
+
+    let mut improvements = Vec::new();
+    let mut time_ratios = Vec::new();
+    for circuit in benchmarks::table1_circuits() {
+        let placer = DeterministicPlacer::new(&circuit);
+        let esf = placer.run(ShapeModel::Enhanced);
+        let rsf = placer.run(ShapeModel::Regular);
+        let improvement = (rsf.area_usage - esf.area_usage) * 100.0;
+        let time_ratio = esf.runtime.as_secs_f64() / rsf.runtime.as_secs_f64().max(1e-9);
+        improvements.push(improvement);
+        time_ratios.push(time_ratio);
+        println!(
+            "{:<16} {:>5} | {:>13.2}% {:>9.2}s | {:>13.2}% {:>9.2}s | {:>11.2}% {:>9.1}x",
+            circuit.name,
+            circuit.module_count(),
+            esf.area_usage * 100.0,
+            esf.runtime.as_secs_f64(),
+            rsf.area_usage * 100.0,
+            rsf.runtime.as_secs_f64(),
+            improvement,
+            time_ratio,
+        );
+    }
+    println!("{}", "-".repeat(112));
+    println!(
+        "average area improvement: {:.2} percentage points (paper: 4.4 %), average ESF/RSF time ratio: {:.1}x (paper: ~10x)",
+        improvements.iter().sum::<f64>() / improvements.len() as f64,
+        time_ratios.iter().sum::<f64>() / time_ratios.len() as f64,
+    );
+}

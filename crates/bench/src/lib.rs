@@ -1,0 +1,70 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The actual experiments live in the report binaries (`src/bin/*.rs`, one per
+//! table or figure of the paper — see DESIGN.md §4) and in the Criterion
+//! benches (`benches/*.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apls_circuit::ModuleId;
+use apls_geometry::Dims;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` pseudo-random module footprints with analog-like spread
+/// (log-uniform edges between 10 and 300 dbu), reproducibly from a seed.
+#[must_use]
+pub fn random_dims(n: usize, seed: u64) -> Vec<Dims> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let e = |rng: &mut StdRng| {
+                let v: f64 = rng.gen_range((10f64).ln()..(300f64).ln());
+                v.exp().round() as i64
+            };
+            Dims::new(e(&mut rng), e(&mut rng))
+        })
+        .collect()
+}
+
+/// Dense module ids `0..n`, the convention used by all engines.
+#[must_use]
+pub fn module_ids(n: usize) -> Vec<ModuleId> {
+    (0..n).map(ModuleId::from_index).collect()
+}
+
+/// Generates a random permutation of `0..n` module ids.
+#[must_use]
+pub fn random_permutation(n: usize, seed: u64) -> Vec<ModuleId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = module_ids(n);
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dims_are_reproducible_and_in_range() {
+        let a = random_dims(50, 3);
+        let b = random_dims(50, 3);
+        assert_eq!(a, b);
+        for d in &a {
+            assert!(d.w >= 10 && d.w <= 300);
+            assert!(d.h >= 10 && d.h <= 300);
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut p = random_permutation(40, 9);
+        p.sort();
+        assert_eq!(p, module_ids(40));
+    }
+}

@@ -1,0 +1,175 @@
+//! Interdigitated common-centroid pattern generation.
+//!
+//! A common-centroid group (Fig. 3(a) of the survey) consists of the unit
+//! devices of two matched devices A and B. The units are arranged in an
+//! interdigitated pattern — e.g. the classic
+//!
+//! ```text
+//! A1 B2 B3 A4
+//! B1 A2 A3 B4
+//! ```
+//!
+//! — so that both devices share the same centroid, cancelling linear process
+//! gradients. [`generate_pattern`] produces such a pattern deterministically
+//! from the group definition; the hierarchical placer treats the result as a
+//! rigid block.
+
+use apls_circuit::{CommonCentroidGroup, ModuleId};
+use apls_geometry::{Coord, Dims, Rect};
+
+/// A packed common-centroid pattern: unit rectangles plus the block footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonCentroidPattern {
+    rects: Vec<(ModuleId, Rect)>,
+    dims: Dims,
+}
+
+impl CommonCentroidPattern {
+    /// Unit rectangles (block-relative coordinates).
+    #[must_use]
+    pub fn rects(&self) -> &[(ModuleId, Rect)] {
+        &self.rects
+    }
+
+    /// Footprint of the whole pattern.
+    #[must_use]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+}
+
+/// Generates an interdigitated pattern for a common-centroid group.
+///
+/// When the two devices have the same number of units and all units share one
+/// footprint, the pattern is exactly common-centroid: units are placed in
+/// columns of two, one unit of A and one of B per column, with the vertical
+/// order alternating from column to column (`A/B`, `B/A`, `A/B`, …). With an
+/// even column count both devices see every row equally often and the
+/// centroids coincide exactly.
+///
+/// Groups with unequal unit counts or mismatched unit footprints still get a
+/// legal, compact pattern, but exactness is not guaranteed — the caller can
+/// check with [`CommonCentroidGroup::centroid_error`].
+#[must_use]
+pub fn generate_pattern(group: &CommonCentroidGroup, dims: &[Dims]) -> CommonCentroidPattern {
+    let units_a = group.units_a();
+    let units_b = group.units_b();
+    let all: Vec<ModuleId> = group.members();
+    if all.is_empty() {
+        return CommonCentroidPattern { rects: Vec::new(), dims: Dims::ZERO };
+    }
+    let cell_w: Coord = all.iter().map(|m| dims[m.index()].w).max().unwrap_or(0);
+    let cell_h: Coord = all.iter().map(|m| dims[m.index()].h).max().unwrap_or(0);
+
+    let mut rects: Vec<(ModuleId, Rect)> = Vec::with_capacity(all.len());
+    let paired = units_a.len().min(units_b.len());
+    let place_unit = |m: ModuleId, col: usize, row: usize, rects: &mut Vec<(ModuleId, Rect)>| {
+        let d = dims[m.index()];
+        // centre each unit inside its grid cell so mismatched units stay legal
+        let x = col as Coord * cell_w + (cell_w - d.w) / 2;
+        let y = row as Coord * cell_h + (cell_h - d.h) / 2;
+        rects.push((m, Rect::new(x, y, x + d.w, y + d.h)));
+    };
+
+    // paired units: one column per pair, alternating vertical order
+    for i in 0..paired {
+        let (top, bottom) = if i % 2 == 0 {
+            (units_b[i], units_a[i])
+        } else {
+            (units_a[i], units_b[i])
+        };
+        place_unit(bottom, i, 0, &mut rects);
+        place_unit(top, i, 1, &mut rects);
+    }
+    // leftover units (unequal counts): appended in extra columns, bottom row
+    let mut extra_col = paired;
+    for &m in units_a.iter().skip(paired).chain(units_b.iter().skip(paired)) {
+        place_unit(m, extra_col, 0, &mut rects);
+        extra_col += 1;
+    }
+
+    let cols = extra_col.max(paired).max(1) as Coord;
+    let rows: Coord = if paired > 0 { 2 } else { 1 };
+    CommonCentroidPattern {
+        rects,
+        dims: Dims::new(cols * cell_w, rows * cell_h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_circuit::{Module, Netlist, Placement};
+    use apls_geometry::{total_overlap_area, Orientation};
+
+    fn setup(units_a: usize, units_b: usize, dims: Dims) -> (Netlist, CommonCentroidGroup) {
+        let mut nl = Netlist::new("cc");
+        let a: Vec<ModuleId> = (0..units_a)
+            .map(|i| nl.add_module(Module::new(format!("A{i}"), dims)))
+            .collect();
+        let b: Vec<ModuleId> = (0..units_b)
+            .map(|i| nl.add_module(Module::new(format!("B{i}"), dims)))
+            .collect();
+        (nl, CommonCentroidGroup::new("g", a, b))
+    }
+
+    fn to_placement(nl: &Netlist, pattern: &CommonCentroidPattern) -> Placement {
+        let mut p = Placement::new(nl);
+        for &(m, r) in pattern.rects() {
+            p.place(m, r, Orientation::R0, 0);
+        }
+        p
+    }
+
+    #[test]
+    fn two_by_two_pattern_is_exact_and_legal() {
+        let (nl, group) = setup(2, 2, Dims::new(20, 10));
+        let pattern = generate_pattern(&group, &nl.default_dims());
+        let placement = to_placement(&nl, &pattern);
+        assert_eq!(group.centroid_error(&placement), 0);
+        let rects: Vec<Rect> = pattern.rects().iter().map(|(_, r)| *r).collect();
+        assert_eq!(total_overlap_area(&rects), 0);
+        assert_eq!(pattern.dims(), Dims::new(40, 20));
+    }
+
+    #[test]
+    fn four_by_four_pattern_is_exact() {
+        let (nl, group) = setup(4, 4, Dims::new(12, 8));
+        let pattern = generate_pattern(&group, &nl.default_dims());
+        let placement = to_placement(&nl, &pattern);
+        assert_eq!(group.centroid_error(&placement), 0);
+    }
+
+    #[test]
+    fn unequal_counts_are_legal_but_may_be_inexact() {
+        let (nl, group) = setup(3, 1, Dims::new(10, 10));
+        let pattern = generate_pattern(&group, &nl.default_dims());
+        let rects: Vec<Rect> = pattern.rects().iter().map(|(_, r)| *r).collect();
+        assert_eq!(rects.len(), 4);
+        assert_eq!(total_overlap_area(&rects), 0);
+        // all units fit inside the reported footprint
+        for (_, r) in pattern.rects() {
+            assert!(r.x_max <= pattern.dims().w && r.y_max <= pattern.dims().h);
+            assert!(r.x_min >= 0 && r.y_min >= 0);
+        }
+    }
+
+    #[test]
+    fn empty_group_yields_empty_pattern() {
+        let group = CommonCentroidGroup::new("empty", vec![], vec![]);
+        let pattern = generate_pattern(&group, &[]);
+        assert!(pattern.rects().is_empty());
+        assert_eq!(pattern.dims(), Dims::ZERO);
+    }
+
+    #[test]
+    fn pattern_units_all_present_exactly_once() {
+        let (nl, group) = setup(2, 2, Dims::new(20, 10));
+        let pattern = generate_pattern(&group, &nl.default_dims());
+        let mut placed: Vec<ModuleId> = pattern.rects().iter().map(|(m, _)| *m).collect();
+        placed.sort();
+        let mut expected = group.members();
+        expected.sort();
+        assert_eq!(placed, expected);
+    }
+}

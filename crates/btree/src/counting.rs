@@ -1,0 +1,238 @@
+//! Size of the B*-tree solution space.
+//!
+//! Section IV of the paper motivates hierarchically bounded enumeration with
+//! the observation that "when B*-trees are used to encode the placement, the
+//! number of possible placements for 8 modules is already 57,657,600". That
+//! value is `8! · Catalan(8) = 40,320 · 1,430`: the number of (shape, labeling)
+//! combinations of a binary tree over 8 labelled modules. This module provides
+//! the closed-form count plus a brute-force enumerator for small `n` used to
+//! cross-check it (experiment E4).
+
+use crate::{pack_btree, BStarTree};
+use apls_circuit::ModuleId;
+use apls_geometry::Dims;
+use std::collections::BTreeSet;
+
+/// The n-th Catalan number as `u128`, or `None` on overflow.
+#[must_use]
+pub fn catalan(n: u64) -> Option<u128> {
+    // C_n = binom(2n, n) / (n + 1), computed incrementally:
+    // C_0 = 1, C_{k+1} = C_k * 2(2k+1) / (k+2)
+    let mut c: u128 = 1;
+    for k in 0..n {
+        c = c.checked_mul(2 * (2 * u128::from(k) + 1))?;
+        c /= u128::from(k) + 2;
+    }
+    Some(c)
+}
+
+/// Factorial as `u128`, or `None` on overflow.
+#[must_use]
+pub fn factorial(n: u64) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for v in 1..=u128::from(n) {
+        acc = acc.checked_mul(v)?;
+    }
+    Some(acc)
+}
+
+/// Number of distinct B*-trees over `n` labelled modules (ignoring rotations):
+/// `n! · Catalan(n)`.
+///
+/// # Example
+///
+/// ```
+/// use apls_btree::counting::btree_count;
+///
+/// // the value quoted in Section IV of the paper for 8 modules
+/// assert_eq!(btree_count(8), Some(57_657_600));
+/// ```
+#[must_use]
+pub fn btree_count(n: u64) -> Option<u128> {
+    Some(factorial(n)?.checked_mul(catalan(n)?)?)
+}
+
+/// Enumerates every B*-tree over the given modules and returns the number of
+/// *distinct packed placements* (as sets of module rectangles) they produce
+/// for the given dimensions.
+///
+/// Different trees can pack to the same placement, so this is a lower bound on
+/// [`btree_count`]; for modules of distinct prime-ish dimensions the counts
+/// coincide for small `n`. Complexity is `n! · Catalan(n)` packings — keep
+/// `n ≤ 6`.
+#[must_use]
+pub fn enumerate_distinct_placements(modules: &[ModuleId], dims: &[Dims]) -> u64 {
+    let mut placements: BTreeSet<Vec<(ModuleId, i64, i64, i64, i64)>> = BTreeSet::new();
+    for tree in enumerate_trees(modules) {
+        let packed = pack_btree(&tree, dims);
+        let mut key: Vec<(ModuleId, i64, i64, i64, i64)> = packed
+            .rects()
+            .iter()
+            .map(|(m, r)| (*m, r.x_min, r.y_min, r.x_max, r.y_max))
+            .collect();
+        key.sort();
+        placements.insert(key);
+    }
+    placements.len() as u64
+}
+
+/// Enumerates every B*-tree (shape × labelling) over the given modules.
+///
+/// Complexity `n! · Catalan(n)`; keep `n ≤ 7`.
+#[must_use]
+pub fn enumerate_trees(modules: &[ModuleId]) -> Vec<BStarTree> {
+    let mut out = Vec::new();
+    for perm in permutations(modules) {
+        for shape in tree_shapes(perm.len()) {
+            out.push(build_tree(&perm, &shape));
+        }
+    }
+    out
+}
+
+/// Counts the trees produced by [`enumerate_trees`] without materialising the
+/// packings (cross-check of the closed form).
+#[must_use]
+pub fn enumerate_tree_count(n: usize) -> u64 {
+    let modules: Vec<ModuleId> = (0..n).map(ModuleId::from_index).collect();
+    enumerate_trees(&modules).len() as u64
+}
+
+/// A binary tree shape over `n` nodes, encoded as, for each node index in
+/// pre-order, how many nodes go into its left subtree.
+type Shape = Vec<usize>;
+
+fn tree_shapes(n: usize) -> Vec<Shape> {
+    // Recursively: a shape over n nodes is (left subtree size k, shape of left
+    // subtree, shape of right subtree).
+    fn rec(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for k in 0..n {
+            for left in rec(k) {
+                for right in rec(n - 1 - k) {
+                    let mut shape = Vec::with_capacity(n);
+                    shape.push(k);
+                    shape.extend_from_slice(&left);
+                    shape.extend_from_slice(&right);
+                    out.push(shape);
+                }
+            }
+        }
+        out
+    }
+    rec(n)
+}
+
+fn build_tree(preorder_modules: &[ModuleId], shape: &Shape) -> BStarTree {
+    // Rebuild a BStarTree by attaching modules according to the shape. We
+    // construct via move_node operations on a left chain, which is simple but
+    // O(n²); fine for the small n used in enumeration.
+    fn attach(
+        tree: &mut BStarTree,
+        modules: &[ModuleId],
+        shape: &[usize],
+        parent: Option<(ModuleId, bool)>,
+    ) {
+        if modules.is_empty() {
+            return;
+        }
+        let k = shape[0];
+        let root = modules[0];
+        if let Some((parent_module, as_left)) = parent {
+            tree.move_node(root, parent_module, as_left);
+        }
+        let (left_mods, right_mods) = modules[1..].split_at(k);
+        let (left_shape, right_shape) = shape[1..].split_at(k);
+        attach(tree, left_mods, left_shape, Some((root, true)));
+        attach(tree, right_mods, right_shape, Some((root, false)));
+    }
+
+    let mut tree = BStarTree::left_chain(preorder_modules);
+    // Rebuild from scratch: detach everything into a left chain first (already
+    // is one), then re-attach per shape. The first module is already the root.
+    attach(&mut tree, preorder_modules, shape, None);
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+fn permutations(items: &[ModuleId]) -> Vec<Vec<ModuleId>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest: Vec<ModuleId> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut perm = Vec::with_capacity(items.len());
+            perm.push(head);
+            perm.append(&mut tail);
+            out.push(perm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalan_numbers() {
+        let expected = [1u128, 1, 2, 5, 14, 42, 132, 429, 1430];
+        for (n, &c) in expected.iter().enumerate() {
+            assert_eq!(catalan(n as u64), Some(c), "C_{n}");
+        }
+    }
+
+    #[test]
+    fn paper_count_for_8_modules() {
+        assert_eq!(btree_count(8), Some(57_657_600));
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration_for_small_n() {
+        for n in 0..=5usize {
+            assert_eq!(
+                u128::from(enumerate_tree_count(n)),
+                btree_count(n as u64).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_shape_count_is_catalan() {
+        for n in 0..=7usize {
+            assert_eq!(u128::from(tree_shapes(n).len() as u64), catalan(n as u64).unwrap());
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_are_valid_and_cover_all_modules() {
+        let modules: Vec<ModuleId> = (0..4).map(ModuleId::from_index).collect();
+        for tree in enumerate_trees(&modules) {
+            assert!(tree.validate().is_ok());
+            let mut pre = tree.preorder();
+            pre.sort();
+            assert_eq!(pre, modules);
+        }
+    }
+
+    #[test]
+    fn distinct_placement_count_is_bounded_by_tree_count() {
+        let modules: Vec<ModuleId> = (0..4).map(ModuleId::from_index).collect();
+        let dims = vec![
+            Dims::new(7, 3),
+            Dims::new(11, 5),
+            Dims::new(13, 2),
+            Dims::new(3, 17),
+        ];
+        let distinct = enumerate_distinct_placements(&modules, &dims);
+        assert!(distinct > 0);
+        assert!(u128::from(distinct) <= btree_count(4).unwrap());
+    }
+}

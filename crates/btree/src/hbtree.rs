@@ -1,0 +1,371 @@
+//! Hierarchical B*-trees (HB*-trees).
+//!
+//! The HB*-tree of reference [17] models each sub-circuit of the layout design
+//! hierarchy with its own floorplan representation and links them through
+//! hierarchy nodes: perturbations pick one sub-circuit's tree, and packing
+//! proceeds bottom-up, abstracting every packed sub-circuit as a block in its
+//! parent.
+//!
+//! [`HbTree`] follows that structure:
+//!
+//! * hierarchy nodes tagged with a **symmetry** constraint whose leaves form a
+//!   symmetry group are placed as ASF symmetry islands ([`crate::asf`]);
+//! * nodes tagged **common-centroid** use the interdigitated pattern generator
+//!   ([`crate::common_centroid`]);
+//! * all other internal nodes own an ordinary [`BStarTree`] over their
+//!   children (modules or sub-circuit blocks).
+//!
+//! Simplification vs. [17] (documented in DESIGN.md): a packed sub-circuit is
+//! abstracted by its bounding rectangle during parent packing, i.e. the
+//! rectilinear top contour of a cluster is not exploited. Experiment E10
+//! quantifies the impact by comparing against flat (non-hierarchical) B*-tree
+//! placement.
+
+use crate::asf::AsfBTree;
+use crate::common_centroid::generate_pattern;
+use crate::{pack_btree, BStarTree};
+use apls_circuit::{
+    ConstraintKind, ConstraintSet, HierarchyNode, HierarchyNodeId, HierarchyTree, ModuleId,
+    Netlist, Placement,
+};
+use apls_geometry::{Dims, Orientation, Point, Rect};
+use rand::{Rng, RngCore};
+
+/// How one hierarchy node is placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeKind {
+    /// A single module.
+    Leaf(ModuleId),
+    /// An internal node packed with its own B*-tree over child blocks.
+    Tree(BStarTree),
+    /// A symmetry island over the node's symmetry group.
+    SymmetryIsland(AsfBTree),
+    /// A common-centroid pattern over the node's group.
+    CommonCentroid(apls_circuit::CommonCentroidGroup),
+}
+
+/// The hierarchical B*-tree state explored by the annealing placer.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::benchmarks::miller_opamp_fig6;
+/// use apls_btree::HbTree;
+///
+/// let circuit = miller_opamp_fig6();
+/// let hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+/// let placement = hb.pack();
+/// assert!(placement.is_complete());
+/// assert_eq!(placement.metrics(&circuit.netlist).overlap_area, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbTree {
+    /// One entry per hierarchy node, indexed by `HierarchyNodeId::index`.
+    kinds: Vec<NodeKind>,
+    /// Children of each hierarchy node (hierarchy node indices).
+    children: Vec<Vec<usize>>,
+    root: usize,
+    /// Default module dimensions, indexed by module id.
+    module_dims: Vec<Dims>,
+    module_count: usize,
+    /// Whether a module may be rotated by the perturbation operators.
+    rotatable: Vec<bool>,
+    /// Right-pair members per module index (for mirrored orientations).
+    mirrored: Vec<bool>,
+}
+
+impl HbTree {
+    /// Builds the initial HB*-tree for a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy tree has no root or does not validate against
+    /// the netlist.
+    #[must_use]
+    pub fn new(netlist: &Netlist, hierarchy: &HierarchyTree, constraints: &ConstraintSet) -> Self {
+        hierarchy
+            .validate(netlist)
+            .expect("hierarchy tree must cover the netlist");
+        let root = hierarchy.root().expect("hierarchy has a root").index();
+        let module_dims = netlist.default_dims();
+        let module_count = netlist.module_count();
+
+        let mut rotatable = vec![false; module_count];
+        for (id, module) in netlist.modules() {
+            let constrained = !constraints.kinds_for(id).is_empty();
+            rotatable[id.index()] = module.rotation_allowed() && !constrained;
+        }
+        let mut mirrored = vec![false; module_count];
+        for g in constraints.symmetry_groups() {
+            for &(_, r) in g.pairs() {
+                mirrored[r.index()] = true;
+            }
+        }
+
+        let mut kinds: Vec<NodeKind> = Vec::with_capacity(hierarchy.node_count());
+        let mut children: Vec<Vec<usize>> = Vec::with_capacity(hierarchy.node_count());
+        for i in 0..hierarchy.node_count() {
+            let id = node_id(i);
+            children.push(hierarchy.children(id).iter().map(|c| c.index()).collect());
+            kinds.push(Self::classify(netlist, hierarchy, constraints, id));
+        }
+
+        HbTree { kinds, children, root, module_dims, module_count, rotatable, mirrored }
+    }
+
+    fn classify(
+        _netlist: &Netlist,
+        hierarchy: &HierarchyTree,
+        constraints: &ConstraintSet,
+        id: HierarchyNodeId,
+    ) -> NodeKind {
+        match hierarchy.node(id) {
+            HierarchyNode::Leaf { module } => NodeKind::Leaf(*module),
+            HierarchyNode::Internal { constraint, .. } => {
+                let leaves = hierarchy.leaves_under(id);
+                let mut sorted_leaves = leaves.clone();
+                sorted_leaves.sort();
+                if *constraint == Some(ConstraintKind::Symmetry) {
+                    if let Some(group) = constraints.symmetry_groups().iter().find(|g| {
+                        let mut members = g.members();
+                        members.sort();
+                        members == sorted_leaves
+                    }) {
+                        return NodeKind::SymmetryIsland(AsfBTree::new(group.clone()));
+                    }
+                }
+                if *constraint == Some(ConstraintKind::CommonCentroid) {
+                    if let Some(group) = constraints.common_centroid_groups().iter().find(|g| {
+                        let mut members = g.members();
+                        members.sort();
+                        members == sorted_leaves
+                    }) {
+                        return NodeKind::CommonCentroid(group.clone());
+                    }
+                }
+                // ordinary sub-circuit: B*-tree over the child tokens
+                let tokens: Vec<ModuleId> = hierarchy
+                    .children(id)
+                    .iter()
+                    .map(|c| ModuleId::from_index(c.index()))
+                    .collect();
+                NodeKind::Tree(BStarTree::left_chain(&tokens))
+            }
+        }
+    }
+
+    /// Number of placeable modules covered by the tree.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.module_count
+    }
+
+    /// Applies one random perturbation: pick a sub-circuit that owns a tree
+    /// (ordinary node or symmetry-island half-tree) and perturb it.
+    pub fn perturb(&mut self, rng: &mut dyn RngCore) {
+        let candidates: Vec<usize> = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, NodeKind::Tree(_) | NodeKind::SymmetryIsland(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let pick = candidates[rng.gen_range(0..candidates.len())];
+        let rotatable = self.rotatable.clone();
+        // A token is rotatable only when it is a leaf whose module allows it:
+        // rotating a sub-circuit block would transpose its footprint without
+        // transposing its contents.
+        let kinds_snapshot: Vec<Option<ModuleId>> = self.kinds_leaf_modules();
+        match &mut self.kinds[pick] {
+            NodeKind::Tree(tree) => {
+                tree.perturb(rng, |token| {
+                    kinds_snapshot
+                        .get(token.index())
+                        .copied()
+                        .flatten()
+                        .map(|m| rotatable[m.index()])
+                        .unwrap_or(false)
+                });
+            }
+            NodeKind::SymmetryIsland(asf) => {
+                asf.half_tree_mut().perturb(rng, |_| false);
+            }
+            _ => {}
+        }
+    }
+
+    /// For every hierarchy node index, the module it represents when it is a
+    /// leaf.
+    fn kinds_leaf_modules(&self) -> Vec<Option<ModuleId>> {
+        self.kinds
+            .iter()
+            .map(|k| match k {
+                NodeKind::Leaf(m) => Some(*m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Packs the hierarchy bottom-up into a placement.
+    #[must_use]
+    pub fn pack(&self) -> Placement {
+        let mut placement = Placement::with_capacity(self.module_count);
+        let sub = self.pack_node(self.root);
+        for (module, rect, rotated) in &sub.rects {
+            let orientation = if self.mirrored[module.index()] {
+                Orientation::MY
+            } else if *rotated {
+                Orientation::R90
+            } else {
+                Orientation::R0
+            };
+            placement.place(*module, *rect, orientation, 0);
+        }
+        placement
+    }
+
+    fn pack_node(&self, node: usize) -> SubPlacement {
+        match &self.kinds[node] {
+            NodeKind::Leaf(module) => {
+                let d = self.module_dims[module.index()];
+                SubPlacement {
+                    dims: d,
+                    rects: vec![(*module, Rect::from_dims(Point::ORIGIN, d), false)],
+                }
+            }
+            NodeKind::SymmetryIsland(asf) => {
+                let island = asf.pack(&self.module_dims);
+                SubPlacement {
+                    dims: island.dims(),
+                    rects: island.rects().iter().map(|&(m, r)| (m, r, false)).collect(),
+                }
+            }
+            NodeKind::CommonCentroid(group) => {
+                let pattern = generate_pattern(group, &self.module_dims);
+                SubPlacement {
+                    dims: pattern.dims(),
+                    rects: pattern.rects().iter().map(|&(m, r)| (m, r, false)).collect(),
+                }
+            }
+            NodeKind::Tree(tree) => {
+                // pack children first
+                let child_placements: Vec<(usize, SubPlacement)> = self.children[node]
+                    .iter()
+                    .map(|&c| (c, self.pack_node(c)))
+                    .collect();
+                // token dims table indexed by hierarchy node index
+                let max_token = self.kinds.len();
+                let mut token_dims = vec![Dims::ZERO; max_token];
+                for (c, sub) in &child_placements {
+                    token_dims[*c] = sub.dims;
+                }
+                let packed = pack_btree(tree, &token_dims);
+                let mut rects = Vec::new();
+                for (token, rect) in packed.rects() {
+                    let child = token.index();
+                    let sub = &child_placements
+                        .iter()
+                        .find(|(c, _)| *c == child)
+                        .expect("token corresponds to a child")
+                        .1;
+                    if let NodeKind::Leaf(module) = &self.kinds[child] {
+                        // leaf tokens may be rotated: the packed rect already
+                        // has the transposed footprint
+                        rects.push((*module, *rect, tree.is_rotated(*token)));
+                    } else {
+                        for (module, local, rot) in &sub.rects {
+                            rects.push((*module, local.translated(rect.origin()), *rot));
+                        }
+                    }
+                }
+                SubPlacement { dims: packed.dims(), rects }
+            }
+        }
+    }
+}
+
+/// A packed sub-circuit: block footprint plus module rectangles relative to
+/// the block origin. The `bool` marks modules that were rotated.
+struct SubPlacement {
+    dims: Dims,
+    rects: Vec<(ModuleId, Rect, bool)>,
+}
+
+fn node_id(index: usize) -> HierarchyNodeId {
+    HierarchyNodeId::from_index(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_anneal::rng::SeededRng;
+    use apls_circuit::benchmarks::{self, miller_opamp_fig6};
+
+    #[test]
+    fn miller_fig6_packs_legally_with_exact_constraints() {
+        let circuit = miller_opamp_fig6();
+        let hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+        let placement = hb.pack();
+        assert!(placement.is_complete());
+        let metrics = placement.metrics(&circuit.netlist);
+        assert_eq!(metrics.overlap_area, 0);
+        assert_eq!(placement.symmetry_error(&circuit.constraints), 0);
+        for g in circuit.constraints.proximity_groups() {
+            assert!(g.is_connected(&placement), "proximity group {} split", g.name());
+        }
+    }
+
+    #[test]
+    fn perturbations_keep_placements_legal() {
+        let circuit = miller_opamp_fig6();
+        let mut hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+        let mut rng = SeededRng::new(41);
+        for step in 0..300 {
+            hb.perturb(&mut rng);
+            let placement = hb.pack();
+            assert!(placement.is_complete(), "incomplete at step {step}");
+            assert_eq!(
+                placement.metrics(&circuit.netlist).overlap_area,
+                0,
+                "overlap at step {step}"
+            );
+            assert_eq!(
+                placement.symmetry_error(&circuit.constraints),
+                0,
+                "asymmetric at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn benchmark_circuits_pack_completely() {
+        for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2()] {
+            let hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+            let placement = hb.pack();
+            assert!(placement.is_complete(), "{}", circuit.name);
+            assert_eq!(
+                placement.metrics(&circuit.netlist).overlap_area,
+                0,
+                "{}",
+                circuit.name
+            );
+            assert_eq!(
+                placement.symmetry_error(&circuit.constraints),
+                0,
+                "{}",
+                circuit.name
+            );
+        }
+    }
+
+    #[test]
+    fn area_is_at_least_total_module_area() {
+        let circuit = benchmarks::miller_v2();
+        let hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+        let metrics = hb.pack().metrics(&circuit.netlist);
+        assert!(metrics.bounding_area >= circuit.netlist.total_module_area());
+    }
+}

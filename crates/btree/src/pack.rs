@@ -1,0 +1,169 @@
+//! Contour-based B*-tree packing.
+
+use crate::tree::Slot;
+use crate::BStarTree;
+use apls_circuit::ModuleId;
+use apls_geometry::{Contour, Coord, Dims, Rect};
+
+/// The packed form of a B*-tree: one rectangle per module plus the floorplan
+/// extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedBTree {
+    rects: Vec<(ModuleId, Rect)>,
+    width: Coord,
+    height: Coord,
+}
+
+impl PackedBTree {
+    /// Rectangles in packing (pre-order) order.
+    #[must_use]
+    pub fn rects(&self) -> &[(ModuleId, Rect)] {
+        &self.rects
+    }
+
+    /// Rectangle of one module, if it was packed.
+    #[must_use]
+    pub fn rect_of(&self, module: ModuleId) -> Option<Rect> {
+        self.rects.iter().find(|(m, _)| *m == module).map(|(_, r)| *r)
+    }
+
+    /// Floorplan width.
+    #[must_use]
+    pub fn width(&self) -> Coord {
+        self.width
+    }
+
+    /// Floorplan height.
+    #[must_use]
+    pub fn height(&self) -> Coord {
+        self.height
+    }
+
+    /// Bounding-box area of the floorplan.
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        i128::from(self.width) * i128::from(self.height)
+    }
+
+    /// Footprint of the floorplan.
+    #[must_use]
+    pub fn dims(&self) -> Dims {
+        Dims::new(self.width, self.height)
+    }
+}
+
+/// Packs a B*-tree against the contour.
+///
+/// Pre-order traversal: the root is placed at the origin; a left child is
+/// placed immediately to the right of its parent (`x = parent.x_max`); a right
+/// child is placed at the parent's own x. In both cases the module drops onto
+/// the current contour (the lowest y that clears everything already placed in
+/// its horizontal span), which is what makes B*-tree packings bottom-left
+/// compacted and overlap-free.
+///
+/// `dims` is indexed by [`ModuleId::index`]; rotated nodes use the transposed
+/// footprint.
+#[must_use]
+pub fn pack_btree(tree: &BStarTree, dims: &[Dims]) -> PackedBTree {
+    let mut contour = Contour::new();
+    let mut rects: Vec<(ModuleId, Rect)> = Vec::with_capacity(tree.len());
+    // x positions assigned so far, by arena index
+    let mut x_of: Vec<Option<(Coord, Coord)>> = vec![None; tree.len()]; // (x_min, x_max)
+    let mut width = 0;
+    let mut height = 0;
+
+    tree.walk_preorder(&mut |arena_idx, module, rotated, slot| {
+        let base = dims[module.index()];
+        let d = if rotated { base.rotated() } else { base };
+        let x = match slot {
+            Slot::Root => 0,
+            Slot::LeftChildOf(p) => x_of[p].expect("parent packed before child").1,
+            Slot::RightChildOf(p) => x_of[p].expect("parent packed before child").0,
+        };
+        let y = contour.place(x, d.w, d.h);
+        let rect = Rect::new(x, y, x + d.w, y + d.h);
+        x_of[arena_idx] = Some((x, x + d.w));
+        width = width.max(rect.x_max);
+        height = height.max(rect.y_max);
+        rects.push((module, rect));
+    });
+
+    PackedBTree { rects, width, height }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_anneal::rng::SeededRng;
+    use apls_geometry::total_overlap_area;
+
+    fn ids(n: usize) -> Vec<ModuleId> {
+        (0..n).map(ModuleId::from_index).collect()
+    }
+
+    #[test]
+    fn left_chain_packs_into_a_row() {
+        let tree = BStarTree::left_chain(&ids(3));
+        let dims = vec![Dims::new(10, 5), Dims::new(20, 8), Dims::new(5, 3)];
+        let packed = pack_btree(&tree, &dims);
+        assert_eq!(packed.width(), 35);
+        assert_eq!(packed.height(), 8);
+        assert_eq!(packed.rect_of(ModuleId::from_index(2)).unwrap().x_min, 30);
+        let rects: Vec<Rect> = packed.rects().iter().map(|(_, r)| *r).collect();
+        assert_eq!(total_overlap_area(&rects), 0);
+    }
+
+    #[test]
+    fn right_chain_packs_into_a_column() {
+        // build manually: root with a chain of right children
+        let mut tree = BStarTree::left_chain(&ids(3));
+        // turn the left chain into a right chain by moving nodes
+        assert!(tree.move_node(ModuleId::from_index(1), ModuleId::from_index(0), false));
+        assert!(tree.move_node(ModuleId::from_index(2), ModuleId::from_index(1), false));
+        let dims = vec![Dims::new(10, 5), Dims::new(10, 5), Dims::new(10, 5)];
+        let packed = pack_btree(&tree, &dims);
+        assert_eq!(packed.width(), 10);
+        assert_eq!(packed.height(), 15);
+    }
+
+    #[test]
+    fn rotation_changes_footprint() {
+        let mut tree = BStarTree::left_chain(&ids(1));
+        let dims = vec![Dims::new(30, 10)];
+        assert_eq!(pack_btree(&tree, &dims).dims(), Dims::new(30, 10));
+        tree.rotate_node(ModuleId::from_index(0));
+        assert_eq!(pack_btree(&tree, &dims).dims(), Dims::new(10, 30));
+    }
+
+    #[test]
+    fn random_trees_always_pack_legally() {
+        let n = 15;
+        let modules = ids(n);
+        let dims: Vec<Dims> = (0..n)
+            .map(|i| Dims::new(5 + (i as i64 * 7) % 40, 5 + (i as i64 * 13) % 30))
+            .collect();
+        let mut tree = BStarTree::balanced(&modules);
+        let mut rng = SeededRng::new(31);
+        let total_area: i128 = dims.iter().map(|d| d.area()).sum();
+        for _ in 0..300 {
+            tree.perturb(&mut rng, |_| true);
+            let packed = pack_btree(&tree, &dims);
+            let rects: Vec<Rect> = packed.rects().iter().map(|(_, r)| *r).collect();
+            assert_eq!(rects.len(), n);
+            assert_eq!(total_overlap_area(&rects), 0);
+            assert!(packed.area() >= total_area);
+            for (_, r) in packed.rects() {
+                assert!(r.x_min >= 0 && r.y_min >= 0);
+                assert!(r.x_max <= packed.width() && r.y_max <= packed.height());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_packs_to_nothing() {
+        let tree = BStarTree::left_chain(&[]);
+        let packed = pack_btree(&tree, &[]);
+        assert_eq!(packed.width(), 0);
+        assert_eq!(packed.height(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the B*-tree engine.
+
+use apls_anneal::rng::SeededRng;
+use apls_btree::asf::AsfBTree;
+use apls_btree::{pack_btree, BStarTree, HbTree};
+use apls_circuit::benchmarks::{generate, GeneratorConfig};
+use apls_circuit::{Module, ModuleId, Netlist, Placement, SymmetryGroup};
+use apls_geometry::{total_overlap_area, Dims, Orientation, Rect};
+use proptest::prelude::*;
+
+fn ids(n: usize) -> Vec<ModuleId> {
+    (0..n).map(ModuleId::from_index).collect()
+}
+
+proptest! {
+    /// Random perturbation sequences keep the tree valid, lossless, and its
+    /// packing legal.
+    #[test]
+    fn perturbed_trees_always_pack_legally(
+        n in 2usize..20,
+        seed in 0u64..1000,
+        steps in 1usize..60,
+        sizes in proptest::collection::vec((4i64..60, 4i64..60), 20),
+    ) {
+        let modules = ids(n);
+        let dims: Vec<Dims> = sizes.iter().take(n).map(|&(w, h)| Dims::new(w, h)).collect();
+        let mut tree = BStarTree::balanced(&modules);
+        let mut rng = SeededRng::new(seed);
+        for _ in 0..steps {
+            tree.perturb(&mut rng, |_| true);
+        }
+        prop_assert!(tree.validate().is_ok());
+        let mut pre = tree.preorder();
+        pre.sort();
+        prop_assert_eq!(pre, modules);
+        let packed = pack_btree(&tree, &dims);
+        let rects: Vec<Rect> = packed.rects().iter().map(|(_, r)| *r).collect();
+        prop_assert_eq!(total_overlap_area(&rects), 0);
+        let total: i128 = dims.iter().map(|d| d.area()).sum();
+        prop_assert!(packed.area() >= total);
+    }
+
+    /// Any ASF half-tree yields an exactly symmetric, legal island (the
+    /// "automatically symmetric-feasible" property).
+    #[test]
+    fn asf_islands_are_always_symmetric(
+        pair_sizes in proptest::collection::vec((4i64..50, 4i64..50), 1..5),
+        self_sizes in proptest::collection::vec((2i64..25, 4i64..50), 0..3),
+        seed in 0u64..500,
+        steps in 0usize..40,
+    ) {
+        let mut netlist = Netlist::new("asf-prop");
+        let mut group = SymmetryGroup::new("g");
+        for (i, &(w, h)) in pair_sizes.iter().enumerate() {
+            let d = Dims::new(w, h);
+            let l = netlist.add_module(Module::new(format!("L{i}"), d));
+            let r = netlist.add_module(Module::new(format!("R{i}"), d));
+            group = group.with_pair(l, r);
+        }
+        for (i, &(w, h)) in self_sizes.iter().enumerate() {
+            // even widths so an exact integer axis exists
+            let m = netlist.add_module(Module::new(format!("S{i}"), Dims::new(2 * w, h)));
+            group = group.with_self_symmetric(m);
+        }
+        let mut asf = AsfBTree::new(group.clone());
+        let mut rng = SeededRng::new(seed);
+        for _ in 0..steps {
+            asf.half_tree_mut().perturb(&mut rng, |_| true);
+        }
+        let island = asf.pack(&netlist.default_dims());
+        let mut placement = Placement::new(&netlist);
+        for &(m, r) in island.rects() {
+            placement.place(m, r, Orientation::R0, 0);
+        }
+        prop_assert_eq!(group.axis_error(&placement), 0);
+        let rects: Vec<Rect> = island.rects().iter().map(|(_, r)| *r).collect();
+        prop_assert_eq!(total_overlap_area(&rects), 0);
+        for (_, r) in island.rects() {
+            prop_assert!(r.x_min >= 0 && r.y_min >= 0);
+            prop_assert!(r.x_max <= island.dims().w && r.y_max <= island.dims().h);
+        }
+    }
+
+    /// Hierarchical packing of random generated circuits is always complete,
+    /// legal and exactly symmetric, even under perturbation.
+    #[test]
+    fn hbtree_packing_is_legal_on_random_circuits(
+        module_count in 6usize..30,
+        seed in 0u64..300,
+        steps in 0usize..25,
+    ) {
+        let circuit = generate(
+            "prop",
+            GeneratorConfig { module_count, seed, ..GeneratorConfig::default() },
+        );
+        let mut hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+        let mut rng = SeededRng::new(seed ^ 0xDEAD);
+        for _ in 0..steps {
+            hb.perturb(&mut rng);
+        }
+        let placement = hb.pack();
+        prop_assert!(placement.is_complete());
+        let metrics = placement.metrics(&circuit.netlist);
+        prop_assert_eq!(metrics.overlap_area, 0);
+        prop_assert_eq!(placement.symmetry_error(&circuit.constraints), 0);
+        prop_assert!(metrics.bounding_area >= circuit.netlist.total_module_area());
+    }
+}

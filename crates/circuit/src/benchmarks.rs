@@ -1,0 +1,533 @@
+//! Synthetic benchmark circuits.
+//!
+//! The paper's Table I evaluates six analog circuits with 10 to 110 modules
+//! (`Miller V2`, `Comparator V2`, `Folded cascode`, `Buffer`, `biasynth`,
+//! `lnamixbias`). The original netlists are proprietary, so this module
+//! generates *seeded synthetic equivalents* with the same module counts,
+//! analog-like size heterogeneity, shallow hierarchy trees of small basic
+//! module sets, and symmetry / common-centroid / proximity constraints. Table
+//! I's claims are about the relative behaviour of the algorithms as the module
+//! count grows, which these circuits preserve (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use apls_circuit::benchmarks;
+//!
+//! let c = benchmarks::miller_v2();
+//! assert_eq!(c.netlist.module_count(), 13);
+//! assert!(c.hierarchy.validate(&c.netlist).is_ok());
+//! ```
+
+use crate::{
+    CommonCentroidGroup, ConstraintKind, ConstraintSet, HierarchyNodeId, HierarchyTree, Module,
+    ModuleId, Net, Netlist, ProximityGroup, SymmetryGroup,
+};
+use apls_geometry::{Coord, Dims};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A benchmark circuit: netlist, hierarchy and constraints under one name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCircuit {
+    /// Circuit name (matches the rows of Table I for the six paper circuits).
+    pub name: String,
+    /// The flat netlist.
+    pub netlist: Netlist,
+    /// The layout design hierarchy.
+    pub hierarchy: HierarchyTree,
+    /// The analog layout constraints.
+    pub constraints: ConstraintSet,
+}
+
+impl BenchmarkCircuit {
+    /// Number of modules in the circuit.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.netlist.module_count()
+    }
+}
+
+/// Parameters of the synthetic circuit generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of modules to generate.
+    pub module_count: usize,
+    /// RNG seed (same seed ⇒ identical circuit).
+    pub seed: u64,
+    /// Fraction of basic module sets that carry a symmetry constraint.
+    pub symmetry_fraction: f64,
+    /// Fraction of basic module sets that carry a common-centroid constraint.
+    pub common_centroid_fraction: f64,
+    /// Fraction of basic module sets that carry a proximity constraint.
+    pub proximity_fraction: f64,
+    /// Smallest module edge length in dbu.
+    pub min_edge: Coord,
+    /// Largest module edge length in dbu.
+    pub max_edge: Coord,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            module_count: 20,
+            seed: 1,
+            symmetry_fraction: 0.35,
+            common_centroid_fraction: 0.15,
+            proximity_fraction: 0.25,
+            min_edge: 20,
+            max_edge: 360,
+        }
+    }
+}
+
+/// Generates a synthetic analog circuit.
+///
+/// Modules are created in basic module sets of 2–4 devices; devices inside a
+/// symmetric or common-centroid set are matched (identical dimensions).
+/// Basic sets are then clustered 2–4 at a time into higher hierarchy levels
+/// until a single root remains. Each basic set gets an internal net; a sprinkle
+/// of cross-set nets models the global signal and bias wiring.
+///
+/// # Panics
+///
+/// Panics if `module_count` is zero.
+#[must_use]
+pub fn generate(name: &str, config: GeneratorConfig) -> BenchmarkCircuit {
+    assert!(config.module_count > 0, "cannot generate an empty circuit");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut netlist = Netlist::new(name);
+    let mut hierarchy = HierarchyTree::new();
+    let mut constraints = ConstraintSet::new();
+
+    // 1. carve the module count into basic module sets of 2..=4 (last set may be 1)
+    let mut set_sizes: Vec<usize> = Vec::new();
+    let mut remaining = config.module_count;
+    while remaining > 0 {
+        let size = if remaining <= 4 {
+            remaining
+        } else {
+            rng.gen_range(2..=4usize)
+        };
+        set_sizes.push(size);
+        remaining -= size;
+    }
+
+    // 2. create modules + leaves + constraints per basic set
+    let mut basic_set_nodes: Vec<HierarchyNodeId> = Vec::new();
+    let mut module_cursor = 0usize;
+    for (set_idx, &size) in set_sizes.iter().enumerate() {
+        let roll: f64 = rng.gen();
+        let kind = if size >= 2 && roll < config.symmetry_fraction {
+            Some(ConstraintKind::Symmetry)
+        } else if size == 4 && roll < config.symmetry_fraction + config.common_centroid_fraction {
+            // exact common centroids need an even number of matched units per
+            // device, so only 2+2 sets are tagged common-centroid
+            Some(ConstraintKind::CommonCentroid)
+        } else if roll
+            < config.symmetry_fraction + config.common_centroid_fraction + config.proximity_fraction
+        {
+            Some(ConstraintKind::Proximity)
+        } else {
+            None
+        };
+
+        // analog-like log-uniform edge lengths
+        let edge = |rng: &mut StdRng| -> Coord {
+            let lo = (config.min_edge as f64).ln();
+            let hi = (config.max_edge as f64).ln();
+            let v: f64 = rng.gen_range(lo..hi);
+            v.exp().round() as Coord
+        };
+
+        let mut ids: Vec<ModuleId> = Vec::with_capacity(size);
+        match kind {
+            Some(ConstraintKind::Symmetry) | Some(ConstraintKind::CommonCentroid) => {
+                // matched devices: pairs share dimensions
+                let pair_dims = Dims::new(edge(&mut rng), edge(&mut rng));
+                for i in 0..size {
+                    let dims = if i < size - (size % 2) { pair_dims } else {
+                        Dims::new(edge(&mut rng), edge(&mut rng))
+                    };
+                    let m = Module::new(format!("{name}_s{set_idx}_m{i}"), dims)
+                        .with_rotation_allowed(false);
+                    ids.push(netlist.add_module(m));
+                }
+            }
+            _ => {
+                for i in 0..size {
+                    let dims = Dims::new(edge(&mut rng), edge(&mut rng));
+                    ids.push(netlist.add_module(Module::new(format!("{name}_s{set_idx}_m{i}"), dims)));
+                }
+            }
+        }
+        module_cursor += size;
+        let _ = module_cursor;
+
+        // constraint bookkeeping
+        match kind {
+            Some(ConstraintKind::Symmetry) => {
+                let mut group = SymmetryGroup::new(format!("{name}_sym{set_idx}"));
+                let mut i = 0;
+                while i + 1 < ids.len() {
+                    group = group.with_pair(ids[i], ids[i + 1]);
+                    i += 2;
+                }
+                if ids.len() % 2 == 1 {
+                    group = group.with_self_symmetric(ids[ids.len() - 1]);
+                }
+                constraints.add_symmetry_group(group);
+            }
+            Some(ConstraintKind::CommonCentroid) => {
+                let half = ids.len() / 2;
+                constraints.add_common_centroid_group(CommonCentroidGroup::new(
+                    format!("{name}_cc{set_idx}"),
+                    ids[..half].to_vec(),
+                    ids[half..].to_vec(),
+                ));
+            }
+            Some(ConstraintKind::Proximity) => {
+                constraints.add_proximity_group(
+                    ProximityGroup::new(format!("{name}_prox{set_idx}"), ids.clone())
+                        .with_max_gap(10),
+                );
+            }
+            _ => {}
+        }
+
+        // hierarchy leaves + basic-set node
+        let leaves: Vec<HierarchyNodeId> = ids.iter().map(|&m| hierarchy.add_leaf(m)).collect();
+        let node = hierarchy.add_internal(format!("{name}_set{set_idx}"), leaves, kind);
+        basic_set_nodes.push(node);
+
+        // intra-set net
+        if ids.len() >= 2 {
+            netlist.add_weighted_net(
+                Net::new(format!("{name}_net_s{set_idx}"), ids.clone()).with_weight(2.0),
+            );
+        }
+    }
+
+    // 3. cluster basic sets into higher levels until one root remains
+    let mut level_nodes = basic_set_nodes;
+    let mut level = 0usize;
+    while level_nodes.len() > 1 {
+        let mut next_level: Vec<HierarchyNodeId> = Vec::new();
+        let mut i = 0usize;
+        while i < level_nodes.len() {
+            let take = if level_nodes.len() - i <= 4 {
+                level_nodes.len() - i
+            } else {
+                rng.gen_range(2..=4usize)
+            };
+            let children = level_nodes[i..i + take].to_vec();
+            if children.len() == 1 {
+                next_level.push(children[0]);
+            } else {
+                let node =
+                    hierarchy.add_internal(format!("{name}_cluster_l{level}_{i}"), children, None);
+                next_level.push(node);
+            }
+            i += take;
+        }
+        level_nodes = next_level;
+        level += 1;
+    }
+    hierarchy.set_root(level_nodes[0]);
+
+    // 4. cross-set signal nets: connect a random module of consecutive sets
+    let all_ids: Vec<ModuleId> = netlist.module_ids().collect();
+    let cross_nets = (config.module_count / 3).max(1);
+    for k in 0..cross_nets {
+        let fanout = rng.gen_range(2..=4usize).min(all_ids.len());
+        let mut pins = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            pins.push(all_ids[rng.gen_range(0..all_ids.len())]);
+        }
+        pins.sort();
+        pins.dedup();
+        if pins.len() >= 2 {
+            netlist.add_net(format!("{name}_gnet{k}"), pins);
+        }
+    }
+
+    BenchmarkCircuit {
+        name: name.to_string(),
+        netlist,
+        hierarchy,
+        constraints,
+    }
+}
+
+fn table1_config(module_count: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig { module_count, seed, ..GeneratorConfig::default() }
+}
+
+/// `Miller V2` — 13 modules (Table I, row 1).
+#[must_use]
+pub fn miller_v2() -> BenchmarkCircuit {
+    generate("miller_v2", table1_config(13, 0xA11E_0001))
+}
+
+/// `Comparator V2` — 10 modules (Table I, row 2).
+#[must_use]
+pub fn comparator_v2() -> BenchmarkCircuit {
+    generate("comparator_v2", table1_config(10, 0xA11E_0002))
+}
+
+/// `Folded cascode` — 22 modules (Table I, row 3).
+#[must_use]
+pub fn folded_cascode() -> BenchmarkCircuit {
+    generate("folded_cascode", table1_config(22, 0xA11E_0003))
+}
+
+/// `Buffer` — 46 modules (Table I, row 4).
+#[must_use]
+pub fn buffer() -> BenchmarkCircuit {
+    generate("buffer", table1_config(46, 0xA11E_0004))
+}
+
+/// `biasynth` — 65 modules (Table I, row 5).
+#[must_use]
+pub fn biasynth() -> BenchmarkCircuit {
+    generate("biasynth", table1_config(65, 0xA11E_0005))
+}
+
+/// `lnamixbias` — 110 modules (Table I, row 6; also Fig. 8).
+#[must_use]
+pub fn lnamixbias() -> BenchmarkCircuit {
+    generate("lnamixbias", table1_config(110, 0xA11E_0006))
+}
+
+/// All six Table I circuits, in row order.
+#[must_use]
+pub fn table1_circuits() -> Vec<BenchmarkCircuit> {
+    vec![
+        miller_v2(),
+        comparator_v2(),
+        folded_cascode(),
+        buffer(),
+        biasynth(),
+        lnamixbias(),
+    ]
+}
+
+/// The Miller op-amp of Fig. 6, built explicitly: differential pair `P1/P2`,
+/// current-mirror load `N3/N4`, bias mirror `P5/P6/P7`, output device `N8`
+/// and compensation capacitor `C`.
+///
+/// This small, fully hand-written circuit is the quickstart example of the
+/// README and the regression anchor for the hierarchy-driven placers.
+#[must_use]
+pub fn miller_opamp_fig6() -> BenchmarkCircuit {
+    let mut netlist = Netlist::new("miller_opamp");
+    let p1 = netlist.add_module(Module::new("P1", Dims::new(60, 30)).with_rotation_allowed(false));
+    let p2 = netlist.add_module(Module::new("P2", Dims::new(60, 30)).with_rotation_allowed(false));
+    let n3 = netlist.add_module(Module::new("N3", Dims::new(40, 24)).with_rotation_allowed(false));
+    let n4 = netlist.add_module(Module::new("N4", Dims::new(40, 24)).with_rotation_allowed(false));
+    let p5 = netlist.add_module(Module::new("P5", Dims::new(36, 28)));
+    let p6 = netlist.add_module(Module::new("P6", Dims::new(36, 28)));
+    let p7 = netlist.add_module(Module::new("P7", Dims::new(36, 28)));
+    let n8 = netlist.add_module(Module::new("N8", Dims::new(80, 40)));
+    let c = netlist.add_module(Module::new("C", Dims::new(90, 90)));
+
+    netlist.add_weighted_net(Net::new("inp", vec![p1]).with_weight(1.0));
+    netlist.add_weighted_net(Net::new("inn", vec![p2]).with_weight(1.0));
+    netlist.add_weighted_net(Net::new("diff_out", vec![p2, n4, n8, c]).with_weight(2.0));
+    netlist.add_weighted_net(Net::new("mirror", vec![p1, n3, n4]).with_weight(1.5));
+    netlist.add_weighted_net(Net::new("bias", vec![p5, p6, p7, p1, p2]).with_weight(1.0));
+    netlist.add_weighted_net(Net::new("out", vec![n8, c]).with_weight(2.0));
+
+    let mut hierarchy = HierarchyTree::new();
+    let lp1 = hierarchy.add_leaf(p1);
+    let lp2 = hierarchy.add_leaf(p2);
+    let ln3 = hierarchy.add_leaf(n3);
+    let ln4 = hierarchy.add_leaf(n4);
+    let lp5 = hierarchy.add_leaf(p5);
+    let lp6 = hierarchy.add_leaf(p6);
+    let lp7 = hierarchy.add_leaf(p7);
+    let ln8 = hierarchy.add_leaf(n8);
+    let lc = hierarchy.add_leaf(c);
+    let dp = hierarchy.add_internal("DP", vec![lp1, lp2], Some(ConstraintKind::Symmetry));
+    let cm1 = hierarchy.add_internal("CM1", vec![ln3, ln4], Some(ConstraintKind::CommonCentroid));
+    let core = hierarchy.add_internal("CORE", vec![dp, cm1], Some(ConstraintKind::Symmetry));
+    let cm2 = hierarchy.add_internal("CM2", vec![lp5, lp6, lp7], Some(ConstraintKind::Proximity));
+    let out = hierarchy.add_internal("OUT", vec![ln8, lc], None);
+    let top = hierarchy.add_internal("OPAMP", vec![core, cm2, out], None);
+    hierarchy.set_root(top);
+
+    let mut constraints = ConstraintSet::new();
+    constraints.add_symmetry_group(
+        SymmetryGroup::new("dp_sym").with_pair(p1, p2).with_pair(n3, n4),
+    );
+    constraints
+        .add_common_centroid_group(CommonCentroidGroup::new("load_cc", vec![n3], vec![n4]));
+    constraints.add_proximity_group(
+        ProximityGroup::new("bias_prox", vec![p5, p6, p7]).with_max_gap(10),
+    );
+
+    BenchmarkCircuit {
+        name: "miller_opamp".to_string(),
+        netlist,
+        hierarchy,
+        constraints,
+    }
+}
+
+/// The 7-cell placement configuration of Fig. 1: cells `A..G` with the
+/// symmetry group `γ = { (C, D), (B, G), A, F }`.
+///
+/// Returns the circuit plus the module ids in alphabetical order `A..G`.
+#[must_use]
+pub fn fig1_circuit() -> (BenchmarkCircuit, Vec<ModuleId>) {
+    let mut netlist = Netlist::new("fig1");
+    let dims = [
+        Dims::new(40, 30), // A (self-symmetric)
+        Dims::new(30, 50), // B
+        Dims::new(35, 25), // C
+        Dims::new(35, 25), // D (pairs with C)
+        Dims::new(45, 70), // E (unconstrained)
+        Dims::new(50, 20), // F (self-symmetric)
+        Dims::new(30, 50), // G (pairs with B)
+    ];
+    let names = ["A", "B", "C", "D", "E", "F", "G"];
+    let ids: Vec<ModuleId> = names
+        .iter()
+        .zip(dims.iter())
+        .map(|(n, d)| netlist.add_module(Module::new(*n, *d).with_rotation_allowed(false)))
+        .collect();
+
+    netlist.add_net("diff", vec![ids[2], ids[3], ids[0]]);
+    netlist.add_net("outer", vec![ids[1], ids[6], ids[5]]);
+    netlist.add_net("aux", vec![ids[4], ids[0]]);
+
+    let mut constraints = ConstraintSet::new();
+    constraints.add_symmetry_group(
+        SymmetryGroup::new("gamma")
+            .with_pair(ids[2], ids[3]) // (C, D)
+            .with_pair(ids[1], ids[6]) // (B, G)
+            .with_self_symmetric(ids[0]) // A
+            .with_self_symmetric(ids[5]), // F
+    );
+
+    let mut hierarchy = HierarchyTree::new();
+    let leaves: Vec<HierarchyNodeId> = ids.iter().map(|&m| hierarchy.add_leaf(m)).collect();
+    let root = hierarchy.add_internal("fig1_top", leaves, Some(ConstraintKind::Symmetry));
+    hierarchy.set_root(root);
+
+    (
+        BenchmarkCircuit {
+            name: "fig1".to_string(),
+            netlist,
+            hierarchy,
+            constraints,
+        },
+        ids,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_module_counts_match_the_paper() {
+        let expected = [
+            ("miller_v2", 13),
+            ("comparator_v2", 10),
+            ("folded_cascode", 22),
+            ("buffer", 46),
+            ("biasynth", 65),
+            ("lnamixbias", 110),
+        ];
+        let circuits = table1_circuits();
+        assert_eq!(circuits.len(), expected.len());
+        for (c, (name, count)) in circuits.iter().zip(expected.iter()) {
+            assert_eq!(c.name, *name);
+            assert_eq!(c.module_count(), *count, "{name}");
+        }
+    }
+
+    #[test]
+    fn generated_circuits_are_internally_consistent() {
+        for c in table1_circuits() {
+            assert!(c.hierarchy.validate(&c.netlist).is_ok(), "{}", c.name);
+            assert!(c.constraints.validate(&c.netlist).is_ok(), "{}", c.name);
+            assert!(c.netlist.net_count() > 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate("x", table1_config(30, 42));
+        let b = generate("x", table1_config(30, 42));
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.hierarchy, b.hierarchy);
+        assert_eq!(a.constraints, b.constraints);
+    }
+
+    #[test]
+    fn different_seeds_give_different_circuits() {
+        let a = generate("x", table1_config(30, 1));
+        let b = generate("x", table1_config(30, 2));
+        assert_ne!(a.netlist, b.netlist);
+    }
+
+    #[test]
+    fn basic_module_sets_are_small() {
+        for c in table1_circuits() {
+            for (_, modules) in c.hierarchy.basic_module_sets() {
+                assert!(
+                    (1..=4).contains(&modules.len()),
+                    "{}: basic module set of size {}",
+                    c.name,
+                    modules.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miller_fig6_has_expected_structure() {
+        let c = miller_opamp_fig6();
+        assert_eq!(c.module_count(), 9);
+        assert!(c.hierarchy.validate(&c.netlist).is_ok());
+        assert!(c.constraints.validate(&c.netlist).is_ok());
+        assert_eq!(c.constraints.symmetry_groups().len(), 1);
+        assert_eq!(c.constraints.proximity_groups().len(), 1);
+    }
+
+    #[test]
+    fn fig1_symmetry_group_matches_paper() {
+        let (c, ids) = fig1_circuit();
+        assert_eq!(c.module_count(), 7);
+        let g = &c.constraints.symmetry_groups()[0];
+        assert_eq!(g.pair_count(), 2);
+        assert_eq!(g.self_symmetric_count(), 2);
+        // C pairs with D
+        assert_eq!(g.partner_of(ids[2]), Some(ids[3]));
+        // E is unconstrained
+        assert_eq!(g.partner_of(ids[4]), None);
+    }
+
+    #[test]
+    fn matched_pairs_in_symmetric_sets_share_dimensions() {
+        let c = generate("m", GeneratorConfig { module_count: 40, seed: 7, ..Default::default() });
+        for g in c.constraints.symmetry_groups() {
+            for &(l, r) in g.pairs() {
+                assert_eq!(
+                    c.netlist.module(l).dims(),
+                    c.netlist.module(r).dims(),
+                    "pair {l}/{r} in group {}",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty circuit")]
+    fn zero_modules_panics() {
+        let _ = generate("bad", GeneratorConfig { module_count: 0, ..Default::default() });
+    }
+}

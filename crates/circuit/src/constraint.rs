@@ -1,0 +1,729 @@
+//! Analog layout constraints: symmetry, common-centroid and proximity groups.
+//!
+//! The DATE 2009 survey (Section III.A, Fig. 3) identifies three basic analog
+//! layout constraints plus their hierarchical variants:
+//!
+//! * **symmetry** — groups of device pairs (and self-symmetric devices) that
+//!   must be mirrored about a common axis so that layout-induced parasitics
+//!   match in the two halves of a differential signal path;
+//! * **common-centroid** — unit devices of a current mirror or differential
+//!   pair arranged so that all devices share a common centroid, cancelling
+//!   linear process gradients;
+//! * **proximity** — devices of a sub-circuit that must form one connected
+//!   cluster so they can share a well or guard ring.
+//!
+//! [`ConstraintSet`] bundles all constraints of a design and offers the
+//! compliance checks used by the placement engines and the test-suite.
+
+use crate::{ModuleId, Netlist, Placement};
+use apls_geometry::Coord;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The role a module plays inside a symmetry group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SymmetryRole {
+    /// Left element of a symmetric pair.
+    PairLeft(ModuleId),
+    /// Right element of a symmetric pair (the argument is the left partner).
+    PairRight(ModuleId),
+    /// A self-symmetric module centred on the axis.
+    SelfSymmetric,
+}
+
+/// Which kind of constraint a group expresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Mirror symmetry about a vertical axis.
+    Symmetry,
+    /// Common-centroid device interleaving.
+    CommonCentroid,
+    /// Connected-cluster proximity.
+    Proximity,
+}
+
+/// A symmetry group: pairs of symmetric modules and self-symmetric modules
+/// sharing one vertical axis.
+///
+/// This is the `γ = { (C, D), (B, G), A, F }` structure of Fig. 1 in the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{SymmetryGroup, ModuleId};
+///
+/// let c = ModuleId::from_index(2);
+/// let d = ModuleId::from_index(3);
+/// let a = ModuleId::from_index(0);
+/// let group = SymmetryGroup::new("dp")
+///     .with_pair(c, d)
+///     .with_self_symmetric(a);
+/// assert_eq!(group.pair_count(), 1);
+/// assert_eq!(group.self_symmetric_count(), 1);
+/// assert_eq!(group.partner_of(c), Some(d));
+/// assert_eq!(group.partner_of(a), Some(a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymmetryGroup {
+    name: String,
+    pairs: Vec<(ModuleId, ModuleId)>,
+    self_symmetric: Vec<ModuleId>,
+}
+
+impl SymmetryGroup {
+    /// Creates an empty symmetry group.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SymmetryGroup { name: name.into(), pairs: Vec::new(), self_symmetric: Vec::new() }
+    }
+
+    /// Adds a symmetric pair (builder style).
+    #[must_use]
+    pub fn with_pair(mut self, left: ModuleId, right: ModuleId) -> Self {
+        self.pairs.push((left, right));
+        self
+    }
+
+    /// Adds a self-symmetric module (builder style).
+    #[must_use]
+    pub fn with_self_symmetric(mut self, module: ModuleId) -> Self {
+        self.self_symmetric.push(module);
+        self
+    }
+
+    /// Group name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symmetric pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[(ModuleId, ModuleId)] {
+        &self.pairs
+    }
+
+    /// The self-symmetric modules.
+    #[must_use]
+    pub fn self_symmetric(&self) -> &[ModuleId] {
+        &self.self_symmetric
+    }
+
+    /// Number of symmetric pairs (the `p_k` of the counting lemma).
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of self-symmetric modules (the `s_k` of the counting lemma).
+    #[must_use]
+    pub fn self_symmetric_count(&self) -> usize {
+        self.self_symmetric.len()
+    }
+
+    /// All modules in the group, pairs first (left then right), then
+    /// self-symmetric modules.
+    #[must_use]
+    pub fn members(&self) -> Vec<ModuleId> {
+        let mut out = Vec::with_capacity(self.pairs.len() * 2 + self.self_symmetric.len());
+        for &(l, r) in &self.pairs {
+            out.push(l);
+            out.push(r);
+        }
+        out.extend_from_slice(&self.self_symmetric);
+        out
+    }
+
+    /// Returns `true` when the module belongs to this group.
+    #[must_use]
+    pub fn contains(&self, module: ModuleId) -> bool {
+        self.partner_of(module).is_some()
+    }
+
+    /// The symmetric partner of a module: the other element of its pair, or
+    /// the module itself when it is self-symmetric, or `None` when the module
+    /// is not in the group. This is the `sym(x)` map of the paper.
+    #[must_use]
+    pub fn partner_of(&self, module: ModuleId) -> Option<ModuleId> {
+        for &(l, r) in &self.pairs {
+            if l == module {
+                return Some(r);
+            }
+            if r == module {
+                return Some(l);
+            }
+        }
+        if self.self_symmetric.contains(&module) {
+            return Some(module);
+        }
+        None
+    }
+
+    /// Maximum deviation from perfect mirror symmetry about the group's best
+    /// vertical axis, in *doubled* database units (0 = exactly symmetric).
+    ///
+    /// Modules that have not been placed are ignored. The axis is estimated as
+    /// the mean of the doubled midpoints implied by each pair / self-symmetric
+    /// module; the error is the largest deviation from that axis plus any
+    /// vertical-centre mismatch between pair partners.
+    #[must_use]
+    pub fn axis_error(&self, placement: &Placement) -> Coord {
+        let mut axis_candidates: Vec<f64> = Vec::new();
+        for &(l, r) in &self.pairs {
+            if let (Some(pl), Some(pr)) = (placement.get(l), placement.get(r)) {
+                let (clx2, _) = pl.rect.center_x2();
+                let (crx2, _) = pr.rect.center_x2();
+                axis_candidates.push((clx2 + crx2) as f64 / 2.0);
+            }
+        }
+        for &m in &self.self_symmetric {
+            if let Some(pm) = placement.get(m) {
+                axis_candidates.push(pm.rect.center_x2().0 as f64);
+            }
+        }
+        if axis_candidates.is_empty() {
+            return 0;
+        }
+        let axis: f64 = axis_candidates.iter().sum::<f64>() / axis_candidates.len() as f64;
+
+        let mut error = 0.0f64;
+        for &(l, r) in &self.pairs {
+            if let (Some(pl), Some(pr)) = (placement.get(l), placement.get(r)) {
+                let (clx2, cly2) = pl.rect.center_x2();
+                let (crx2, cry2) = pr.rect.center_x2();
+                error = error.max(((clx2 + crx2) as f64 / 2.0 - axis).abs());
+                error = error.max((cly2 - cry2).abs() as f64);
+            }
+        }
+        for &m in &self.self_symmetric {
+            if let Some(pm) = placement.get(m) {
+                error = error.max((pm.rect.center_x2().0 as f64 - axis).abs());
+            }
+        }
+        error.ceil() as Coord
+    }
+
+    /// Returns `true` when the placement is exactly mirror-symmetric for this
+    /// group.
+    #[must_use]
+    pub fn is_satisfied(&self, placement: &Placement) -> bool {
+        self.axis_error(placement) == 0
+    }
+}
+
+/// A common-centroid group: unit devices belonging to two matched devices A
+/// and B that must share a common centroid (Fig. 3(a) of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommonCentroidGroup {
+    name: String,
+    units_a: Vec<ModuleId>,
+    units_b: Vec<ModuleId>,
+}
+
+impl CommonCentroidGroup {
+    /// Creates a common-centroid group from the unit devices of the two
+    /// matched devices.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        units_a: Vec<ModuleId>,
+        units_b: Vec<ModuleId>,
+    ) -> Self {
+        CommonCentroidGroup { name: name.into(), units_a, units_b }
+    }
+
+    /// Group name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unit devices of device A.
+    #[must_use]
+    pub fn units_a(&self) -> &[ModuleId] {
+        &self.units_a
+    }
+
+    /// Unit devices of device B.
+    #[must_use]
+    pub fn units_b(&self) -> &[ModuleId] {
+        &self.units_b
+    }
+
+    /// All unit devices in the group.
+    #[must_use]
+    pub fn members(&self) -> Vec<ModuleId> {
+        let mut out = self.units_a.clone();
+        out.extend_from_slice(&self.units_b);
+        out
+    }
+
+    /// Distance between the centroids of the A units and the B units, in
+    /// doubled database units (0 = common centroid achieved).
+    ///
+    /// Unplaced modules are ignored; a group with no placed units on either
+    /// side reports 0.
+    #[must_use]
+    pub fn centroid_error(&self, placement: &Placement) -> Coord {
+        fn centroid(ids: &[ModuleId], placement: &Placement) -> Option<(f64, f64)> {
+            let mut sx = 0.0;
+            let mut sy = 0.0;
+            let mut n = 0usize;
+            for &id in ids {
+                if let Some(p) = placement.get(id) {
+                    let (cx2, cy2) = p.rect.center_x2();
+                    sx += cx2 as f64;
+                    sy += cy2 as f64;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                None
+            } else {
+                Some((sx / n as f64, sy / n as f64))
+            }
+        }
+        match (centroid(&self.units_a, placement), centroid(&self.units_b, placement)) {
+            (Some((ax, ay)), Some((bx, by))) => ((ax - bx).abs() + (ay - by).abs()).ceil() as Coord,
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` when the two devices share an exact common centroid.
+    #[must_use]
+    pub fn is_satisfied(&self, placement: &Placement) -> bool {
+        self.centroid_error(placement) == 0
+    }
+}
+
+/// A proximity group: modules that must form one connected cluster so they can
+/// share a well or guard ring (Fig. 3(c) of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProximityGroup {
+    name: String,
+    members: Vec<ModuleId>,
+    max_gap: Coord,
+}
+
+impl ProximityGroup {
+    /// Creates a proximity group with the default adjacency gap of 0 (modules
+    /// must touch or abut to count as connected).
+    #[must_use]
+    pub fn new(name: impl Into<String>, members: Vec<ModuleId>) -> Self {
+        ProximityGroup { name: name.into(), members, max_gap: 0 }
+    }
+
+    /// Sets the maximum gap (in dbu) below which two modules are considered
+    /// adjacent (builder style).
+    #[must_use]
+    pub fn with_max_gap(mut self, max_gap: Coord) -> Self {
+        self.max_gap = max_gap;
+        self
+    }
+
+    /// Group name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Modules in the group.
+    #[must_use]
+    pub fn members(&self) -> &[ModuleId] {
+        &self.members
+    }
+
+    /// Maximum adjacency gap.
+    #[must_use]
+    pub fn max_gap(&self) -> Coord {
+        self.max_gap
+    }
+
+    /// Returns `true` when all placed members form one connected cluster under
+    /// the group's adjacency gap.
+    ///
+    /// Two modules are adjacent when their rectangles, each inflated by half
+    /// the gap, overlap or touch. Groups with fewer than two placed members
+    /// are trivially connected.
+    #[must_use]
+    pub fn is_connected(&self, placement: &Placement) -> bool {
+        let rects: Vec<_> = self
+            .members
+            .iter()
+            .filter_map(|&m| placement.get(m).map(|p| p.rect))
+            .collect();
+        if rects.len() < 2 {
+            return true;
+        }
+        let gap = self.max_gap;
+        let adjacent = |a: &apls_geometry::Rect, b: &apls_geometry::Rect| -> bool {
+            // Inflate `a` by gap + 1 so that touching (or within-gap) rectangles
+            // register as overlapping.
+            let inflated = apls_geometry::Rect::new(
+                a.x_min - gap - 1,
+                a.y_min - gap - 1,
+                a.x_max + gap + 1,
+                a.y_max + gap + 1,
+            );
+            inflated.overlaps(b)
+        };
+        let mut visited = vec![false; rects.len()];
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+        visited[0] = true;
+        let mut seen = 1usize;
+        while let Some(i) = queue.pop_front() {
+            for j in 0..rects.len() {
+                if !visited[j] && adjacent(&rects[i], &rects[j]) {
+                    visited[j] = true;
+                    seen += 1;
+                    queue.push_back(j);
+                }
+            }
+        }
+        seen == rects.len()
+    }
+
+    /// Spread overhead of the group: bounding-box area of the members divided
+    /// by their total module area. Lower is tighter; 1.0 is a perfect packing.
+    #[must_use]
+    pub fn spread(&self, placement: &Placement) -> f64 {
+        let rects: Vec<_> = self
+            .members
+            .iter()
+            .filter_map(|&m| placement.get(m).map(|p| p.rect))
+            .collect();
+        if rects.is_empty() {
+            return 1.0;
+        }
+        let bb: apls_geometry::BoundingBox = rects.iter().copied().collect();
+        let total: i128 = rects.iter().map(apls_geometry::Rect::area).sum();
+        if total == 0 {
+            1.0
+        } else {
+            bb.area() as f64 / total as f64
+        }
+    }
+}
+
+/// The full set of layout constraints attached to a netlist.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{ConstraintSet, SymmetryGroup, ModuleId};
+///
+/// let mut cs = ConstraintSet::new();
+/// cs.add_symmetry_group(
+///     SymmetryGroup::new("dp").with_pair(ModuleId::from_index(0), ModuleId::from_index(1)),
+/// );
+/// assert_eq!(cs.symmetry_groups().len(), 1);
+/// assert!(cs.symmetry_group_of(ModuleId::from_index(0)).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    symmetry: Vec<SymmetryGroup>,
+    common_centroid: Vec<CommonCentroidGroup>,
+    proximity: Vec<ProximityGroup>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    #[must_use]
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Adds a symmetry group.
+    pub fn add_symmetry_group(&mut self, group: SymmetryGroup) {
+        self.symmetry.push(group);
+    }
+
+    /// Adds a common-centroid group.
+    pub fn add_common_centroid_group(&mut self, group: CommonCentroidGroup) {
+        self.common_centroid.push(group);
+    }
+
+    /// Adds a proximity group.
+    pub fn add_proximity_group(&mut self, group: ProximityGroup) {
+        self.proximity.push(group);
+    }
+
+    /// All symmetry groups.
+    #[must_use]
+    pub fn symmetry_groups(&self) -> &[SymmetryGroup] {
+        &self.symmetry
+    }
+
+    /// All common-centroid groups.
+    #[must_use]
+    pub fn common_centroid_groups(&self) -> &[CommonCentroidGroup] {
+        &self.common_centroid
+    }
+
+    /// All proximity groups.
+    #[must_use]
+    pub fn proximity_groups(&self) -> &[ProximityGroup] {
+        &self.proximity
+    }
+
+    /// Returns `true` when no constraints are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symmetry.is_empty() && self.common_centroid.is_empty() && self.proximity.is_empty()
+    }
+
+    /// The symmetry group containing a module, if any.
+    #[must_use]
+    pub fn symmetry_group_of(&self, module: ModuleId) -> Option<&SymmetryGroup> {
+        self.symmetry.iter().find(|g| g.contains(module))
+    }
+
+    /// All constraint kinds that mention a module.
+    #[must_use]
+    pub fn kinds_for(&self, module: ModuleId) -> BTreeSet<ConstraintKind> {
+        let mut kinds = BTreeSet::new();
+        if self.symmetry.iter().any(|g| g.contains(module)) {
+            kinds.insert(ConstraintKind::Symmetry);
+        }
+        if self.common_centroid.iter().any(|g| g.members().contains(&module)) {
+            kinds.insert(ConstraintKind::CommonCentroid);
+        }
+        if self.proximity.iter().any(|g| g.members().contains(&module)) {
+            kinds.insert(ConstraintKind::Proximity);
+        }
+        kinds
+    }
+
+    /// Validates the constraint set against a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a list of human-readable problems: references to modules that
+    /// do not exist, modules appearing in more than one symmetry group, and
+    /// modules paired with themselves.
+    pub fn validate(&self, netlist: &Netlist) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let module_count = netlist.module_count();
+        let check_id = |id: ModuleId, ctx: &str, problems: &mut Vec<String>| {
+            if id.index() >= module_count {
+                problems.push(format!("{ctx}: module {id} does not exist in netlist"));
+            }
+        };
+
+        let mut symmetry_membership: BTreeMap<ModuleId, usize> = BTreeMap::new();
+        for (gi, g) in self.symmetry.iter().enumerate() {
+            for &(l, r) in g.pairs() {
+                check_id(l, g.name(), &mut problems);
+                check_id(r, g.name(), &mut problems);
+                if l == r {
+                    problems.push(format!(
+                        "symmetry group '{}' pairs module {l} with itself; use a self-symmetric entry instead",
+                        g.name()
+                    ));
+                }
+            }
+            for &m in g.self_symmetric() {
+                check_id(m, g.name(), &mut problems);
+            }
+            for m in g.members() {
+                if let Some(prev) = symmetry_membership.insert(m, gi) {
+                    if prev != gi {
+                        problems.push(format!(
+                            "module {m} appears in more than one symmetry group ('{}' and '{}')",
+                            self.symmetry[prev].name(),
+                            g.name()
+                        ));
+                    } else {
+                        problems.push(format!(
+                            "module {m} appears more than once in symmetry group '{}'",
+                            g.name()
+                        ));
+                    }
+                }
+            }
+        }
+        for g in &self.common_centroid {
+            for m in g.members() {
+                check_id(m, g.name(), &mut problems);
+            }
+        }
+        for g in &self.proximity {
+            for &m in g.members() {
+                check_id(m, g.name(), &mut problems);
+            }
+        }
+
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+impl PartialOrd for ConstraintKind {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ConstraintKind {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(k: &ConstraintKind) -> u8 {
+            match k {
+                ConstraintKind::Symmetry => 0,
+                ConstraintKind::CommonCentroid => 1,
+                ConstraintKind::Proximity => 2,
+            }
+        }
+        rank(self).cmp(&rank(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Module, Netlist};
+    use apls_geometry::{Dims, Orientation, Rect};
+
+    fn netlist(n: usize) -> Netlist {
+        let mut nl = Netlist::new("t");
+        for i in 0..n {
+            nl.add_module(Module::new(format!("M{i}"), Dims::new(10, 10)));
+        }
+        nl
+    }
+
+    fn id(i: usize) -> ModuleId {
+        ModuleId::from_index(i)
+    }
+
+    #[test]
+    fn partner_lookup() {
+        let g = SymmetryGroup::new("g")
+            .with_pair(id(0), id(1))
+            .with_self_symmetric(id(2));
+        assert_eq!(g.partner_of(id(0)), Some(id(1)));
+        assert_eq!(g.partner_of(id(1)), Some(id(0)));
+        assert_eq!(g.partner_of(id(2)), Some(id(2)));
+        assert_eq!(g.partner_of(id(3)), None);
+        assert_eq!(g.members(), vec![id(0), id(1), id(2)]);
+    }
+
+    #[test]
+    fn symmetric_placement_has_zero_axis_error() {
+        let nl = netlist(3);
+        let g = SymmetryGroup::new("g")
+            .with_pair(id(0), id(1))
+            .with_self_symmetric(id(2));
+        let mut p = Placement::new(&nl);
+        // axis at x = 20
+        p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(id(1), Rect::new(30, 0, 40, 10), Orientation::MY, 0);
+        p.place(id(2), Rect::new(15, 10, 25, 20), Orientation::R0, 0);
+        assert_eq!(g.axis_error(&p), 0);
+        assert!(g.is_satisfied(&p));
+    }
+
+    #[test]
+    fn asymmetric_placement_has_positive_axis_error() {
+        let nl = netlist(2);
+        let g = SymmetryGroup::new("g").with_pair(id(0), id(1));
+        let mut p = Placement::new(&nl);
+        p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        // vertical centres differ -> error
+        p.place(id(1), Rect::new(30, 5, 40, 15), Orientation::R0, 0);
+        assert!(g.axis_error(&p) > 0);
+        assert!(!g.is_satisfied(&p));
+    }
+
+    #[test]
+    fn common_centroid_interdigitated_pattern_is_satisfied() {
+        // A B / B A pattern: centroids coincide.
+        let nl = netlist(4);
+        let g = CommonCentroidGroup::new("cm", vec![id(0), id(3)], vec![id(1), id(2)]);
+        let mut p = Placement::new(&nl);
+        p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0); // A
+        p.place(id(1), Rect::new(10, 0, 20, 10), Orientation::R0, 0); // B
+        p.place(id(2), Rect::new(0, 10, 10, 20), Orientation::R0, 0); // B
+        p.place(id(3), Rect::new(10, 10, 20, 20), Orientation::R0, 0); // A
+        assert_eq!(g.centroid_error(&p), 0);
+        assert!(g.is_satisfied(&p));
+    }
+
+    #[test]
+    fn side_by_side_pattern_violates_common_centroid() {
+        let nl = netlist(2);
+        let g = CommonCentroidGroup::new("cm", vec![id(0)], vec![id(1)]);
+        let mut p = Placement::new(&nl);
+        p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(id(1), Rect::new(10, 0, 20, 10), Orientation::R0, 0);
+        assert!(g.centroid_error(&p) > 0);
+    }
+
+    #[test]
+    fn proximity_connectivity() {
+        let nl = netlist(3);
+        let g = ProximityGroup::new("prox", vec![id(0), id(1), id(2)]);
+        let mut p = Placement::new(&nl);
+        p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(id(1), Rect::new(10, 0, 20, 10), Orientation::R0, 0);
+        p.place(id(2), Rect::new(0, 10, 10, 20), Orientation::R0, 0);
+        assert!(g.is_connected(&p));
+        // move one module far away -> disconnected
+        p.place(id(2), Rect::new(100, 100, 110, 110), Orientation::R0, 0);
+        assert!(!g.is_connected(&p));
+        // with a big allowed gap it is connected again
+        let loose = ProximityGroup::new("prox", vec![id(0), id(1), id(2)]).with_max_gap(200);
+        assert!(loose.is_connected(&p));
+    }
+
+    #[test]
+    fn proximity_spread_of_tight_cluster_is_low() {
+        let nl = netlist(2);
+        let g = ProximityGroup::new("prox", vec![id(0), id(1)]);
+        let mut p = Placement::new(&nl);
+        p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(id(1), Rect::new(10, 0, 20, 10), Orientation::R0, 0);
+        assert!((g.spread(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_set_queries() {
+        let mut cs = ConstraintSet::new();
+        cs.add_symmetry_group(SymmetryGroup::new("s").with_pair(id(0), id(1)));
+        cs.add_common_centroid_group(CommonCentroidGroup::new("c", vec![id(2)], vec![id(3)]));
+        cs.add_proximity_group(ProximityGroup::new("p", vec![id(0), id(2)]));
+        assert!(!cs.is_empty());
+        assert!(cs.symmetry_group_of(id(1)).is_some());
+        assert!(cs.symmetry_group_of(id(2)).is_none());
+        let kinds = cs.kinds_for(id(0));
+        assert!(kinds.contains(&ConstraintKind::Symmetry));
+        assert!(kinds.contains(&ConstraintKind::Proximity));
+        assert!(!kinds.contains(&ConstraintKind::CommonCentroid));
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let nl = netlist(2);
+        let mut cs = ConstraintSet::new();
+        cs.add_symmetry_group(SymmetryGroup::new("bad").with_pair(id(0), id(0)));
+        cs.add_symmetry_group(SymmetryGroup::new("dangling").with_self_symmetric(id(9)));
+        cs.add_symmetry_group(SymmetryGroup::new("dup").with_self_symmetric(id(0)));
+        let errs = cs.validate(&nl).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("pairs module m0 with itself")));
+        assert!(errs.iter().any(|e| e.contains("does not exist")));
+        assert!(errs.iter().any(|e| e.contains("more than one symmetry group")));
+    }
+
+    #[test]
+    fn validation_accepts_clean_set() {
+        let nl = netlist(4);
+        let mut cs = ConstraintSet::new();
+        cs.add_symmetry_group(SymmetryGroup::new("s").with_pair(id(0), id(1)));
+        cs.add_proximity_group(ProximityGroup::new("p", vec![id(2), id(3)]));
+        assert!(cs.validate(&nl).is_ok());
+    }
+}

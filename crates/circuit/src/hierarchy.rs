@@ -1,0 +1,376 @@
+//! Layout design hierarchy trees.
+//!
+//! Analog circuits have a natural hierarchical structure (Fig. 2 and Fig. 6 of
+//! the paper): differential pairs, current mirrors and bias networks group a
+//! handful of devices each, and those groups nest into amplifier cores, bias
+//! blocks and so on. Both the hierarchical B*-tree placer (Section III) and
+//! the deterministic enumeration placer (Section IV) consume this structure:
+//! the former to bound its perturbations, the latter to bound its enumeration
+//! (leaf groups become *basic module sets*).
+
+use crate::{ConstraintKind, ModuleId, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Opaque identifier of a node in a [`HierarchyTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HierarchyNodeId(u32);
+
+impl HierarchyNodeId {
+    /// Creates a node id from a raw dense index.
+    ///
+    /// Ids handed out by [`HierarchyTree`] are dense and ordered, so engines
+    /// that keep per-node side tables (e.g. the HB*-tree placer) can round-trip
+    /// through indices. Using an index that the tree never handed out results
+    /// in panics on lookup, not undefined behaviour.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        HierarchyNodeId(u32::try_from(index).expect("hierarchy node index exceeds u32"))
+    }
+
+    /// The dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HierarchyNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A node of the layout design hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HierarchyNode {
+    /// A leaf: one placeable module.
+    Leaf {
+        /// The module this leaf represents.
+        module: ModuleId,
+    },
+    /// An internal node: a sub-circuit made of child nodes, optionally tagged
+    /// with the constraint that applies to the whole sub-circuit (as in
+    /// Fig. 2 of the paper, where each sub-circuit corresponds to a specific
+    /// constraint).
+    Internal {
+        /// Sub-circuit name.
+        name: String,
+        /// Children, in schematic order.
+        children: Vec<HierarchyNodeId>,
+        /// The constraint attached to this sub-circuit, if any.
+        constraint: Option<ConstraintKind>,
+    },
+}
+
+/// A layout design hierarchy tree.
+///
+/// Nodes are created bottom-up: leaves first, then internal nodes referencing
+/// existing children, finally [`HierarchyTree::set_root`]. Because children
+/// must exist before their parent, the structure is acyclic by construction.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{HierarchyTree, ModuleId, ConstraintKind};
+///
+/// let mut tree = HierarchyTree::new();
+/// let m0 = tree.add_leaf(ModuleId::from_index(0));
+/// let m1 = tree.add_leaf(ModuleId::from_index(1));
+/// let dp = tree.add_internal("DP", vec![m0, m1], Some(ConstraintKind::Symmetry));
+/// tree.set_root(dp);
+/// assert_eq!(tree.leaves_under(dp), vec![ModuleId::from_index(0), ModuleId::from_index(1)]);
+/// assert_eq!(tree.basic_module_sets().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyTree {
+    nodes: Vec<HierarchyNode>,
+    root: Option<HierarchyNodeId>,
+}
+
+impl HierarchyTree {
+    /// Creates an empty hierarchy tree.
+    #[must_use]
+    pub fn new() -> Self {
+        HierarchyTree::default()
+    }
+
+    /// Adds a leaf node for a module and returns its id.
+    pub fn add_leaf(&mut self, module: ModuleId) -> HierarchyNodeId {
+        self.push(HierarchyNode::Leaf { module })
+    }
+
+    /// Adds an internal node over existing children and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any child id does not exist yet or if `children` is empty.
+    pub fn add_internal(
+        &mut self,
+        name: impl Into<String>,
+        children: Vec<HierarchyNodeId>,
+        constraint: Option<ConstraintKind>,
+    ) -> HierarchyNodeId {
+        assert!(!children.is_empty(), "internal hierarchy node needs at least one child");
+        for c in &children {
+            assert!(c.index() < self.nodes.len(), "child {c} does not exist");
+        }
+        self.push(HierarchyNode::Internal { name: name.into(), children, constraint })
+    }
+
+    fn push(&mut self, node: HierarchyNode) -> HierarchyNodeId {
+        let id = HierarchyNodeId(u32::try_from(self.nodes.len()).expect("too many hierarchy nodes"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Declares a node as the root of the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn set_root(&mut self, root: HierarchyNodeId) {
+        assert!(root.index() < self.nodes.len(), "root {root} does not exist");
+        self.root = Some(root);
+    }
+
+    /// The root node, if one has been declared.
+    #[must_use]
+    pub fn root(&self) -> Option<HierarchyNodeId> {
+        self.root
+    }
+
+    /// Node lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this tree.
+    #[must_use]
+    pub fn node(&self, id: HierarchyNodeId) -> &HierarchyNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes (leaves + internal).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Children of a node (empty for leaves).
+    #[must_use]
+    pub fn children(&self, id: HierarchyNodeId) -> &[HierarchyNodeId] {
+        match self.node(id) {
+            HierarchyNode::Leaf { .. } => &[],
+            HierarchyNode::Internal { children, .. } => children,
+        }
+    }
+
+    /// The constraint attached to a node, if any.
+    #[must_use]
+    pub fn constraint_of(&self, id: HierarchyNodeId) -> Option<ConstraintKind> {
+        match self.node(id) {
+            HierarchyNode::Leaf { .. } => None,
+            HierarchyNode::Internal { constraint, .. } => *constraint,
+        }
+    }
+
+    /// All modules in the subtree rooted at `id`, in depth-first schematic
+    /// order.
+    #[must_use]
+    pub fn leaves_under(&self, id: HierarchyNodeId) -> Vec<ModuleId> {
+        let mut out = Vec::new();
+        self.collect_leaves(id, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, id: HierarchyNodeId, out: &mut Vec<ModuleId>) {
+        match self.node(id) {
+            HierarchyNode::Leaf { module } => out.push(*module),
+            HierarchyNode::Internal { children, .. } => {
+                for &c in children {
+                    self.collect_leaves(c, out);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when every child of the node is a leaf.
+    #[must_use]
+    pub fn is_basic_module_set(&self, id: HierarchyNodeId) -> bool {
+        match self.node(id) {
+            HierarchyNode::Leaf { .. } => false,
+            HierarchyNode::Internal { children, .. } => children
+                .iter()
+                .all(|&c| matches!(self.node(c), HierarchyNode::Leaf { .. })),
+        }
+    }
+
+    /// All *basic module sets*: internal nodes whose children are all leaves,
+    /// together with the modules they contain (Section IV of the paper).
+    #[must_use]
+    pub fn basic_module_sets(&self) -> Vec<(HierarchyNodeId, Vec<ModuleId>)> {
+        (0..self.nodes.len())
+            .map(|i| HierarchyNodeId(i as u32))
+            .filter(|&id| self.is_basic_module_set(id))
+            .map(|id| (id, self.leaves_under(id)))
+            .collect()
+    }
+
+    /// Depth of the subtree rooted at `id` (a leaf has depth 1).
+    #[must_use]
+    pub fn depth(&self, id: HierarchyNodeId) -> usize {
+        match self.node(id) {
+            HierarchyNode::Leaf { .. } => 1,
+            HierarchyNode::Internal { children, .. } => {
+                1 + children.iter().map(|&c| self.depth(c)).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Validates the tree against a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns human-readable problems: a missing root, leaves referencing
+    /// modules that do not exist, modules appearing in more than one leaf of
+    /// the root's subtree, or modules of the netlist missing from the tree.
+    pub fn validate(&self, netlist: &Netlist) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let Some(root) = self.root else {
+            problems.push("hierarchy tree has no root".to_string());
+            return Err(problems);
+        };
+        let leaves = self.leaves_under(root);
+        let mut seen: BTreeSet<ModuleId> = BTreeSet::new();
+        for m in &leaves {
+            if m.index() >= netlist.module_count() {
+                problems.push(format!("hierarchy leaf references unknown module {m}"));
+            }
+            if !seen.insert(*m) {
+                problems.push(format!("module {m} appears in more than one hierarchy leaf"));
+            }
+        }
+        for id in netlist.module_ids() {
+            if !seen.contains(&id) {
+                problems.push(format!(
+                    "module {id} ('{}') is not covered by the hierarchy tree",
+                    netlist.module(id).name()
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Module;
+    use apls_geometry::Dims;
+
+    fn id(i: usize) -> ModuleId {
+        ModuleId::from_index(i)
+    }
+
+    /// Builds the Miller op-amp hierarchy of Fig. 6:
+    /// OPAMP { CORE { DP {P1,P2}, CM1 {N3,N4} }, CM2 {P5,P6,P7}, C {N8} }.
+    fn miller_tree() -> (HierarchyTree, HierarchyNodeId) {
+        let mut t = HierarchyTree::new();
+        let p1 = t.add_leaf(id(0));
+        let p2 = t.add_leaf(id(1));
+        let n3 = t.add_leaf(id(2));
+        let n4 = t.add_leaf(id(3));
+        let p5 = t.add_leaf(id(4));
+        let p6 = t.add_leaf(id(5));
+        let p7 = t.add_leaf(id(6));
+        let n8 = t.add_leaf(id(7));
+        let dp = t.add_internal("DP", vec![p1, p2], Some(ConstraintKind::Symmetry));
+        let cm1 = t.add_internal("CM1", vec![n3, n4], Some(ConstraintKind::CommonCentroid));
+        let core = t.add_internal("CORE", vec![dp, cm1], Some(ConstraintKind::Symmetry));
+        let cm2 = t.add_internal("CM2", vec![p5, p6, p7], Some(ConstraintKind::Proximity));
+        let c = t.add_internal("C", vec![n8], None);
+        let top = t.add_internal("OPAMP", vec![core, cm2, c], None);
+        t.set_root(top);
+        (t, top)
+    }
+
+    #[test]
+    fn leaves_are_collected_in_schematic_order() {
+        let (t, top) = miller_tree();
+        let leaves = t.leaves_under(top);
+        assert_eq!(leaves, (0..8).map(id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn basic_module_sets_of_miller() {
+        let (t, _) = miller_tree();
+        let sets = t.basic_module_sets();
+        // DP, CM1, CM2 and C are basic; CORE and OPAMP are not.
+        assert_eq!(sets.len(), 4);
+        let sizes: Vec<usize> = sets.iter().map(|(_, ms)| ms.len()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&3));
+        assert!(sizes.contains(&1));
+    }
+
+    #[test]
+    fn depth_of_miller_tree() {
+        let (t, top) = miller_tree();
+        assert_eq!(t.depth(top), 4); // OPAMP -> CORE -> DP -> leaf
+    }
+
+    #[test]
+    fn constraints_are_recorded() {
+        let (t, top) = miller_tree();
+        let core = t.children(top)[0];
+        assert_eq!(t.constraint_of(core), Some(ConstraintKind::Symmetry));
+        assert_eq!(t.constraint_of(top), None);
+    }
+
+    #[test]
+    fn validate_complete_tree() {
+        let (t, _) = miller_tree();
+        let mut nl = Netlist::new("miller");
+        for i in 0..8 {
+            nl.add_module(Module::new(format!("M{i}"), Dims::new(10, 10)));
+        }
+        assert!(t.validate(&nl).is_ok());
+    }
+
+    #[test]
+    fn validate_detects_missing_and_duplicate_modules() {
+        let mut t = HierarchyTree::new();
+        let a = t.add_leaf(id(0));
+        let b = t.add_leaf(id(0)); // duplicate
+        let c = t.add_leaf(id(5)); // out of range
+        let root = t.add_internal("top", vec![a, b, c], None);
+        t.set_root(root);
+        let mut nl = Netlist::new("t");
+        for i in 0..3 {
+            nl.add_module(Module::new(format!("M{i}"), Dims::new(10, 10)));
+        }
+        let errs = t.validate(&nl).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("more than one hierarchy leaf")));
+        assert!(errs.iter().any(|e| e.contains("unknown module")));
+        assert!(errs.iter().any(|e| e.contains("not covered")));
+    }
+
+    #[test]
+    fn validate_requires_root() {
+        let t = HierarchyTree::new();
+        let nl = Netlist::new("t");
+        assert!(t.validate(&nl).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn internal_node_with_unknown_child_panics() {
+        let mut t = HierarchyTree::new();
+        t.add_internal("bad", vec![HierarchyNodeId(7)], None);
+    }
+}

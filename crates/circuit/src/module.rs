@@ -1,0 +1,171 @@
+//! Placeable modules (devices or device groups).
+
+use apls_geometry::{Coord, Dims};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of a module inside a [`crate::Netlist`].
+///
+/// Module ids are dense indices assigned in insertion order, which lets the
+/// placement engines use plain `Vec`s as per-module tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub(crate) u32);
+
+impl ModuleId {
+    /// Creates a module id from a raw index.
+    ///
+    /// Intended for engines that synthesise ids for scratch netlists; ids used
+    /// against a [`crate::Netlist`] must come from
+    /// [`crate::Netlist::add_module`].
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ModuleId(u32::try_from(index).expect("module index exceeds u32"))
+    }
+
+    /// The dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One discrete shape a module may take.
+///
+/// Analog devices are frequently *foldable*: a MOS transistor of total width W
+/// can be folded into `f` fingers, trading width for height. Each folding is a
+/// shape variant. Variant 0 is the module's default shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShapeVariant {
+    /// Footprint of this variant.
+    pub dims: Dims,
+    /// Number of fingers (informational; 1 for unfolded devices).
+    pub folds: u32,
+}
+
+impl ShapeVariant {
+    /// Creates a shape variant.
+    #[must_use]
+    pub fn new(dims: Dims, folds: u32) -> Self {
+        ShapeVariant { dims, folds }
+    }
+}
+
+/// A placeable rectangular module.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::Module;
+/// use apls_geometry::Dims;
+///
+/// let m = Module::new("M_DP1", Dims::new(64, 22))
+///     .with_variant(Dims::new(34, 42), 2)
+///     .with_rotation_allowed(false);
+/// assert_eq!(m.variants().len(), 2);
+/// assert_eq!(m.area(), 64 * 22);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    name: String,
+    variants: Vec<ShapeVariant>,
+    rotation_allowed: bool,
+}
+
+impl Module {
+    /// Creates a module with a single (default) shape.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dims: Dims) -> Self {
+        Module {
+            name: name.into(),
+            variants: vec![ShapeVariant::new(dims, 1)],
+            rotation_allowed: true,
+        }
+    }
+
+    /// Adds an alternative shape variant (builder style).
+    #[must_use]
+    pub fn with_variant(mut self, dims: Dims, folds: u32) -> Self {
+        self.variants.push(ShapeVariant::new(dims, folds));
+        self
+    }
+
+    /// Enables or disables 90° rotation during placement (builder style).
+    ///
+    /// Matched analog devices are typically not allowed to rotate relative to
+    /// each other because rotation changes their parasitic and stress profile.
+    #[must_use]
+    pub fn with_rotation_allowed(mut self, allowed: bool) -> Self {
+        self.rotation_allowed = allowed;
+        self
+    }
+
+    /// Module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Default footprint (variant 0).
+    #[must_use]
+    pub fn dims(&self) -> Dims {
+        self.variants[0].dims
+    }
+
+    /// All shape variants, the default first.
+    #[must_use]
+    pub fn variants(&self) -> &[ShapeVariant] {
+        &self.variants
+    }
+
+    /// Whether the placer may rotate this module by 90°.
+    #[must_use]
+    pub fn rotation_allowed(&self) -> bool {
+        self.rotation_allowed
+    }
+
+    /// Area of the default shape.
+    #[must_use]
+    pub fn area(&self) -> Coord {
+        let d = self.dims();
+        d.w * d.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_id_roundtrip() {
+        let id = ModuleId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "m17");
+    }
+
+    #[test]
+    fn default_variant_is_first() {
+        let m = Module::new("X", Dims::new(10, 20)).with_variant(Dims::new(20, 10), 2);
+        assert_eq!(m.dims(), Dims::new(10, 20));
+        assert_eq!(m.variants()[1].folds, 2);
+    }
+
+    #[test]
+    fn rotation_flag_builder() {
+        let m = Module::new("X", Dims::new(10, 20));
+        assert!(m.rotation_allowed());
+        let m = m.with_rotation_allowed(false);
+        assert!(!m.rotation_allowed());
+    }
+
+    #[test]
+    fn area_uses_default_variant() {
+        let m = Module::new("X", Dims::new(10, 20)).with_variant(Dims::new(1000, 1000), 4);
+        assert_eq!(m.area(), 200);
+    }
+}

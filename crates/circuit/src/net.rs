@@ -1,0 +1,100 @@
+//! Nets connecting modules.
+
+use crate::ModuleId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of a net inside a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A net: a named set of module pins with a wirelength weight.
+///
+/// Pins are modelled at module granularity (the pin sits at the module
+/// centre), which is the standard abstraction for device-level placement
+/// wirelength estimation.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{Net, ModuleId};
+///
+/// let net = Net::new("vout", vec![ModuleId::from_index(0), ModuleId::from_index(3)])
+///     .with_weight(2.0);
+/// assert_eq!(net.pins().len(), 2);
+/// assert_eq!(net.weight(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    name: String,
+    pins: Vec<ModuleId>,
+    weight: f64,
+}
+
+impl Net {
+    /// Creates a net over the given modules with weight 1.
+    #[must_use]
+    pub fn new(name: impl Into<String>, pins: Vec<ModuleId>) -> Self {
+        Net { name: name.into(), pins, weight: 1.0 }
+    }
+
+    /// Sets the wirelength weight (builder style).
+    ///
+    /// Critical nets (e.g. the differential signal path) are typically
+    /// weighted higher so the placer keeps them short.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Net name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Modules connected by this net.
+    #[must_use]
+    pub fn pins(&self) -> &[ModuleId] {
+        &self.pins
+    }
+
+    /// Wirelength weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_defaults_to_unit_weight() {
+        let n = Net::new("x", vec![ModuleId::from_index(1)]);
+        assert_eq!(n.weight(), 1.0);
+        assert_eq!(n.name(), "x");
+    }
+
+    #[test]
+    fn weight_builder() {
+        let n = Net::new("x", vec![]).with_weight(3.5);
+        assert_eq!(n.weight(), 3.5);
+    }
+}

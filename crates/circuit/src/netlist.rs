@@ -1,0 +1,201 @@
+//! Flat netlists: modules plus connectivity.
+
+use crate::{Module, ModuleId, Net, NetId};
+use apls_geometry::Dims;
+use serde::{Deserialize, Serialize};
+
+/// A flat netlist: the collection of modules to place and the nets connecting
+/// them.
+///
+/// The netlist is the common input of every placement engine in the workspace.
+/// Hierarchy and constraints are layered on top (see [`crate::HierarchyTree`]
+/// and [`crate::ConstraintSet`]) so that engines which ignore them can still
+/// consume the same netlist.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{Netlist, Module};
+/// use apls_geometry::Dims;
+///
+/// let mut nl = Netlist::new("ota");
+/// let a = nl.add_module(Module::new("M1", Dims::new(30, 20)));
+/// let b = nl.add_module(Module::new("M2", Dims::new(30, 20)));
+/// let net = nl.add_net("out", [a, b]);
+/// assert_eq!(nl.net(net).pins(), &[a, b]);
+/// assert_eq!(nl.total_module_area(), 2 * 600);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    modules: Vec<Module>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), modules: Vec::new(), nets: Vec::new() }
+    }
+
+    /// Netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a module and returns its id.
+    pub fn add_module(&mut self, module: Module) -> ModuleId {
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(module);
+        id
+    }
+
+    /// Adds a net over the given modules and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pin refers to a module that has not been added yet.
+    pub fn add_net(&mut self, name: impl Into<String>, pins: impl IntoIterator<Item = ModuleId>) -> NetId {
+        let pins: Vec<ModuleId> = pins.into_iter().collect();
+        for pin in &pins {
+            assert!(
+                pin.index() < self.modules.len(),
+                "net pin {pin} refers to a module that does not exist"
+            );
+        }
+        let id = NetId(u32::try_from(self.nets.len()).expect("too many nets"));
+        self.nets.push(Net::new(name, pins));
+        id
+    }
+
+    /// Adds an already-built [`Net`] (e.g. one with a custom weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pin refers to a module that has not been added yet.
+    pub fn add_weighted_net(&mut self, net: Net) -> NetId {
+        for pin in net.pins() {
+            assert!(
+                pin.index() < self.modules.len(),
+                "net pin {pin} refers to a module that does not exist"
+            );
+        }
+        let id = NetId(u32::try_from(self.nets.len()).expect("too many nets"));
+        self.nets.push(net);
+        id
+    }
+
+    /// Number of modules.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Module lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    #[must_use]
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// Net lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterator over `(id, module)` pairs in insertion order.
+    pub fn modules(&self) -> impl Iterator<Item = (ModuleId, &Module)> {
+        self.modules.iter().enumerate().map(|(i, m)| (ModuleId::from_index(i), m))
+    }
+
+    /// Iterator over module ids in insertion order.
+    pub fn module_ids(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        (0..self.modules.len()).map(ModuleId::from_index)
+    }
+
+    /// Iterator over `(id, net)` pairs in insertion order.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Sum of the default-shape areas of all modules.
+    ///
+    /// Used as the denominator of the *area usage* metric reported in Table I
+    /// of the paper.
+    #[must_use]
+    pub fn total_module_area(&self) -> i128 {
+        self.modules.iter().map(|m| i128::from(m.area())).sum()
+    }
+
+    /// Default footprints of all modules, indexed by module id.
+    #[must_use]
+    pub fn default_dims(&self) -> Vec<Dims> {
+        self.modules.iter().map(Module::dims).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_module_netlist() -> (Netlist, ModuleId, ModuleId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_module(Module::new("A", Dims::new(10, 10)));
+        let b = nl.add_module(Module::new("B", Dims::new(20, 5)));
+        (nl, a, b)
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let (nl, a, b) = two_module_netlist();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(nl.module_count(), 2);
+        let ids: Vec<ModuleId> = nl.module_ids().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn total_area_sums_default_shapes() {
+        let (nl, _, _) = two_module_netlist();
+        assert_eq!(nl.total_module_area(), 100 + 100);
+    }
+
+    #[test]
+    fn net_lookup_roundtrip() {
+        let (mut nl, a, b) = two_module_netlist();
+        let n = nl.add_net("x", [a, b]);
+        assert_eq!(nl.net(n).pins(), &[a, b]);
+        assert_eq!(nl.net_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn net_with_unknown_pin_panics() {
+        let (mut nl, _, _) = two_module_netlist();
+        nl.add_net("bad", [ModuleId::from_index(99)]);
+    }
+
+    #[test]
+    fn weighted_net_preserves_weight() {
+        let (mut nl, a, b) = two_module_netlist();
+        let id = nl.add_weighted_net(Net::new("crit", vec![a, b]).with_weight(4.0));
+        assert_eq!(nl.net(id).weight(), 4.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Placement results and quality metrics.
+
+use crate::{ConstraintSet, ModuleId, Netlist};
+use apls_geometry::{hpwl, total_overlap_area, BoundingBox, Coord, Orientation, Rect};
+use serde::{Deserialize, Serialize};
+
+/// The placed instance of one module: its rectangle, orientation and the shape
+/// variant that was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedModule {
+    /// Final rectangle in chip coordinates.
+    pub rect: Rect,
+    /// Orientation chosen by the placer.
+    pub orientation: Orientation,
+    /// Index into [`crate::Module::variants`] of the chosen shape.
+    pub variant: usize,
+}
+
+/// A full placement: one [`PlacedModule`] per module of a [`Netlist`].
+///
+/// A `Placement` does not borrow the netlist; it stores one entry per module
+/// id, in id order. Engines build placements incrementally with
+/// [`Placement::place`] and consumers read them back with
+/// [`Placement::rect_of`].
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{Netlist, Module, Placement};
+/// use apls_geometry::{Dims, Rect, Orientation};
+///
+/// let mut nl = Netlist::new("pair");
+/// let a = nl.add_module(Module::new("A", Dims::new(10, 10)));
+/// let b = nl.add_module(Module::new("B", Dims::new(10, 10)));
+/// let mut p = Placement::new(&nl);
+/// p.place(a, Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+/// p.place(b, Rect::new(10, 0, 20, 10), Orientation::MY, 0);
+/// assert!(p.is_complete());
+/// let m = p.metrics(&nl);
+/// assert_eq!(m.overlap_area, 0);
+/// assert_eq!(m.bounding_area, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    slots: Vec<Option<PlacedModule>>,
+}
+
+/// Quality metrics of a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementMetrics {
+    /// Area of the bounding rectangle of all placed modules.
+    pub bounding_area: i128,
+    /// Width of the bounding rectangle.
+    pub width: Coord,
+    /// Height of the bounding rectangle.
+    pub height: Coord,
+    /// Bounding area divided by the total module area (≥ 1 for legal
+    /// placements of non-overlapping modules). This is the "area usage"
+    /// column of Table I in the paper.
+    pub area_usage: f64,
+    /// Weighted half-perimeter wirelength over all nets.
+    pub wirelength: f64,
+    /// Total pairwise overlap area (0 for legal placements).
+    pub overlap_area: i128,
+}
+
+impl Placement {
+    /// Creates an empty placement sized for the given netlist.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        Placement { slots: vec![None; netlist.module_count()] }
+    }
+
+    /// Creates an empty placement for `n` modules (for engines that work on
+    /// raw dimension lists rather than a full netlist).
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Placement { slots: vec![None; n] }
+    }
+
+    /// Records the placement of one module, returning the previous value if
+    /// the module had already been placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module id is out of range for this placement.
+    pub fn place(
+        &mut self,
+        id: ModuleId,
+        rect: Rect,
+        orientation: Orientation,
+        variant: usize,
+    ) -> Option<PlacedModule> {
+        let slot = &mut self.slots[id.index()];
+        slot.replace(PlacedModule { rect, orientation, variant })
+    }
+
+    /// The placed instance of a module, if it has been placed.
+    #[must_use]
+    pub fn get(&self, id: ModuleId) -> Option<&PlacedModule> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// The rectangle of a placed module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module has not been placed.
+    #[must_use]
+    pub fn rect_of(&self, id: ModuleId) -> Rect {
+        self.get(id).expect("module not placed").rect
+    }
+
+    /// Returns `true` when every module has been placed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(Option::is_some)
+    }
+
+    /// Number of modules that have been placed so far.
+    #[must_use]
+    pub fn placed_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterator over `(id, placed)` pairs of all placed modules.
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, &PlacedModule)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (ModuleId::from_index(i), p)))
+    }
+
+    /// Rectangles of all placed modules, in module-id order.
+    #[must_use]
+    pub fn rects(&self) -> Vec<Rect> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|p| p.rect)).collect()
+    }
+
+    /// Translates every placed module by `(dx, dy)`.
+    pub fn translate(&mut self, dx: Coord, dy: Coord) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.rect = slot.rect.translated(apls_geometry::Point::new(dx, dy));
+        }
+    }
+
+    /// Normalises the placement so that its bounding box is anchored at the
+    /// origin.
+    pub fn normalize(&mut self) {
+        let bb: BoundingBox = self.rects().into_iter().collect();
+        if let Some(r) = bb.to_rect() {
+            self.translate(-r.x_min, -r.y_min);
+        }
+    }
+
+    /// Bounding rectangle of the placed modules (`None` when nothing is
+    /// placed).
+    #[must_use]
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        let bb: BoundingBox = self.rects().into_iter().collect();
+        bb.to_rect()
+    }
+
+    /// Computes the quality metrics of this placement against its netlist.
+    #[must_use]
+    pub fn metrics(&self, netlist: &Netlist) -> PlacementMetrics {
+        let rects = self.rects();
+        let bb: BoundingBox = rects.iter().copied().collect();
+        let bounding_area = bb.area();
+        let total_area = netlist.total_module_area();
+        let area_usage = if total_area > 0 {
+            bounding_area as f64 / total_area as f64
+        } else {
+            0.0
+        };
+
+        let mut wirelength = 0.0;
+        for (_, net) in netlist.nets() {
+            let pin_rects: Vec<Rect> = net
+                .pins()
+                .iter()
+                .filter_map(|&m| self.get(m).map(|p| p.rect))
+                .collect();
+            wirelength += net.weight() * hpwl(&pin_rects) as f64;
+        }
+
+        PlacementMetrics {
+            bounding_area,
+            width: bb.width(),
+            height: bb.height(),
+            area_usage,
+            wirelength,
+            overlap_area: total_overlap_area(&rects),
+        }
+    }
+
+    /// Maximum symmetry-axis deviation over all symmetry groups, in half
+    /// database units.
+    ///
+    /// For each symmetry group the axis is estimated as the mean of the
+    /// doubled pair centres; the error is the largest deviation of any pair
+    /// (or self-symmetric cell) from perfect mirroring about that axis. Zero
+    /// means the placement is exactly symmetric.
+    #[must_use]
+    pub fn symmetry_error(&self, constraints: &ConstraintSet) -> Coord {
+        constraints
+            .symmetry_groups()
+            .iter()
+            .map(|g| g.axis_error(self))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Module;
+    use apls_geometry::Dims;
+
+    fn netlist3() -> (Netlist, Vec<ModuleId>) {
+        let mut nl = Netlist::new("t");
+        let ids = vec![
+            nl.add_module(Module::new("A", Dims::new(10, 10))),
+            nl.add_module(Module::new("B", Dims::new(20, 10))),
+            nl.add_module(Module::new("C", Dims::new(10, 30))),
+        ];
+        (nl, ids)
+    }
+
+    #[test]
+    fn empty_placement_is_incomplete() {
+        let (nl, _) = netlist3();
+        let p = Placement::new(&nl);
+        assert!(!p.is_complete());
+        assert_eq!(p.placed_count(), 0);
+        assert_eq!(p.bounding_rect(), None);
+    }
+
+    #[test]
+    fn placing_all_modules_completes() {
+        let (nl, ids) = netlist3();
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(ids[1], Rect::new(10, 0, 30, 10), Orientation::R0, 0);
+        p.place(ids[2], Rect::new(0, 10, 10, 40), Orientation::R0, 0);
+        assert!(p.is_complete());
+        assert_eq!(p.placed_count(), 3);
+        assert_eq!(p.rect_of(ids[1]).width(), 20);
+    }
+
+    #[test]
+    fn replacing_returns_previous() {
+        let (nl, ids) = netlist3();
+        let mut p = Placement::new(&nl);
+        assert!(p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0).is_none());
+        let prev = p.place(ids[0], Rect::new(5, 5, 15, 15), Orientation::R90, 1);
+        assert_eq!(prev.unwrap().rect, Rect::new(0, 0, 10, 10));
+    }
+
+    #[test]
+    fn metrics_of_legal_placement() {
+        let (mut nl, ids) = netlist3();
+        nl.add_net("n1", [ids[0], ids[1]]);
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(ids[1], Rect::new(10, 0, 30, 10), Orientation::R0, 0);
+        p.place(ids[2], Rect::new(30, 0, 40, 30), Orientation::R0, 0);
+        let m = p.metrics(&nl);
+        assert_eq!(m.overlap_area, 0);
+        assert_eq!(m.width, 40);
+        assert_eq!(m.height, 30);
+        assert_eq!(m.bounding_area, 1200);
+        // total module area = 100 + 200 + 300 = 600
+        assert!((m.area_usage - 2.0).abs() < 1e-12);
+        // net between centres (5,5) and (20,5): hpwl = 15
+        assert!((m.wirelength - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_moves_origin_to_zero() {
+        let (nl, ids) = netlist3();
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(50, 70, 60, 80), Orientation::R0, 0);
+        p.place(ids[1], Rect::new(60, 70, 80, 80), Orientation::R0, 0);
+        p.place(ids[2], Rect::new(50, 80, 60, 110), Orientation::R0, 0);
+        p.normalize();
+        let bb = p.bounding_rect().unwrap();
+        assert_eq!(bb.x_min, 0);
+        assert_eq!(bb.y_min, 0);
+    }
+
+    #[test]
+    fn overlap_detected_in_metrics() {
+        let (nl, ids) = netlist3();
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(ids[1], Rect::new(5, 0, 25, 10), Orientation::R0, 0);
+        p.place(ids[2], Rect::new(100, 0, 110, 30), Orientation::R0, 0);
+        let m = p.metrics(&nl);
+        assert_eq!(m.overlap_area, 50);
+    }
+}

@@ -1,0 +1,195 @@
+//! Unified facade for the analog layout synthesis workspace.
+//!
+//! `apls-core` is the crate a downstream user depends on: it re-exports every
+//! engine of the workspace under one namespace and offers [`AnalogPlacer`], a
+//! single entry point that runs any of the three placement engines of the
+//! DATE 2009 survey on a [`circuit::benchmarks::BenchmarkCircuit`] and returns
+//! a uniform [`PlacementReport`]:
+//!
+//! * [`Engine::SequencePair`] — simulated annealing over symmetric-feasible
+//!   sequence-pairs (Section II);
+//! * [`Engine::HbTree`] — hierarchical B*-tree annealing with symmetry
+//!   islands and common-centroid patterns (Section III);
+//! * [`Engine::Deterministic`] — hierarchically bounded enumeration with
+//!   enhanced shape functions (Section IV).
+//!
+//! Layout-aware sizing (Section V) lives in [`layoutaware`] and is exercised
+//! through the example binaries and the `fig10` bench.
+//!
+//! # Example
+//!
+//! ```
+//! use apls_core::{AnalogPlacer, Engine};
+//! use apls_core::circuit::benchmarks::miller_opamp_fig6;
+//!
+//! let circuit = miller_opamp_fig6();
+//! let report = AnalogPlacer::new(Engine::HbTree)
+//!     .with_seed(7)
+//!     .with_fast_schedule(true)
+//!     .place(&circuit);
+//! assert_eq!(report.metrics.overlap_area, 0);
+//! assert!(report.constraints.symmetry_satisfied);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apls_anneal as anneal;
+pub use apls_btree as btree;
+pub use apls_circuit as circuit;
+pub use apls_geometry as geometry;
+pub use apls_layoutaware as layoutaware;
+pub use apls_seqpair as seqpair;
+pub use apls_shapefn as shapefn;
+
+mod report;
+
+pub use report::{ConstraintReport, PlacementReport};
+
+use apls_anneal::Schedule;
+use apls_btree::{HbTreePlacer, HbTreePlacerConfig};
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
+use apls_shapefn::{DeterministicPlacer, ShapeModel};
+use std::time::Instant;
+
+/// Which placement engine [`AnalogPlacer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Symmetric-feasible sequence-pair annealing (Section II).
+    SequencePair,
+    /// Hierarchical B*-tree annealing (Section III).
+    HbTree,
+    /// Deterministic enumeration with enhanced shape functions (Section IV).
+    Deterministic,
+}
+
+/// The unified placement entry point.
+#[derive(Debug, Clone)]
+pub struct AnalogPlacer {
+    engine: Engine,
+    seed: u64,
+    fast_schedule: bool,
+    wirelength_weight: f64,
+}
+
+impl AnalogPlacer {
+    /// Creates a placer for the chosen engine with default settings.
+    #[must_use]
+    pub fn new(engine: Engine) -> Self {
+        AnalogPlacer { engine, seed: 1, fast_schedule: false, wirelength_weight: 0.5 }
+    }
+
+    /// Sets the RNG seed (builder style). Deterministic engines ignore it.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects a short annealing schedule for quick runs and tests (builder
+    /// style).
+    #[must_use]
+    pub fn with_fast_schedule(mut self, fast: bool) -> Self {
+        self.fast_schedule = fast;
+        self
+    }
+
+    /// Sets the wirelength weight of the annealing cost functions (builder
+    /// style).
+    #[must_use]
+    pub fn with_wirelength_weight(mut self, weight: f64) -> Self {
+        self.wirelength_weight = weight;
+        self
+    }
+
+    /// The engine this placer runs.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Places the circuit and reports the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's hierarchy or constraints are inconsistent with
+    /// its netlist (validate them with [`apls_circuit::HierarchyTree::validate`]
+    /// and [`apls_circuit::ConstraintSet::validate`] first when in doubt).
+    #[must_use]
+    pub fn place(&self, circuit: &BenchmarkCircuit) -> PlacementReport {
+        let start = Instant::now();
+        let placement = match self.engine {
+            Engine::SequencePair => {
+                let mut config = SeqPairPlacerConfig {
+                    seed: self.seed,
+                    wirelength_weight: self.wirelength_weight,
+                    ..SeqPairPlacerConfig::for_netlist(&circuit.netlist)
+                };
+                if self.fast_schedule {
+                    config.schedule = Schedule::fast();
+                }
+                SeqPairPlacer::new(&circuit.netlist, &circuit.constraints)
+                    .run(&config)
+                    .placement
+            }
+            Engine::HbTree => {
+                let mut config = HbTreePlacerConfig {
+                    seed: self.seed,
+                    wirelength_weight: self.wirelength_weight,
+                    ..HbTreePlacerConfig::for_circuit(circuit)
+                };
+                if self.fast_schedule {
+                    config.schedule = Schedule::fast();
+                }
+                HbTreePlacer::new(circuit).run(&config).placement
+            }
+            Engine::Deterministic => DeterministicPlacer::new(circuit)
+                .run(ShapeModel::Enhanced)
+                .placement
+                .expect("the enhanced model always returns a placement"),
+        };
+        PlacementReport::new(self.engine, circuit, placement, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_circuit::benchmarks;
+
+    #[test]
+    fn every_engine_produces_a_legal_placement_report() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
+            let report = AnalogPlacer::new(engine)
+                .with_seed(3)
+                .with_fast_schedule(true)
+                .place(&circuit);
+            assert!(report.placement.is_complete(), "{engine:?}");
+            assert_eq!(report.metrics.overlap_area, 0, "{engine:?}");
+            assert!(report.metrics.area_usage >= 1.0, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn constraint_aware_engines_satisfy_symmetry_exactly() {
+        let circuit = benchmarks::miller_v2();
+        for engine in [Engine::SequencePair, Engine::HbTree] {
+            let report = AnalogPlacer::new(engine)
+                .with_seed(1)
+                .with_fast_schedule(true)
+                .place(&circuit);
+            assert!(report.constraints.symmetry_satisfied, "{engine:?}");
+            assert_eq!(report.constraints.symmetry_error, 0, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn reports_are_reproducible_for_a_fixed_seed() {
+        let circuit = benchmarks::comparator_v2();
+        let a = AnalogPlacer::new(Engine::HbTree).with_seed(9).with_fast_schedule(true).place(&circuit);
+        let b = AnalogPlacer::new(Engine::HbTree).with_seed(9).with_fast_schedule(true).place(&circuit);
+        assert_eq!(a.metrics.bounding_area, b.metrics.bounding_area);
+    }
+}

@@ -1,0 +1,140 @@
+//! Uniform placement reports.
+
+use crate::Engine;
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_circuit::{Placement, PlacementMetrics};
+use std::time::Duration;
+
+/// Compliance summary of every constraint class of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintReport {
+    /// Largest symmetry-axis deviation over all groups (doubled dbu).
+    pub symmetry_error: i64,
+    /// `true` when every symmetry group is exactly mirrored.
+    pub symmetry_satisfied: bool,
+    /// Largest centroid distance over all common-centroid groups (doubled dbu).
+    pub common_centroid_error: i64,
+    /// Number of proximity groups whose members form one connected cluster.
+    pub proximity_connected: usize,
+    /// Total number of proximity groups.
+    pub proximity_total: usize,
+}
+
+impl ConstraintReport {
+    /// Evaluates all constraints of a circuit against a placement.
+    #[must_use]
+    pub fn evaluate(circuit: &BenchmarkCircuit, placement: &Placement) -> Self {
+        let symmetry_error = placement.symmetry_error(&circuit.constraints);
+        let common_centroid_error = circuit
+            .constraints
+            .common_centroid_groups()
+            .iter()
+            .map(|g| g.centroid_error(placement))
+            .max()
+            .unwrap_or(0);
+        let proximity_total = circuit.constraints.proximity_groups().len();
+        let proximity_connected = circuit
+            .constraints
+            .proximity_groups()
+            .iter()
+            .filter(|g| g.is_connected(placement))
+            .count();
+        ConstraintReport {
+            symmetry_error,
+            symmetry_satisfied: symmetry_error == 0,
+            common_centroid_error,
+            proximity_connected,
+            proximity_total,
+        }
+    }
+}
+
+/// The uniform result type returned by [`crate::AnalogPlacer::place`].
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    /// Engine that produced the placement.
+    pub engine: Engine,
+    /// Circuit name.
+    pub circuit_name: String,
+    /// The placement itself.
+    pub placement: Placement,
+    /// Area / wirelength / overlap metrics.
+    pub metrics: PlacementMetrics,
+    /// Constraint compliance summary.
+    pub constraints: ConstraintReport,
+    /// Wall-clock time of the run.
+    pub runtime: Duration,
+}
+
+impl PlacementReport {
+    /// Builds a report by evaluating the placement against the circuit.
+    #[must_use]
+    pub fn new(
+        engine: Engine,
+        circuit: &BenchmarkCircuit,
+        placement: Placement,
+        runtime: Duration,
+    ) -> Self {
+        let metrics = placement.metrics(&circuit.netlist);
+        let constraints = ConstraintReport::evaluate(circuit, &placement);
+        PlacementReport {
+            engine,
+            circuit_name: circuit.name.clone(),
+            placement,
+            metrics,
+            constraints,
+            runtime,
+        }
+    }
+
+    /// One-line human-readable summary (used by the example binaries).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{:?} on {}: {}x{} dbu, area usage {:.2}%, HPWL {:.0}, symmetry error {}, {}/{} proximity groups connected, {:.1} ms",
+            self.engine,
+            self.circuit_name,
+            self.metrics.width,
+            self.metrics.height,
+            self.metrics.area_usage * 100.0,
+            self.metrics.wirelength,
+            self.constraints.symmetry_error,
+            self.constraints.proximity_connected,
+            self.constraints.proximity_total,
+            self.runtime.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_circuit::benchmarks;
+    use apls_geometry::{Orientation, Rect};
+
+    #[test]
+    fn constraint_report_flags_violations() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        // an intentionally bad placement: everything stacked in a diagonal line
+        let mut placement = Placement::new(&circuit.netlist);
+        for (i, id) in circuit.netlist.module_ids().enumerate() {
+            let d = circuit.netlist.module(id).dims();
+            let x = i as i64 * 500;
+            let y = i as i64 * 300;
+            placement.place(id, Rect::new(x, y, x + d.w, y + d.h), Orientation::R0, 0);
+        }
+        let report = ConstraintReport::evaluate(&circuit, &placement);
+        assert!(!report.symmetry_satisfied);
+        assert!(report.symmetry_error > 0);
+        assert!(report.proximity_connected < report.proximity_total);
+    }
+
+    #[test]
+    fn summary_mentions_the_circuit() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let report = crate::AnalogPlacer::new(crate::Engine::Deterministic).place(&circuit);
+        let text = report.summary();
+        assert!(text.contains("miller_opamp"));
+        assert!(text.contains("area usage"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Incremental bounding-box accumulation.
+
+use crate::{Coord, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// An incrementally built axis-aligned bounding box.
+///
+/// Unlike [`Rect`], a `BoundingBox` can be empty; accumulating points or
+/// rectangles grows it. It is the natural accumulator for chip outlines and
+/// per-net pin extents.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{BoundingBox, Point, Rect};
+///
+/// let mut bb = BoundingBox::new();
+/// assert!(bb.is_empty());
+/// bb.include_point(Point::new(3, 4));
+/// bb.include_rect(&Rect::new(0, 0, 2, 2));
+/// let r = bb.to_rect().unwrap();
+/// assert_eq!(r, Rect::new(0, 0, 3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BoundingBox {
+    extents: Option<Rect>,
+}
+
+impl BoundingBox {
+    /// Creates an empty bounding box.
+    #[must_use]
+    pub fn new() -> Self {
+        BoundingBox { extents: None }
+    }
+
+    /// Returns `true` when nothing has been accumulated yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_none()
+    }
+
+    /// Grows the box to include a point.
+    pub fn include_point(&mut self, p: Point) {
+        let r = Rect::new(p.x, p.y, p.x, p.y);
+        self.include_rect(&r);
+    }
+
+    /// Grows the box to include a rectangle.
+    pub fn include_rect(&mut self, r: &Rect) {
+        self.extents = Some(match self.extents {
+            None => *r,
+            Some(cur) => cur.union(r),
+        });
+    }
+
+    /// The accumulated extents, or `None` when empty.
+    #[must_use]
+    pub fn to_rect(&self) -> Option<Rect> {
+        self.extents
+    }
+
+    /// Width of the accumulated extents (0 when empty).
+    #[must_use]
+    pub fn width(&self) -> Coord {
+        self.extents.map_or(0, |r| r.width())
+    }
+
+    /// Height of the accumulated extents (0 when empty).
+    #[must_use]
+    pub fn height(&self) -> Coord {
+        self.extents.map_or(0, |r| r.height())
+    }
+
+    /// Area of the accumulated extents (0 when empty).
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        self.extents.map_or(0, |r| r.area())
+    }
+
+    /// Half-perimeter of the accumulated extents (0 when empty).
+    ///
+    /// Summed over all nets, this is the standard HPWL wirelength metric.
+    #[must_use]
+    pub fn half_perimeter(&self) -> Coord {
+        self.extents.map_or(0, |r| r.width() + r.height())
+    }
+}
+
+impl FromIterator<Point> for BoundingBox {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        let mut bb = BoundingBox::new();
+        for p in iter {
+            bb.include_point(p);
+        }
+        bb
+    }
+}
+
+impl FromIterator<Rect> for BoundingBox {
+    fn from_iter<T: IntoIterator<Item = Rect>>(iter: T) -> Self {
+        let mut bb = BoundingBox::new();
+        for r in iter {
+            bb.include_rect(&r);
+        }
+        bb
+    }
+}
+
+impl Extend<Point> for BoundingBox {
+    fn extend<T: IntoIterator<Item = Point>>(&mut self, iter: T) {
+        for p in iter {
+            self.include_point(p);
+        }
+    }
+}
+
+impl Extend<Rect> for BoundingBox {
+    fn extend<T: IntoIterator<Item = Rect>>(&mut self, iter: T) {
+        for r in iter {
+            self.include_rect(&r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_reports_zero_metrics() {
+        let bb = BoundingBox::new();
+        assert!(bb.is_empty());
+        assert_eq!(bb.width(), 0);
+        assert_eq!(bb.height(), 0);
+        assert_eq!(bb.area(), 0);
+        assert_eq!(bb.half_perimeter(), 0);
+        assert_eq!(bb.to_rect(), None);
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate() {
+        let bb: BoundingBox = [Point::new(5, 7)].into_iter().collect();
+        assert!(!bb.is_empty());
+        assert_eq!(bb.area(), 0);
+        assert_eq!(bb.to_rect(), Some(Rect::new(5, 7, 5, 7)));
+    }
+
+    #[test]
+    fn accumulation_order_does_not_matter() {
+        let pts = [Point::new(0, 0), Point::new(10, -5), Point::new(-3, 8)];
+        let forward: BoundingBox = pts.into_iter().collect();
+        let backward: BoundingBox = pts.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        assert_eq!(forward.to_rect(), Some(Rect::new(-3, -5, 10, 8)));
+    }
+
+    #[test]
+    fn rect_accumulation() {
+        let rects = [Rect::new(0, 0, 4, 4), Rect::new(10, 2, 12, 3)];
+        let bb: BoundingBox = rects.into_iter().collect();
+        assert_eq!(bb.width(), 12);
+        assert_eq!(bb.height(), 4);
+        assert_eq!(bb.half_perimeter(), 16);
+    }
+
+    #[test]
+    fn extend_matches_from_iterator() {
+        let pts = [Point::new(1, 1), Point::new(9, 9)];
+        let mut a = BoundingBox::new();
+        a.extend(pts);
+        let b: BoundingBox = pts.into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

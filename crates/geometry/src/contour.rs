@@ -1,0 +1,205 @@
+//! Horizontal contour (skyline) used by B*-tree packing.
+
+use crate::{Coord, Rect};
+use serde::{Deserialize, Serialize};
+
+/// One horizontal segment of the contour: the skyline has height `y` over the
+/// half-open interval `[x_start, x_end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContourSegment {
+    /// Left end of the segment (inclusive).
+    pub x_start: Coord,
+    /// Right end of the segment (exclusive).
+    pub x_end: Coord,
+    /// Skyline height over the segment.
+    pub y: Coord,
+}
+
+/// A horizontal contour ("skyline") data structure.
+///
+/// The contour records, for every x, the highest occupied y-coordinate so far.
+/// B*-tree packing inserts modules left to right; each insertion queries the
+/// maximum skyline height over the module's horizontal span and then raises the
+/// skyline over that span to the module's top edge.
+///
+/// The classical implementation is a doubly-linked list; this one keeps a
+/// sorted `Vec` of segments, which is simpler, cache-friendly and — at analog
+/// module counts (tens to a few hundred) — at least as fast.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::Contour;
+///
+/// let mut c = Contour::new();
+/// // place a 10x5 module at x = 0
+/// let y0 = c.place(0, 10, 5);
+/// assert_eq!(y0, 0);
+/// // a 4x2 module at x = 3 lands on top of the first one
+/// let y1 = c.place(3, 4, 2);
+/// assert_eq!(y1, 5);
+/// assert_eq!(c.max_height(), 7);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contour {
+    segments: Vec<ContourSegment>,
+}
+
+impl Contour {
+    /// Creates an empty contour (skyline at y = 0 everywhere).
+    #[must_use]
+    pub fn new() -> Self {
+        Contour { segments: Vec::new() }
+    }
+
+    /// Maximum skyline height over the half-open interval `[x_start, x_end)`.
+    ///
+    /// Intervals not covered by any placed module have height 0.
+    #[must_use]
+    pub fn height_over(&self, x_start: Coord, x_end: Coord) -> Coord {
+        debug_assert!(x_end >= x_start);
+        self.segments
+            .iter()
+            .filter(|s| s.x_start < x_end && x_start < s.x_end)
+            .map(|s| s.y)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Places a module of width `w` and height `h` with its left edge at `x`,
+    /// resting on the current skyline. Returns the y coordinate of the module's
+    /// bottom edge and updates the skyline.
+    pub fn place(&mut self, x: Coord, w: Coord, h: Coord) -> Coord {
+        let y = self.height_over(x, x + w);
+        self.raise(x, x + w, y + h);
+        y
+    }
+
+    /// Raises the skyline to exactly `y` over `[x_start, x_end)`, replacing
+    /// whatever was there (callers must ensure `y` is not lower than the
+    /// existing skyline, which [`Contour::place`] guarantees).
+    fn raise(&mut self, x_start: Coord, x_end: Coord, y: Coord) {
+        if x_start >= x_end {
+            return;
+        }
+        let mut next: Vec<ContourSegment> = Vec::with_capacity(self.segments.len() + 2);
+        for &seg in &self.segments {
+            if seg.x_end <= x_start || seg.x_start >= x_end {
+                next.push(seg);
+                continue;
+            }
+            // left remainder
+            if seg.x_start < x_start {
+                next.push(ContourSegment { x_start: seg.x_start, x_end: x_start, y: seg.y });
+            }
+            // right remainder
+            if seg.x_end > x_end {
+                next.push(ContourSegment { x_start: x_end, x_end: seg.x_end, y: seg.y });
+            }
+        }
+        next.push(ContourSegment { x_start, x_end, y });
+        next.sort_by_key(|s| s.x_start);
+        // merge adjacent segments of equal height
+        let mut merged: Vec<ContourSegment> = Vec::with_capacity(next.len());
+        for seg in next {
+            if let Some(last) = merged.last_mut() {
+                if last.x_end == seg.x_start && last.y == seg.y {
+                    last.x_end = seg.x_end;
+                    continue;
+                }
+            }
+            merged.push(seg);
+        }
+        self.segments = merged;
+    }
+
+    /// Highest point of the skyline (0 for an empty contour).
+    #[must_use]
+    pub fn max_height(&self) -> Coord {
+        self.segments.iter().map(|s| s.y).max().unwrap_or(0)
+    }
+
+    /// Rightmost extent of the skyline (0 for an empty contour).
+    #[must_use]
+    pub fn max_x(&self) -> Coord {
+        self.segments.iter().map(|s| s.x_end).max().unwrap_or(0)
+    }
+
+    /// The contour segments, sorted by `x_start`.
+    #[must_use]
+    pub fn segments(&self) -> &[ContourSegment] {
+        &self.segments
+    }
+
+    /// Bounding rectangle of everything placed so far (anchored at the origin).
+    #[must_use]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::new(0, 0, self.max_x(), self.max_height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_contour_has_zero_height() {
+        let c = Contour::new();
+        assert_eq!(c.height_over(0, 100), 0);
+        assert_eq!(c.max_height(), 0);
+        assert_eq!(c.max_x(), 0);
+    }
+
+    #[test]
+    fn single_placement() {
+        let mut c = Contour::new();
+        assert_eq!(c.place(0, 10, 5), 0);
+        assert_eq!(c.max_height(), 5);
+        assert_eq!(c.max_x(), 10);
+        assert_eq!(c.height_over(0, 10), 5);
+        assert_eq!(c.height_over(10, 20), 0);
+    }
+
+    #[test]
+    fn stacking_and_adjacent_placement() {
+        let mut c = Contour::new();
+        c.place(0, 10, 5);
+        // adjacent to the right: sits on the floor
+        assert_eq!(c.place(10, 10, 3), 0);
+        // overlapping both: sits on the max of the two
+        assert_eq!(c.place(5, 10, 2), 5);
+        assert_eq!(c.max_height(), 7);
+    }
+
+    #[test]
+    fn partial_overlap_splits_segments() {
+        let mut c = Contour::new();
+        c.place(0, 20, 4);
+        c.place(5, 5, 6); // raises [5,10) to 10
+        assert_eq!(c.height_over(0, 5), 4);
+        assert_eq!(c.height_over(5, 10), 10);
+        assert_eq!(c.height_over(10, 20), 4);
+        // segments must be sorted and non-overlapping
+        let segs = c.segments();
+        for w in segs.windows(2) {
+            assert!(w[0].x_end <= w[1].x_start);
+        }
+    }
+
+    #[test]
+    fn merge_equal_height_neighbours() {
+        let mut c = Contour::new();
+        c.place(0, 5, 3);
+        c.place(5, 5, 3);
+        assert_eq!(c.segments().len(), 1);
+        assert_eq!(c.segments()[0], ContourSegment { x_start: 0, x_end: 10, y: 3 });
+    }
+
+    #[test]
+    fn bounding_rect_matches_extents() {
+        let mut c = Contour::new();
+        c.place(0, 7, 2);
+        c.place(7, 3, 9);
+        assert_eq!(c.bounding_rect(), Rect::new(0, 0, 10, 9));
+    }
+}

@@ -1,0 +1,150 @@
+//! Width/height dimension pairs.
+
+use crate::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A width/height pair describing the footprint of a module or placement.
+///
+/// Dimensions are always non-negative; constructors debug-assert this.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::Dims;
+///
+/// let d = Dims::new(30, 20);
+/// assert_eq!(d.area(), 600);
+/// assert_eq!(d.rotated(), Dims::new(20, 30));
+/// assert!((d.aspect_ratio() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dims {
+    /// Horizontal extent.
+    pub w: Coord,
+    /// Vertical extent.
+    pub h: Coord,
+}
+
+impl Dims {
+    /// Creates a dimension pair.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if either extent is negative.
+    #[must_use]
+    pub fn new(w: Coord, h: Coord) -> Self {
+        debug_assert!(w >= 0 && h >= 0, "dimensions must be non-negative");
+        Dims { w, h }
+    }
+
+    /// A zero-sized footprint.
+    pub const ZERO: Dims = Dims { w: 0, h: 0 };
+
+    /// Area of the footprint.
+    #[must_use]
+    pub fn area(self) -> i128 {
+        i128::from(self.w) * i128::from(self.h)
+    }
+
+    /// The footprint with width and height exchanged (a 90° rotation).
+    #[must_use]
+    pub fn rotated(self) -> Dims {
+        Dims { w: self.h, h: self.w }
+    }
+
+    /// Width divided by height.
+    ///
+    /// Returns `f64::INFINITY` for zero-height footprints.
+    #[must_use]
+    pub fn aspect_ratio(self) -> f64 {
+        if self.h == 0 {
+            f64::INFINITY
+        } else {
+            self.w as f64 / self.h as f64
+        }
+    }
+
+    /// Half-perimeter of the footprint (`w + h`).
+    #[must_use]
+    pub fn half_perimeter(self) -> Coord {
+        self.w + self.h
+    }
+
+    /// Returns `true` when this footprint fits inside `other` without rotation.
+    #[must_use]
+    pub fn fits_in(self, other: Dims) -> bool {
+        self.w <= other.w && self.h <= other.h
+    }
+
+    /// Returns `true` when this footprint *dominates* `other`: it is at least
+    /// as wide and at least as tall.
+    ///
+    /// A dominated shape is redundant inside a shape function because any
+    /// placement achievable with the dominating shape could use the dominated
+    /// one at no cost.
+    #[must_use]
+    pub fn dominates(self, other: Dims) -> bool {
+        self.w >= other.w && self.h >= other.h
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.w, self.h)
+    }
+}
+
+impl From<(Coord, Coord)> for Dims {
+    fn from((w, h): (Coord, Coord)) -> Self {
+        Dims::new(w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_half_perimeter() {
+        let d = Dims::new(7, 9);
+        assert_eq!(d.area(), 63);
+        assert_eq!(d.half_perimeter(), 16);
+        assert_eq!(Dims::ZERO.area(), 0);
+    }
+
+    #[test]
+    fn rotation_is_involution() {
+        let d = Dims::new(3, 8);
+        assert_eq!(d.rotated().rotated(), d);
+        assert_eq!(d.rotated().area(), d.area());
+    }
+
+    #[test]
+    fn aspect_ratio_handles_zero_height() {
+        assert!(Dims::new(10, 0).aspect_ratio().is_infinite());
+        assert!((Dims::new(10, 4).aspect_ratio() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_and_dominates() {
+        let small = Dims::new(2, 3);
+        let big = Dims::new(4, 3);
+        assert!(small.fits_in(big));
+        assert!(!big.fits_in(small));
+        assert!(big.dominates(small));
+        assert!(big.dominates(big));
+        assert!(!small.dominates(big));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Dims::new(12, 5).to_string(), "12x5");
+    }
+
+    #[test]
+    fn area_does_not_overflow_for_large_dims() {
+        let d = Dims::new(i64::MAX / 4, 8);
+        assert_eq!(d.area(), i128::from(i64::MAX / 4) * 8);
+    }
+}

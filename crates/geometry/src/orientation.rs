@@ -1,0 +1,180 @@
+//! Layout orientations.
+
+use crate::Dims;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eight axis-aligned layout orientations.
+///
+/// The names follow the usual EDA convention: `R0`/`R90`/`R180`/`R270` are
+/// counter-clockwise rotations, `MX`/`MY` mirror about the X/Y axis, and
+/// `MX90`/`MY90` are mirrors followed by a 90° rotation.
+///
+/// For the rectangle-packing algorithms in this workspace only the footprint
+/// matters, so [`Orientation::apply_to_dims`] collapses the eight orientations
+/// to "swapped" or "not swapped" width/height.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{Orientation, Dims};
+///
+/// let d = Dims::new(10, 4);
+/// assert_eq!(Orientation::R90.apply_to_dims(d), Dims::new(4, 10));
+/// assert_eq!(Orientation::MX.apply_to_dims(d), d);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Orientation {
+    /// No rotation.
+    #[default]
+    R0,
+    /// 90° counter-clockwise rotation.
+    R90,
+    /// 180° rotation.
+    R180,
+    /// 270° counter-clockwise rotation.
+    R270,
+    /// Mirror about the X axis (flip vertically).
+    MX,
+    /// Mirror about the Y axis (flip horizontally).
+    MY,
+    /// Mirror about X, then rotate 90°.
+    MX90,
+    /// Mirror about Y, then rotate 90°.
+    MY90,
+}
+
+impl Orientation {
+    /// All eight orientations, in a fixed order.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MX,
+        Orientation::MY,
+        Orientation::MX90,
+        Orientation::MY90,
+    ];
+
+    /// Returns `true` when the orientation exchanges width and height.
+    #[must_use]
+    pub fn swaps_dims(self) -> bool {
+        matches!(
+            self,
+            Orientation::R90 | Orientation::R270 | Orientation::MX90 | Orientation::MY90
+        )
+    }
+
+    /// Footprint of a module with base dimensions `dims` placed in this
+    /// orientation.
+    #[must_use]
+    pub fn apply_to_dims(self, dims: Dims) -> Dims {
+        if self.swaps_dims() {
+            dims.rotated()
+        } else {
+            dims
+        }
+    }
+
+    /// The orientation obtained by rotating a further 90° counter-clockwise.
+    #[must_use]
+    pub fn rotated_90(self) -> Orientation {
+        match self {
+            Orientation::R0 => Orientation::R90,
+            Orientation::R90 => Orientation::R180,
+            Orientation::R180 => Orientation::R270,
+            Orientation::R270 => Orientation::R0,
+            Orientation::MX => Orientation::MX90,
+            Orientation::MX90 => Orientation::MY,
+            Orientation::MY => Orientation::MY90,
+            Orientation::MY90 => Orientation::MX,
+        }
+    }
+
+    /// The orientation obtained by mirroring about the Y axis afterwards.
+    ///
+    /// Symmetric device pairs are conventionally placed in orientations that
+    /// are Y-mirrors of each other so that their internal geometry matches
+    /// when reflected about the symmetry axis.
+    #[must_use]
+    pub fn mirrored_y(self) -> Orientation {
+        match self {
+            Orientation::R0 => Orientation::MY,
+            Orientation::MY => Orientation::R0,
+            Orientation::R180 => Orientation::MX,
+            Orientation::MX => Orientation::R180,
+            Orientation::R90 => Orientation::MX90,
+            Orientation::MX90 => Orientation::R90,
+            Orientation::R270 => Orientation::MY90,
+            Orientation::MY90 => Orientation::R270,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::MX => "MX",
+            Orientation::MY => "MY",
+            Orientation::MX90 => "MX90",
+            Orientation::MY90 => "MY90",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_r0() {
+        assert_eq!(Orientation::default(), Orientation::R0);
+    }
+
+    #[test]
+    fn exactly_four_orientations_swap_dims() {
+        let swapping = Orientation::ALL.iter().filter(|o| o.swaps_dims()).count();
+        assert_eq!(swapping, 4);
+    }
+
+    #[test]
+    fn rotation_cycles_within_rotation_or_mirror_class() {
+        for &o in &Orientation::ALL {
+            let back = o.rotated_90().rotated_90().rotated_90().rotated_90();
+            assert_eq!(back, o, "four 90° rotations must be identity for {o}");
+        }
+    }
+
+    #[test]
+    fn mirror_y_is_involution() {
+        for &o in &Orientation::ALL {
+            assert_eq!(o.mirrored_y().mirrored_y(), o);
+        }
+    }
+
+    #[test]
+    fn apply_to_dims_matches_swap_flag() {
+        let d = Dims::new(6, 2);
+        for &o in &Orientation::ALL {
+            let out = o.apply_to_dims(d);
+            if o.swaps_dims() {
+                assert_eq!(out, d.rotated());
+            } else {
+                assert_eq!(out, d);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<String> = Orientation::ALL.iter().map(|o| o.to_string()).collect();
+        assert_eq!(names.len(), Orientation::ALL.len());
+    }
+}

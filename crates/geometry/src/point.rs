@@ -1,0 +1,166 @@
+//! Two-dimensional integer points.
+
+use crate::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A point in the layout plane, in database units.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::Point;
+///
+/// let p = Point::new(3, 4) + Point::new(1, 1);
+/// assert_eq!(p, Point::new(4, 5));
+/// assert_eq!(p.manhattan_distance(Point::ORIGIN), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to another point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use apls_geometry::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, -4)), 7);
+    /// ```
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Mirrors the point about a vertical line at `axis_x`.
+    ///
+    /// The mirror of `x` is `2 * axis_x - x`; the y coordinate is unchanged.
+    #[must_use]
+    pub fn mirror_about_vertical(self, axis_x: Coord) -> Point {
+        Point::new(2 * axis_x - self.x, self.y)
+    }
+
+    /// Mirrors the point about a horizontal line at `axis_y`.
+    #[must_use]
+    pub fn mirror_about_horizontal(self, axis_y: Coord) -> Point {
+        Point::new(self.x, 2 * axis_y - self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_zero() {
+        assert_eq!(Point::ORIGIN, Point::new(0, 0));
+        assert_eq!(Point::default(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Point::new(5, -3);
+        let b = Point::new(-2, 7);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(10, 20);
+        let b = Point::new(-5, 3);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn mirror_about_vertical_is_involution() {
+        let p = Point::new(7, 11);
+        assert_eq!(p.mirror_about_vertical(10), Point::new(13, 11));
+        assert_eq!(p.mirror_about_vertical(10).mirror_about_vertical(10), p);
+    }
+
+    #[test]
+    fn mirror_about_horizontal_is_involution() {
+        let p = Point::new(7, 11);
+        assert_eq!(p.mirror_about_horizontal(0), Point::new(7, -11));
+        assert_eq!(p.mirror_about_horizontal(4).mirror_about_horizontal(4), p);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (3, 9).into();
+        assert_eq!(p, Point::new(3, 9));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+}

@@ -1,0 +1,317 @@
+//! Axis-aligned rectangles and overlap utilities.
+
+use crate::{Coord, Dims, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle described by its lower-left and upper-right
+/// corners (half-open in neither direction; the rectangle is the closed set
+/// `[x_min, x_max] x [y_min, y_max]`, but overlap tests treat shared edges as
+/// *not* overlapping, which is the convention used by placement legality
+/// checks).
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{Rect, Point, Dims};
+///
+/// let r = Rect::from_dims(Point::new(2, 3), Dims::new(10, 4));
+/// assert_eq!(r.width(), 10);
+/// assert_eq!(r.height(), 4);
+/// assert_eq!(r.center_x2(), (2 * 2 + 10, 2 * 3 + 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left x.
+    pub x_min: Coord,
+    /// Lower-left y.
+    pub y_min: Coord,
+    /// Upper-right x.
+    pub x_max: Coord,
+    /// Upper-right y.
+    pub y_max: Coord,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `x_max < x_min` or `y_max < y_min`.
+    #[must_use]
+    pub fn new(x_min: Coord, y_min: Coord, x_max: Coord, y_max: Coord) -> Self {
+        debug_assert!(x_max >= x_min && y_max >= y_min, "degenerate rectangle");
+        Rect { x_min, y_min, x_max, y_max }
+    }
+
+    /// Creates a rectangle from its lower-left corner and a footprint.
+    #[must_use]
+    pub fn from_dims(origin: Point, dims: Dims) -> Self {
+        Rect::new(origin.x, origin.y, origin.x + dims.w, origin.y + dims.h)
+    }
+
+    /// Width of the rectangle.
+    #[must_use]
+    pub fn width(&self) -> Coord {
+        self.x_max - self.x_min
+    }
+
+    /// Height of the rectangle.
+    #[must_use]
+    pub fn height(&self) -> Coord {
+        self.y_max - self.y_min
+    }
+
+    /// Footprint of the rectangle.
+    #[must_use]
+    pub fn dims(&self) -> Dims {
+        Dims::new(self.width(), self.height())
+    }
+
+    /// Area of the rectangle.
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        self.dims().area()
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn origin(&self) -> Point {
+        Point::new(self.x_min, self.y_min)
+    }
+
+    /// Twice the centre coordinates, `(2*cx, 2*cy)`.
+    ///
+    /// Returning doubled values keeps the result exact in integer arithmetic;
+    /// symmetry checks compare doubled centres so that half-unit centres never
+    /// round.
+    #[must_use]
+    pub fn center_x2(&self) -> (Coord, Coord) {
+        (self.x_min + self.x_max, self.y_min + self.y_max)
+    }
+
+    /// Returns the rectangle translated by `delta`.
+    #[must_use]
+    pub fn translated(&self, delta: Point) -> Rect {
+        Rect::new(
+            self.x_min + delta.x,
+            self.y_min + delta.y,
+            self.x_max + delta.x,
+            self.y_max + delta.y,
+        )
+    }
+
+    /// Returns `true` when the two rectangles share interior area.
+    ///
+    /// Rectangles that merely touch along an edge or at a corner do **not**
+    /// overlap.
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_min < other.x_max
+            && other.x_min < self.x_max
+            && self.y_min < other.y_max
+            && other.y_min < self.y_max
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self` (boundaries may
+    /// touch).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_min <= other.x_min
+            && self.y_min <= other.y_min
+            && self.x_max >= other.x_max
+            && self.y_max >= other.y_max
+    }
+
+    /// Returns `true` when the point lies inside or on the boundary.
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x_min && p.x <= self.x_max && p.y >= self.y_min && p.y <= self.y_max
+    }
+
+    /// Smallest rectangle containing both rectangles.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.x_min.min(other.x_min),
+            self.y_min.min(other.y_min),
+            self.x_max.max(other.x_max),
+            self.y_max.max(other.y_max),
+        )
+    }
+
+    /// Intersection of the two rectangles, or `None` when they share no
+    /// interior area.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.x_min.max(other.x_min),
+            self.y_min.max(other.y_min),
+            self.x_max.min(other.x_max),
+            self.y_max.min(other.y_max),
+        ))
+    }
+
+    /// Mirrors the rectangle about a vertical axis located at `2 * axis_x2 / 2`
+    /// (the argument is the *doubled* axis coordinate, so axes may fall between
+    /// database units without rounding).
+    #[must_use]
+    pub fn mirror_about_vertical_x2(&self, axis_x2: Coord) -> Rect {
+        let new_x_min = axis_x2 - self.x_max;
+        let new_x_max = axis_x2 - self.x_min;
+        Rect::new(new_x_min, self.y_min, new_x_max, self.y_max)
+    }
+
+    /// Mirrors the rectangle about a horizontal axis located at the doubled
+    /// coordinate `axis_y2`.
+    #[must_use]
+    pub fn mirror_about_horizontal_x2(&self, axis_y2: Coord) -> Rect {
+        let new_y_min = axis_y2 - self.y_max;
+        let new_y_max = axis_y2 - self.y_min;
+        Rect::new(self.x_min, new_y_min, self.x_max, new_y_max)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}] x [{}, {}]",
+            self.x_min, self.x_max, self.y_min, self.y_max
+        )
+    }
+}
+
+/// Overlap area between two rectangles (zero when they do not overlap).
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{Rect, overlap_area};
+/// let a = Rect::new(0, 0, 10, 10);
+/// let b = Rect::new(5, 5, 15, 15);
+/// assert_eq!(overlap_area(&a, &b), 25);
+/// ```
+#[must_use]
+pub fn overlap_area(a: &Rect, b: &Rect) -> i128 {
+    a.intersection(b).map_or(0, |r| r.area())
+}
+
+/// Sum of pairwise overlap areas in a collection of rectangles.
+///
+/// This is the legality metric used by tests: a legal placement has a total
+/// overlap of zero. The implementation is the straightforward O(n²) pairwise
+/// scan, which is fine for the module counts in analog placement (≤ a few
+/// hundred).
+#[must_use]
+pub fn total_overlap_area(rects: &[Rect]) -> i128 {
+    let mut total = 0;
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            total += overlap_area(&rects[i], &rects[j]);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Rect::from_dims(Point::new(1, 2), Dims::new(3, 4));
+        assert_eq!(r, Rect::new(1, 2, 4, 6));
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.area(), 12);
+        assert_eq!(r.origin(), Point::new(1, 2));
+        assert_eq!(r.dims(), Dims::new(3, 4));
+    }
+
+    #[test]
+    fn touching_rectangles_do_not_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert!(!a.overlaps(&b));
+        assert_eq!(overlap_area(&a, &b), 0);
+    }
+
+    #[test]
+    fn overlapping_rectangles() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(9, 9, 20, 20);
+        assert!(a.overlaps(&b));
+        assert_eq!(overlap_area(&a, &b), 1);
+        assert_eq!(a.intersection(&b), Some(Rect::new(9, 9, 10, 10)));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(10, -2, 12, 3);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0, -2, 12, 5));
+    }
+
+    #[test]
+    fn contains_point_includes_boundary() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert!(r.contains_point(Point::new(0, 0)));
+        assert!(r.contains_point(Point::new(4, 4)));
+        assert!(!r.contains_point(Point::new(5, 2)));
+    }
+
+    #[test]
+    fn translation_preserves_dims() {
+        let r = Rect::new(0, 0, 7, 3);
+        let t = r.translated(Point::new(5, -2));
+        assert_eq!(t.dims(), r.dims());
+        assert_eq!(t.origin(), Point::new(5, -2));
+    }
+
+    #[test]
+    fn vertical_mirror_is_involution_and_preserves_dims() {
+        let r = Rect::new(2, 1, 6, 9);
+        let axis_x2 = 15; // axis at x = 7.5
+        let m = r.mirror_about_vertical_x2(axis_x2);
+        assert_eq!(m.dims(), r.dims());
+        assert_eq!(m.mirror_about_vertical_x2(axis_x2), r);
+        // centres must be mirror images: cx + cx' == axis_x2
+        assert_eq!(r.center_x2().0 + m.center_x2().0, 2 * axis_x2);
+    }
+
+    #[test]
+    fn horizontal_mirror_is_involution() {
+        let r = Rect::new(2, 1, 6, 9);
+        let m = r.mirror_about_horizontal_x2(8);
+        assert_eq!(m.mirror_about_horizontal_x2(8), r);
+        assert_eq!(r.center_x2().1 + m.center_x2().1, 2 * 8);
+    }
+
+    #[test]
+    fn total_overlap_of_disjoint_set_is_zero() {
+        let rects = vec![
+            Rect::new(0, 0, 10, 10),
+            Rect::new(10, 0, 20, 10),
+            Rect::new(0, 10, 20, 20),
+        ];
+        assert_eq!(total_overlap_area(&rects), 0);
+    }
+
+    #[test]
+    fn total_overlap_counts_every_pair() {
+        let rects = vec![
+            Rect::new(0, 0, 10, 10),
+            Rect::new(5, 0, 15, 10),
+            Rect::new(8, 0, 18, 10),
+        ];
+        // pairs: (0,1) 5*10=50, (0,2) 2*10=20, (1,2) 7*10=70
+        assert_eq!(total_overlap_area(&rects), 140);
+    }
+}

@@ -1,0 +1,109 @@
+//! Half-perimeter wirelength (HPWL) estimation.
+
+use crate::{BoundingBox, Coord, Point, Rect};
+
+/// Half-perimeter wirelength of a set of pin locations.
+///
+/// HPWL is the standard placement-time net-length estimate: the half perimeter
+/// of the bounding box of all pins on the net. Nets with fewer than two pins
+/// contribute zero length.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{hpwl_of_points, Point};
+///
+/// let pins = [Point::new(0, 0), Point::new(10, 5), Point::new(3, 8)];
+/// assert_eq!(hpwl_of_points(pins), 10 + 8);
+/// ```
+#[must_use]
+pub fn hpwl_of_points<I>(pins: I) -> Coord
+where
+    I: IntoIterator<Item = Point>,
+{
+    let mut count = 0usize;
+    let mut bb = BoundingBox::new();
+    for p in pins {
+        bb.include_point(p);
+        count += 1;
+    }
+    if count < 2 {
+        0
+    } else {
+        bb.half_perimeter()
+    }
+}
+
+/// Half-perimeter wirelength of a net whose pins sit at the centres of the
+/// given module rectangles.
+///
+/// Centre coordinates are computed exactly using doubled coordinates, then the
+/// doubled half-perimeter is halved with rounding toward zero (the error is at
+/// most half a database unit per net, irrelevant at the scales involved).
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{hpwl, Rect};
+///
+/// let net = [Rect::new(0, 0, 10, 10), Rect::new(20, 0, 30, 10)];
+/// assert_eq!(hpwl(&net), 20); // centres are (5,5) and (25,5)
+/// ```
+#[must_use]
+pub fn hpwl(module_rects: &[Rect]) -> Coord {
+    if module_rects.len() < 2 {
+        return 0;
+    }
+    let mut min_cx2 = Coord::MAX;
+    let mut max_cx2 = Coord::MIN;
+    let mut min_cy2 = Coord::MAX;
+    let mut max_cy2 = Coord::MIN;
+    for r in module_rects {
+        let (cx2, cy2) = r.center_x2();
+        min_cx2 = min_cx2.min(cx2);
+        max_cx2 = max_cx2.max(cx2);
+        min_cy2 = min_cy2.min(cy2);
+        max_cy2 = max_cy2.max(cy2);
+    }
+    ((max_cx2 - min_cx2) + (max_cy2 - min_cy2)) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pin_nets_have_zero_length() {
+        assert_eq!(hpwl_of_points([Point::new(4, 4)]), 0);
+        assert_eq!(hpwl_of_points(std::iter::empty()), 0);
+        assert_eq!(hpwl(&[Rect::new(0, 0, 5, 5)]), 0);
+    }
+
+    #[test]
+    fn two_pin_net_is_manhattan_bbox() {
+        assert_eq!(hpwl_of_points([Point::new(0, 0), Point::new(7, 3)]), 10);
+    }
+
+    #[test]
+    fn interior_pins_do_not_change_hpwl() {
+        let without = hpwl_of_points([Point::new(0, 0), Point::new(10, 10)]);
+        let with = hpwl_of_points([Point::new(0, 0), Point::new(5, 5), Point::new(10, 10)]);
+        assert_eq!(without, with);
+    }
+
+    #[test]
+    fn rect_centre_hpwl() {
+        let net = [
+            Rect::new(0, 0, 10, 10),   // centre (5,5)
+            Rect::new(20, 20, 40, 40), // centre (30,30)
+        ];
+        assert_eq!(hpwl(&net), 25 + 25);
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let net = [Rect::new(0, 0, 4, 6), Rect::new(9, 2, 15, 8), Rect::new(3, 11, 5, 13)];
+        let shifted: Vec<Rect> = net.iter().map(|r| r.translated(Point::new(100, -37))).collect();
+        assert_eq!(hpwl(&net), hpwl(&shifted));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the geometry substrate.
+
+use apls_geometry::{
+    hpwl, overlap_area, total_overlap_area, BoundingBox, Contour, Dims, Orientation, Point, Rect,
+};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-1000i64..1000, -1000i64..1000, 1i64..500, 1i64..500)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-10_000i64..10_000, -10_000i64..10_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert_eq!(overlap_area(&a, &b), overlap_area(&b, &a));
+    }
+
+    #[test]
+    fn overlap_area_bounded_by_each_area(a in arb_rect(), b in arb_rect()) {
+        let o = overlap_area(&a, &b);
+        prop_assert!(o >= 0);
+        prop_assert!(o <= a.area());
+        prop_assert!(o <= b.area());
+    }
+
+    #[test]
+    fn union_contains_both_operands(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert_eq!(i.area(), overlap_area(&a, &b));
+        }
+    }
+
+    #[test]
+    fn rect_self_overlap_equals_area(a in arb_rect()) {
+        prop_assert_eq!(overlap_area(&a, &a), a.area());
+    }
+
+    #[test]
+    fn mirror_preserves_dims_and_is_involution(a in arb_rect(), axis in -2000i64..2000) {
+        let m = a.mirror_about_vertical_x2(axis);
+        prop_assert_eq!(m.dims(), a.dims());
+        prop_assert_eq!(m.mirror_about_vertical_x2(axis), a);
+    }
+
+    #[test]
+    fn translation_preserves_overlap(a in arb_rect(), b in arb_rect(), d in arb_point()) {
+        let at = a.translated(d);
+        let bt = b.translated(d);
+        prop_assert_eq!(overlap_area(&a, &b), overlap_area(&at, &bt));
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant(rects in proptest::collection::vec(arb_rect(), 2..8), d in arb_point()) {
+        let shifted: Vec<Rect> = rects.iter().map(|r| r.translated(d)).collect();
+        prop_assert_eq!(hpwl(&rects), hpwl(&shifted));
+    }
+
+    #[test]
+    fn hpwl_is_non_negative(rects in proptest::collection::vec(arb_rect(), 0..8)) {
+        prop_assert!(hpwl(&rects) >= 0);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_inputs(rects in proptest::collection::vec(arb_rect(), 1..10)) {
+        let bb: BoundingBox = rects.iter().copied().collect();
+        let outer = bb.to_rect().unwrap();
+        for r in &rects {
+            prop_assert!(outer.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn orientation_preserves_area(w in 1i64..1000, h in 1i64..1000) {
+        let d = Dims::new(w, h);
+        for &o in &Orientation::ALL {
+            prop_assert_eq!(o.apply_to_dims(d).area(), d.area());
+        }
+    }
+
+    #[test]
+    fn contour_placements_never_overlap(
+        widths in proptest::collection::vec((1i64..60, 1i64..60), 1..25),
+    ) {
+        // Place modules left-edge-first at pseudo-random x positions derived
+        // from their index; the contour must always yield a non-overlapping
+        // stack.
+        let mut contour = Contour::new();
+        let mut rects = Vec::new();
+        let mut x = 0i64;
+        for (i, &(w, h)) in widths.iter().enumerate() {
+            // alternate between stacking at the same x and moving right
+            if i % 3 == 0 {
+                x = (i as i64 * 7) % 100;
+            }
+            let y = contour.place(x, w, h);
+            rects.push(Rect::new(x, y, x + w, y + h));
+        }
+        prop_assert_eq!(total_overlap_area(&rects), 0);
+    }
+
+    #[test]
+    fn contour_height_is_monotone_in_placements(
+        widths in proptest::collection::vec((1i64..40, 1i64..40), 1..20),
+    ) {
+        let mut contour = Contour::new();
+        let mut prev_height = 0;
+        for &(w, h) in &widths {
+            contour.place(0, w, h);
+            let height = contour.max_height();
+            prop_assert!(height >= prev_height);
+            prop_assert!(height >= h);
+            prev_height = height;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Parasitic extraction from template layouts.
+//!
+//! The extractor turns the geometry produced by [`crate::template::generate`]
+//! into the [`Parasitics`] consumed by the performance model: wire capacitance
+//! proportional to routed length, plus the fold-dependent drain junction
+//! capacitances of the devices hanging on each node. The paper's observation
+//! that "extraction within sizing is not as expensive as it has been
+//! traditionally considered" (≈ 17 % of total sizing time) is reproduced by
+//! the timing breakdown of the sizing optimiser.
+
+use crate::model::{AmplifierSizing, Parasitics, Technology};
+use crate::template::TemplateLayout;
+
+/// Extracts node parasitics from a template layout.
+///
+/// * every output node sees its routing plus the drain junction capacitances
+///   of the cascode and bias devices attached to it;
+/// * the internal cascode (folding) node sees its short routing plus the
+///   input-pair and mirror drain junctions.
+///
+/// Drain junction capacitances are layout parasitics on purpose: they depend
+/// on the folding style chosen when the device is drawn (Section V of the
+/// paper: "different foldings change the junction capacitances of a MOS
+/// transistor"), so the electrical-only flow never sees them until the layout
+/// is instantiated. On top of that, layouts far from square pay a sprawl
+/// penalty for the longer cross-connections between the mirrored halves.
+#[must_use]
+pub fn extract(tech: &Technology, sizing: &AmplifierSizing, layout: &TemplateLayout) -> Parasitics {
+    // wire capacitance from routed lengths
+    let wire_out = layout.output_wire_um * tech.cwire_ff_per_um * 1e-15;
+    let wire_casc = layout.cascode_wire_um * tech.cwire_ff_per_um * 1e-15;
+
+    // sprawl factor: a layout far from square needs longer cross-connections
+    // between the mirrored halves; model it as extra wiring proportional to
+    // (aspect_ratio - 1) times the mean edge length.
+    let mean_edge_um = (layout.width_um() + layout.height_um()) / 2.0;
+    let sprawl_um = (layout.aspect_ratio() - 1.0).max(0.0) * 0.5 * mean_edge_um;
+    let sprawl_cap = sprawl_um * tech.cwire_ff_per_um * 1e-15;
+
+    // folding-dependent drain junction capacitances
+    let junction_out = sizing.cascode.cdrain(tech) + sizing.bias.cdrain(tech);
+    let junction_casc = sizing.input_pair.cdrain(tech) + sizing.mirror.cdrain(tech);
+
+    Parasitics {
+        output_cap: wire_out + sprawl_cap + junction_out,
+        cascode_node_cap: wire_casc + 0.5 * sprawl_cap + junction_casc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AmplifierSizing;
+    use crate::template::generate;
+
+    #[test]
+    fn extraction_is_positive_and_finite() {
+        let tech = Technology::default();
+        let sizing = AmplifierSizing::default();
+        let layout = generate(&tech, &sizing);
+        let p = extract(&tech, &sizing, &layout);
+        assert!(p.output_cap > 0.0 && p.output_cap.is_finite());
+        assert!(p.cascode_node_cap > 0.0 && p.cascode_node_cap.is_finite());
+        // parasitics should be in the fF .. pF range for a cell this size
+        assert!(p.output_cap < 10e-12);
+        assert!(p.cascode_node_cap < 10e-12);
+    }
+
+    #[test]
+    fn sprawling_layouts_extract_more_capacitance() {
+        let tech = Technology::default();
+        let mut compact = AmplifierSizing::default();
+        compact.input_pair.folds = 6;
+        compact.cascode.folds = 4;
+        compact.mirror.folds = 4;
+        compact.bias.folds = 4;
+        let mut sprawling = compact;
+        sprawling.input_pair.folds = 1;
+        sprawling.cascode.folds = 1;
+        sprawling.mirror.folds = 1;
+        sprawling.bias.folds = 1;
+        let p_compact = {
+            let l = generate(&tech, &compact);
+            extract(&tech, &compact, &l)
+        };
+        let p_sprawl = {
+            let l = generate(&tech, &sprawling);
+            extract(&tech, &sprawling, &l)
+        };
+        assert!(
+            p_sprawl.output_cap + p_sprawl.cascode_node_cap
+                > p_compact.output_cap + p_compact.cascode_node_cap,
+            "sprawling {:?} vs compact {:?}",
+            p_sprawl,
+            p_compact
+        );
+    }
+
+    #[test]
+    fn parasitics_degrade_the_evaluated_performance() {
+        use crate::model::{evaluate, Parasitics};
+        let tech = Technology::default();
+        let sizing = AmplifierSizing::default();
+        let layout = generate(&tech, &sizing);
+        let extracted = extract(&tech, &sizing, &layout);
+        let ideal = evaluate(&tech, &sizing, &Parasitics::default());
+        let real = evaluate(&tech, &sizing, &extracted);
+        assert!(real.gbw_hz < ideal.gbw_hz);
+        assert!(real.phase_margin_deg < ideal.phase_margin_deg);
+    }
+}

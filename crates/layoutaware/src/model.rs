@@ -1,0 +1,339 @@
+//! Square-law MOS models and the folded-cascode amplifier performance model.
+//!
+//! The models are deliberately first-order (square-law devices, single
+//! non-dominant pole) — they replace SPICE in the sizing loop, and what
+//! matters for reproducing the paper's Fig. 10 is that the *same* evaluator is
+//! used by both sizing modes and that layout parasitics degrade the metrics in
+//! a physically sensible direction (extra capacitance lowers bandwidth and
+//! phase margin, bigger devices burn area, …).
+
+use serde::{Deserialize, Serialize};
+
+/// Technology constants of the synthetic 0.35 µm-class process used by the
+/// models. Values are typical textbook numbers; absolute accuracy is not the
+/// point (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// NMOS transconductance factor `µ·Cox` in A/V².
+    pub kn: f64,
+    /// PMOS transconductance factor in A/V².
+    pub kp: f64,
+    /// Channel-length modulation coefficient per µm of channel length (1/V·µm).
+    pub lambda_per_um: f64,
+    /// Gate capacitance per µm² of gate area (fF/µm²).
+    pub cox_ff_per_um2: f64,
+    /// Junction capacitance per µm² of drain diffusion (fF/µm²).
+    pub cj_ff_per_um2: f64,
+    /// Drain diffusion length per finger (µm).
+    pub diff_length_um: f64,
+    /// Wire capacitance per µm of routed length (fF/µm).
+    pub cwire_ff_per_um: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology {
+            kn: 170e-6,
+            kp: 58e-6,
+            lambda_per_um: 0.06,
+            cox_ff_per_um2: 4.5,
+            cj_ff_per_um2: 0.9,
+            diff_length_um: 0.85,
+            cwire_ff_per_um: 0.08,
+            vdd: 3.3,
+        }
+    }
+}
+
+/// One sized MOS device of the amplifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosDevice {
+    /// Total channel width in µm.
+    pub width_um: f64,
+    /// Channel length in µm.
+    pub length_um: f64,
+    /// Number of fingers the device is folded into (≥ 1).
+    pub folds: u32,
+}
+
+impl MosDevice {
+    /// Creates a device, clamping the fold count to at least 1.
+    #[must_use]
+    pub fn new(width_um: f64, length_um: f64, folds: u32) -> Self {
+        MosDevice { width_um, length_um, folds: folds.max(1) }
+    }
+
+    /// Transconductance at the given drain current (square law, strong
+    /// inversion): `gm = sqrt(2 k (W/L) Id)`.
+    #[must_use]
+    pub fn gm(&self, k: f64, id: f64) -> f64 {
+        (2.0 * k * (self.width_um / self.length_um) * id).sqrt()
+    }
+
+    /// Output conductance `gds = λ/L · Id`.
+    #[must_use]
+    pub fn gds(&self, tech: &Technology, id: f64) -> f64 {
+        tech.lambda_per_um / self.length_um * id
+    }
+
+    /// Gate capacitance in farads.
+    #[must_use]
+    pub fn cgate(&self, tech: &Technology) -> f64 {
+        self.width_um * self.length_um * tech.cox_ff_per_um2 * 1e-15
+    }
+
+    /// Drain junction capacitance in farads.
+    ///
+    /// Folding splits the device into `folds` fingers; fingers share drain
+    /// diffusions pairwise, so the drain area — and with it the junction
+    /// capacitance — shrinks roughly as `(folds/2 + 1)/folds` relative to a
+    /// single-finger device of the same total width.
+    #[must_use]
+    pub fn cdrain(&self, tech: &Technology) -> f64 {
+        let folds = f64::from(self.folds);
+        let drain_fingers = (folds / 2.0).ceil().max(1.0);
+        let finger_width = self.width_um / folds;
+        drain_fingers * finger_width * tech.diff_length_um * tech.cj_ff_per_um2 * 1e-15
+    }
+
+    /// Footprint of the folded device in µm (width, height), including the
+    /// per-finger diffusion overhead.
+    #[must_use]
+    pub fn footprint_um(&self, tech: &Technology) -> (f64, f64) {
+        let folds = f64::from(self.folds);
+        let finger_width = self.width_um / folds;
+        let w = folds * (self.length_um + tech.diff_length_um) + tech.diff_length_um;
+        let h = finger_width + 2.0 * tech.diff_length_um;
+        (w, h)
+    }
+}
+
+/// The design variables of the fully-differential folded-cascode amplifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmplifierSizing {
+    /// Input differential pair (PMOS).
+    pub input_pair: MosDevice,
+    /// Cascode devices (NMOS).
+    pub cascode: MosDevice,
+    /// Current-source / mirror devices (NMOS).
+    pub mirror: MosDevice,
+    /// Bias devices (PMOS).
+    pub bias: MosDevice,
+    /// Tail current in amperes.
+    pub tail_current: f64,
+    /// Explicit load capacitance in farads (per output).
+    pub load_cap: f64,
+}
+
+impl Default for AmplifierSizing {
+    fn default() -> Self {
+        AmplifierSizing {
+            input_pair: MosDevice::new(120.0, 0.5, 4),
+            cascode: MosDevice::new(60.0, 0.5, 2),
+            mirror: MosDevice::new(80.0, 1.0, 2),
+            bias: MosDevice::new(100.0, 1.0, 2),
+            tail_current: 400e-6,
+            load_cap: 0.5e-12,
+        }
+    }
+}
+
+/// Extracted layout parasitics fed back into the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Parasitics {
+    /// Extra capacitance at each output node (F).
+    pub output_cap: f64,
+    /// Extra capacitance at the cascode (folding) node (F).
+    pub cascode_node_cap: f64,
+}
+
+/// Amplifier performance figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Performance {
+    /// Low-frequency differential gain in dB.
+    pub gain_db: f64,
+    /// Unity-gain bandwidth in Hz.
+    pub gbw_hz: f64,
+    /// Phase margin in degrees.
+    pub phase_margin_deg: f64,
+    /// Static power consumption in watts.
+    pub power_w: f64,
+}
+
+/// Performance specifications (the "dc-gain higher than 50 dB" style
+/// constraints of Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Specs {
+    /// Minimum dc gain (dB).
+    pub min_gain_db: f64,
+    /// Minimum unity-gain bandwidth (Hz).
+    pub min_gbw_hz: f64,
+    /// Minimum phase margin (degrees).
+    pub min_phase_margin_deg: f64,
+    /// Maximum power (W).
+    pub max_power_w: f64,
+}
+
+impl Default for Specs {
+    fn default() -> Self {
+        Specs {
+            min_gain_db: 55.0,
+            min_gbw_hz: 300e6,
+            min_phase_margin_deg: 60.0,
+            max_power_w: 5e-3,
+        }
+    }
+}
+
+impl Specs {
+    /// Returns `true` when every specification is met.
+    #[must_use]
+    pub fn satisfied_by(&self, perf: &Performance) -> bool {
+        self.violation(perf) == 0.0
+    }
+
+    /// Total normalised spec violation (0 when all specs are met). Used as the
+    /// constraint term of the sizing cost function.
+    #[must_use]
+    pub fn violation(&self, perf: &Performance) -> f64 {
+        let mut v = 0.0;
+        if perf.gain_db < self.min_gain_db {
+            v += (self.min_gain_db - perf.gain_db) / self.min_gain_db;
+        }
+        if perf.gbw_hz < self.min_gbw_hz {
+            v += (self.min_gbw_hz - perf.gbw_hz) / self.min_gbw_hz;
+        }
+        if perf.phase_margin_deg < self.min_phase_margin_deg {
+            v += (self.min_phase_margin_deg - perf.phase_margin_deg) / self.min_phase_margin_deg;
+        }
+        if perf.power_w > self.max_power_w {
+            v += (perf.power_w - self.max_power_w) / self.max_power_w;
+        }
+        v
+    }
+}
+
+/// Evaluates the folded-cascode amplifier for a sizing and (optional)
+/// parasitics.
+///
+/// First-order model: `gain = gm1 · Rout` with both output branches cascoded,
+/// `GBW = gm1 / (2π C_out)`, the non-dominant pole sits at the cascode node
+/// (`gm_casc / C_casc`) and sets the phase margin, and power is
+/// `VDD · (I_tail + 2·I_branch)`.
+///
+/// The node capacitances seen here are only the ones an electrical designer
+/// knows *before* layout: the explicit load and the cascode gate loading.
+/// Everything that depends on the physical implementation — drain junction
+/// capacitances (which change with the folding style, as Section V of the
+/// paper points out) and wiring — enters exclusively through `parasitics`,
+/// i.e. through [`crate::extract::extract`]. This is exactly the split that
+/// makes the electrical-only flow over-estimate its bandwidth.
+#[must_use]
+pub fn evaluate(tech: &Technology, sizing: &AmplifierSizing, parasitics: &Parasitics) -> Performance {
+    let id_input = sizing.tail_current / 2.0;
+    let id_branch = sizing.tail_current / 2.0;
+
+    let gm1 = sizing.input_pair.gm(tech.kp, id_input);
+    let gm_casc = sizing.cascode.gm(tech.kn, id_branch);
+    let gds_casc = sizing.cascode.gds(tech, id_branch);
+    let gds_mirror = sizing.mirror.gds(tech, id_branch);
+    let gds_input = sizing.input_pair.gds(tech, id_input);
+    let gds_bias = sizing.bias.gds(tech, id_branch);
+
+    // both output branches are cascoded: the NMOS cascode boosts the mirror
+    // side, the PMOS cascode boosts the bias/input side
+    let r_down = gm_casc / (gds_casc * gds_mirror).max(1e-18);
+    let r_up = gm_casc / (gds_bias * (gds_input + gds_bias)).max(1e-18);
+    let r_out = 1.0 / (1.0 / r_down + 1.0 / r_up);
+    let gain = gm1 * r_out;
+    let gain_db = 20.0 * gain.max(1e-9).log10();
+
+    // output node capacitance: explicit load + layout parasitics
+    let c_out = sizing.load_cap + parasitics.output_cap;
+    let gbw_hz = gm1 / (2.0 * std::f64::consts::PI * c_out.max(1e-18));
+
+    // non-dominant pole at the folding node: cascode gate loading + layout
+    // parasitics (junctions + wiring)
+    let c_casc = 0.5 * sizing.cascode.cgate(tech) + parasitics.cascode_node_cap;
+    let p2_hz = gm_casc / (2.0 * std::f64::consts::PI * c_casc.max(1e-18));
+    let phase_margin_deg = 90.0 - (gbw_hz / p2_hz).atan().to_degrees();
+
+    let power_w = tech.vdd * (sizing.tail_current + 2.0 * id_branch);
+
+    Performance { gain_db, gbw_hz, phase_margin_deg, power_w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizing_is_in_a_sane_regime() {
+        let tech = Technology::default();
+        let perf = evaluate(&tech, &AmplifierSizing::default(), &Parasitics::default());
+        assert!(perf.gain_db > 40.0 && perf.gain_db < 120.0, "gain {}", perf.gain_db);
+        assert!(perf.gbw_hz > 1e6 && perf.gbw_hz < 1e10, "gbw {}", perf.gbw_hz);
+        assert!(perf.phase_margin_deg > 0.0 && perf.phase_margin_deg < 90.0);
+        assert!(perf.power_w > 0.0 && perf.power_w < 0.1);
+    }
+
+    #[test]
+    fn parasitics_degrade_bandwidth_and_phase_margin() {
+        let tech = Technology::default();
+        let sizing = AmplifierSizing::default();
+        let clean = evaluate(&tech, &sizing, &Parasitics::default());
+        let loaded = evaluate(
+            &tech,
+            &sizing,
+            &Parasitics { output_cap: 1e-12, cascode_node_cap: 0.8e-12 },
+        );
+        assert!(loaded.gbw_hz < clean.gbw_hz);
+        assert!(loaded.phase_margin_deg < clean.phase_margin_deg);
+        assert_eq!(loaded.gain_db, clean.gain_db, "capacitance does not change dc gain");
+    }
+
+    #[test]
+    fn wider_input_pair_raises_gain_and_bandwidth() {
+        let tech = Technology::default();
+        let base = AmplifierSizing::default();
+        let mut wide = base;
+        wide.input_pair = MosDevice::new(base.input_pair.width_um * 2.0, base.input_pair.length_um, 4);
+        let p_base = evaluate(&tech, &base, &Parasitics::default());
+        let p_wide = evaluate(&tech, &wide, &Parasitics::default());
+        assert!(p_wide.gain_db > p_base.gain_db);
+        assert!(p_wide.gbw_hz > p_base.gbw_hz);
+    }
+
+    #[test]
+    fn folding_reduces_drain_capacitance_but_not_gate_cap() {
+        let tech = Technology::default();
+        let flat = MosDevice::new(100.0, 0.5, 1);
+        let folded = MosDevice::new(100.0, 0.5, 8);
+        assert!(folded.cdrain(&tech) < flat.cdrain(&tech));
+        assert!((folded.cgate(&tech) - flat.cgate(&tech)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn folding_squares_up_the_footprint() {
+        let tech = Technology::default();
+        let flat = MosDevice::new(100.0, 0.5, 1);
+        let folded = MosDevice::new(100.0, 0.5, 10);
+        let (wf, hf) = flat.footprint_um(&tech);
+        let (wg, hg) = folded.footprint_um(&tech);
+        assert!(hf / wf > 10.0, "an unfolded wide device is extremely tall/thin");
+        assert!(hg / wg < hf / wf, "folding moves the aspect ratio toward square");
+    }
+
+    #[test]
+    fn spec_violation_is_zero_only_when_all_specs_met() {
+        let specs = Specs::default();
+        let good = Performance { gain_db: 70.0, gbw_hz: 400e6, phase_margin_deg: 65.0, power_w: 3e-3 };
+        let bad = Performance { gain_db: 40.0, gbw_hz: 400e6, phase_margin_deg: 65.0, power_w: 3e-3 };
+        assert!(specs.satisfied_by(&good));
+        assert_eq!(specs.violation(&good), 0.0);
+        assert!(!specs.satisfied_by(&bad));
+        assert!(specs.violation(&bad) > 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The sizing optimiser: electrical-only vs layout-aware.
+//!
+//! Both modes run the same simulated-annealing-style search over the design
+//! variables of the folded-cascode amplifier. The difference — and the point
+//! of Section V of the paper — is what each candidate evaluation sees:
+//!
+//! * [`SizingMode::ElectricalOnly`] — the classical flow: candidates are
+//!   judged on the parasitic-free performance model only. Geometry parameters
+//!   (fold counts) are not part of the search because a purely electrical flow
+//!   has no notion of them; the layout is instantiated once at the end.
+//! * [`SizingMode::LayoutAware`] — the paper's flow: every candidate is pushed
+//!   through the layout template, parasitics are extracted, and the candidate
+//!   is judged on post-layout performance *plus* geometric objectives (area,
+//!   aspect ratio). Fold counts are first-class design variables.
+//!
+//! The optimiser records how much of the total runtime is spent in extraction,
+//! reproducing the paper's "extraction takes only ≈ 17 % of the total sizing
+//! time" observation.
+
+use crate::extract::extract;
+use crate::model::{
+    evaluate, AmplifierSizing, MosDevice, Parasitics, Performance, Specs, Technology,
+};
+use crate::template::{generate, TemplateLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Which flow the optimiser runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizingMode {
+    /// Classical flow: no geometry or parasitics inside the loop.
+    ElectricalOnly,
+    /// Layout-aware flow: template + extraction inside the loop.
+    LayoutAware,
+}
+
+/// Optimiser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SizingConfig {
+    /// Which flow to run.
+    pub mode: SizingMode,
+    /// Number of candidate evaluations.
+    pub iterations: usize,
+    /// RNG seed (identical seeds reproduce identical runs).
+    pub seed: u64,
+}
+
+/// Result of one sizing run.
+#[derive(Debug, Clone)]
+pub struct SizingResult {
+    /// Flow that produced the result.
+    pub mode: SizingMode,
+    /// The final sizing.
+    pub sizing: AmplifierSizing,
+    /// Performance without any layout parasitics (what the electrical-only
+    /// flow believes).
+    pub pre_layout: Performance,
+    /// Performance including the parasitics extracted from the final layout.
+    pub post_layout: Performance,
+    /// The instantiated layout of the final sizing.
+    pub layout: TemplateLayout,
+    /// Whether the specs hold before layout parasitics.
+    pub specs_met_pre_layout: bool,
+    /// Whether the specs hold after layout parasitics.
+    pub specs_met_post_layout: bool,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+    /// Time spent in parasitic extraction.
+    pub extraction_time: Duration,
+}
+
+impl SizingResult {
+    /// Fraction of the total runtime spent extracting parasitics.
+    #[must_use]
+    pub fn extraction_fraction(&self) -> f64 {
+        if self.total_time.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.extraction_time.as_secs_f64() / self.total_time.as_secs_f64()
+        }
+    }
+}
+
+/// The sizing optimiser.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct SizingOptimizer {
+    tech: Technology,
+    specs: Specs,
+}
+
+impl SizingOptimizer {
+    /// Creates an optimiser for the default technology and the given specs.
+    #[must_use]
+    pub fn new(specs: Specs) -> Self {
+        SizingOptimizer { tech: Technology::default(), specs }
+    }
+
+    /// Overrides the technology (builder style).
+    #[must_use]
+    pub fn with_technology(mut self, tech: Technology) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// The specs being targeted.
+    #[must_use]
+    pub fn specs(&self) -> &Specs {
+        &self.specs
+    }
+
+    /// Runs the optimisation.
+    #[must_use]
+    pub fn run(&self, config: &SizingConfig) -> SizingResult {
+        let start = Instant::now();
+        let mut extraction_time = Duration::ZERO;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut current = initial_sizing(config.mode);
+        let mut current_cost = self.cost(config.mode, &current, &mut extraction_time);
+        let mut best = current;
+        let mut best_cost = current_cost;
+
+        let mut temperature = 1.0f64;
+        let cooling = 0.995f64;
+        for _ in 0..config.iterations {
+            let candidate = perturb(&current, config.mode, &mut rng);
+            let cost = self.cost(config.mode, &candidate, &mut extraction_time);
+            let accept = cost <= current_cost
+                || rng.gen::<f64>() < (-(cost - current_cost) / temperature.max(1e-9)).exp();
+            if accept {
+                current = candidate;
+                current_cost = cost;
+                if cost < best_cost {
+                    best = candidate;
+                    best_cost = cost;
+                }
+            }
+            temperature *= cooling;
+        }
+
+        // final reporting: instantiate the layout of the best sizing once and
+        // evaluate with and without its parasitics
+        let layout = generate(&self.tech, &best);
+        let t_ex = Instant::now();
+        let parasitics = extract(&self.tech, &best, &layout);
+        extraction_time += t_ex.elapsed();
+        let pre_layout = evaluate(&self.tech, &best, &Parasitics::default());
+        let post_layout = evaluate(&self.tech, &best, &parasitics);
+
+        SizingResult {
+            mode: config.mode,
+            sizing: best,
+            pre_layout,
+            post_layout,
+            specs_met_pre_layout: self.specs.satisfied_by(&pre_layout),
+            specs_met_post_layout: self.specs.satisfied_by(&post_layout),
+            layout,
+            total_time: start.elapsed(),
+            extraction_time,
+        }
+    }
+
+    fn cost(
+        &self,
+        mode: SizingMode,
+        sizing: &AmplifierSizing,
+        extraction_time: &mut Duration,
+    ) -> f64 {
+        match mode {
+            SizingMode::ElectricalOnly => {
+                let perf = evaluate(&self.tech, sizing, &Parasitics::default());
+                // meet the specs, then minimise power
+                1000.0 * self.specs.violation(&perf) + perf.power_w / self.specs.max_power_w
+            }
+            SizingMode::LayoutAware => {
+                let layout = generate(&self.tech, sizing);
+                let t = Instant::now();
+                let parasitics = extract(&self.tech, sizing, &layout);
+                *extraction_time += t.elapsed();
+                let perf = evaluate(&self.tech, sizing, &parasitics);
+                // meet the specs post-layout, then minimise power, area and
+                // aspect-ratio deviation from square
+                1000.0 * self.specs.violation(&perf)
+                    + perf.power_w / self.specs.max_power_w
+                    + layout.area_um2() / 100_000.0
+                    + 0.2 * (layout.aspect_ratio() - 1.0)
+            }
+        }
+    }
+}
+
+fn initial_sizing(mode: SizingMode) -> AmplifierSizing {
+    let mut s = AmplifierSizing::default();
+    if mode == SizingMode::ElectricalOnly {
+        // a purely electrical flow has no concept of folding
+        s.input_pair.folds = 1;
+        s.cascode.folds = 1;
+        s.mirror.folds = 1;
+        s.bias.folds = 1;
+    }
+    s
+}
+
+fn perturb(sizing: &AmplifierSizing, mode: SizingMode, rng: &mut StdRng) -> AmplifierSizing {
+    let mut s = *sizing;
+    let scale = |rng: &mut StdRng| 0.8 + 0.4 * rng.gen::<f64>(); // ±20 %
+    match rng.gen_range(0..6u32) {
+        0 => s.input_pair.width_um = (s.input_pair.width_um * scale(rng)).clamp(10.0, 600.0),
+        1 => s.cascode.width_um = (s.cascode.width_um * scale(rng)).clamp(5.0, 400.0),
+        2 => s.mirror.width_um = (s.mirror.width_um * scale(rng)).clamp(5.0, 400.0),
+        3 => s.bias.width_um = (s.bias.width_um * scale(rng)).clamp(5.0, 400.0),
+        4 => s.tail_current = (s.tail_current * scale(rng)).clamp(50e-6, 2e-3),
+        _ => {
+            if mode == SizingMode::LayoutAware {
+                // fold counts are layout parameters: only the layout-aware
+                // flow explores them
+                let device = rng.gen_range(0..4u32);
+                let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                let bump = |d: &mut MosDevice| {
+                    let folds = i64::from(d.folds) + delta;
+                    d.folds = folds.clamp(1, 12) as u32;
+                };
+                match device {
+                    0 => bump(&mut s.input_pair),
+                    1 => bump(&mut s.cascode),
+                    2 => bump(&mut s.mirror),
+                    _ => bump(&mut s.bias),
+                }
+            } else {
+                s.input_pair.length_um = (s.input_pair.length_um * scale(rng)).clamp(0.35, 2.0);
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mode: SizingMode, seed: u64) -> SizingResult {
+        SizingOptimizer::new(Specs::default()).run(&SizingConfig { mode, iterations: 400, seed })
+    }
+
+    #[test]
+    fn layout_aware_flow_meets_specs_post_layout() {
+        let result = quick(SizingMode::LayoutAware, 7);
+        assert!(
+            result.specs_met_post_layout,
+            "post-layout performance {:?} misses the specs",
+            result.post_layout
+        );
+    }
+
+    #[test]
+    fn electrical_only_flow_meets_specs_only_before_layout() {
+        let result = quick(SizingMode::ElectricalOnly, 7);
+        assert!(
+            result.specs_met_pre_layout,
+            "the electrical flow should at least satisfy its own (parasitic-free) view: {:?}",
+            result.pre_layout
+        );
+        // The headline claim of Fig. 10(a): once parasitics are included, the
+        // electrically-sized circuit degrades (post-layout performance is
+        // strictly worse than what the flow believed).
+        assert!(result.post_layout.gbw_hz < result.pre_layout.gbw_hz);
+        assert!(result.post_layout.phase_margin_deg < result.pre_layout.phase_margin_deg);
+    }
+
+    #[test]
+    fn layout_aware_layout_is_more_square_than_electrical_only() {
+        let aware = quick(SizingMode::LayoutAware, 3);
+        let electrical = quick(SizingMode::ElectricalOnly, 3);
+        assert!(
+            aware.layout.aspect_ratio() < electrical.layout.aspect_ratio(),
+            "aware {:.2} vs electrical {:.2}",
+            aware.layout.aspect_ratio(),
+            electrical.layout.aspect_ratio()
+        );
+    }
+
+    #[test]
+    fn extraction_is_a_minor_fraction_of_layout_aware_runtime() {
+        let result = quick(SizingMode::LayoutAware, 11);
+        let fraction = result.extraction_fraction();
+        assert!(fraction > 0.0);
+        assert!(fraction < 0.6, "extraction fraction {fraction} unexpectedly dominates");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = quick(SizingMode::LayoutAware, 21);
+        let b = quick(SizingMode::LayoutAware, 21);
+        assert_eq!(a.sizing, b.sizing);
+        assert_eq!(a.post_layout, b.post_layout);
+    }
+
+    #[test]
+    fn electrical_only_never_explores_folds() {
+        let result = quick(SizingMode::ElectricalOnly, 5);
+        assert_eq!(result.sizing.input_pair.folds, 1);
+        assert_eq!(result.sizing.cascode.folds, 1);
+        assert_eq!(result.sizing.mirror.folds, 1);
+        assert_eq!(result.sizing.bias.folds, 1);
+    }
+}

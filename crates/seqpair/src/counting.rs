@@ -1,0 +1,201 @@
+//! The search-space reduction lemma of Section II.
+//!
+//! > *Lemma.* The number of symmetric-feasible sequence-pairs corresponding to
+//! > a placement configuration with `n` cells and `G` symmetry groups, each
+//! > group `k` containing `p_k` pairs of symmetric cells and `s_k`
+//! > self-symmetric cells, is upper-bounded by
+//! > `(n!)² / ((2p₁+s₁)! · … · (2p_G+s_G)!)`.
+//!
+//! For the Fig. 1 example (`n = 7`, one group with `p = s = 2`) this gives
+//! `(7!)²/6! = 35,280` against `(7!)² = 25,401,600` sequence-pairs in total —
+//! a 99.86 % reduction of the search space. [`sf_upper_bound`] evaluates the
+//! formula, [`brute_force_sf_count`] enumerates all sequence-pairs of a small
+//! configuration and counts the symmetric-feasible ones so that the lemma can
+//! be cross-checked (experiment E3).
+
+use crate::symmetry::is_symmetric_feasible;
+use crate::SequencePair;
+use apls_circuit::{ModuleId, SymmetryGroup};
+
+/// Factorial as `f64` (exact up to 22!, far beyond any analog module count
+/// where enumeration claims are made).
+#[must_use]
+pub fn factorial(n: u64) -> f64 {
+    (1..=n).map(|v| v as f64).product()
+}
+
+/// Factorial as `u128`, or `None` on overflow (n ≥ 35).
+#[must_use]
+pub fn factorial_u128(n: u64) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for v in 1..=u128::from(n) {
+        acc = acc.checked_mul(v)?;
+    }
+    Some(acc)
+}
+
+/// Total number of sequence-pairs of `n` cells, `(n!)²`.
+#[must_use]
+pub fn total_sequence_pairs(n: u64) -> f64 {
+    let f = factorial(n);
+    f * f
+}
+
+/// The lemma's upper bound on the number of symmetric-feasible sequence-pairs.
+///
+/// `groups` lists `(p_k, s_k)` for every symmetry group.
+///
+/// # Example
+///
+/// ```
+/// use apls_seqpair::counting::sf_upper_bound;
+///
+/// // Fig. 1: n = 7, one group with 2 pairs and 2 self-symmetric cells
+/// let bound = sf_upper_bound(7, &[(2, 2)]);
+/// assert_eq!(bound.round() as u64, 35_280);
+/// ```
+#[must_use]
+pub fn sf_upper_bound(n: u64, groups: &[(u64, u64)]) -> f64 {
+    let mut denom = 1.0;
+    for &(p, s) in groups {
+        denom *= factorial(2 * p + s);
+    }
+    total_sequence_pairs(n) / denom
+}
+
+/// Search-space reduction achieved by restricting to symmetric-feasible
+/// encodings, as a percentage of the full sequence-pair space.
+#[must_use]
+pub fn reduction_percentage(n: u64, groups: &[(u64, u64)]) -> f64 {
+    100.0 * (1.0 - sf_upper_bound(n, groups) / total_sequence_pairs(n))
+}
+
+/// Exhaustively counts the sequence-pairs of `modules` that satisfy property
+/// (1) for `group`.
+///
+/// The complexity is `(n!)²` evaluations; keep `n ≤ 6` in tests and `n ≤ 7`
+/// in release binaries.
+#[must_use]
+pub fn brute_force_sf_count(modules: &[ModuleId], group: &SymmetryGroup) -> u64 {
+    let mut count = 0u64;
+    let alphas = permutations(modules);
+    let betas = alphas.clone();
+    for alpha in &alphas {
+        for beta in &betas {
+            let sp = SequencePair::from_sequences(alpha.clone(), beta.clone())
+                .expect("permutations of the same set");
+            if is_symmetric_feasible(&sp, group) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exhaustively counts all sequence-pairs of `modules` (sanity check:
+/// `(n!)²`).
+#[must_use]
+pub fn brute_force_total_count(modules: &[ModuleId]) -> u64 {
+    let f = permutations(modules).len() as u64;
+    f * f
+}
+
+/// All permutations of a slice (lexicographic by construction order).
+fn permutations(items: &[ModuleId]) -> Vec<Vec<ModuleId>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest: Vec<ModuleId> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut perm = Vec::with_capacity(items.len());
+            perm.push(head);
+            perm.append(&mut tail);
+            out.push(perm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> ModuleId {
+        ModuleId::from_index(i)
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert_eq!(factorial_u128(20), Some(2_432_902_008_176_640_000));
+        assert_eq!(factorial_u128(40), None);
+    }
+
+    #[test]
+    fn paper_example_numbers() {
+        // (7!)² = 25,401,600 total; bound = 35,280; reduction 99.86 %
+        assert_eq!(total_sequence_pairs(7) as u64, 25_401_600);
+        assert_eq!(sf_upper_bound(7, &[(2, 2)]).round() as u64, 35_280);
+        let red = reduction_percentage(7, &[(2, 2)]);
+        assert!((red - 99.86).abs() < 0.01, "reduction was {red}");
+    }
+
+    #[test]
+    fn bound_with_no_groups_is_total() {
+        assert_eq!(sf_upper_bound(5, &[]), total_sequence_pairs(5));
+        assert_eq!(reduction_percentage(5, &[]), 0.0);
+    }
+
+    #[test]
+    fn brute_force_matches_total_for_small_n() {
+        let modules: Vec<ModuleId> = (0..4).map(id).collect();
+        assert_eq!(brute_force_total_count(&modules), 24 * 24);
+    }
+
+    #[test]
+    fn brute_force_single_pair_matches_lemma() {
+        // n = 3: one pair + one free cell. Lemma bound: (3!)²/2! = 18.
+        let modules: Vec<ModuleId> = (0..3).map(id).collect();
+        let group = SymmetryGroup::new("g").with_pair(id(0), id(1));
+        let count = brute_force_sf_count(&modules, &group);
+        let bound = sf_upper_bound(3, &[(1, 0)]) as u64;
+        assert_eq!(bound, 18);
+        assert_eq!(count, bound, "for a single group the lemma bound is attained");
+    }
+
+    #[test]
+    fn brute_force_pair_plus_self_matches_lemma() {
+        // n = 4: one group with one pair and one self-symmetric cell, one free
+        // cell. Bound: (4!)²/3! = 96.
+        let modules: Vec<ModuleId> = (0..4).map(id).collect();
+        let group = SymmetryGroup::new("g")
+            .with_pair(id(0), id(1))
+            .with_self_symmetric(id(2));
+        let count = brute_force_sf_count(&modules, &group);
+        let bound = sf_upper_bound(4, &[(1, 1)]) as u64;
+        assert_eq!(bound, 96);
+        assert_eq!(count, bound);
+    }
+
+    #[test]
+    fn brute_force_two_pairs_is_within_bound() {
+        // n = 5: two pairs + one free cell. Bound: (5!)²/4! = 600.
+        let modules: Vec<ModuleId> = (0..5).map(id).collect();
+        let group = SymmetryGroup::new("g").with_pair(id(0), id(1)).with_pair(id(2), id(3));
+        let count = brute_force_sf_count(&modules, &group);
+        let bound = sf_upper_bound(5, &[(2, 0)]) as u64;
+        assert_eq!(bound, 600);
+        assert!(count <= bound, "count {count} exceeds bound {bound}");
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn permutation_count_is_factorial() {
+        let modules: Vec<ModuleId> = (0..5).map(id).collect();
+        assert_eq!(permutations(&modules).len(), 120);
+    }
+}

@@ -1,0 +1,326 @@
+//! Symmetric-feasible sequence-pairs: predicate, construction and moves.
+//!
+//! Property (1) of the paper defines when a sequence-pair (α, β) is
+//! *symmetric-feasible* (S-F) for a symmetry group: for any two distinct cells
+//! `x`, `y` of the group,
+//!
+//! ```text
+//! α⁻¹(x) < α⁻¹(y)  ⟺  β⁻¹(sym(y)) < β⁻¹(sym(x))
+//! ```
+//!
+//! Restricting exploration to S-F encodings shrinks the search space by the
+//! factor given by the counting lemma (see [`crate::counting`]) while every
+//! S-F encoding still packs into a valid symmetric placement (see
+//! [`crate::place`]).
+
+use crate::SequencePair;
+use apls_circuit::{ConstraintSet, ModuleId, SymmetryGroup};
+use rand::Rng;
+use rand::RngCore;
+
+/// Checks property (1) for one symmetry group.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{SymmetryGroup, ModuleId};
+/// use apls_seqpair::{SequencePair, symmetry::is_symmetric_feasible};
+///
+/// let a = ModuleId::from_index(0);
+/// let b = ModuleId::from_index(1);
+/// let group = SymmetryGroup::new("g").with_pair(a, b);
+/// let good = SequencePair::identity(vec![a, b]);
+/// assert!(is_symmetric_feasible(&good, &group));
+/// ```
+#[must_use]
+pub fn is_symmetric_feasible(sp: &SequencePair, group: &SymmetryGroup) -> bool {
+    let members = group.members();
+    for (i, &x) in members.iter().enumerate() {
+        for &y in &members[i + 1..] {
+            let sym_x = group.partner_of(x).expect("member has a partner");
+            let sym_y = group.partner_of(y).expect("member has a partner");
+            let alpha_order = sp.alpha_position(x) < sp.alpha_position(y);
+            let beta_order = sp.beta_position(sym_y) < sp.beta_position(sym_x);
+            if alpha_order != beta_order {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks property (1) for every symmetry group of a constraint set.
+#[must_use]
+pub fn is_symmetric_feasible_for_all(sp: &SequencePair, constraints: &ConstraintSet) -> bool {
+    constraints
+        .symmetry_groups()
+        .iter()
+        .all(|g| is_symmetric_feasible(sp, g))
+}
+
+/// Builds a canonical symmetric-feasible sequence-pair over the given modules.
+///
+/// For every symmetry group the α block is
+/// `left₁ … left_p, self₁ … self_s, right_p … right₁`; the β block places the
+/// same cells in the order `sym(reverse(α block))`, which makes property (1)
+/// hold by construction for every pair of group members (the relative β order
+/// of the `sym` images is exactly the reverse of the relative α order).
+/// Unconstrained modules occupy the same trailing positions in both
+/// sequences. The result is the standard starting point of the annealing
+/// placer.
+///
+/// # Panics
+///
+/// Panics if a module appears in more than one symmetry group (use
+/// [`ConstraintSet::validate`] first).
+#[must_use]
+pub fn canonical_symmetric_feasible(
+    modules: &[ModuleId],
+    constraints: &ConstraintSet,
+) -> SequencePair {
+    let mut alpha: Vec<ModuleId> = Vec::with_capacity(modules.len());
+    let mut beta: Vec<ModuleId> = Vec::with_capacity(modules.len());
+    let max_index = modules.iter().map(|m| m.index()).max().map_or(0, |m| m + 1);
+    let mut emitted = vec![false; max_index];
+
+    for group in constraints.symmetry_groups() {
+        // only consider groups whose members are all in the module list
+        if !group.members().iter().all(|m| modules.contains(m)) {
+            continue;
+        }
+        let mut alpha_block: Vec<ModuleId> = Vec::new();
+        for &(l, _) in group.pairs() {
+            alpha_block.push(l);
+        }
+        for &s in group.self_symmetric() {
+            alpha_block.push(s);
+        }
+        for &(_, r) in group.pairs().iter().rev() {
+            alpha_block.push(r);
+        }
+        for &m in &alpha_block {
+            assert!(
+                !emitted[m.index()],
+                "module {m} appears in more than one symmetry group"
+            );
+            emitted[m.index()] = true;
+        }
+        let beta_block: Vec<ModuleId> = alpha_block
+            .iter()
+            .rev()
+            .map(|&m| group.partner_of(m).expect("member has a partner"))
+            .collect();
+        alpha.extend_from_slice(&alpha_block);
+        beta.extend_from_slice(&beta_block);
+    }
+    for &m in modules {
+        if !emitted[m.index()] {
+            emitted[m.index()] = true;
+            alpha.push(m);
+            beta.push(m);
+        }
+    }
+
+    SequencePair::from_sequences(alpha, beta)
+        .expect("canonical construction emits each module exactly once")
+}
+
+/// The symmetric-feasible move set of the annealing placer.
+///
+/// Each move perturbs the sequence-pair while keeping property (1) intact for
+/// every group:
+///
+/// * swapping two cells in α is mirrored by swapping their partners in β (and
+///   vice versa), as described in Section II of the paper;
+/// * full swaps (both sequences) of two unconstrained cells;
+/// * moving an unconstrained cell to a random position.
+///
+/// After applying the structural move the perturbation is verified with
+/// [`is_symmetric_feasible_for_all`]; if a corner case (e.g. cells from the
+/// same group interacting) breaks the property the move is rolled back and the
+/// perturbation reports `false` so the caller can retry.
+#[derive(Debug, Clone)]
+pub struct SymmetricMoveSet {
+    constraints: ConstraintSet,
+}
+
+impl SymmetricMoveSet {
+    /// Creates a move set for the given constraints.
+    #[must_use]
+    pub fn new(constraints: ConstraintSet) -> Self {
+        SymmetricMoveSet { constraints }
+    }
+
+    /// The constraints this move set preserves.
+    #[must_use]
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Applies one random S-F-preserving perturbation in place.
+    ///
+    /// Returns `true` when a move was applied (the sequence-pair changed and
+    /// is still symmetric-feasible) and `false` when the attempted move had to
+    /// be rolled back; callers typically retry a bounded number of times.
+    pub fn perturb(&self, sp: &mut SequencePair, rng: &mut dyn RngCore) -> bool {
+        if sp.len() < 2 {
+            return false;
+        }
+        let before = sp.clone();
+        let kind = rng.gen_range(0..3u32);
+        let n = sp.len();
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n);
+        if i == j {
+            j = (j + 1) % n;
+        }
+        match kind {
+            0 => {
+                // swap in alpha, mirror partners in beta
+                let a = sp.alpha()[i];
+                let b = sp.alpha()[j];
+                sp.swap_in_alpha(i, j);
+                let sym_a = self.partner_or_self(a);
+                let sym_b = self.partner_or_self(b);
+                if sym_a != sym_b {
+                    sp.swap_modules_in_beta(sym_a, sym_b);
+                }
+            }
+            1 => {
+                // swap in beta, mirror partners in alpha
+                let a = sp.beta()[i];
+                let b = sp.beta()[j];
+                sp.swap_in_beta(i, j);
+                let sym_a = self.partner_or_self(a);
+                let sym_b = self.partner_or_self(b);
+                if sym_a != sym_b {
+                    sp.swap_modules_in_alpha(sym_a, sym_b);
+                }
+            }
+            _ => {
+                // full swap in both sequences (by module), mirrored for partners
+                let a = sp.alpha()[i];
+                let b = sp.alpha()[j];
+                sp.swap_in_alpha(i, j);
+                sp.swap_modules_in_beta(a, b);
+                let sym_a = self.partner_or_self(a);
+                let sym_b = self.partner_or_self(b);
+                if (sym_a, sym_b) != (a, b) && (sym_a, sym_b) != (b, a) && sym_a != sym_b {
+                    sp.swap_modules_in_alpha(sym_a, sym_b);
+                    sp.swap_modules_in_beta(sym_a, sym_b);
+                }
+            }
+        }
+        if is_symmetric_feasible_for_all(sp, &self.constraints) {
+            true
+        } else {
+            *sp = before;
+            false
+        }
+    }
+
+    fn partner_or_self(&self, m: ModuleId) -> ModuleId {
+        self.constraints
+            .symmetry_group_of(m)
+            .and_then(|g| g.partner_of(m))
+            .unwrap_or(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_anneal::rng::SeededRng;
+    use apls_circuit::benchmarks::fig1_circuit;
+
+    fn id(i: usize) -> ModuleId {
+        ModuleId::from_index(i)
+    }
+
+    #[test]
+    fn paper_example_is_symmetric_feasible() {
+        // Fig. 1: (EBAFCDG, EBCDFAG) with γ = {(C,D),(B,G),A,F}
+        let (circuit, ids) = fig1_circuit();
+        let group = &circuit.constraints.symmetry_groups()[0];
+        let alpha = vec![ids[4], ids[1], ids[0], ids[5], ids[2], ids[3], ids[6]];
+        let beta = vec![ids[4], ids[1], ids[2], ids[3], ids[5], ids[0], ids[6]];
+        let sp = SequencePair::from_sequences(alpha, beta).unwrap();
+        assert!(is_symmetric_feasible(&sp, group));
+    }
+
+    #[test]
+    fn violating_pair_order_is_rejected() {
+        // Pair (0,1): alpha has 0 before 1 but beta has sym(1)=0 after sym(0)=1
+        // in the wrong order.
+        let group = SymmetryGroup::new("g").with_pair(id(0), id(1));
+        let sp = SequencePair::from_sequences(vec![id(0), id(1)], vec![id(1), id(0)]).unwrap();
+        assert!(!is_symmetric_feasible(&sp, &group));
+    }
+
+    #[test]
+    fn canonical_construction_is_always_feasible() {
+        let (circuit, ids) = fig1_circuit();
+        let sp = canonical_symmetric_feasible(&ids, &circuit.constraints);
+        assert!(is_symmetric_feasible_for_all(&sp, &circuit.constraints));
+        assert_eq!(sp.len(), ids.len());
+    }
+
+    #[test]
+    fn canonical_construction_handles_multiple_groups() {
+        let modules: Vec<ModuleId> = (0..8).map(id).collect();
+        let mut cs = ConstraintSet::new();
+        cs.add_symmetry_group(SymmetryGroup::new("g1").with_pair(id(0), id(1)).with_self_symmetric(id(2)));
+        cs.add_symmetry_group(SymmetryGroup::new("g2").with_pair(id(3), id(4)).with_pair(id(5), id(6)));
+        let sp = canonical_symmetric_feasible(&modules, &cs);
+        assert!(is_symmetric_feasible_for_all(&sp, &cs));
+        assert_eq!(sp.len(), 8);
+    }
+
+    #[test]
+    fn move_set_preserves_feasibility() {
+        let (circuit, ids) = fig1_circuit();
+        let moves = SymmetricMoveSet::new(circuit.constraints.clone());
+        let mut sp = canonical_symmetric_feasible(&ids, &circuit.constraints);
+        let mut rng = SeededRng::new(11);
+        let mut applied = 0;
+        for _ in 0..500 {
+            if moves.perturb(&mut sp, &mut rng) {
+                applied += 1;
+            }
+            assert!(is_symmetric_feasible_for_all(&sp, &circuit.constraints));
+            assert!(sp.is_consistent());
+        }
+        assert!(applied > 100, "only {applied} moves were applied");
+    }
+
+    #[test]
+    fn move_set_reaches_many_distinct_encodings() {
+        use std::collections::HashSet;
+        let (circuit, ids) = fig1_circuit();
+        let moves = SymmetricMoveSet::new(circuit.constraints.clone());
+        let mut sp = canonical_symmetric_feasible(&ids, &circuit.constraints);
+        let mut rng = SeededRng::new(5);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            moves.perturb(&mut sp, &mut rng);
+            seen.insert(format!("{sp}"));
+        }
+        assert!(seen.len() > 50, "move set explored only {} encodings", seen.len());
+    }
+
+    #[test]
+    fn unconstrained_modules_are_free_to_move() {
+        let modules: Vec<ModuleId> = (0..4).map(id).collect();
+        let cs = ConstraintSet::new();
+        let moves = SymmetricMoveSet::new(cs.clone());
+        let mut sp = canonical_symmetric_feasible(&modules, &cs);
+        let mut rng = SeededRng::new(3);
+        let mut applied = 0;
+        for _ in 0..100 {
+            if moves.perturb(&mut sp, &mut rng) {
+                applied += 1;
+            }
+        }
+        assert!(applied >= 95, "unconstrained moves should essentially always apply, got {applied}");
+    }
+}

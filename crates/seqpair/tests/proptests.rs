@@ -1,0 +1,141 @@
+//! Property-based tests for the sequence-pair engine.
+
+use apls_circuit::{ConstraintSet, ModuleId, Module, Netlist, SymmetryGroup};
+use apls_geometry::{total_overlap_area, Dims, Rect};
+use apls_seqpair::pack::{pack_constraint_graph, pack_lcs};
+use apls_seqpair::place::SymmetricPlacer;
+use apls_seqpair::symmetry::{
+    canonical_symmetric_feasible, is_symmetric_feasible_for_all, SymmetricMoveSet,
+};
+use apls_seqpair::SequencePair;
+use proptest::prelude::*;
+
+fn id(i: usize) -> ModuleId {
+    ModuleId::from_index(i)
+}
+
+/// Generates a random permutation of 0..n as module ids.
+fn arb_permutation(n: usize) -> impl Strategy<Value = Vec<ModuleId>> {
+    Just((0..n).collect::<Vec<usize>>())
+        .prop_shuffle()
+        .prop_map(|v| v.into_iter().map(id).collect())
+}
+
+/// Generates a random sequence-pair plus matching dimensions.
+fn arb_seqpair_and_dims() -> impl Strategy<Value = (SequencePair, Vec<Dims>)> {
+    (2usize..12)
+        .prop_flat_map(|n| {
+            (
+                arb_permutation(n),
+                arb_permutation(n),
+                proptest::collection::vec((5i64..100, 5i64..100), n),
+            )
+        })
+        .prop_map(|(alpha, beta, sizes)| {
+            let sp = SequencePair::from_sequences(alpha, beta).expect("same module set");
+            let dims = sizes.into_iter().map(|(w, h)| Dims::new(w, h)).collect();
+            (sp, dims)
+        })
+}
+
+proptest! {
+    /// Any sequence-pair packs into an overlap-free placement (the defining
+    /// property of the representation).
+    #[test]
+    fn packing_is_always_legal((sp, dims) in arb_seqpair_and_dims()) {
+        let fp = pack_lcs(&sp, &dims);
+        let rects: Vec<Rect> = fp.rects().iter().map(|(_, r)| *r).collect();
+        prop_assert_eq!(total_overlap_area(&rects), 0);
+        // floorplan extents cover every rectangle
+        for (_, r) in fp.rects() {
+            prop_assert!(r.x_max <= fp.width());
+            prop_assert!(r.y_max <= fp.height());
+            prop_assert!(r.x_min >= 0 && r.y_min >= 0);
+        }
+    }
+
+    /// The O(n²) and O(n log n) packers agree exactly.
+    #[test]
+    fn both_packers_agree((sp, dims) in arb_seqpair_and_dims()) {
+        prop_assert_eq!(pack_constraint_graph(&sp, &dims), pack_lcs(&sp, &dims));
+    }
+
+    /// The floorplan area is at least the total module area.
+    #[test]
+    fn packing_cannot_beat_total_area((sp, dims) in arb_seqpair_and_dims()) {
+        let fp = pack_lcs(&sp, &dims);
+        let total: i128 = dims.iter().map(|d| d.area()).sum();
+        prop_assert!(fp.area() >= total);
+    }
+
+    /// Random matched-pair circuits: the canonical S-F encoding legalises into
+    /// an exactly symmetric, overlap-free placement, and stays that way under
+    /// the S-F move set.
+    #[test]
+    fn symmetric_legalisation_is_exact_for_matched_pairs(
+        pair_dims in proptest::collection::vec((5i64..80, 5i64..80), 1..4),
+        free_dims in proptest::collection::vec((5i64..80, 5i64..80), 0..4),
+        self_dims in proptest::collection::vec((3i64..40, 5i64..80), 0..2),
+        seed in 0u64..1000,
+        moves in 0usize..30,
+    ) {
+        let mut netlist = Netlist::new("prop");
+        let mut group = SymmetryGroup::new("g");
+        for (k, &(w, h)) in pair_dims.iter().enumerate() {
+            let l = netlist.add_module(Module::new(format!("L{k}"), Dims::new(w, h)));
+            let r = netlist.add_module(Module::new(format!("R{k}"), Dims::new(w, h)));
+            group = group.with_pair(l, r);
+        }
+        // self-symmetric cells share one width parity (even) so an exact axis exists
+        for (k, &(w, h)) in self_dims.iter().enumerate() {
+            let m = netlist.add_module(Module::new(format!("S{k}"), Dims::new(w * 2, h)));
+            group = group.with_self_symmetric(m);
+        }
+        for (k, &(w, h)) in free_dims.iter().enumerate() {
+            netlist.add_module(Module::new(format!("F{k}"), Dims::new(w, h)));
+        }
+        let mut constraints = ConstraintSet::new();
+        constraints.add_symmetry_group(group);
+
+        let modules: Vec<ModuleId> = netlist.module_ids().collect();
+        let mut sp = canonical_symmetric_feasible(&modules, &constraints);
+        let move_set = SymmetricMoveSet::new(constraints.clone());
+        let mut rng = apls_anneal::rng::SeededRng::new(seed);
+        for _ in 0..moves {
+            move_set.perturb(&mut sp, &mut rng);
+        }
+        prop_assert!(is_symmetric_feasible_for_all(&sp, &constraints));
+
+        let placer = SymmetricPlacer::new(&netlist, &constraints);
+        let placement = placer.place(&sp);
+        prop_assert!(placement.is_complete());
+        prop_assert_eq!(placement.metrics(&netlist).overlap_area, 0);
+        prop_assert_eq!(placement.symmetry_error(&constraints), 0);
+    }
+
+    /// The S-F move set never leaves the symmetric-feasible subspace and never
+    /// corrupts the permutations.
+    #[test]
+    fn move_set_preserves_invariants(
+        n_pairs in 1usize..4,
+        n_free in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let n = n_pairs * 2 + n_free;
+        let modules: Vec<ModuleId> = (0..n).map(id).collect();
+        let mut constraints = ConstraintSet::new();
+        let mut group = SymmetryGroup::new("g");
+        for k in 0..n_pairs {
+            group = group.with_pair(id(2 * k), id(2 * k + 1));
+        }
+        constraints.add_symmetry_group(group);
+        let mut sp = canonical_symmetric_feasible(&modules, &constraints);
+        let move_set = SymmetricMoveSet::new(constraints.clone());
+        let mut rng = apls_anneal::rng::SeededRng::new(seed);
+        for _ in 0..50 {
+            move_set.perturb(&mut sp, &mut rng);
+            prop_assert!(sp.is_consistent());
+            prop_assert!(is_symmetric_feasible_for_all(&sp, &constraints));
+        }
+    }
+}

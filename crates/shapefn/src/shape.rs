@@ -1,0 +1,271 @@
+//! Regular (bounding-box) shape functions.
+
+use apls_geometry::{Coord, Dims};
+
+/// One realisable bounding box of a (sub-)placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Bounding-box footprint.
+    pub dims: Dims,
+}
+
+impl Shape {
+    /// Creates a shape from a footprint.
+    #[must_use]
+    pub fn new(dims: Dims) -> Self {
+        Shape { dims }
+    }
+
+    /// Bounding-box area.
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        self.dims.area()
+    }
+}
+
+/// A shape function: the set of non-dominated bounding boxes realisable by a
+/// sub-circuit.
+///
+/// Shapes whose width *and* height are both at least as large as another
+/// shape's are redundant and removed ("a placement which has a greater height,
+/// while having the same or even a greater width than some other shape in the
+/// function is considered to be redundant", Section IV.A of the paper). The
+/// remaining shapes form a staircase: sorted by increasing width, heights
+/// strictly decrease.
+///
+/// # Example
+///
+/// ```
+/// use apls_shapefn::ShapeFunction;
+/// use apls_geometry::Dims;
+///
+/// let a = ShapeFunction::from_dims([Dims::new(10, 20), Dims::new(20, 10)]);
+/// let b = ShapeFunction::from_dims([Dims::new(5, 5)]);
+/// let h = a.add_horizontal(&b);
+/// assert!(h.min_area_shape().unwrap().dims.area() <= 20 * 25);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShapeFunction {
+    /// Staircase of shapes, sorted by increasing width / decreasing height.
+    shapes: Vec<Shape>,
+}
+
+impl ShapeFunction {
+    /// An empty shape function (no realisable shape).
+    #[must_use]
+    pub fn new() -> Self {
+        ShapeFunction::default()
+    }
+
+    /// Builds a shape function from candidate footprints, pruning dominated
+    /// ones.
+    #[must_use]
+    pub fn from_dims<I: IntoIterator<Item = Dims>>(dims: I) -> Self {
+        let mut sf = ShapeFunction::new();
+        for d in dims {
+            sf.insert(Shape::new(d));
+        }
+        sf
+    }
+
+    /// The shape function of a single module: its footprint plus, when
+    /// `rotatable`, the transposed footprint.
+    #[must_use]
+    pub fn for_module(dims: Dims, rotatable: bool) -> Self {
+        if rotatable {
+            ShapeFunction::from_dims([dims, dims.rotated()])
+        } else {
+            ShapeFunction::from_dims([dims])
+        }
+    }
+
+    /// Inserts a candidate shape, keeping the staircase pruned.
+    pub fn insert(&mut self, shape: Shape) {
+        if self
+            .shapes
+            .iter()
+            .any(|s| shape.dims.dominates(s.dims) && shape.dims != s.dims)
+        {
+            return; // dominated by an existing shape
+        }
+        if self.shapes.contains(&shape) {
+            return;
+        }
+        // remove shapes dominated by the new one
+        self.shapes.retain(|s| !s.dims.dominates(shape.dims) || s.dims == shape.dims);
+        self.shapes.push(shape);
+        self.shapes.sort_by_key(|s| (s.dims.w, s.dims.h));
+    }
+
+    /// The shapes of the staircase, sorted by increasing width.
+    #[must_use]
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Number of non-dominated shapes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Returns `true` when no shape is realisable.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The shape with the smallest bounding-box area.
+    #[must_use]
+    pub fn min_area_shape(&self) -> Option<Shape> {
+        self.shapes.iter().copied().min_by_key(Shape::area)
+    }
+
+    /// Horizontal addition: every pair of operand shapes abuts side by side
+    /// (`w = w₁ + w₂`, `h = max(h₁, h₂)`).
+    #[must_use]
+    pub fn add_horizontal(&self, other: &ShapeFunction) -> ShapeFunction {
+        self.add_with(other, |a, b| Dims::new(a.w + b.w, a.h.max(b.h)))
+    }
+
+    /// Vertical addition: every pair of operand shapes stacks
+    /// (`w = max(w₁, w₂)`, `h = h₁ + h₂`).
+    #[must_use]
+    pub fn add_vertical(&self, other: &ShapeFunction) -> ShapeFunction {
+        self.add_with(other, |a, b| Dims::new(a.w.max(b.w), a.h + b.h))
+    }
+
+    /// Union of horizontal and vertical additions (the combination step of the
+    /// deterministic placer when the stacking direction is free).
+    #[must_use]
+    pub fn add_both(&self, other: &ShapeFunction) -> ShapeFunction {
+        let mut out = self.add_horizontal(other);
+        for s in self.add_vertical(other).shapes() {
+            out.insert(*s);
+        }
+        out
+    }
+
+    fn add_with<F: Fn(Dims, Dims) -> Dims>(&self, other: &ShapeFunction, f: F) -> ShapeFunction {
+        let mut out = ShapeFunction::new();
+        for a in &self.shapes {
+            for b in &other.shapes {
+                out.insert(Shape::new(f(a.dims, b.dims)));
+            }
+        }
+        out
+    }
+
+    /// Union with another shape function (alternative realisations of the same
+    /// sub-circuit).
+    #[must_use]
+    pub fn union(&self, other: &ShapeFunction) -> ShapeFunction {
+        let mut out = self.clone();
+        for s in other.shapes() {
+            out.insert(*s);
+        }
+        out
+    }
+
+    /// Caps the staircase at `max_shapes` entries, keeping an even spread over
+    /// the width range (the extreme and min-area shapes are always kept).
+    pub fn truncate(&mut self, max_shapes: usize) {
+        if self.shapes.len() <= max_shapes || max_shapes == 0 {
+            return;
+        }
+        let min_area = self.min_area_shape();
+        let n = self.shapes.len();
+        let mut kept: Vec<Shape> = Vec::with_capacity(max_shapes);
+        for k in 0..max_shapes {
+            let idx = k * (n - 1) / (max_shapes - 1).max(1);
+            kept.push(self.shapes[idx]);
+        }
+        if let Some(m) = min_area {
+            if !kept.contains(&m) {
+                kept.push(m);
+            }
+        }
+        kept.sort_by_key(|s| (s.dims.w, s.dims.h));
+        kept.dedup();
+        self.shapes = kept;
+    }
+
+    /// Smallest width over all shapes (`None` when empty).
+    #[must_use]
+    pub fn min_width(&self) -> Option<Coord> {
+        self.shapes.iter().map(|s| s.dims.w).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_prunes_dominated_shapes() {
+        let sf = ShapeFunction::from_dims([
+            Dims::new(10, 10),
+            Dims::new(12, 12), // dominated
+            Dims::new(20, 5),
+            Dims::new(5, 25),
+        ]);
+        assert_eq!(sf.len(), 3);
+        // staircase property: widths increase, heights decrease
+        for pair in sf.shapes().windows(2) {
+            assert!(pair[0].dims.w < pair[1].dims.w);
+            assert!(pair[0].dims.h > pair[1].dims.h);
+        }
+    }
+
+    #[test]
+    fn module_shape_function_includes_rotation() {
+        let sf = ShapeFunction::for_module(Dims::new(30, 10), true);
+        assert_eq!(sf.len(), 2);
+        let fixed = ShapeFunction::for_module(Dims::new(30, 10), false);
+        assert_eq!(fixed.len(), 1);
+        let square = ShapeFunction::for_module(Dims::new(10, 10), true);
+        assert_eq!(square.len(), 1, "rotating a square adds nothing");
+    }
+
+    #[test]
+    fn horizontal_addition_of_singletons() {
+        let a = ShapeFunction::from_dims([Dims::new(10, 20)]);
+        let b = ShapeFunction::from_dims([Dims::new(5, 8)]);
+        let sum = a.add_horizontal(&b);
+        assert_eq!(sum.shapes(), &[Shape::new(Dims::new(15, 20))]);
+        let stack = a.add_vertical(&b);
+        assert_eq!(stack.shapes(), &[Shape::new(Dims::new(10, 28))]);
+    }
+
+    #[test]
+    fn addition_is_commutative_in_the_shape_set() {
+        let a = ShapeFunction::from_dims([Dims::new(10, 20), Dims::new(20, 10)]);
+        let b = ShapeFunction::from_dims([Dims::new(6, 9), Dims::new(9, 6)]);
+        assert_eq!(a.add_horizontal(&b), b.add_horizontal(&a));
+        assert_eq!(a.add_both(&b), b.add_both(&a));
+    }
+
+    #[test]
+    fn min_area_shape_is_truly_minimal() {
+        let sf = ShapeFunction::from_dims([Dims::new(10, 30), Dims::new(18, 13), Dims::new(40, 8)]);
+        assert_eq!(sf.min_area_shape().unwrap().dims, Dims::new(18, 13));
+    }
+
+    #[test]
+    fn truncate_keeps_extremes_and_min_area() {
+        let mut sf = ShapeFunction::from_dims((1..40).map(|i| Dims::new(i, 45 - i)));
+        let min_area = sf.min_area_shape().unwrap();
+        sf.truncate(8);
+        assert!(sf.len() <= 9);
+        assert!(sf.shapes().contains(&min_area));
+    }
+
+    #[test]
+    fn empty_function_behaviour() {
+        let sf = ShapeFunction::new();
+        assert!(sf.is_empty());
+        assert_eq!(sf.min_area_shape(), None);
+        let other = ShapeFunction::from_dims([Dims::new(3, 3)]);
+        assert!(sf.add_horizontal(&other).is_empty());
+    }
+}

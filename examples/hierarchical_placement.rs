@@ -1,0 +1,50 @@
+//! Hierarchical HB*-tree placement of a larger benchmark circuit, showing the
+//! constraint report and the effect of hierarchy vs a flat B*-tree placer.
+//!
+//! ```text
+//! cargo run --example hierarchical_placement --release
+//! ```
+
+use analog_layout_synthesis::btree::{BTreePlacer, HbTreePlacer, HbTreePlacerConfig};
+use analog_layout_synthesis::circuit::benchmarks;
+use analog_layout_synthesis::ConstraintReport;
+
+fn main() {
+    let circuit = benchmarks::folded_cascode();
+    println!(
+        "circuit '{}': {} modules, {} basic module sets, hierarchy depth {}",
+        circuit.name,
+        circuit.netlist.module_count(),
+        circuit.hierarchy.basic_module_sets().len(),
+        circuit.hierarchy.root().map(|r| circuit.hierarchy.depth(r)).unwrap_or(0),
+    );
+
+    let config = HbTreePlacerConfig { seed: 7, ..HbTreePlacerConfig::for_circuit(&circuit) };
+
+    let hierarchical = HbTreePlacer::new(&circuit).run(&config);
+    let flat = BTreePlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+
+    for (label, result) in [("HB*-tree (hierarchical)", &hierarchical), ("flat B*-tree", &flat)] {
+        let report = ConstraintReport::evaluate(&circuit, &result.placement);
+        println!("\n{label}:");
+        println!(
+            "  bounding box {} x {} dbu, area usage {:.1} %, HPWL {:.0}",
+            result.metrics.width,
+            result.metrics.height,
+            result.metrics.area_usage * 100.0,
+            result.metrics.wirelength
+        );
+        println!(
+            "  symmetry error {} (satisfied: {}), proximity {}/{} connected",
+            report.symmetry_error,
+            report.symmetry_satisfied,
+            report.proximity_connected,
+            report.proximity_total
+        );
+    }
+    println!(
+        "\nThe hierarchical placer keeps every symmetry group exactly mirrored; the flat\n\
+         placer typically wins a little area but violates the analog constraints, which\n\
+         is the trade-off Section III of the paper is about."
+    );
+}

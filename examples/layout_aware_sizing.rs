@@ -1,0 +1,56 @@
+//! Reproduces the Fig. 10 experiment in miniature: size the folded-cascode
+//! amplifier once with the classical electrical-only flow and once with the
+//! layout-aware flow, then compare post-layout spec compliance, layout
+//! compactness and the time spent in extraction.
+//!
+//! ```text
+//! cargo run --example layout_aware_sizing --release
+//! ```
+
+use analog_layout_synthesis::layoutaware::model::Specs;
+use analog_layout_synthesis::layoutaware::sizing::{SizingConfig, SizingMode, SizingOptimizer};
+
+fn main() {
+    let specs = Specs::default();
+    println!(
+        "specs: gain >= {} dB, GBW >= {} MHz, PM >= {} deg, power <= {} mW\n",
+        specs.min_gain_db,
+        specs.min_gbw_hz / 1e6,
+        specs.min_phase_margin_deg,
+        specs.max_power_w * 1e3
+    );
+    let optimizer = SizingOptimizer::new(specs);
+
+    for mode in [SizingMode::ElectricalOnly, SizingMode::LayoutAware] {
+        let result = optimizer.run(&SizingConfig { mode, iterations: 2000, seed: 42 });
+        println!("--- {mode:?} ---");
+        println!(
+            "  layout: {:.1} x {:.1} um  (area {:.0} um^2, aspect ratio {:.1})",
+            result.layout.width_um(),
+            result.layout.height_um(),
+            result.layout.area_um2(),
+            result.layout.aspect_ratio()
+        );
+        println!(
+            "  pre-layout : gain {:.1} dB, GBW {:.0} MHz, PM {:.1} deg, power {:.2} mW  -> specs met: {}",
+            result.pre_layout.gain_db,
+            result.pre_layout.gbw_hz / 1e6,
+            result.pre_layout.phase_margin_deg,
+            result.pre_layout.power_w * 1e3,
+            result.specs_met_pre_layout
+        );
+        println!(
+            "  post-layout: gain {:.1} dB, GBW {:.0} MHz, PM {:.1} deg, power {:.2} mW  -> specs met: {}",
+            result.post_layout.gain_db,
+            result.post_layout.gbw_hz / 1e6,
+            result.post_layout.phase_margin_deg,
+            result.post_layout.power_w * 1e3,
+            result.specs_met_post_layout
+        );
+        println!(
+            "  extraction: {:.1} % of the {:.0} ms sizing run\n",
+            result.extraction_fraction() * 100.0,
+            result.total_time.as_secs_f64() * 1e3
+        );
+    }
+}

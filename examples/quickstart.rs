@@ -1,0 +1,36 @@
+//! Quickstart: place the Fig. 6 Miller op-amp with all three engines.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use analog_layout_synthesis::circuit::benchmarks::miller_opamp_fig6;
+use analog_layout_synthesis::{AnalogPlacer, Engine};
+
+fn main() {
+    let circuit = miller_opamp_fig6();
+    println!(
+        "circuit '{}': {} modules, {} nets, {} symmetry group(s), {} proximity group(s)",
+        circuit.name,
+        circuit.netlist.module_count(),
+        circuit.netlist.net_count(),
+        circuit.constraints.symmetry_groups().len(),
+        circuit.constraints.proximity_groups().len(),
+    );
+    println!();
+
+    for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
+        let report = AnalogPlacer::new(engine).with_seed(42).place(&circuit);
+        println!("{}", report.summary());
+        // print the placement of the differential pair to show the mirror
+        let p1 = circuit.netlist.module_ids().next().expect("has modules");
+        if let Some(placed) = report.placement.get(p1) {
+            println!(
+                "    {} placed at {} ({})",
+                circuit.netlist.module(p1).name(),
+                placed.rect,
+                placed.orientation
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduces Fig. 1 of the paper: the symmetric-feasible sequence-pair
+//! `(EBAFCDG, EBCDFAG)` for the symmetry group `γ = {(C, D), (B, G), A, F}`
+//! packs into an exactly mirror-symmetric placement, and the counting lemma
+//! gives the 99.86 % search-space reduction quoted in Section II.
+//!
+//! ```text
+//! cargo run --example symmetric_placement --release
+//! ```
+
+use analog_layout_synthesis::circuit::benchmarks::fig1_circuit;
+use analog_layout_synthesis::seqpair::counting::{
+    reduction_percentage, sf_upper_bound, total_sequence_pairs,
+};
+use analog_layout_synthesis::seqpair::place::SymmetricPlacer;
+use analog_layout_synthesis::seqpair::symmetry::is_symmetric_feasible;
+use analog_layout_synthesis::seqpair::SequencePair;
+
+fn main() {
+    let (circuit, ids) = fig1_circuit();
+    let names = ["A", "B", "C", "D", "E", "F", "G"];
+    let by_name = |n: char| ids[names.iter().position(|&s| s == n.to_string()).unwrap()];
+
+    // the sequence-pair of Fig. 1: (EBAFCDG, EBCDFAG)
+    let alpha: Vec<_> = "EBAFCDG".chars().map(by_name).collect();
+    let beta: Vec<_> = "EBCDFAG".chars().map(by_name).collect();
+    let sp = SequencePair::from_sequences(alpha, beta).expect("valid permutations");
+    let group = &circuit.constraints.symmetry_groups()[0];
+
+    println!("sequence-pair: {sp}");
+    println!("symmetric-feasible for gamma = {{(C,D),(B,G),A,F}}: {}", is_symmetric_feasible(&sp, group));
+
+    let placer = SymmetricPlacer::new(&circuit.netlist, &circuit.constraints);
+    let placement = placer.place(&sp);
+    println!("\nplacement (dbu):");
+    for (name, &id) in names.iter().zip(&ids) {
+        let rect = placement.rect_of(id);
+        println!("  {name}: {rect}");
+    }
+    let metrics = placement.metrics(&circuit.netlist);
+    println!(
+        "\noverlap = {}, symmetry error = {}, bounding box = {}x{}",
+        metrics.overlap_area,
+        placement.symmetry_error(&circuit.constraints),
+        metrics.width,
+        metrics.height
+    );
+
+    // the counting lemma for this configuration (n = 7, p = s = 2)
+    println!("\nsearch-space reduction (Section II lemma):");
+    println!("  total sequence-pairs  (7!)^2      = {}", total_sequence_pairs(7) as u64);
+    println!("  symmetric-feasible bound (7!)^2/6! = {}", sf_upper_bound(7, &[(2, 2)]) as u64);
+    println!("  reduction                          = {:.2} %", reduction_percentage(7, &[(2, 2)]));
+}

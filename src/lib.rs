@@ -1,0 +1,27 @@
+//! Analog layout synthesis — reproduction of the DATE 2009 survey
+//! *"Analog Layout Synthesis — Recent Advances in Topological Approaches"*
+//! (Graeb et al.).
+//!
+//! This crate is a thin re-export of [`apls_core`], the facade of the
+//! workspace, so that the examples and integration tests at the repository
+//! root have a single dependency. See the README for a guided tour and
+//! DESIGN.md / EXPERIMENTS.md for the system inventory and the experiment
+//! index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use analog_layout_synthesis::{AnalogPlacer, Engine};
+//! use analog_layout_synthesis::circuit::benchmarks::miller_opamp_fig6;
+//!
+//! let circuit = miller_opamp_fig6();
+//! let report = AnalogPlacer::new(Engine::HbTree)
+//!     .with_fast_schedule(true)
+//!     .place(&circuit);
+//! assert_eq!(report.metrics.overlap_area, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apls_core::*;
