@@ -9,8 +9,10 @@
 //! * [`Schedule`] — geometric cooling schedules with configurable start/end
 //!   temperature, moves per temperature step, and an optional move budget;
 //! * [`Annealer`] — the driver, which reports [`AnnealStats`];
-//! * [`rng`] — deterministic seedable RNG helpers so that every experiment in
-//!   the workspace is exactly reproducible.
+//! * [`rng`] — deterministic seedable RNG helpers ([`rng::SeededRng`]) and
+//!   stateless per-worker seed derivation ([`rng::SeedStream`]) so that every
+//!   experiment in the workspace — including parallel multi-start portfolios
+//!   — is exactly reproducible.
 //!
 //! # Example
 //!

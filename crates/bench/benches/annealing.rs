@@ -13,7 +13,9 @@ fn bench_annealers(c: &mut Criterion) {
     group.sample_size(10);
     let schedule = Schedule::geometric(1000.0, 1.0, 0.9, 20).with_max_moves(1000);
 
-    for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()] {
+    for circuit in
+        [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()]
+    {
         let n = circuit.module_count();
         let sp_config = SeqPairPlacerConfig { seed: 3, schedule, ..SeqPairPlacerConfig::default() };
         let hb_config = HbTreePlacerConfig { seed: 3, schedule, ..HbTreePlacerConfig::default() };

@@ -1,0 +1,27 @@
+//! Scaling of the multi-start portfolio: wall time of an 8-restart portfolio
+//! on the Fig. 6 Miller op-amp with 1 worker thread vs. one per core. The
+//! results are bit-identical either way; only wall time may differ.
+
+use apls_circuit::benchmarks;
+use apls_portfolio::{run_portfolio, PortfolioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_portfolio_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_8_restarts");
+    group.sample_size(10);
+    let circuit = benchmarks::miller_opamp_fig6();
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for threads in [1usize, auto] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            let config = PortfolioConfig::new(11)
+                .with_restarts(8)
+                .with_fast_schedule(true)
+                .with_threads(threads);
+            b.iter(|| run_portfolio(&circuit, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio_threads);
+criterion_main!(benches);

@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_deterministic_placer(c: &mut Criterion) {
     let mut group = c.benchmark_group("deterministic_placer");
     group.sample_size(10);
-    for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()] {
+    for circuit in
+        [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()]
+    {
         let placer = DeterministicPlacer::new(&circuit);
         group.bench_with_input(
             BenchmarkId::new("enhanced", circuit.module_count()),
@@ -29,9 +31,7 @@ fn bench_deterministic_placer(c: &mut Criterion) {
 
 fn bench_single_addition(c: &mut Criterion) {
     let mut group = c.benchmark_group("shape_addition");
-    let dims: Vec<Dims> = (0..8)
-        .map(|i| Dims::new(10 + 7 * i as i64, 40 - 4 * i as i64))
-        .collect();
+    let dims: Vec<Dims> = (0..8).map(|i| Dims::new(10 + 7 * i as i64, 40 - 4 * i as i64)).collect();
     let id = ModuleId::from_index;
 
     let mut esf_a = EnhancedShapeFunction::for_module(id(0), &dims, true);
@@ -45,12 +45,12 @@ fn bench_single_addition(c: &mut Criterion) {
     group.bench_function("enhanced_add", |b| b.iter(|| esf_a.add(&esf_b, &dims)));
 
     let mut sf_a = ShapeFunction::for_module(dims[0], true);
-    for i in 1..4 {
-        sf_a = sf_a.add_both(&ShapeFunction::for_module(dims[i], true));
+    for &d in &dims[1..4] {
+        sf_a = sf_a.add_both(&ShapeFunction::for_module(d, true));
     }
     let mut sf_b = ShapeFunction::for_module(dims[4], true);
-    for i in 5..8 {
-        sf_b = sf_b.add_both(&ShapeFunction::for_module(dims[i], true));
+    for &d in &dims[5..8] {
+        sf_b = sf_b.add_both(&ShapeFunction::for_module(d, true));
     }
     group.bench_function("regular_add", |b| b.iter(|| sf_a.add_both(&sf_b)));
     group.finish();

@@ -14,7 +14,14 @@ fn main() {
     println!("E10 — hierarchical HB*-tree vs flat B*-tree placement");
     println!(
         "{:<16} {:>6} | {:>14} {:>11} {:>9} | {:>14} {:>11} {:>9}",
-        "circuit", "mods", "HB area use", "HB sym err", "HB time", "flat area use", "flat sym err", "flat time"
+        "circuit",
+        "mods",
+        "HB area use",
+        "HB sym err",
+        "HB time",
+        "flat area use",
+        "flat sym err",
+        "flat time"
     );
     for circuit in [
         benchmarks::comparator_v2(),

@@ -14,9 +14,18 @@ fn main() {
     println!("E9 — symmetric-feasible move set vs symmetry penalty (sequence-pair annealing)");
     println!(
         "{:<16} {:>6} | {:>14} {:>12} {:>9} | {:>14} {:>12} {:>9}",
-        "circuit", "mods", "S-F area use", "S-F sym err", "S-F time", "pen area use", "pen sym err", "pen time"
+        "circuit",
+        "mods",
+        "S-F area use",
+        "S-F sym err",
+        "S-F time",
+        "pen area use",
+        "pen sym err",
+        "pen time"
     );
-    for circuit in [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()] {
+    for circuit in
+        [benchmarks::comparator_v2(), benchmarks::miller_v2(), benchmarks::folded_cascode()]
+    {
         let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
         let mut row = Vec::new();
         for mode in [SymmetryMode::Exact, SymmetryMode::Penalty { weight: 50.0 }] {

@@ -36,10 +36,7 @@ fn main() {
     let rsf1 = ShapeFunction::from_dims([op1_best.dims()]);
     let rsf2 = ShapeFunction::from_dims([dims[2]]);
     let rsf_sum = rsf1.add_horizontal(&rsf2).min_area_shape().expect("non-empty");
-    println!(
-        "\nregular shape addition     : ({}, {})",
-        rsf_sum.dims.w, rsf_sum.dims.h
-    );
+    println!("\nregular shape addition     : ({}, {})", rsf_sum.dims.w, rsf_sum.dims.h);
 
     // enhanced addition
     let esf_sum = operand1.add(&operand2, &dims);
@@ -50,10 +47,7 @@ fn main() {
         .filter(|d| d.h <= rsf_sum.dims.h)
         .min_by_key(|d| d.w)
         .expect("an interleaved candidate exists");
-    println!(
-        "enhanced shape addition    : ({}, {})",
-        best_width.w, best_width.h
-    );
+    println!("enhanced shape addition    : ({}, {})", best_width.w, best_width.h);
     println!(
         "width improvement w_imp    : {} dbu ({:.1} % of the bounding-box width)",
         rsf_sum.dims.w - best_width.w,

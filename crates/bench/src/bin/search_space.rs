@@ -33,10 +33,8 @@ fn main() {
         } else {
             SymmetryGroup::new("g").with_pair(id(0), id(1))
         };
-        let spec: Vec<(u64, u64)> = vec![(
-            group.pair_count() as u64,
-            group.self_symmetric_count() as u64,
-        )];
+        let spec: Vec<(u64, u64)> =
+            vec![(group.pair_count() as u64, group.self_symmetric_count() as u64)];
         let modules: Vec<ModuleId> = (0..n as usize).map(id).collect();
         let total = sp_counting::total_sequence_pairs(n);
         let bound = sp_counting::sf_upper_bound(n, &spec);

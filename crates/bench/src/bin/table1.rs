@@ -12,7 +12,14 @@ fn main() {
     println!("Table I — enhanced (ESF) vs regular (RSF) shape functions");
     println!(
         "{:<16} {:>5} | {:>14} {:>10} | {:>14} {:>10} | {:>12} {:>10}",
-        "circuit", "mods", "ESF area usage", "ESF time", "RSF area usage", "RSF time", "improvement", "time ratio"
+        "circuit",
+        "mods",
+        "ESF area usage",
+        "ESF time",
+        "RSF area usage",
+        "RSF time",
+        "improvement",
+        "time ratio"
     );
     println!("{}", "-".repeat(112));
 

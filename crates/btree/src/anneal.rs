@@ -90,11 +90,8 @@ impl<'a> HbTreePlacer<'a> {
     /// Runs the annealing placement.
     #[must_use]
     pub fn run(&self, config: &HbTreePlacerConfig) -> HbTreeResult {
-        let initial = HbTree::new(
-            &self.circuit.netlist,
-            &self.circuit.hierarchy,
-            &self.circuit.constraints,
-        );
+        let initial =
+            HbTree::new(&self.circuit.netlist, &self.circuit.hierarchy, &self.circuit.constraints);
         let mut state = HbState {
             tree: initial,
             backup: None,
@@ -178,11 +175,8 @@ impl<'a> BTreePlacer<'a> {
     #[must_use]
     pub fn run(&self, config: &BTreePlacerConfig) -> HbTreeResult {
         let modules: Vec<ModuleId> = self.netlist.module_ids().collect();
-        let rotatable: Vec<bool> = self
-            .netlist
-            .modules()
-            .map(|(_, m)| m.rotation_allowed())
-            .collect();
+        let rotatable: Vec<bool> =
+            self.netlist.modules().map(|(_, m)| m.rotation_allowed()).collect();
         let mut state = FlatState {
             tree: BStarTree::balanced(&modules),
             backup: None,

@@ -111,12 +111,8 @@ impl AsfBTree {
         let half_width = packed_half.width();
         let pair_height = packed_half.height();
 
-        let self_widths: Vec<Coord> = self
-            .group
-            .self_symmetric()
-            .iter()
-            .map(|m| dims[m.index()].w)
-            .collect();
+        let self_widths: Vec<Coord> =
+            self.group.self_symmetric().iter().map(|m| dims[m.index()].w).collect();
         let max_self_width = self_widths.iter().copied().max().unwrap_or(0);
 
         // island width: wide enough for both mirrored halves and the widest
@@ -135,9 +131,7 @@ impl AsfBTree {
         // right half starts at the axis; left half is its mirror image
         let right_offset = width / 2 + (width % 2); // ceil(width / 2)
         for &(l, r) in self.group.pairs() {
-            let half_rect = packed_half
-                .rect_of(l)
-                .expect("representative is in the half-tree");
+            let half_rect = packed_half.rect_of(l).expect("representative is in the half-tree");
             let right_rect = half_rect.translated(apls_geometry::Point::new(right_offset, 0));
             let left_rect = right_rect.mirror_about_vertical_x2(axis_x2);
             rects.push((r, right_rect));

@@ -73,11 +73,8 @@ pub fn generate_pattern(group: &CommonCentroidGroup, dims: &[Dims]) -> CommonCen
 
     // paired units: one column per pair, alternating vertical order
     for i in 0..paired {
-        let (top, bottom) = if i % 2 == 0 {
-            (units_b[i], units_a[i])
-        } else {
-            (units_a[i], units_b[i])
-        };
+        let (top, bottom) =
+            if i % 2 == 0 { (units_b[i], units_a[i]) } else { (units_a[i], units_b[i]) };
         place_unit(bottom, i, 0, &mut rects);
         place_unit(top, i, 1, &mut rects);
     }
@@ -90,10 +87,7 @@ pub fn generate_pattern(group: &CommonCentroidGroup, dims: &[Dims]) -> CommonCen
 
     let cols = extra_col.max(paired).max(1) as Coord;
     let rows: Coord = if paired > 0 { 2 } else { 1 };
-    CommonCentroidPattern {
-        rects,
-        dims: Dims::new(cols * cell_w, rows * cell_h),
-    }
+    CommonCentroidPattern { rects, dims: Dims::new(cols * cell_w, rows * cell_h) }
 }
 
 #[cfg(test)]
@@ -104,12 +98,10 @@ mod tests {
 
     fn setup(units_a: usize, units_b: usize, dims: Dims) -> (Netlist, CommonCentroidGroup) {
         let mut nl = Netlist::new("cc");
-        let a: Vec<ModuleId> = (0..units_a)
-            .map(|i| nl.add_module(Module::new(format!("A{i}"), dims)))
-            .collect();
-        let b: Vec<ModuleId> = (0..units_b)
-            .map(|i| nl.add_module(Module::new(format!("B{i}"), dims)))
-            .collect();
+        let a: Vec<ModuleId> =
+            (0..units_a).map(|i| nl.add_module(Module::new(format!("A{i}"), dims))).collect();
+        let b: Vec<ModuleId> =
+            (0..units_b).map(|i| nl.add_module(Module::new(format!("B{i}"), dims))).collect();
         (nl, CommonCentroidGroup::new("g", a, b))
     }
 

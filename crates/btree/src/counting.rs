@@ -49,7 +49,7 @@ pub fn factorial(n: u64) -> Option<u128> {
 /// ```
 #[must_use]
 pub fn btree_count(n: u64) -> Option<u128> {
-    Some(factorial(n)?.checked_mul(catalan(n)?)?)
+    factorial(n)?.checked_mul(catalan(n)?)
 }
 
 /// Enumerates every B*-tree over the given modules and returns the number of
@@ -62,14 +62,13 @@ pub fn btree_count(n: u64) -> Option<u128> {
 /// `n ≤ 6`.
 #[must_use]
 pub fn enumerate_distinct_placements(modules: &[ModuleId], dims: &[Dims]) -> u64 {
-    let mut placements: BTreeSet<Vec<(ModuleId, i64, i64, i64, i64)>> = BTreeSet::new();
+    /// One placed rectangle: `(module, x_min, y_min, x_max, y_max)`.
+    type PlacementKey = Vec<(ModuleId, i64, i64, i64, i64)>;
+    let mut placements: BTreeSet<PlacementKey> = BTreeSet::new();
     for tree in enumerate_trees(modules) {
         let packed = pack_btree(&tree, dims);
-        let mut key: Vec<(ModuleId, i64, i64, i64, i64)> = packed
-            .rects()
-            .iter()
-            .map(|(m, r)| (*m, r.x_min, r.y_min, r.x_max, r.y_max))
-            .collect();
+        let mut key: PlacementKey =
+            packed.rects().iter().map(|(m, r)| (*m, r.x_min, r.y_min, r.x_max, r.y_max)).collect();
         key.sort();
         placements.insert(key);
     }
@@ -225,12 +224,7 @@ mod tests {
     #[test]
     fn distinct_placement_count_is_bounded_by_tree_count() {
         let modules: Vec<ModuleId> = (0..4).map(ModuleId::from_index).collect();
-        let dims = vec![
-            Dims::new(7, 3),
-            Dims::new(11, 5),
-            Dims::new(13, 2),
-            Dims::new(3, 17),
-        ];
+        let dims = vec![Dims::new(7, 3), Dims::new(11, 5), Dims::new(13, 2), Dims::new(3, 17)];
         let distinct = enumerate_distinct_placements(&modules, &dims);
         assert!(distinct > 0);
         assert!(u128::from(distinct) <= btree_count(4).unwrap());

@@ -83,9 +83,7 @@ impl HbTree {
     /// the netlist.
     #[must_use]
     pub fn new(netlist: &Netlist, hierarchy: &HierarchyTree, constraints: &ConstraintSet) -> Self {
-        hierarchy
-            .validate(netlist)
-            .expect("hierarchy tree must cover the netlist");
+        hierarchy.validate(netlist).expect("hierarchy tree must cover the netlist");
         let root = hierarchy.root().expect("hierarchy has a root").index();
         let module_dims = netlist.default_dims();
         let module_count = netlist.module_count();
@@ -252,10 +250,8 @@ impl HbTree {
             }
             NodeKind::Tree(tree) => {
                 // pack children first
-                let child_placements: Vec<(usize, SubPlacement)> = self.children[node]
-                    .iter()
-                    .map(|&c| (c, self.pack_node(c)))
-                    .collect();
+                let child_placements: Vec<(usize, SubPlacement)> =
+                    self.children[node].iter().map(|&c| (c, self.pack_node(c))).collect();
                 // token dims table indexed by hierarchy node index
                 let max_token = self.kinds.len();
                 let mut token_dims = vec![Dims::ZERO; max_token];
@@ -346,18 +342,8 @@ mod tests {
             let hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
             let placement = hb.pack();
             assert!(placement.is_complete(), "{}", circuit.name);
-            assert_eq!(
-                placement.metrics(&circuit.netlist).overlap_area,
-                0,
-                "{}",
-                circuit.name
-            );
-            assert_eq!(
-                placement.symmetry_error(&circuit.constraints),
-                0,
-                "{}",
-                circuit.name
-            );
+            assert_eq!(placement.metrics(&circuit.netlist).overlap_area, 0, "{}", circuit.name);
+            assert_eq!(placement.symmetry_error(&circuit.constraints), 0, "{}", circuit.name);
         }
     }
 

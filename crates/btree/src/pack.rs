@@ -139,9 +139,8 @@ mod tests {
     fn random_trees_always_pack_legally() {
         let n = 15;
         let modules = ids(n);
-        let dims: Vec<Dims> = (0..n)
-            .map(|i| Dims::new(5 + (i as i64 * 7) % 40, 5 + (i as i64 * 13) % 30))
-            .collect();
+        let dims: Vec<Dims> =
+            (0..n).map(|i| Dims::new(5 + (i as i64 * 7) % 40, 5 + (i as i64 * 13) % 30)).collect();
         let mut tree = BStarTree::balanced(&modules);
         let mut rng = SeededRng::new(31);
         let total_area: i128 = dims.iter().map(|d| d.area()).sum();

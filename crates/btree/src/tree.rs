@@ -55,7 +55,13 @@ impl BStarTree {
         let mut prev: Option<usize> = None;
         for &m in modules {
             let idx = tree.nodes.len();
-            tree.nodes.push(Node { module: m, rotated: false, left: None, right: None, parent: prev });
+            tree.nodes.push(Node {
+                module: m,
+                rotated: false,
+                left: None,
+                right: None,
+                parent: prev,
+            });
             match prev {
                 None => tree.root = Some(idx),
                 Some(p) => tree.nodes[p].left = Some(idx),
@@ -72,7 +78,13 @@ impl BStarTree {
     pub fn balanced(modules: &[ModuleId]) -> Self {
         let mut tree = BStarTree { nodes: Vec::with_capacity(modules.len()), root: None };
         for &m in modules {
-            tree.nodes.push(Node { module: m, rotated: false, left: None, right: None, parent: None });
+            tree.nodes.push(Node {
+                module: m,
+                rotated: false,
+                left: None,
+                right: None,
+                parent: None,
+            });
         }
         if modules.is_empty() {
             return tree;
@@ -119,7 +131,7 @@ impl BStarTree {
     /// Whether the node holding `module` is rotated.
     #[must_use]
     pub fn is_rotated(&self, module: ModuleId) -> bool {
-        self.nodes.iter().find(|n| n.module == module).map_or(false, |n| n.rotated)
+        self.nodes.iter().find(|n| n.module == module).is_some_and(|n| n.rotated)
     }
 
     fn preorder_visit<F: FnMut(&BStarTree, usize)>(&self, node: Option<usize>, f: &mut F) {
@@ -137,7 +149,12 @@ impl BStarTree {
         self.walk(self.root, Slot::Root, f);
     }
 
-    fn walk<F: FnMut(usize, ModuleId, bool, Slot)>(&self, node: Option<usize>, slot: Slot, f: &mut F) {
+    fn walk<F: FnMut(usize, ModuleId, bool, Slot)>(
+        &self,
+        node: Option<usize>,
+        slot: Slot,
+        f: &mut F,
+    ) {
         let Some(idx) = node else { return };
         let n = self.nodes[idx];
         f(idx, n.module, n.rotated, slot);
@@ -187,7 +204,12 @@ impl BStarTree {
     /// Returns `false` (leaving the tree valid) when either module is missing,
     /// when the two modules are the same, or when the tree has fewer than two
     /// nodes.
-    pub fn move_node(&mut self, module: ModuleId, target_module: ModuleId, as_left_child: bool) -> bool {
+    pub fn move_node(
+        &mut self,
+        module: ModuleId,
+        target_module: ModuleId,
+        as_left_child: bool,
+    ) -> bool {
         if module == target_module || self.nodes.len() < 2 {
             return false;
         }
@@ -197,11 +219,7 @@ impl BStarTree {
             return false;
         }
         // 1. sink the module to a leaf by swapping with children
-        let mut idx = self
-            .nodes
-            .iter()
-            .position(|n| n.module == module)
-            .expect("checked above");
+        let mut idx = self.nodes.iter().position(|n| n.module == module).expect("checked above");
         while let Some(child) = self.nodes[idx].left.or(self.nodes[idx].right) {
             self.swap_modules(idx, child);
             idx = child;
@@ -216,11 +234,8 @@ impl BStarTree {
         }
         self.nodes[idx].parent = None;
         // 3. attach under the target
-        let target = self
-            .nodes
-            .iter()
-            .position(|n| n.module == target_module)
-            .expect("checked above");
+        let target =
+            self.nodes.iter().position(|n| n.module == target_module).expect("checked above");
         debug_assert_ne!(target, idx, "target module cannot sit on the detached leaf");
         let displaced = if as_left_child {
             self.nodes[target].left.replace(idx)
@@ -244,7 +259,12 @@ impl BStarTree {
     /// Returns `false` (leaving the tree untouched) when the anchor is
     /// missing, the requested child slot is already occupied, `other` is
     /// empty, or the module sets are not disjoint.
-    pub fn graft(&mut self, other: &BStarTree, anchor_module: ModuleId, as_left_child: bool) -> bool {
+    pub fn graft(
+        &mut self,
+        other: &BStarTree,
+        anchor_module: ModuleId,
+        as_left_child: bool,
+    ) -> bool {
         let Some(anchor) = self.nodes.iter().position(|n| n.module == anchor_module) else {
             return false;
         };

@@ -104,11 +104,7 @@ pub fn generate(name: &str, config: GeneratorConfig) -> BenchmarkCircuit {
     let mut set_sizes: Vec<usize> = Vec::new();
     let mut remaining = config.module_count;
     while remaining > 0 {
-        let size = if remaining <= 4 {
-            remaining
-        } else {
-            rng.gen_range(2..=4usize)
-        };
+        let size = if remaining <= 4 { remaining } else { rng.gen_range(2..=4usize) };
         set_sizes.push(size);
         remaining -= size;
     }
@@ -146,7 +142,9 @@ pub fn generate(name: &str, config: GeneratorConfig) -> BenchmarkCircuit {
                 // matched devices: pairs share dimensions
                 let pair_dims = Dims::new(edge(&mut rng), edge(&mut rng));
                 for i in 0..size {
-                    let dims = if i < size - (size % 2) { pair_dims } else {
+                    let dims = if i < size - (size % 2) {
+                        pair_dims
+                    } else {
                         Dims::new(edge(&mut rng), edge(&mut rng))
                     };
                     let m = Module::new(format!("{name}_s{set_idx}_m{i}"), dims)
@@ -157,7 +155,9 @@ pub fn generate(name: &str, config: GeneratorConfig) -> BenchmarkCircuit {
             _ => {
                 for i in 0..size {
                     let dims = Dims::new(edge(&mut rng), edge(&mut rng));
-                    ids.push(netlist.add_module(Module::new(format!("{name}_s{set_idx}_m{i}"), dims)));
+                    ids.push(
+                        netlist.add_module(Module::new(format!("{name}_s{set_idx}_m{i}"), dims)),
+                    );
                 }
             }
         }
@@ -251,12 +251,7 @@ pub fn generate(name: &str, config: GeneratorConfig) -> BenchmarkCircuit {
         }
     }
 
-    BenchmarkCircuit {
-        name: name.to_string(),
-        netlist,
-        hierarchy,
-        constraints,
-    }
+    BenchmarkCircuit { name: name.to_string(), netlist, hierarchy, constraints }
 }
 
 fn table1_config(module_count: usize, seed: u64) -> GeneratorConfig {
@@ -302,14 +297,48 @@ pub fn lnamixbias() -> BenchmarkCircuit {
 /// All six Table I circuits, in row order.
 #[must_use]
 pub fn table1_circuits() -> Vec<BenchmarkCircuit> {
+    vec![miller_v2(), comparator_v2(), folded_cascode(), buffer(), biasynth(), lnamixbias()]
+}
+
+/// Names of every bundled benchmark circuit, in lookup order (the six
+/// Table I circuits plus the hand-written Fig. 6 Miller op-amp).
+#[must_use]
+pub fn names() -> Vec<&'static str> {
     vec![
-        miller_v2(),
-        comparator_v2(),
-        folded_cascode(),
-        buffer(),
-        biasynth(),
-        lnamixbias(),
+        "miller_opamp_fig6",
+        "miller_v2",
+        "comparator_v2",
+        "folded_cascode",
+        "buffer",
+        "biasynth",
+        "lnamixbias",
     ]
+}
+
+/// Looks a bundled benchmark circuit up by name (see [`names`]); `None` for
+/// unknown names. This is the lookup behind the `apls` CLI's `--circuit`
+/// option.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::benchmarks;
+///
+/// assert!(benchmarks::by_name("miller_v2").is_some());
+/// assert!(benchmarks::by_name("no_such_circuit").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<BenchmarkCircuit> {
+    match name {
+        "miller_opamp_fig6" => Some(miller_opamp_fig6()),
+        "miller_v2" => Some(miller_v2()),
+        "comparator_v2" => Some(comparator_v2()),
+        "folded_cascode" => Some(folded_cascode()),
+        "buffer" => Some(buffer()),
+        "biasynth" => Some(biasynth()),
+        "lnamixbias" => Some(lnamixbias()),
+        _ => None,
+    }
 }
 
 /// The Miller op-amp of Fig. 6, built explicitly: differential pair `P1/P2`,
@@ -357,21 +386,13 @@ pub fn miller_opamp_fig6() -> BenchmarkCircuit {
     hierarchy.set_root(top);
 
     let mut constraints = ConstraintSet::new();
-    constraints.add_symmetry_group(
-        SymmetryGroup::new("dp_sym").with_pair(p1, p2).with_pair(n3, n4),
-    );
     constraints
-        .add_common_centroid_group(CommonCentroidGroup::new("load_cc", vec![n3], vec![n4]));
-    constraints.add_proximity_group(
-        ProximityGroup::new("bias_prox", vec![p5, p6, p7]).with_max_gap(10),
-    );
+        .add_symmetry_group(SymmetryGroup::new("dp_sym").with_pair(p1, p2).with_pair(n3, n4));
+    constraints.add_common_centroid_group(CommonCentroidGroup::new("load_cc", vec![n3], vec![n4]));
+    constraints
+        .add_proximity_group(ProximityGroup::new("bias_prox", vec![p5, p6, p7]).with_max_gap(10));
 
-    BenchmarkCircuit {
-        name: "miller_opamp".to_string(),
-        netlist,
-        hierarchy,
-        constraints,
-    }
+    BenchmarkCircuit { name: "miller_opamp".to_string(), netlist, hierarchy, constraints }
 }
 
 /// The 7-cell placement configuration of Fig. 1: cells `A..G` with the
@@ -415,15 +436,7 @@ pub fn fig1_circuit() -> (BenchmarkCircuit, Vec<ModuleId>) {
     let root = hierarchy.add_internal("fig1_top", leaves, Some(ConstraintKind::Symmetry));
     hierarchy.set_root(root);
 
-    (
-        BenchmarkCircuit {
-            name: "fig1".to_string(),
-            netlist,
-            hierarchy,
-            constraints,
-        },
-        ids,
-    )
+    (BenchmarkCircuit { name: "fig1".to_string(), netlist, hierarchy, constraints }, ids)
 }
 
 #[cfg(test)]
@@ -529,5 +542,14 @@ mod tests {
     #[should_panic(expected = "empty circuit")]
     fn zero_modules_panics() {
         let _ = generate("bad", GeneratorConfig { module_count: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in names() {
+            let circuit = by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(circuit.module_count() > 0, "{name}");
+        }
+        assert!(by_name("nonexistent").is_none());
     }
 }

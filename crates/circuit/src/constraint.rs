@@ -225,11 +225,7 @@ impl CommonCentroidGroup {
     /// Creates a common-centroid group from the unit devices of the two
     /// matched devices.
     #[must_use]
-    pub fn new(
-        name: impl Into<String>,
-        units_a: Vec<ModuleId>,
-        units_b: Vec<ModuleId>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, units_a: Vec<ModuleId>, units_b: Vec<ModuleId>) -> Self {
         CommonCentroidGroup { name: name.into(), units_a, units_b }
     }
 
@@ -348,11 +344,8 @@ impl ProximityGroup {
     /// are trivially connected.
     #[must_use]
     pub fn is_connected(&self, placement: &Placement) -> bool {
-        let rects: Vec<_> = self
-            .members
-            .iter()
-            .filter_map(|&m| placement.get(m).map(|p| p.rect))
-            .collect();
+        let rects: Vec<_> =
+            self.members.iter().filter_map(|&m| placement.get(m).map(|p| p.rect)).collect();
         if rects.len() < 2 {
             return true;
         }
@@ -389,11 +382,8 @@ impl ProximityGroup {
     /// by their total module area. Lower is tighter; 1.0 is a perfect packing.
     #[must_use]
     pub fn spread(&self, placement: &Placement) -> f64 {
-        let rects: Vec<_> = self
-            .members
-            .iter()
-            .filter_map(|&m| placement.get(m).map(|p| p.rect))
-            .collect();
+        let rects: Vec<_> =
+            self.members.iter().filter_map(|&m| placement.get(m).map(|p| p.rect)).collect();
         if rects.is_empty() {
             return 1.0;
         }
@@ -602,9 +592,7 @@ mod tests {
 
     #[test]
     fn partner_lookup() {
-        let g = SymmetryGroup::new("g")
-            .with_pair(id(0), id(1))
-            .with_self_symmetric(id(2));
+        let g = SymmetryGroup::new("g").with_pair(id(0), id(1)).with_self_symmetric(id(2));
         assert_eq!(g.partner_of(id(0)), Some(id(1)));
         assert_eq!(g.partner_of(id(1)), Some(id(0)));
         assert_eq!(g.partner_of(id(2)), Some(id(2)));
@@ -615,9 +603,7 @@ mod tests {
     #[test]
     fn symmetric_placement_has_zero_axis_error() {
         let nl = netlist(3);
-        let g = SymmetryGroup::new("g")
-            .with_pair(id(0), id(1))
-            .with_self_symmetric(id(2));
+        let g = SymmetryGroup::new("g").with_pair(id(0), id(1)).with_self_symmetric(id(2));
         let mut p = Placement::new(&nl);
         // axis at x = 20
         p.place(id(0), Rect::new(0, 0, 10, 10), Orientation::R0, 0);

@@ -120,7 +120,8 @@ impl HierarchyTree {
     }
 
     fn push(&mut self, node: HierarchyNode) -> HierarchyNodeId {
-        let id = HierarchyNodeId(u32::try_from(self.nodes.len()).expect("too many hierarchy nodes"));
+        let id =
+            HierarchyNodeId(u32::try_from(self.nodes.len()).expect("too many hierarchy nodes"));
         self.nodes.push(node);
         id
     }
@@ -200,9 +201,9 @@ impl HierarchyTree {
     pub fn is_basic_module_set(&self, id: HierarchyNodeId) -> bool {
         match self.node(id) {
             HierarchyNode::Leaf { .. } => false,
-            HierarchyNode::Internal { children, .. } => children
-                .iter()
-                .all(|&c| matches!(self.node(c), HierarchyNode::Leaf { .. })),
+            HierarchyNode::Internal { children, .. } => {
+                children.iter().all(|&c| matches!(self.node(c), HierarchyNode::Leaf { .. }))
+            }
         }
     }
 

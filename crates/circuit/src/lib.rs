@@ -42,8 +42,7 @@ mod netlist;
 mod placement;
 
 pub use constraint::{
-    CommonCentroidGroup, ConstraintKind, ConstraintSet, ProximityGroup, SymmetryGroup,
-    SymmetryRole,
+    CommonCentroidGroup, ConstraintKind, ConstraintSet, ProximityGroup, SymmetryGroup, SymmetryRole,
 };
 pub use hierarchy::{HierarchyNode, HierarchyNodeId, HierarchyTree};
 pub use module::{Module, ModuleId, ShapeVariant};

@@ -57,7 +57,11 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if any pin refers to a module that has not been added yet.
-    pub fn add_net(&mut self, name: impl Into<String>, pins: impl IntoIterator<Item = ModuleId>) -> NetId {
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        pins: impl IntoIterator<Item = ModuleId>,
+    ) -> NetId {
         let pins: Vec<ModuleId> = pins.into_iter().collect();
         for pin in &pins {
             assert!(

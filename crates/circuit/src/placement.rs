@@ -168,19 +168,13 @@ impl Placement {
         let bb: BoundingBox = rects.iter().copied().collect();
         let bounding_area = bb.area();
         let total_area = netlist.total_module_area();
-        let area_usage = if total_area > 0 {
-            bounding_area as f64 / total_area as f64
-        } else {
-            0.0
-        };
+        let area_usage =
+            if total_area > 0 { bounding_area as f64 / total_area as f64 } else { 0.0 };
 
         let mut wirelength = 0.0;
         for (_, net) in netlist.nets() {
-            let pin_rects: Vec<Rect> = net
-                .pins()
-                .iter()
-                .filter_map(|&m| self.get(m).map(|p| p.rect))
-                .collect();
+            let pin_rects: Vec<Rect> =
+                net.pins().iter().filter_map(|&m| self.get(m).map(|p| p.rect)).collect();
             wirelength += net.weight() * hpwl(&pin_rects) as f64;
         }
 
@@ -203,12 +197,7 @@ impl Placement {
     /// means the placement is exactly symmetric.
     #[must_use]
     pub fn symmetry_error(&self, constraints: &ConstraintSet) -> Coord {
-        constraints
-            .symmetry_groups()
-            .iter()
-            .map(|g| g.axis_error(self))
-            .max()
-            .unwrap_or(0)
+        constraints.symmetry_groups().iter().map(|g| g.axis_error(self)).max().unwrap_or(0)
     }
 }
 

@@ -16,6 +16,10 @@
 //! Layout-aware sizing (Section V) lives in [`layoutaware`] and is exercised
 //! through the example binaries and the `fig10` bench.
 //!
+//! Beyond single-engine runs, [`AnalogPlacer::place_portfolio`] races all
+//! three engines across seeded annealing restarts in parallel (the
+//! [`portfolio`] crate) and returns the best-of-portfolio result.
+//!
 //! # Example
 //!
 //! ```
@@ -30,6 +34,20 @@
 //! assert_eq!(report.metrics.overlap_area, 0);
 //! assert!(report.constraints.symmetry_satisfied);
 //! ```
+//!
+//! # Portfolio example
+//!
+//! ```
+//! use apls_core::{AnalogPlacer, Engine};
+//! use apls_core::circuit::benchmarks::miller_opamp_fig6;
+//!
+//! let circuit = miller_opamp_fig6();
+//! let report = AnalogPlacer::new(Engine::HbTree)
+//!     .with_seed(7)
+//!     .with_fast_schedule(true)
+//!     .place_portfolio(&circuit, 2);
+//! assert!(report.best().placement.is_complete());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +57,7 @@ pub use apls_btree as btree;
 pub use apls_circuit as circuit;
 pub use apls_geometry as geometry;
 pub use apls_layoutaware as layoutaware;
+pub use apls_portfolio as portfolio;
 pub use apls_seqpair as seqpair;
 pub use apls_shapefn as shapefn;
 
@@ -46,11 +65,9 @@ mod report;
 
 pub use report::{ConstraintReport, PlacementReport};
 
-use apls_anneal::Schedule;
-use apls_btree::{HbTreePlacer, HbTreePlacerConfig};
 use apls_circuit::benchmarks::BenchmarkCircuit;
-use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
-use apls_shapefn::{DeterministicPlacer, ShapeModel};
+use apls_portfolio::{run_engine_once, run_portfolio};
+use apls_portfolio::{PortfolioConfig, PortfolioEngine, PortfolioReport};
 use std::time::Instant;
 
 /// Which placement engine [`AnalogPlacer`] runs.
@@ -109,6 +126,17 @@ impl AnalogPlacer {
         self.engine
     }
 
+    /// This placer's settings as a portfolio configuration racing all three
+    /// engines with `restarts` restarts each: the seed becomes the root seed
+    /// and the schedule/wirelength settings carry over.
+    #[must_use]
+    pub fn portfolio_config(&self, restarts: usize) -> PortfolioConfig {
+        PortfolioConfig::new(self.seed)
+            .with_restarts(restarts)
+            .with_fast_schedule(self.fast_schedule)
+            .with_wirelength_weight(self.wirelength_weight)
+    }
+
     /// Places the circuit and reports the result.
     ///
     /// # Panics
@@ -119,37 +147,55 @@ impl AnalogPlacer {
     #[must_use]
     pub fn place(&self, circuit: &BenchmarkCircuit) -> PlacementReport {
         let start = Instant::now();
-        let placement = match self.engine {
-            Engine::SequencePair => {
-                let mut config = SeqPairPlacerConfig {
-                    seed: self.seed,
-                    wirelength_weight: self.wirelength_weight,
-                    ..SeqPairPlacerConfig::for_netlist(&circuit.netlist)
-                };
-                if self.fast_schedule {
-                    config.schedule = Schedule::fast();
-                }
-                SeqPairPlacer::new(&circuit.netlist, &circuit.constraints)
-                    .run(&config)
-                    .placement
-            }
-            Engine::HbTree => {
-                let mut config = HbTreePlacerConfig {
-                    seed: self.seed,
-                    wirelength_weight: self.wirelength_weight,
-                    ..HbTreePlacerConfig::for_circuit(circuit)
-                };
-                if self.fast_schedule {
-                    config.schedule = Schedule::fast();
-                }
-                HbTreePlacer::new(circuit).run(&config).placement
-            }
-            Engine::Deterministic => DeterministicPlacer::new(circuit)
-                .run(ShapeModel::Enhanced)
-                .placement
-                .expect("the enhanced model always returns a placement"),
+        let settings = apls_portfolio::RestartSettings {
+            fast_schedule: self.fast_schedule,
+            wirelength_weight: self.wirelength_weight,
         };
-        PlacementReport::new(self.engine, circuit, placement, start.elapsed())
+        // Dispatch through the portfolio's engine adapter: a single-engine
+        // run IS restart 0 of that engine's portfolio lane, which is what
+        // guarantees a portfolio can never lose to a single run.
+        let outcome = run_engine_once(circuit, self.engine.into(), self.seed, &settings);
+        PlacementReport::new(self.engine, circuit, outcome.placement, start.elapsed())
+    }
+
+    /// Races all three engines across `restarts` seeded annealing restarts in
+    /// parallel and returns the aggregated [`PortfolioReport`].
+    ///
+    /// Seeds derive from this placer's seed via
+    /// [`anneal::rng::SeedStream`]; restart 0 of every engine replays the
+    /// corresponding [`AnalogPlacer::place`] run exactly, so the portfolio's
+    /// best cost is never worse than any single engine's under the uniform
+    /// cost of [`portfolio::stats::placement_cost`]. Results are independent
+    /// of the worker thread count. Use [`apls_portfolio::run_portfolio`]
+    /// directly for full control (engine subsets, thread pinning, early
+    /// stopping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restarts == 0` or the circuit is inconsistent.
+    #[must_use]
+    pub fn place_portfolio(&self, circuit: &BenchmarkCircuit, restarts: usize) -> PortfolioReport {
+        run_portfolio(circuit, &self.portfolio_config(restarts))
+    }
+}
+
+impl From<Engine> for PortfolioEngine {
+    fn from(engine: Engine) -> PortfolioEngine {
+        match engine {
+            Engine::SequencePair => PortfolioEngine::SequencePair,
+            Engine::HbTree => PortfolioEngine::HbTree,
+            Engine::Deterministic => PortfolioEngine::Deterministic,
+        }
+    }
+}
+
+impl From<PortfolioEngine> for Engine {
+    fn from(engine: PortfolioEngine) -> Engine {
+        match engine {
+            PortfolioEngine::SequencePair => Engine::SequencePair,
+            PortfolioEngine::HbTree => Engine::HbTree,
+            PortfolioEngine::Deterministic => Engine::Deterministic,
+        }
     }
 }
 
@@ -162,10 +208,8 @@ mod tests {
     fn every_engine_produces_a_legal_placement_report() {
         let circuit = benchmarks::miller_opamp_fig6();
         for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
-            let report = AnalogPlacer::new(engine)
-                .with_seed(3)
-                .with_fast_schedule(true)
-                .place(&circuit);
+            let report =
+                AnalogPlacer::new(engine).with_seed(3).with_fast_schedule(true).place(&circuit);
             assert!(report.placement.is_complete(), "{engine:?}");
             assert_eq!(report.metrics.overlap_area, 0, "{engine:?}");
             assert!(report.metrics.area_usage >= 1.0, "{engine:?}");
@@ -176,20 +220,39 @@ mod tests {
     fn constraint_aware_engines_satisfy_symmetry_exactly() {
         let circuit = benchmarks::miller_v2();
         for engine in [Engine::SequencePair, Engine::HbTree] {
-            let report = AnalogPlacer::new(engine)
-                .with_seed(1)
-                .with_fast_schedule(true)
-                .place(&circuit);
+            let report =
+                AnalogPlacer::new(engine).with_seed(1).with_fast_schedule(true).place(&circuit);
             assert!(report.constraints.symmetry_satisfied, "{engine:?}");
             assert_eq!(report.constraints.symmetry_error, 0, "{engine:?}");
         }
     }
 
     #[test]
+    fn portfolio_beats_or_matches_every_single_engine() {
+        use apls_portfolio::stats::placement_cost;
+        let circuit = benchmarks::miller_opamp_fig6();
+        let w = 0.5;
+        let portfolio = AnalogPlacer::new(Engine::HbTree)
+            .with_seed(7)
+            .with_fast_schedule(true)
+            .place_portfolio(&circuit, 2);
+        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
+            let single =
+                AnalogPlacer::new(engine).with_seed(7).with_fast_schedule(true).place(&circuit);
+            assert!(
+                portfolio.best_cost() <= placement_cost(&single.metrics, w) + 1e-9,
+                "portfolio lost to {engine:?}"
+            );
+        }
+    }
+
+    #[test]
     fn reports_are_reproducible_for_a_fixed_seed() {
         let circuit = benchmarks::comparator_v2();
-        let a = AnalogPlacer::new(Engine::HbTree).with_seed(9).with_fast_schedule(true).place(&circuit);
-        let b = AnalogPlacer::new(Engine::HbTree).with_seed(9).with_fast_schedule(true).place(&circuit);
+        let a =
+            AnalogPlacer::new(Engine::HbTree).with_seed(9).with_fast_schedule(true).place(&circuit);
+        let b =
+            AnalogPlacer::new(Engine::HbTree).with_seed(9).with_fast_schedule(true).place(&circuit);
         assert_eq!(a.metrics.bounding_area, b.metrics.bounding_area);
     }
 }

@@ -18,7 +18,9 @@ use std::fmt;
 /// assert_eq!(d.rotated(), Dims::new(20, 30));
 /// assert!((d.aspect_ratio() - 1.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Dims {
     /// Horizontal extent.
     pub w: Coord,

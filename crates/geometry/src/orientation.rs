@@ -60,10 +60,7 @@ impl Orientation {
     /// Returns `true` when the orientation exchanges width and height.
     #[must_use]
     pub fn swaps_dims(self) -> bool {
-        matches!(
-            self,
-            Orientation::R90 | Orientation::R270 | Orientation::MX90 | Orientation::MY90
-        )
+        matches!(self, Orientation::R90 | Orientation::R270 | Orientation::MX90 | Orientation::MY90)
     }
 
     /// Footprint of a module with base dimensions `dims` placed in this

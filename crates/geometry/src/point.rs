@@ -16,7 +16,9 @@ use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 /// assert_eq!(p, Point::new(4, 5));
 /// assert_eq!(p.manhattan_distance(Point::ORIGIN), 9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: Coord,

@@ -20,7 +20,9 @@ use std::fmt;
 /// assert_eq!(r.height(), 4);
 /// assert_eq!(r.center_x2(), (2 * 2 + 10, 2 * 3 + 4));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Rect {
     /// Lower-left x.
     pub x_min: Coord,
@@ -177,11 +179,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}, {}] x [{}, {}]",
-            self.x_min, self.x_max, self.y_min, self.y_max
-        )
+        write!(f, "[{}, {}] x [{}, {}]", self.x_min, self.x_max, self.y_min, self.y_max)
     }
 }
 
@@ -296,21 +294,14 @@ mod tests {
 
     #[test]
     fn total_overlap_of_disjoint_set_is_zero() {
-        let rects = vec![
-            Rect::new(0, 0, 10, 10),
-            Rect::new(10, 0, 20, 10),
-            Rect::new(0, 10, 20, 20),
-        ];
+        let rects =
+            vec![Rect::new(0, 0, 10, 10), Rect::new(10, 0, 20, 10), Rect::new(0, 10, 20, 20)];
         assert_eq!(total_overlap_area(&rects), 0);
     }
 
     #[test]
     fn total_overlap_counts_every_pair() {
-        let rects = vec![
-            Rect::new(0, 0, 10, 10),
-            Rect::new(5, 0, 15, 10),
-            Rect::new(8, 0, 18, 10),
-        ];
+        let rects = vec![Rect::new(0, 0, 10, 10), Rect::new(5, 0, 15, 10), Rect::new(8, 0, 18, 10)];
         // pairs: (0,1) 5*10=50, (0,2) 2*10=20, (1,2) 7*10=70
         assert_eq!(total_overlap_area(&rects), 140);
     }

@@ -231,7 +231,11 @@ impl Specs {
 /// i.e. through [`crate::extract::extract`]. This is exactly the split that
 /// makes the electrical-only flow over-estimate its bandwidth.
 #[must_use]
-pub fn evaluate(tech: &Technology, sizing: &AmplifierSizing, parasitics: &Parasitics) -> Performance {
+pub fn evaluate(
+    tech: &Technology,
+    sizing: &AmplifierSizing,
+    parasitics: &Parasitics,
+) -> Performance {
     let id_input = sizing.tail_current / 2.0;
     let id_branch = sizing.tail_current / 2.0;
 
@@ -284,11 +288,8 @@ mod tests {
         let tech = Technology::default();
         let sizing = AmplifierSizing::default();
         let clean = evaluate(&tech, &sizing, &Parasitics::default());
-        let loaded = evaluate(
-            &tech,
-            &sizing,
-            &Parasitics { output_cap: 1e-12, cascode_node_cap: 0.8e-12 },
-        );
+        let loaded =
+            evaluate(&tech, &sizing, &Parasitics { output_cap: 1e-12, cascode_node_cap: 0.8e-12 });
         assert!(loaded.gbw_hz < clean.gbw_hz);
         assert!(loaded.phase_margin_deg < clean.phase_margin_deg);
         assert_eq!(loaded.gain_db, clean.gain_db, "capacitance does not change dc gain");
@@ -299,7 +300,8 @@ mod tests {
         let tech = Technology::default();
         let base = AmplifierSizing::default();
         let mut wide = base;
-        wide.input_pair = MosDevice::new(base.input_pair.width_um * 2.0, base.input_pair.length_um, 4);
+        wide.input_pair =
+            MosDevice::new(base.input_pair.width_um * 2.0, base.input_pair.length_um, 4);
         let p_base = evaluate(&tech, &base, &Parasitics::default());
         let p_wide = evaluate(&tech, &wide, &Parasitics::default());
         assert!(p_wide.gain_db > p_base.gain_db);
@@ -329,8 +331,10 @@ mod tests {
     #[test]
     fn spec_violation_is_zero_only_when_all_specs_met() {
         let specs = Specs::default();
-        let good = Performance { gain_db: 70.0, gbw_hz: 400e6, phase_margin_deg: 65.0, power_w: 3e-3 };
-        let bad = Performance { gain_db: 40.0, gbw_hz: 400e6, phase_margin_deg: 65.0, power_w: 3e-3 };
+        let good =
+            Performance { gain_db: 70.0, gbw_hz: 400e6, phase_margin_deg: 65.0, power_w: 3e-3 };
+        let bad =
+            Performance { gain_db: 40.0, gbw_hz: 400e6, phase_margin_deg: 65.0, power_w: 3e-3 };
         assert!(specs.satisfied_by(&good));
         assert_eq!(specs.violation(&good), 0.0);
         assert!(!specs.satisfied_by(&bad));

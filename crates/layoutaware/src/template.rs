@@ -69,10 +69,7 @@ impl TemplateLayout {
 
 fn block_dims(device: &MosDevice, tech: &Technology) -> Dims {
     let (w_um, h_um) = device.footprint_um(tech);
-    Dims::new(
-        (w_um * DBU_PER_UM).round() as Coord,
-        (h_um * DBU_PER_UM).round() as Coord,
-    )
+    Dims::new((w_um * DBU_PER_UM).round() as Coord, (h_um * DBU_PER_UM).round() as Coord)
 }
 
 /// Generates the folded-cascode template for a sizing.
@@ -119,7 +116,10 @@ pub fn generate(tech: &Technology, sizing: &AmplifierSizing) -> TemplateLayout {
     let bias_y = total_h - bias_row_h;
     blocks.push(TemplateBlock {
         name: "bias_left".to_string(),
-        rect: Rect::from_dims(apls_geometry::Point::new(center_x - spacing / 2 - bias.w, bias_y), bias),
+        rect: Rect::from_dims(
+            apls_geometry::Point::new(center_x - spacing / 2 - bias.w, bias_y),
+            bias,
+        ),
     });
     blocks.push(TemplateBlock {
         name: "bias_right".to_string(),
@@ -138,7 +138,10 @@ pub fn generate(tech: &Technology, sizing: &AmplifierSizing) -> TemplateLayout {
     let casc_y = mirror.h + spacing;
     blocks.push(TemplateBlock {
         name: "cascode_left".to_string(),
-        rect: Rect::from_dims(apls_geometry::Point::new(center_x - spacing / 2 - cascode.w, casc_y), cascode),
+        rect: Rect::from_dims(
+            apls_geometry::Point::new(center_x - spacing / 2 - cascode.w, casc_y),
+            cascode,
+        ),
     });
     blocks.push(TemplateBlock {
         name: "cascode_right".to_string(),
@@ -146,7 +149,10 @@ pub fn generate(tech: &Technology, sizing: &AmplifierSizing) -> TemplateLayout {
     });
     blocks.push(TemplateBlock {
         name: "mirror_left".to_string(),
-        rect: Rect::from_dims(apls_geometry::Point::new(center_x - spacing / 2 - mirror.w, 0), mirror),
+        rect: Rect::from_dims(
+            apls_geometry::Point::new(center_x - spacing / 2 - mirror.w, 0),
+            mirror,
+        ),
     });
     blocks.push(TemplateBlock {
         name: "mirror_right".to_string(),
@@ -156,8 +162,7 @@ pub fn generate(tech: &Technology, sizing: &AmplifierSizing) -> TemplateLayout {
     // wire length estimates: the output net runs from the cascode drains to
     // the chip edge (half the outline width) plus the vertical distance to the
     // pair; the cascode net connects pair drains to cascode sources.
-    let output_wire_um =
-        (core_w as f64 / 2.0 + (pair_y - casc_y).abs() as f64) / DBU_PER_UM;
+    let output_wire_um = (core_w as f64 / 2.0 + (pair_y - casc_y).abs() as f64) / DBU_PER_UM;
     let cascode_wire_um =
         ((pair_y - casc_y - cascode.h).abs() as f64 + spacing as f64) / DBU_PER_UM;
 

@@ -1,0 +1,83 @@
+//! Plateau detection for early stopping.
+
+use crate::config::EarlyStop;
+
+/// Tracks the best cost across generations and signals when it plateaus.
+///
+/// The detector only ever sees generation-boundary snapshots in restart-index
+/// order, so its verdicts are a pure function of the restart plan — never of
+/// thread scheduling.
+#[derive(Debug, Clone)]
+pub struct PlateauDetector {
+    policy: EarlyStop,
+    best: Option<f64>,
+    stale_generations: usize,
+}
+
+impl PlateauDetector {
+    /// Creates a detector for the given policy.
+    #[must_use]
+    pub fn new(policy: EarlyStop) -> Self {
+        PlateauDetector { policy, best: None, stale_generations: 0 }
+    }
+
+    /// Feeds the best cost observed so far (after one more generation has
+    /// completed). Returns `true` once the run should stop.
+    pub fn observe(&mut self, best_so_far: f64) -> bool {
+        match self.best {
+            None => {
+                self.best = Some(best_so_far);
+                false
+            }
+            Some(previous) => {
+                let improved =
+                    best_so_far < previous * (1.0 - self.policy.min_improvement) - f64::EPSILON;
+                if improved {
+                    self.best = Some(best_so_far);
+                    self.stale_generations = 0;
+                } else {
+                    self.stale_generations += 1;
+                }
+                self.stale_generations >= self.policy.window
+            }
+        }
+    }
+
+    /// Generations since the last improvement.
+    #[must_use]
+    pub fn stale_generations(&self) -> usize {
+        self.stale_generations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_after_a_full_stale_window() {
+        let mut d = PlateauDetector::new(EarlyStop { window: 2, min_improvement: 0.01 });
+        assert!(!d.observe(100.0)); // baseline
+        assert!(!d.observe(90.0)); // 10% better: progress
+        assert!(!d.observe(89.9)); // <1% better: stale 1
+        assert!(d.observe(89.9)); // stale 2 -> stop
+    }
+
+    #[test]
+    fn improvement_resets_the_window() {
+        let mut d = PlateauDetector::new(EarlyStop { window: 2, min_improvement: 0.01 });
+        assert!(!d.observe(100.0));
+        assert!(!d.observe(100.0)); // stale 1
+        assert!(!d.observe(80.0)); // resets
+        assert!(!d.observe(80.0)); // stale 1
+        assert!(d.observe(80.0)); // stale 2 -> stop
+    }
+
+    #[test]
+    fn zero_threshold_counts_any_strict_improvement() {
+        let mut d = PlateauDetector::new(EarlyStop { window: 1, min_improvement: 0.0 });
+        assert!(!d.observe(10.0));
+        assert!(!d.observe(9.0));
+        assert!(d.observe(9.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Uniform adapters over the three placement engines.
+//!
+//! [`run_engine_once`] is the single restart primitive of the portfolio: it
+//! builds the engine's native configuration exactly the way the facade's
+//! single-engine path does, runs it, and reduces the engine-specific result
+//! to one [`RestartOutcome`]. Because the construction is identical, restart
+//! 0 of a portfolio (which reuses the root seed verbatim) replays the
+//! corresponding single-engine run bit for bit.
+
+use apls_anneal::Schedule;
+use apls_btree::{HbTreePlacer, HbTreePlacerConfig};
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_circuit::{Placement, PlacementMetrics};
+use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
+use apls_shapefn::{DeterministicPlacer, ShapeModel};
+use std::fmt;
+
+/// One of the three topological placement approaches of the DATE 2009 survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortfolioEngine {
+    /// Symmetric-feasible sequence-pair annealing (Section II).
+    SequencePair,
+    /// Hierarchical B*-tree annealing (Section III).
+    HbTree,
+    /// Deterministic enumeration with enhanced shape functions (Section IV).
+    Deterministic,
+}
+
+impl PortfolioEngine {
+    /// All engines, in canonical portfolio order.
+    pub const ALL: [PortfolioEngine; 3] =
+        [PortfolioEngine::SequencePair, PortfolioEngine::HbTree, PortfolioEngine::Deterministic];
+
+    /// The seed-stream lane of this engine (see
+    /// [`apls_anneal::rng::SeedStream`]).
+    #[must_use]
+    pub fn lane(self) -> u64 {
+        match self {
+            PortfolioEngine::SequencePair => 1,
+            PortfolioEngine::HbTree => 2,
+            PortfolioEngine::Deterministic => 3,
+        }
+    }
+
+    /// Whether restarts with different seeds can produce different results.
+    /// The deterministic enumeration engine ignores seeds entirely, so the
+    /// portfolio schedules it exactly once.
+    #[must_use]
+    pub fn is_stochastic(self) -> bool {
+        !matches!(self, PortfolioEngine::Deterministic)
+    }
+
+    /// Stable lowercase name used in reports, JSON and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PortfolioEngine::SequencePair => "seqpair",
+            PortfolioEngine::HbTree => "hbtree",
+            PortfolioEngine::Deterministic => "deterministic",
+        }
+    }
+
+    /// Parses a CLI engine name (the inverse of [`PortfolioEngine::name`]).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<PortfolioEngine> {
+        match name {
+            "seqpair" => Some(PortfolioEngine::SequencePair),
+            "hbtree" => Some(PortfolioEngine::HbTree),
+            "deterministic" => Some(PortfolioEngine::Deterministic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PortfolioEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Settings shared by every restart of a portfolio run.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartSettings {
+    /// Use the short test/smoke schedule instead of the size-scaled one.
+    pub fast_schedule: bool,
+    /// Weight of the wirelength term in the annealing cost functions.
+    pub wirelength_weight: f64,
+}
+
+/// The engine-independent result of one restart.
+#[derive(Debug, Clone)]
+pub struct RestartOutcome {
+    /// The placement the restart produced.
+    pub placement: Placement,
+    /// Its metrics against the circuit's netlist.
+    pub metrics: PlacementMetrics,
+    /// Largest symmetry deviation (doubled dbu).
+    pub symmetry_error: i64,
+    /// Move acceptance ratio (`None` for the deterministic engine).
+    pub acceptance_ratio: Option<f64>,
+    /// Proposals evaluated (0 for the deterministic engine).
+    pub moves_attempted: u64,
+}
+
+/// Runs `engine` once on `circuit` with the given seed and settings.
+///
+/// # Panics
+///
+/// Panics if the circuit's hierarchy or constraints are inconsistent with its
+/// netlist (the same contract as the facade's single-engine path).
+#[must_use]
+pub fn run_engine_once(
+    circuit: &BenchmarkCircuit,
+    engine: PortfolioEngine,
+    seed: u64,
+    settings: &RestartSettings,
+) -> RestartOutcome {
+    match engine {
+        PortfolioEngine::SequencePair => {
+            let mut config = SeqPairPlacerConfig {
+                seed,
+                wirelength_weight: settings.wirelength_weight,
+                ..SeqPairPlacerConfig::for_netlist(&circuit.netlist)
+            };
+            if settings.fast_schedule {
+                config.schedule = Schedule::fast();
+            }
+            let result = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+            RestartOutcome {
+                placement: result.placement,
+                metrics: result.metrics,
+                symmetry_error: result.symmetry_error,
+                acceptance_ratio: Some(result.stats.acceptance_ratio()),
+                moves_attempted: result.stats.moves_attempted,
+            }
+        }
+        PortfolioEngine::HbTree => {
+            let mut config = HbTreePlacerConfig {
+                seed,
+                wirelength_weight: settings.wirelength_weight,
+                ..HbTreePlacerConfig::for_circuit(circuit)
+            };
+            if settings.fast_schedule {
+                config.schedule = Schedule::fast();
+            }
+            let result = HbTreePlacer::new(circuit).run(&config);
+            RestartOutcome {
+                placement: result.placement,
+                metrics: result.metrics,
+                symmetry_error: result.symmetry_error,
+                acceptance_ratio: Some(result.stats.acceptance_ratio()),
+                moves_attempted: result.stats.moves_attempted,
+            }
+        }
+        PortfolioEngine::Deterministic => {
+            let result = DeterministicPlacer::new(circuit).run(ShapeModel::Enhanced);
+            let placement =
+                result.placement.expect("the enhanced model always returns a placement");
+            let metrics = placement.metrics(&circuit.netlist);
+            let symmetry_error = placement.symmetry_error(&circuit.constraints);
+            RestartOutcome {
+                placement,
+                metrics,
+                symmetry_error,
+                acceptance_ratio: None,
+                moves_attempted: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_circuit::benchmarks;
+
+    #[test]
+    fn names_round_trip() {
+        for engine in PortfolioEngine::ALL {
+            assert_eq!(PortfolioEngine::from_name(engine.name()), Some(engine));
+        }
+        assert_eq!(PortfolioEngine::from_name("portfolio"), None);
+    }
+
+    #[test]
+    fn every_engine_produces_a_legal_outcome() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let settings = RestartSettings { fast_schedule: true, wirelength_weight: 0.5 };
+        for engine in PortfolioEngine::ALL {
+            let outcome = run_engine_once(&circuit, engine, 11, &settings);
+            assert!(outcome.placement.is_complete(), "{engine}");
+            assert_eq!(outcome.metrics.overlap_area, 0, "{engine}");
+            assert_eq!(outcome.acceptance_ratio.is_none(), !engine.is_stochastic());
+        }
+    }
+
+    #[test]
+    fn restarts_are_seed_reproducible() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let settings = RestartSettings { fast_schedule: true, wirelength_weight: 0.5 };
+        let a = run_engine_once(&circuit, PortfolioEngine::SequencePair, 21, &settings);
+        let b = run_engine_once(&circuit, PortfolioEngine::SequencePair, 21, &settings);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.metrics.wirelength, b.metrics.wirelength);
+    }
+}

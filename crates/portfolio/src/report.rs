@@ -1,0 +1,329 @@
+//! Portfolio results: per-restart records, per-engine summaries, and the
+//! aggregate [`PortfolioReport`] with hand-rolled JSON emission.
+
+use crate::config::PortfolioConfig;
+use crate::engine::PortfolioEngine;
+use crate::stats::{CostStats, RestartHistogram};
+use apls_circuit::{Placement, PlacementMetrics};
+use std::time::Duration;
+
+/// The outcome of one completed restart.
+#[derive(Debug, Clone)]
+pub struct RestartRecord {
+    /// Engine that ran.
+    pub engine: PortfolioEngine,
+    /// Restart index within the engine's lane.
+    pub restart: usize,
+    /// Seed the restart ran with.
+    pub seed: u64,
+    /// Uniform comparison cost (see [`crate::stats::placement_cost`]).
+    pub cost: f64,
+    /// Wall-clock time of this restart.
+    pub runtime: Duration,
+    /// Move acceptance ratio (`None` for the deterministic engine).
+    pub acceptance_ratio: Option<f64>,
+    /// Proposals evaluated.
+    pub moves_attempted: u64,
+    /// Metrics of the restart's placement.
+    pub metrics: PlacementMetrics,
+    /// Largest symmetry deviation (doubled dbu).
+    pub symmetry_error: i64,
+    /// The placement itself.
+    pub placement: Placement,
+}
+
+/// Aggregate statistics of all restarts of one engine.
+#[derive(Debug, Clone)]
+pub struct EngineSummary {
+    /// The engine.
+    pub engine: PortfolioEngine,
+    /// Restarts that actually ran (early stop may cut the plan short).
+    pub restarts_run: usize,
+    /// Cost distribution over those restarts.
+    pub cost: CostStats,
+    /// Restart index that achieved `cost.min`.
+    pub best_restart: usize,
+    /// Mean acceptance ratio (`None` for the deterministic engine).
+    pub mean_acceptance: Option<f64>,
+    /// Summed wall-clock time of the engine's restarts.
+    pub total_runtime: Duration,
+}
+
+/// The result of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// Circuit name.
+    pub circuit_name: String,
+    /// Root seed the restart seeds derive from.
+    pub root_seed: u64,
+    /// Restarts per stochastic engine the plan scheduled.
+    pub restarts_scheduled: usize,
+    /// `true` when the plateau policy cut the plan short.
+    pub early_stopped: bool,
+    /// Wall-clock time of the whole portfolio (all restarts plus overhead).
+    pub wall_time: Duration,
+    /// Every completed restart, in plan order (generation-major).
+    pub restarts: Vec<RestartRecord>,
+    /// Index into [`PortfolioReport::restarts`] of the winner.
+    pub best_index: usize,
+    /// Per-engine aggregates, in portfolio engine order.
+    pub engines: Vec<EngineSummary>,
+    /// Cost distribution of all restarts relative to the winner.
+    pub histogram: RestartHistogram,
+}
+
+impl PortfolioReport {
+    /// Builds the report from completed restart records (in plan order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    #[must_use]
+    pub fn assemble(
+        circuit_name: String,
+        config: &PortfolioConfig,
+        records: Vec<RestartRecord>,
+        early_stopped: bool,
+        wall_time: Duration,
+    ) -> Self {
+        assert!(!records.is_empty(), "portfolio produced no restarts");
+        // strict < keeps the earliest record on ties, which makes the winner
+        // independent of float noise in later identical restarts
+        let mut best_index = 0;
+        for (i, r) in records.iter().enumerate() {
+            if r.cost < records[best_index].cost {
+                best_index = i;
+            }
+        }
+        let engines = config
+            .engines
+            .iter()
+            .filter_map(|&engine| {
+                let runs: Vec<&RestartRecord> =
+                    records.iter().filter(|r| r.engine == engine).collect();
+                if runs.is_empty() {
+                    return None;
+                }
+                let costs: Vec<f64> = runs.iter().map(|r| r.cost).collect();
+                let cost = CostStats::of(&costs);
+                let best_restart = runs
+                    .iter()
+                    .min_by(|a, b| a.cost.total_cmp(&b.cost))
+                    .map(|r| r.restart)
+                    .unwrap_or(0);
+                let ratios: Vec<f64> = runs.iter().filter_map(|r| r.acceptance_ratio).collect();
+                let mean_acceptance = if ratios.is_empty() {
+                    None
+                } else {
+                    Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+                };
+                Some(EngineSummary {
+                    engine,
+                    restarts_run: runs.len(),
+                    cost,
+                    best_restart,
+                    mean_acceptance,
+                    total_runtime: runs.iter().map(|r| r.runtime).sum(),
+                })
+            })
+            .collect();
+        let histogram = RestartHistogram::of(&records.iter().map(|r| r.cost).collect::<Vec<_>>());
+        PortfolioReport {
+            circuit_name,
+            root_seed: config.root_seed,
+            restarts_scheduled: config.restarts,
+            early_stopped,
+            wall_time,
+            restarts: records,
+            best_index,
+            engines,
+            histogram,
+        }
+    }
+
+    /// The winning restart.
+    #[must_use]
+    pub fn best(&self) -> &RestartRecord {
+        &self.restarts[self.best_index]
+    }
+
+    /// Cost of the winning restart.
+    #[must_use]
+    pub fn best_cost(&self) -> f64 {
+        self.best().cost
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let best = self.best();
+        format!(
+            "portfolio on {}: {} restarts{}, best {} (restart {}, seed {:#x}), cost {:.0}, {}x{} dbu, HPWL {:.0}, {:.1} ms wall",
+            self.circuit_name,
+            self.restarts.len(),
+            if self.early_stopped { " (early stop)" } else { "" },
+            best.engine,
+            best.restart,
+            best.seed,
+            best.cost,
+            best.metrics.width,
+            best.metrics.height,
+            best.metrics.wirelength,
+            self.wall_time.as_secs_f64() * 1e3,
+        )
+    }
+
+    /// Serialises the full report as a JSON document.
+    ///
+    /// The workspace's serde is a vendored marker-only shim, so this is
+    /// written by hand; the schema is documented in DESIGN.md §6.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"circuit\": \"{}\",\n", esc(&self.circuit_name)));
+        out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
+        out.push_str(&format!("  \"restarts_scheduled\": {},\n", self.restarts_scheduled));
+        out.push_str(&format!("  \"restarts_run\": {},\n", self.restarts.len()));
+        out.push_str(&format!("  \"early_stopped\": {},\n", self.early_stopped));
+        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall_time.as_secs_f64() * 1e3));
+        let best = self.best();
+        out.push_str("  \"best\": ");
+        push_restart_json(&mut out, best, "  ");
+        out.push_str(",\n  \"engines\": [\n");
+        for (i, e) in self.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"engine\": \"{}\", \"restarts_run\": {}, \"best_cost\": {:.3}, \"mean_cost\": {:.3}, \"worst_cost\": {:.3}, \"best_restart\": {}, \"mean_acceptance\": {}, \"total_runtime_ms\": {:.3}}}{}\n",
+                e.engine,
+                e.restarts_run,
+                e.cost.min,
+                e.cost.mean,
+                e.cost.max,
+                e.best_restart,
+                json_opt(e.mean_acceptance),
+                e.total_runtime.as_secs_f64() * 1e3,
+                comma(i, self.engines.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"restarts\": [\n");
+        for (i, r) in self.restarts.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"engine\": \"{}\", \"restart\": {}, \"seed\": {}, \"cost\": {:.3}, \"runtime_ms\": {:.3}, \"acceptance\": {}, \"symmetry_error\": {}}}{}\n",
+                r.engine,
+                r.restart,
+                r.seed,
+                r.cost,
+                r.runtime.as_secs_f64() * 1e3,
+                json_opt(r.acceptance_ratio),
+                r.symmetry_error,
+                comma(i, self.restarts.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"histogram\": [\n");
+        let labels = RestartHistogram::labels();
+        for (i, (label, count)) in labels.iter().zip(&self.histogram.counts).enumerate() {
+            out.push_str(&format!(
+                "    {{\"bucket\": \"{}\", \"count\": {}}}{}\n",
+                esc(label),
+                count,
+                comma(i, labels.len()),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Appends the JSON object of one restart (without trailing newline).
+fn push_restart_json(out: &mut String, r: &RestartRecord, indent: &str) {
+    out.push_str(&format!(
+        "{{\n{indent}  \"engine\": \"{}\",\n{indent}  \"restart\": {},\n{indent}  \"seed\": {},\n{indent}  \"cost\": {:.3},\n{indent}  \"width\": {},\n{indent}  \"height\": {},\n{indent}  \"area_usage\": {:.4},\n{indent}  \"wirelength\": {:.3},\n{indent}  \"symmetry_error\": {},\n{indent}  \"overlap_area\": {}\n{indent}}}",
+        r.engine,
+        r.restart,
+        r.seed,
+        r.cost,
+        r.metrics.width,
+        r.metrics.height,
+        r.metrics.area_usage,
+        r.metrics.wirelength,
+        r.symmetry_error,
+        r.metrics.overlap_area,
+    ));
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.4}"))
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_portfolio;
+    use apls_circuit::benchmarks;
+
+    fn small_report() -> PortfolioReport {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(3).with_restarts(2).with_fast_schedule(true);
+        run_portfolio(&circuit, &config)
+    }
+
+    #[test]
+    fn best_is_the_minimum_cost_record() {
+        let report = small_report();
+        let min = report.restarts.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best_cost(), min);
+        assert!(report.best().placement.is_complete());
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let report = small_report();
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"circuit\": \"miller_opamp\""));
+        assert!(json.contains("\"engines\""));
+        assert!(json.contains("\"histogram\""));
+        // deterministic engine serialises a null acceptance
+        assert!(json.contains("\"acceptance\": null"));
+    }
+
+    #[test]
+    fn summary_names_the_circuit_and_winner() {
+        let report = small_report();
+        let text = report.summary();
+        assert!(text.contains("miller_opamp"));
+        assert!(text.contains(report.best().engine.name()));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,142 @@
+//! The parallel multi-start runner.
+
+use crate::config::{PortfolioConfig, RestartTask};
+use crate::earlystop::PlateauDetector;
+use crate::engine::run_engine_once;
+use crate::report::{PortfolioReport, RestartRecord};
+use crate::stats::placement_cost;
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::time::Instant;
+
+/// Runs the full portfolio on `circuit`.
+///
+/// The restart plan is generated up front ([`PortfolioConfig::generations`]),
+/// executed generation by generation on a rayon pool of `config.threads`
+/// workers, and aggregated in plan order. Every restart is a pure function of
+/// `(circuit, engine, seed, settings)` and the aggregation never looks at
+/// completion timing, so the report — including early stopping — is
+/// bit-identical across thread counts.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`PortfolioConfig::validate`]) or the circuit is inconsistent.
+#[must_use]
+pub fn run_portfolio(circuit: &BenchmarkCircuit, config: &PortfolioConfig) -> PortfolioReport {
+    config.validate();
+    let start = Instant::now();
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(config.threads)
+        .build()
+        .expect("portfolio thread pool builds");
+    let mut detector = config.early_stop.map(PlateauDetector::new);
+    let mut records: Vec<RestartRecord> = Vec::new();
+    let mut early_stopped = false;
+
+    let generations = config.generations();
+    // Without early stopping there is no reason to synchronise between
+    // generations: flatten the plan into one fan-out so every worker stays
+    // busy until the queue drains.
+    let batches: Vec<Vec<RestartTask>> = if detector.is_some() {
+        generations
+    } else {
+        vec![generations.into_iter().flatten().collect()]
+    };
+
+    for batch in batches {
+        let batch_records: Vec<RestartRecord> = pool
+            .install(|| batch.into_par_iter().map(|task| execute(circuit, task, config)).collect());
+        records.extend(batch_records);
+        if let Some(detector) = detector.as_mut() {
+            let best_so_far = records.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
+            if detector.observe(best_so_far) {
+                early_stopped = true;
+                break;
+            }
+        }
+    }
+
+    PortfolioReport::assemble(circuit.name.clone(), config, records, early_stopped, start.elapsed())
+}
+
+/// Runs one scheduled restart and scores it with the uniform cost.
+fn execute(
+    circuit: &BenchmarkCircuit,
+    task: RestartTask,
+    config: &PortfolioConfig,
+) -> RestartRecord {
+    let start = Instant::now();
+    let outcome = run_engine_once(circuit, task.engine, task.seed, &config.restart_settings());
+    RestartRecord {
+        engine: task.engine,
+        restart: task.restart,
+        seed: task.seed,
+        cost: placement_cost(&outcome.metrics, config.wirelength_weight),
+        runtime: start.elapsed(),
+        acceptance_ratio: outcome.acceptance_ratio,
+        moves_attempted: outcome.moves_attempted,
+        metrics: outcome.metrics,
+        symmetry_error: outcome.symmetry_error,
+        placement: outcome.placement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EarlyStop;
+    use crate::engine::PortfolioEngine;
+    use apls_circuit::benchmarks;
+
+    fn costs(report: &PortfolioReport) -> Vec<(String, usize, f64)> {
+        report.restarts.iter().map(|r| (r.engine.name().to_string(), r.restart, r.cost)).collect()
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let base = PortfolioConfig::new(5).with_restarts(3).with_fast_schedule(true);
+        let one = run_portfolio(&circuit, &base.clone().with_threads(1));
+        let four = run_portfolio(&circuit, &base.with_threads(4));
+        assert_eq!(costs(&one), costs(&four));
+        assert_eq!(one.best_cost(), four.best_cost());
+        assert_eq!(one.best().placement, four.best().placement);
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_its_own_restarts() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(2).with_restarts(3).with_fast_schedule(true);
+        let report = run_portfolio(&circuit, &config);
+        for r in &report.restarts {
+            assert!(report.best_cost() <= r.cost);
+        }
+        // restart 0 of each engine replays the root seed
+        for engine in PortfolioEngine::ALL {
+            let first = report
+                .restarts
+                .iter()
+                .find(|r| r.engine == engine && r.restart == 0)
+                .expect("restart 0 present");
+            assert_eq!(first.seed, 2);
+        }
+    }
+
+    #[test]
+    fn early_stop_cuts_the_plan_deterministically() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(9)
+            .with_restarts(12)
+            .with_fast_schedule(true)
+            .with_early_stop(EarlyStop { window: 2, min_improvement: 0.5 });
+        // a 50% improvement threshold is effectively unreachable, so the run
+        // must stop after the baseline generation plus the stale window
+        let a = run_portfolio(&circuit, &config.clone().with_threads(1));
+        let b = run_portfolio(&circuit, &config.with_threads(3));
+        assert!(a.early_stopped);
+        assert_eq!(costs(&a), costs(&b));
+        assert!(a.restarts.len() < 12 * 2 + 1);
+    }
+}

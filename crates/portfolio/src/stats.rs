@@ -1,0 +1,139 @@
+//! The uniform comparison cost and cost-distribution statistics.
+
+use apls_circuit::PlacementMetrics;
+
+/// The scalar cost the portfolio uses to compare placements **across**
+/// engines: bounding-box area plus the weighted half-perimeter wirelength.
+///
+/// Each engine anneals its own internal cost, but those are not directly
+/// comparable (the deterministic engine, for instance, optimises area only).
+/// The portfolio therefore re-scores every final placement with this single
+/// function; "best" always means best under this metric.
+#[must_use]
+pub fn placement_cost(metrics: &PlacementMetrics, wirelength_weight: f64) -> f64 {
+    metrics.bounding_area as f64 + wirelength_weight * metrics.wirelength
+}
+
+/// Descriptive statistics of a cost sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostStats {
+    /// Smallest cost.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest cost.
+    pub max: f64,
+}
+
+impl CostStats {
+    /// Computes min/mean/max of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty.
+    #[must_use]
+    pub fn of(costs: &[f64]) -> Self {
+        assert!(!costs.is_empty(), "cost sample must be non-empty");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &c in costs {
+            min = min.min(c);
+            max = max.max(c);
+            sum += c;
+        }
+        CostStats { min, mean: sum / costs.len() as f64, max }
+    }
+}
+
+/// Upper edges of the restart histogram buckets, as multiples of the best
+/// cost. The final bucket is open-ended.
+pub const HISTOGRAM_EDGES: [f64; 5] = [1.01, 1.05, 1.10, 1.25, 1.50];
+
+/// Distribution of restart costs relative to the best restart — the
+/// portfolio's analogue of the paper's best-of-N comparison tables: it shows
+/// how lucky a single run would have been.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartHistogram {
+    /// `counts[i]` = restarts whose cost is within `(edge[i-1], edge[i]]`
+    /// times the best cost; the last entry counts everything beyond the last
+    /// edge.
+    pub counts: Vec<usize>,
+}
+
+impl RestartHistogram {
+    /// Buckets `costs` relative to their minimum.
+    #[must_use]
+    pub fn of(costs: &[f64]) -> Self {
+        let mut counts = vec![0usize; HISTOGRAM_EDGES.len() + 1];
+        if costs.is_empty() {
+            return RestartHistogram { counts };
+        }
+        let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        for &c in costs {
+            let ratio = if best > 0.0 { c / best } else { 1.0 };
+            let bucket = HISTOGRAM_EDGES
+                .iter()
+                .position(|&edge| ratio <= edge)
+                .unwrap_or(HISTOGRAM_EDGES.len());
+            counts[bucket] += 1;
+        }
+        RestartHistogram { counts }
+    }
+
+    /// Human-readable bucket labels, aligned with `counts`.
+    #[must_use]
+    pub fn labels() -> Vec<String> {
+        let mut labels = Vec::with_capacity(HISTOGRAM_EDGES.len() + 1);
+        let mut lower = 1.0;
+        for edge in HISTOGRAM_EDGES {
+            labels.push(format!("{lower:.2}x..{edge:.2}x"));
+            lower = edge;
+        }
+        labels.push(format!(">{:.2}x", HISTOGRAM_EDGES[HISTOGRAM_EDGES.len() - 1]));
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_cover_the_sample() {
+        let s = CostStats::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_relative_to_best() {
+        let h = RestartHistogram::of(&[100.0, 100.5, 104.0, 160.0]);
+        // 1.0x and 1.005x in the first bucket, 1.04x in the second, 1.6x open-ended
+        assert_eq!(h.counts, vec![2, 1, 0, 0, 0, 1]);
+        assert_eq!(RestartHistogram::labels().len(), h.counts.len());
+    }
+
+    #[test]
+    fn histogram_of_empty_sample_is_empty() {
+        assert_eq!(RestartHistogram::of(&[]).counts.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_both_terms() {
+        let better = PlacementMetrics {
+            bounding_area: 100,
+            width: 10,
+            height: 10,
+            area_usage: 1.0,
+            wirelength: 50.0,
+            overlap_area: 0,
+        };
+        let worse_area = PlacementMetrics { bounding_area: 150, ..better };
+        let worse_wl = PlacementMetrics { wirelength: 80.0, ..better };
+        let w = 0.5;
+        assert!(placement_cost(&better, w) < placement_cost(&worse_area, w));
+        assert!(placement_cost(&better, w) < placement_cost(&worse_wl, w));
+    }
+}

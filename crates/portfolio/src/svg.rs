@@ -1,0 +1,117 @@
+//! SVG rendering of placements (used by the `apls` CLI's `--svg` output).
+
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_circuit::Placement;
+
+/// Fill palette cycled over modules (muted, print-friendly hues).
+const PALETTE: [&str; 8] =
+    ["#8da0cb", "#66c2a5", "#fc8d62", "#e78ac3", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3"];
+
+/// Pixels of padding around the die outline.
+const MARGIN: f64 = 12.0;
+/// Target width of the rendered image in pixels.
+const TARGET_WIDTH: f64 = 640.0;
+
+/// Renders a placement of `circuit` as a standalone SVG document.
+///
+/// Modules are drawn in chip coordinates (y axis flipped to screen
+/// orientation) with their instance names; the die bounding box is outlined
+/// and the title names the circuit. The output is deterministic: same
+/// placement, same bytes.
+///
+/// # Panics
+///
+/// Panics if the placement is empty.
+#[must_use]
+pub fn render_svg(circuit: &BenchmarkCircuit, placement: &Placement) -> String {
+    let outline = placement.bounding_rect().expect("placement has modules");
+    let w = outline.width() as f64;
+    let h = outline.height() as f64;
+    let scale = TARGET_WIDTH / w.max(1.0);
+    let view_w = w * scale + 2.0 * MARGIN;
+    let view_h = h * scale + 2.0 * MARGIN + 22.0; // room for the title line
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{view_w:.0}\" height=\"{view_h:.0}\" viewBox=\"0 0 {view_w:.1} {view_h:.1}\">\n"
+    ));
+    out.push_str(&format!(
+        "  <title>{} placement</title>\n  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+        xml_esc(&circuit.name)
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{MARGIN}\" y=\"16\" font-family=\"sans-serif\" font-size=\"13\" fill=\"#333\">{} — {}x{} dbu</text>\n",
+        xml_esc(&circuit.name),
+        outline.width(),
+        outline.height(),
+    ));
+    let oy = 22.0 + MARGIN;
+    // die outline
+    out.push_str(&format!(
+        "  <rect x=\"{MARGIN:.1}\" y=\"{oy:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"none\" stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n",
+        w * scale,
+        h * scale,
+    ));
+    for (id, placed) in placement.iter() {
+        let r = placed.rect;
+        // chip y grows upward; SVG y grows downward
+        let x = MARGIN + (r.x_min - outline.x_min) as f64 * scale;
+        let y = oy + (outline.y_max - r.y_max) as f64 * scale;
+        let rw = r.width() as f64 * scale;
+        let rh = r.height() as f64 * scale;
+        let fill = PALETTE[id.index() % PALETTE.len()];
+        out.push_str(&format!(
+            "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{rw:.1}\" height=\"{rh:.1}\" fill=\"{fill}\" fill-opacity=\"0.75\" stroke=\"#444\" stroke-width=\"1\"/>\n"
+        ));
+        let name = circuit.netlist.module(id).name().to_string();
+        let font = (rh * 0.4).clamp(6.0, 14.0);
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"{font:.1}\" text-anchor=\"middle\" dominant-baseline=\"middle\" fill=\"#222\">{}</text>\n",
+            x + rw / 2.0,
+            y + rh / 2.0,
+            xml_esc(&name),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Escapes text for embedding in XML.
+fn xml_esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PortfolioConfig;
+    use crate::run_portfolio;
+    use apls_circuit::benchmarks;
+
+    #[test]
+    fn svg_contains_every_module_name() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(1).with_restarts(1).with_fast_schedule(true);
+        let report = run_portfolio(&circuit, &config);
+        let svg = render_svg(&circuit, &report.best().placement);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        for (id, _) in circuit.netlist.modules() {
+            let name = circuit.netlist.module(id).name();
+            assert!(svg.contains(&format!(">{name}</text>")), "missing label {name}");
+        }
+    }
+
+    #[test]
+    fn svg_is_deterministic() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(4).with_restarts(1).with_fast_schedule(true);
+        let a = render_svg(&circuit, &run_portfolio(&circuit, &config).best().placement);
+        let b = render_svg(&circuit, &run_portfolio(&circuit, &config).best().placement);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xml_escaping_covers_markup() {
+        assert_eq!(xml_esc("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+}

@@ -69,11 +69,7 @@ impl SeqPairPlacerConfig {
     /// A fast configuration for tests and smoke runs.
     #[must_use]
     pub fn fast(seed: u64) -> Self {
-        SeqPairPlacerConfig {
-            seed,
-            schedule: Schedule::fast(),
-            ..SeqPairPlacerConfig::default()
-        }
+        SeqPairPlacerConfig { seed, schedule: Schedule::fast(), ..SeqPairPlacerConfig::default() }
     }
 }
 
@@ -142,13 +138,7 @@ impl<'a> SeqPairPlacer<'a> {
         let placement = state.build_placement(&best_sp);
         let metrics = placement.metrics(self.netlist);
         let symmetry_error = placement.symmetry_error(self.constraints);
-        SeqPairResult {
-            placement,
-            metrics,
-            symmetry_error,
-            sequence_pair: best_sp,
-            stats,
-        }
+        SeqPairResult { placement, metrics, symmetry_error, sequence_pair: best_sp, stats }
     }
 }
 
@@ -175,8 +165,8 @@ impl SpState<'_> {
     fn evaluate(&self, sp: &SequencePair) -> f64 {
         let placement = self.build_placement(sp);
         let metrics = placement.metrics(self.netlist);
-        let mut cost = metrics.bounding_area as f64
-            + self.config.wirelength_weight * metrics.wirelength;
+        let mut cost =
+            metrics.bounding_area as f64 + self.config.wirelength_weight * metrics.wirelength;
         if let SymmetryMode::Penalty { weight } = self.config.symmetry_mode {
             cost += weight * placement.symmetry_error(self.constraints) as f64;
         }

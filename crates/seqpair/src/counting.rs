@@ -172,9 +172,7 @@ mod tests {
         // n = 4: one group with one pair and one self-symmetric cell, one free
         // cell. Bound: (4!)²/3! = 96.
         let modules: Vec<ModuleId> = (0..4).map(id).collect();
-        let group = SymmetryGroup::new("g")
-            .with_pair(id(0), id(1))
-            .with_self_symmetric(id(2));
+        let group = SymmetryGroup::new("g").with_pair(id(0), id(1)).with_self_symmetric(id(2));
         let count = brute_force_sf_count(&modules, &group);
         let bound = sf_upper_bound(4, &[(1, 1)]) as u64;
         assert_eq!(bound, 96);

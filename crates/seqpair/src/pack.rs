@@ -201,12 +201,7 @@ pub fn pack_with_bounds_constraint_graph(
     build_floorplan(sp, dims, &x, &y)
 }
 
-fn build_floorplan(
-    sp: &SequencePair,
-    dims: &[Dims],
-    x: &[Coord],
-    y: &[Coord],
-) -> PackedFloorplan {
+fn build_floorplan(sp: &SequencePair, dims: &[Dims], x: &[Coord], y: &[Coord]) -> PackedFloorplan {
     let mut rects = Vec::with_capacity(sp.len());
     let mut width = 0;
     let mut height = 0;
@@ -286,11 +281,8 @@ mod tests {
     #[test]
     fn reversed_alpha_packs_into_a_column() {
         // alpha: 2 1 0, beta: 0 1 2 => 0 below 1 below 2
-        let sp = SequencePair::from_sequences(
-            vec![id(2), id(1), id(0)],
-            vec![id(0), id(1), id(2)],
-        )
-        .unwrap();
+        let sp = SequencePair::from_sequences(vec![id(2), id(1), id(0)], vec![id(0), id(1), id(2)])
+            .unwrap();
         let dims = square_dims(3, 10);
         let fp = pack_lcs(&sp, &dims);
         assert_eq!(fp.width(), 10);

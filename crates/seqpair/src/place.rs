@@ -67,7 +67,8 @@ impl<'a> SymmetricPlacer<'a> {
     /// placement is legal but generally not symmetric.
     #[must_use]
     pub fn place_unconstrained(&self, sp: &SequencePair) -> Placement {
-        let fp = pack_with_bounds_constraint_graph(sp, &self.dims, &LowerBounds::empty(self.dims.len()));
+        let fp =
+            pack_with_bounds_constraint_graph(sp, &self.dims, &LowerBounds::empty(self.dims.len()));
         self.floorplan_to_placement(&fp)
     }
 
@@ -145,8 +146,7 @@ impl<'a> SymmetricPlacer<'a> {
         let mut module_to_island: BTreeMap<ModuleIdLocal, usize> = BTreeMap::new();
 
         for group in groups {
-            let members: Vec<_> =
-                group.members().into_iter().filter(|m| sp.contains(*m)).collect();
+            let members: Vec<_> = group.members().into_iter().filter(|m| sp.contains(*m)).collect();
             if members.is_empty() {
                 continue;
             }
@@ -209,7 +209,10 @@ impl<'a> SymmetricPlacer<'a> {
                 }
                 let ds = self.dims[s.index()];
                 let sx = (width - ds.w) / 2;
-                rects.push((s, apls_geometry::Rect::from_dims(apls_geometry::Point::new(sx, self_y), ds)));
+                rects.push((
+                    s,
+                    apls_geometry::Rect::from_dims(apls_geometry::Point::new(sx, self_y), ds),
+                ));
                 self_y += ds.h;
             }
             let height = self_y.max(pair_y);
@@ -252,8 +255,11 @@ impl<'a> SymmetricPlacer<'a> {
         for island in &islands {
             outer_dims[island.representative.index()] = island.dims;
         }
-        let outer_fp =
-            pack_with_bounds_constraint_graph(&outer_sp, &outer_dims, &LowerBounds::empty(outer_dims.len()));
+        let outer_fp = pack_with_bounds_constraint_graph(
+            &outer_sp,
+            &outer_dims,
+            &LowerBounds::empty(outer_dims.len()),
+        );
 
         // --- assemble the final placement -----------------------------------
         let mut placement = Placement::new(self.netlist);
@@ -347,11 +353,8 @@ impl<'a> SymmetricPlacer<'a> {
         for &(a, b) in group.pairs() {
             let (Some(ra), Some(rb)) = (fp.rect_of(a), fp.rect_of(b)) else { continue };
             // p is the left partner, q the right partner.
-            let (p, rp, q, rq) = if ra.center_x2().0 <= rb.center_x2().0 {
-                (a, ra, b, rb)
-            } else {
-                (b, rb, a, ra)
-            };
+            let (p, rp, q, rq) =
+                if ra.center_x2().0 <= rb.center_x2().0 { (a, ra, b, rb) } else { (b, rb, a, ra) };
             let _ = p;
             let wq = rq.width();
             let required_xq = div_ceil(2 * required_a - rp.center_x2().0 - wq, 2);
@@ -402,7 +405,9 @@ fn div_ceil(value: Coord, divisor: Coord) -> Coord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::symmetry::{canonical_symmetric_feasible, is_symmetric_feasible_for_all, SymmetricMoveSet};
+    use crate::symmetry::{
+        canonical_symmetric_feasible, is_symmetric_feasible_for_all, SymmetricMoveSet,
+    };
     use apls_anneal::rng::SeededRng;
     use apls_circuit::benchmarks::{self, fig1_circuit};
     use apls_circuit::ModuleId;

@@ -52,10 +52,7 @@ pub fn is_symmetric_feasible(sp: &SequencePair, group: &SymmetryGroup) -> bool {
 /// Checks property (1) for every symmetry group of a constraint set.
 #[must_use]
 pub fn is_symmetric_feasible_for_all(sp: &SequencePair, constraints: &ConstraintSet) -> bool {
-    constraints
-        .symmetry_groups()
-        .iter()
-        .all(|g| is_symmetric_feasible(sp, g))
+    constraints.symmetry_groups().iter().all(|g| is_symmetric_feasible(sp, g))
 }
 
 /// Builds a canonical symmetric-feasible sequence-pair over the given modules.
@@ -99,10 +96,7 @@ pub fn canonical_symmetric_feasible(
             alpha_block.push(r);
         }
         for &m in &alpha_block {
-            assert!(
-                !emitted[m.index()],
-                "module {m} appears in more than one symmetry group"
-            );
+            assert!(!emitted[m.index()], "module {m} appears in more than one symmetry group");
             emitted[m.index()] = true;
         }
         let beta_block: Vec<ModuleId> = alpha_block
@@ -220,10 +214,7 @@ impl SymmetricMoveSet {
     }
 
     fn partner_or_self(&self, m: ModuleId) -> ModuleId {
-        self.constraints
-            .symmetry_group_of(m)
-            .and_then(|g| g.partner_of(m))
-            .unwrap_or(m)
+        self.constraints.symmetry_group_of(m).and_then(|g| g.partner_of(m)).unwrap_or(m)
     }
 }
 
@@ -269,8 +260,12 @@ mod tests {
     fn canonical_construction_handles_multiple_groups() {
         let modules: Vec<ModuleId> = (0..8).map(id).collect();
         let mut cs = ConstraintSet::new();
-        cs.add_symmetry_group(SymmetryGroup::new("g1").with_pair(id(0), id(1)).with_self_symmetric(id(2)));
-        cs.add_symmetry_group(SymmetryGroup::new("g2").with_pair(id(3), id(4)).with_pair(id(5), id(6)));
+        cs.add_symmetry_group(
+            SymmetryGroup::new("g1").with_pair(id(0), id(1)).with_self_symmetric(id(2)),
+        );
+        cs.add_symmetry_group(
+            SymmetryGroup::new("g2").with_pair(id(3), id(4)).with_pair(id(5), id(6)),
+        );
         let sp = canonical_symmetric_feasible(&modules, &cs);
         assert!(is_symmetric_feasible_for_all(&sp, &cs));
         assert_eq!(sp.len(), 8);
@@ -321,6 +316,9 @@ mod tests {
                 applied += 1;
             }
         }
-        assert!(applied >= 95, "unconstrained moves should essentially always apply, got {applied}");
+        assert!(
+            applied >= 95,
+            "unconstrained moves should essentially always apply, got {applied}"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the sequence-pair engine.
 
-use apls_circuit::{ConstraintSet, ModuleId, Module, Netlist, SymmetryGroup};
+use apls_circuit::{ConstraintSet, Module, ModuleId, Netlist, SymmetryGroup};
 use apls_geometry::{total_overlap_area, Dims, Rect};
 use apls_seqpair::pack::{pack_constraint_graph, pack_lcs};
 use apls_seqpair::place::SymmetricPlacer;

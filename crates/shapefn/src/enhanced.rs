@@ -77,20 +77,15 @@ impl EnhancedShapeFunction {
 
     /// Inserts a candidate shape, pruning dominated entries.
     pub fn insert(&mut self, shape: EnhancedShape) {
-        if self
-            .shapes
-            .iter()
-            .any(|s| shape.dims.dominates(s.dims) && shape.dims != s.dims)
-        {
+        if self.shapes.iter().any(|s| shape.dims.dominates(s.dims) && shape.dims != s.dims) {
             return;
         }
         if self.shapes.iter().any(|s| s.dims == shape.dims) {
             return; // keep one representative per footprint
         }
-        self.shapes
-            .retain(|s| !s.dims.dominates(shape.dims) || s.dims == shape.dims);
+        self.shapes.retain(|s| !s.dims.dominates(shape.dims) || s.dims == shape.dims);
         self.shapes.push(shape);
-        self.shapes.sort_by(|a, b| (a.dims.w, a.dims.h).cmp(&(b.dims.w, b.dims.h)));
+        self.shapes.sort_by_key(|s| (s.dims.w, s.dims.h));
     }
 
     /// The staircase of shapes, sorted by increasing width.
@@ -134,7 +129,11 @@ impl EnhancedShapeFunction {
     ///   of the first tree's right-child spine (placed above, possibly sinking
     ///   into the skyline).
     #[must_use]
-    pub fn add(&self, other: &EnhancedShapeFunction, module_dims: &[Dims]) -> EnhancedShapeFunction {
+    pub fn add(
+        &self,
+        other: &EnhancedShapeFunction,
+        module_dims: &[Dims],
+    ) -> EnhancedShapeFunction {
         let mut out = EnhancedShapeFunction::new();
         for a in &self.shapes {
             for b in &other.shapes {
@@ -165,9 +164,8 @@ impl EnhancedShapeFunction {
         }
         let min_area_dims = self.min_area_shape().map(|s| s.dims);
         let n = self.shapes.len();
-        let mut keep_indices: Vec<usize> = (0..max_shapes)
-            .map(|k| k * (n - 1) / (max_shapes - 1).max(1))
-            .collect();
+        let mut keep_indices: Vec<usize> =
+            (0..max_shapes).map(|k| k * (n - 1) / (max_shapes - 1).max(1)).collect();
         if let Some(md) = min_area_dims {
             if let Some(idx) = self.shapes.iter().position(|s| s.dims == md) {
                 keep_indices.push(idx);
@@ -223,9 +221,9 @@ fn merge_trees(a: &BStarTree, b: &BStarTree, module_dims: &[Dims]) -> Vec<Enhanc
 
     let mut out = Vec::with_capacity(3);
     let grafts = [
-        (left_spine_end, true),  // horizontal interleave: left child slot
-        (rightmost, true),       // horizontal abut: left child of the widest node
-        (top_spine_end, false),  // vertical: right child slot of the tallest x=0 node
+        (left_spine_end, true), // horizontal interleave: left child slot
+        (rightmost, true),      // horizontal abut: left child of the widest node
+        (top_spine_end, false), // vertical: right child slot of the tallest x=0 node
     ];
     for (anchor, as_left) in grafts {
         if let Some(shape) = graft(a, b, anchor, as_left, module_dims) {

@@ -252,10 +252,8 @@ impl<'a> DeterministicPlacer<'a> {
     fn enumerate_basic_set_regular(&self, modules: &[ModuleId]) -> ShapeFunction {
         let mut acc: Option<ShapeFunction> = None;
         for &m in modules {
-            let sf = ShapeFunction::for_module(
-                self.circuit.netlist.module(m).dims(),
-                self.rotatable(m),
-            );
+            let sf =
+                ShapeFunction::for_module(self.circuit.netlist.module(m).dims(), self.rotatable(m));
             acc = Some(match acc {
                 None => sf,
                 Some(prev) => prev.add_both(&sf),

@@ -81,11 +81,7 @@ impl ShapeFunction {
 
     /// Inserts a candidate shape, keeping the staircase pruned.
     pub fn insert(&mut self, shape: Shape) {
-        if self
-            .shapes
-            .iter()
-            .any(|s| shape.dims.dominates(s.dims) && shape.dims != s.dims)
-        {
+        if self.shapes.iter().any(|s| shape.dims.dominates(s.dims) && shape.dims != s.dims) {
             return; // dominated by an existing shape
         }
         if self.shapes.contains(&shape) {

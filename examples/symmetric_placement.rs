@@ -27,7 +27,10 @@ fn main() {
     let group = &circuit.constraints.symmetry_groups()[0];
 
     println!("sequence-pair: {sp}");
-    println!("symmetric-feasible for gamma = {{(C,D),(B,G),A,F}}: {}", is_symmetric_feasible(&sp, group));
+    println!(
+        "symmetric-feasible for gamma = {{(C,D),(B,G),A,F}}: {}",
+        is_symmetric_feasible(&sp, group)
+    );
 
     let placer = SymmetricPlacer::new(&circuit.netlist, &circuit.constraints);
     let placement = placer.place(&sp);

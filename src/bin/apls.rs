@@ -1,0 +1,211 @@
+//! `apls` — analog placement from the command line.
+//!
+//! Selects a bundled benchmark circuit, runs a single engine or the full
+//! multi-start portfolio, prints a summary, and optionally writes the
+//! portfolio report as JSON and the winning placement as SVG:
+//!
+//! ```text
+//! apls --list
+//! apls --circuit miller_opamp_fig6 --restarts 8 --seed 42 --json report.json --svg best.svg
+//! apls --circuit folded_cascode --engine hbtree --restarts 4 --fast
+//! ```
+
+use analog_layout_synthesis::circuit::benchmarks;
+use analog_layout_synthesis::portfolio::{
+    run_portfolio, EarlyStop, PortfolioConfig, PortfolioEngine,
+};
+use clap::{Arg, ArgAction, Command};
+use std::process::ExitCode;
+
+fn cli() -> Command {
+    Command::new("apls")
+        .about("Analog placement portfolio runner (DATE 2009 survey reproduction)")
+        .version(env!("CARGO_PKG_VERSION"))
+        .arg(
+            Arg::new("circuit")
+                .long("circuit")
+                .short('c')
+                .value_name("NAME")
+                .default_value("miller_opamp_fig6")
+                .help("Benchmark circuit to place (see --list)"),
+        )
+        .arg(
+            Arg::new("engine")
+                .long("engine")
+                .short('e')
+                .value_name("ENGINE")
+                .default_value("portfolio")
+                .help("portfolio, seqpair, hbtree, or deterministic"),
+        )
+        .arg(
+            Arg::new("restarts")
+                .long("restarts")
+                .short('k')
+                .value_name("K")
+                .default_value("8")
+                .help("Annealing restarts per stochastic engine"),
+        )
+        .arg(
+            Arg::new("seed")
+                .long("seed")
+                .short('s')
+                .value_name("SEED")
+                .default_value("1")
+                .help("Root seed; every restart derives its own seed from it"),
+        )
+        .arg(
+            Arg::new("threads")
+                .long("threads")
+                .short('t')
+                .value_name("N")
+                .default_value("0")
+                .help("Worker threads (0 = one per core); never changes results"),
+        )
+        .arg(
+            Arg::new("wirelength-weight")
+                .long("wirelength-weight")
+                .short('w')
+                .value_name("W")
+                .default_value("0.5")
+                .help("Weight of the wirelength term in the cost"),
+        )
+        .arg(
+            Arg::new("plateau")
+                .long("plateau")
+                .value_name("WINDOW")
+                .help("Stop early after WINDOW generations without improvement"),
+        )
+        .arg(
+            Arg::new("fast")
+                .long("fast")
+                .action(ArgAction::SetTrue)
+                .help("Use the short smoke-test annealing schedule"),
+        )
+        .arg(
+            Arg::new("json")
+                .long("json")
+                .value_name("FILE")
+                .help("Write the full report as JSON ('-' for stdout)"),
+        )
+        .arg(
+            Arg::new("svg")
+                .long("svg")
+                .value_name("FILE")
+                .help("Write the winning placement as SVG"),
+        )
+        .arg(
+            Arg::new("list")
+                .long("list")
+                .action(ArgAction::SetTrue)
+                .help("List the bundled benchmark circuits and exit"),
+        )
+}
+
+fn parse_number<T: std::str::FromStr>(
+    matches_value: Option<&String>,
+    what: &str,
+) -> Result<T, String> {
+    let raw = matches_value.ok_or_else(|| format!("missing value for {what}"))?;
+    raw.parse().map_err(|_| format!("invalid {what}: '{raw}'"))
+}
+
+fn run() -> Result<(), String> {
+    let matches = cli().get_matches();
+
+    if matches.get_flag("list") {
+        println!("bundled benchmark circuits:");
+        for name in benchmarks::names() {
+            let circuit = benchmarks::by_name(name).expect("listed names resolve");
+            println!(
+                "  {name:<20} {:>4} modules, {:>3} nets, {} symmetry group(s)",
+                circuit.module_count(),
+                circuit.netlist.net_count(),
+                circuit.constraints.symmetry_groups().len(),
+            );
+        }
+        return Ok(());
+    }
+
+    let circuit_name = matches.get_one::<String>("circuit").expect("defaulted");
+    let circuit = benchmarks::by_name(circuit_name).ok_or_else(|| {
+        format!("unknown circuit '{circuit_name}' (available: {})", benchmarks::names().join(", "))
+    })?;
+
+    let restarts: usize = parse_number(matches.get_one::<String>("restarts"), "--restarts")?;
+    let seed: u64 = parse_number(matches.get_one::<String>("seed"), "--seed")?;
+    let threads: usize = parse_number(matches.get_one::<String>("threads"), "--threads")?;
+    let wirelength_weight: f64 =
+        parse_number(matches.get_one::<String>("wirelength-weight"), "--wirelength-weight")?;
+    if restarts == 0 {
+        return Err("--restarts must be at least 1".to_string());
+    }
+    if !wirelength_weight.is_finite() || wirelength_weight < 0.0 {
+        return Err("--wirelength-weight must be finite and non-negative".to_string());
+    }
+
+    let engine_name = matches.get_one::<String>("engine").expect("defaulted");
+    let engines = match engine_name.as_str() {
+        "portfolio" => PortfolioEngine::ALL.to_vec(),
+        other => vec![PortfolioEngine::from_name(other).ok_or_else(|| {
+            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic)")
+        })?],
+    };
+
+    let mut config = PortfolioConfig::new(seed)
+        .with_restarts(restarts)
+        .with_engines(engines)
+        .with_threads(threads)
+        .with_fast_schedule(matches.get_flag("fast"))
+        .with_wirelength_weight(wirelength_weight);
+    if matches.get_one::<String>("plateau").is_some() {
+        let window: usize = parse_number(matches.get_one::<String>("plateau"), "--plateau")?;
+        if window == 0 {
+            return Err("--plateau must be at least 1".to_string());
+        }
+        config = config.with_early_stop(EarlyStop::after(window));
+    }
+
+    let report = run_portfolio(&circuit, &config);
+    println!("{}", report.summary());
+    for engine in &report.engines {
+        println!(
+            "  {:<14} {} restart(s): best {:.0}, mean {:.0}, worst {:.0}{}",
+            engine.engine.to_string() + ":",
+            engine.restarts_run,
+            engine.cost.min,
+            engine.cost.mean,
+            engine.cost.max,
+            engine
+                .mean_acceptance
+                .map(|a| format!(", acceptance {:.0}%", a * 100.0))
+                .unwrap_or_default(),
+        );
+    }
+
+    if let Some(path) = matches.get_one::<String>("json") {
+        let json = report.to_json();
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("report written to {path}");
+        }
+    }
+    if let Some(path) = matches.get_one::<String>("svg") {
+        let svg =
+            analog_layout_synthesis::portfolio::svg::render_svg(&circuit, &report.best().placement);
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("winning placement written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

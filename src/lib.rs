@@ -3,10 +3,10 @@
 //! (Graeb et al.).
 //!
 //! This crate is a thin re-export of [`apls_core`], the facade of the
-//! workspace, so that the examples and integration tests at the repository
-//! root have a single dependency. See the README for a guided tour and
-//! DESIGN.md / EXPERIMENTS.md for the system inventory and the experiment
-//! index.
+//! workspace, so that the examples, integration tests and the `apls` CLI at
+//! the repository root have a single dependency. See the README for a guided
+//! tour and DESIGN.md / EXPERIMENTS.md for the system inventory and the
+//! experiment index.
 //!
 //! # Quickstart
 //!
@@ -19,6 +19,23 @@
 //!     .with_fast_schedule(true)
 //!     .place(&circuit);
 //! assert_eq!(report.metrics.overlap_area, 0);
+//! ```
+//!
+//! # Best-of-portfolio
+//!
+//! [`AnalogPlacer::place_portfolio`] races all three engines of the survey
+//! across seeded annealing restarts in parallel (see [`portfolio`]):
+//!
+//! ```
+//! use analog_layout_synthesis::{AnalogPlacer, Engine};
+//! use analog_layout_synthesis::circuit::benchmarks::miller_opamp_fig6;
+//!
+//! let circuit = miller_opamp_fig6();
+//! let report = AnalogPlacer::new(Engine::HbTree)
+//!     .with_seed(42)
+//!     .with_fast_schedule(true)
+//!     .place_portfolio(&circuit, 2);
+//! assert!(report.restarts.iter().all(|r| report.best_cost() <= r.cost));
 //! ```
 
 #![forbid(unsafe_code)]

@@ -11,10 +11,8 @@ use analog_layout_synthesis::{AnalogPlacer, Engine};
 fn all_engines_place_the_quickstart_circuit_legally() {
     let circuit = benchmarks::miller_opamp_fig6();
     for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
-        let report = AnalogPlacer::new(engine)
-            .with_seed(123)
-            .with_fast_schedule(true)
-            .place(&circuit);
+        let report =
+            AnalogPlacer::new(engine).with_seed(123).with_fast_schedule(true).place(&circuit);
         assert!(report.placement.is_complete(), "{engine:?}");
         assert_eq!(report.metrics.overlap_area, 0, "{engine:?}");
         assert!(report.metrics.area_usage >= 1.0, "{engine:?}");
@@ -27,16 +25,13 @@ fn constraint_aware_engines_hold_symmetry_on_every_table1_circuit() {
     // benchmark circuits (fast schedules keep the test quick)
     for circuit in benchmarks::table1_circuits() {
         for engine in [Engine::SequencePair, Engine::HbTree] {
-            let report = AnalogPlacer::new(engine)
-                .with_seed(5)
-                .with_fast_schedule(true)
-                .place(&circuit);
+            let report =
+                AnalogPlacer::new(engine).with_seed(5).with_fast_schedule(true).place(&circuit);
             assert_eq!(report.metrics.overlap_area, 0, "{engine:?} on {}", circuit.name);
             assert!(
                 report.constraints.symmetry_satisfied,
                 "{engine:?} breaks symmetry on {} (error {})",
-                circuit.name,
-                report.constraints.symmetry_error
+                circuit.name, report.constraints.symmetry_error
             );
         }
     }
@@ -57,10 +52,7 @@ fn enhanced_shape_functions_beat_regular_ones_on_the_larger_circuits() {
     // here we assert the weaker, robust form (never worse, strictly better on
     // at least one of the larger circuits)
     let mut strictly_better = 0;
-    for circuit in [
-        benchmarks::folded_cascode(),
-        benchmarks::buffer(),
-    ] {
+    for circuit in [benchmarks::folded_cascode(), benchmarks::buffer()] {
         let placer = DeterministicPlacer::new(&circuit);
         let esf = placer.run(ShapeModel::Enhanced);
         let rsf = placer.run(ShapeModel::Regular);
@@ -86,11 +78,8 @@ fn layout_aware_sizing_closes_the_spec_gap_left_by_electrical_sizing() {
         iterations: 800,
         seed: 17,
     });
-    let aware = optimizer.run(&SizingConfig {
-        mode: SizingMode::LayoutAware,
-        iterations: 800,
-        seed: 17,
-    });
+    let aware =
+        optimizer.run(&SizingConfig { mode: SizingMode::LayoutAware, iterations: 800, seed: 17 });
     // the electrical flow believes it meets the specs...
     assert!(electrical.specs_met_pre_layout);
     // ...and is degraded once its layout's parasitics are included

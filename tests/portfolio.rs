@@ -1,0 +1,77 @@
+//! Integration tests of the multi-start portfolio through the public facade:
+//! thread-count independence and the best-of-portfolio guarantee.
+
+use analog_layout_synthesis::circuit::benchmarks;
+use analog_layout_synthesis::portfolio::stats::placement_cost;
+use analog_layout_synthesis::portfolio::{run_portfolio, PortfolioConfig};
+use analog_layout_synthesis::{AnalogPlacer, Engine};
+
+/// The acceptance bar of the portfolio subsystem: the same root seed yields
+/// an identical report whether the pool has 1 worker thread or several.
+#[test]
+fn portfolio_reports_are_identical_across_thread_counts() {
+    let circuit = benchmarks::miller_opamp_fig6();
+    let base = PortfolioConfig::new(1234).with_restarts(4).with_fast_schedule(true);
+    let single = run_portfolio(&circuit, &base.clone().with_threads(1));
+    let parallel = run_portfolio(&circuit, &base.with_threads(8));
+
+    assert_eq!(single.best_cost(), parallel.best_cost());
+    assert_eq!(single.best_index, parallel.best_index);
+    assert_eq!(single.best().placement, parallel.best().placement);
+    assert_eq!(single.restarts.len(), parallel.restarts.len());
+    for (a, b) in single.restarts.iter().zip(&parallel.restarts) {
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.restart, b.restart);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.placement, b.placement);
+    }
+    assert_eq!(single.histogram, parallel.histogram);
+}
+
+/// Best-of-portfolio can never lose to the best single-engine run with the
+/// same seed and settings, on any bundled benchmark circuit.
+#[test]
+fn portfolio_beats_or_matches_single_engines_on_every_bundled_circuit() {
+    let weight = 0.5;
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let portfolio = AnalogPlacer::new(Engine::HbTree)
+            .with_seed(7)
+            .with_fast_schedule(true)
+            .place_portfolio(&circuit, 2);
+        let best_single = [Engine::SequencePair, Engine::HbTree, Engine::Deterministic]
+            .into_iter()
+            .map(|engine| {
+                let report =
+                    AnalogPlacer::new(engine).with_seed(7).with_fast_schedule(true).place(&circuit);
+                placement_cost(&report.metrics, weight)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            portfolio.best_cost() <= best_single + 1e-9,
+            "portfolio lost on {name}: {} vs {best_single}",
+            portfolio.best_cost(),
+        );
+        assert!(portfolio.best().placement.is_complete(), "{name}");
+        assert_eq!(portfolio.best().metrics.overlap_area, 0, "{name}");
+    }
+}
+
+/// The facade's portfolio entry point honours the builder settings and wires
+/// the circuit name through to the report.
+#[test]
+fn facade_portfolio_report_carries_builder_settings() {
+    let circuit = benchmarks::comparator_v2();
+    let report = AnalogPlacer::new(Engine::SequencePair)
+        .with_seed(99)
+        .with_fast_schedule(true)
+        .place_portfolio(&circuit, 3);
+    assert_eq!(report.root_seed, 99);
+    assert_eq!(report.restarts_scheduled, 3);
+    assert_eq!(report.circuit_name, "comparator_v2");
+    // 3 restarts for each of the two stochastic engines + 1 deterministic
+    assert_eq!(report.restarts.len(), 7);
+    // restart 0 of each engine reuses the root seed verbatim
+    assert!(report.restarts.iter().filter(|r| r.restart == 0).all(|r| r.seed == 99));
+}

@@ -1,0 +1,344 @@
+//! Offline shim for the [`clap`](https://crates.io/crates/clap) builder API.
+//!
+//! Implements the subset the `apls` CLI uses: [`Command`] with named
+//! [`Arg`]s (long and short forms, help text, value names, defaults,
+//! [`ArgAction::SetTrue`] flags), `--option value` / `--option=value` /
+//! `-o value` parsing, an auto-generated `--help`, and [`ArgMatches`] with
+//! `get_one` / `get_flag`.
+//!
+//! Deliberate simplifications relative to upstream:
+//!
+//! * all values are stored as `String`s; `get_one::<T>` ignores its type
+//!   parameter and returns `Option<&String>` (callers parse numbers
+//!   themselves);
+//! * there are no subcommands, positionals, or derive macros;
+//! * parse errors print a message plus usage and exit with status 2, like
+//!   clap's default behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How an argument consumes input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArgAction {
+    /// Takes one value (`--opt VALUE`).
+    #[default]
+    Set,
+    /// Boolean flag; present means `true`.
+    SetTrue,
+}
+
+/// One named command-line argument.
+#[derive(Debug, Clone, Default)]
+pub struct Arg {
+    id: String,
+    long: Option<String>,
+    short: Option<char>,
+    help: Option<String>,
+    value_name: Option<String>,
+    default_value: Option<String>,
+    action: ArgAction,
+}
+
+impl Arg {
+    /// Creates an argument with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Arg { id: id.into(), ..Arg::default() }
+    }
+
+    /// Sets the `--long` form.
+    #[must_use]
+    pub fn long(mut self, long: impl Into<String>) -> Self {
+        self.long = Some(long.into());
+        self
+    }
+
+    /// Sets the `-s` short form.
+    #[must_use]
+    pub fn short(mut self, short: char) -> Self {
+        self.short = Some(short);
+        self
+    }
+
+    /// Sets the help text.
+    #[must_use]
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Sets the placeholder shown in usage (e.g. `FILE`).
+    #[must_use]
+    pub fn value_name(mut self, name: impl Into<String>) -> Self {
+        self.value_name = Some(name.into());
+        self
+    }
+
+    /// Sets the value used when the argument is absent.
+    #[must_use]
+    pub fn default_value(mut self, value: impl Into<String>) -> Self {
+        self.default_value = Some(value.into());
+        self
+    }
+
+    /// Sets the action (flag vs. value).
+    #[must_use]
+    pub fn action(mut self, action: ArgAction) -> Self {
+        self.action = action;
+        self
+    }
+}
+
+/// Parse result: values and flags keyed by argument id.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMatches {
+    values: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+}
+
+impl ArgMatches {
+    /// The value of argument `id`, if present or defaulted.
+    ///
+    /// The type parameter exists for signature compatibility with upstream
+    /// clap; the shim always yields `&String`.
+    pub fn get_one<T>(&self, id: &str) -> Option<&String> {
+        self.values.get(id)
+    }
+
+    /// Whether the [`ArgAction::SetTrue`] flag `id` was passed.
+    #[must_use]
+    pub fn get_flag(&self, id: &str) -> bool {
+        self.flags.contains(id)
+    }
+}
+
+/// Error produced by [`Command::try_get_matches_from`].
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    /// `true` for `--help`, which exits with status 0.
+    is_help: bool,
+}
+
+impl Error {
+    /// Prints the error (or help text) and exits the process.
+    pub fn exit(&self) -> ! {
+        if self.is_help {
+            println!("{}", self.message);
+            std::process::exit(0);
+        }
+        eprintln!("{}", self.message);
+        std::process::exit(2);
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A command-line interface definition.
+#[derive(Debug, Clone, Default)]
+pub struct Command {
+    name: String,
+    about: Option<String>,
+    version: Option<String>,
+    args: Vec<Arg>,
+}
+
+impl Command {
+    /// Creates a command with the given binary name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Command { name: name.into(), ..Command::default() }
+    }
+
+    /// Sets the one-line description shown in `--help`.
+    #[must_use]
+    pub fn about(mut self, about: impl Into<String>) -> Self {
+        self.about = Some(about.into());
+        self
+    }
+
+    /// Sets the version shown by `--version`.
+    #[must_use]
+    pub fn version(mut self, version: impl Into<String>) -> Self {
+        self.version = Some(version.into());
+        self
+    }
+
+    /// Adds an argument.
+    #[must_use]
+    pub fn arg(mut self, arg: Arg) -> Self {
+        self.args.push(arg);
+        self
+    }
+
+    /// Renders the help text.
+    #[must_use]
+    pub fn render_help(&self) -> String {
+        let mut out = String::new();
+        if let Some(about) = &self.about {
+            out.push_str(about);
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!("Usage: {} [OPTIONS]\n\nOptions:\n", self.name));
+        for arg in &self.args {
+            let mut left = String::from("  ");
+            if let Some(s) = arg.short {
+                left.push_str(&format!("-{s}, "));
+            } else {
+                left.push_str("    ");
+            }
+            if let Some(l) = &arg.long {
+                left.push_str(&format!("--{l}"));
+            }
+            if arg.action == ArgAction::Set {
+                let vn = arg.value_name.clone().unwrap_or_else(|| arg.id.to_uppercase());
+                left.push_str(&format!(" <{vn}>"));
+            }
+            let help = arg.help.clone().unwrap_or_default();
+            let default =
+                arg.default_value.as_ref().map(|d| format!(" [default: {d}]")).unwrap_or_default();
+            out.push_str(&format!("{left:<34}{help}{default}\n"));
+        }
+        out.push_str("  -h, --help                      Print help\n");
+        if self.version.is_some() {
+            out.push_str("  -V, --version                   Print version\n");
+        }
+        out
+    }
+
+    fn find(&self, token: &str) -> Option<&Arg> {
+        if let Some(rest) = token.strip_prefix("--") {
+            self.args.iter().find(|a| a.long.as_deref() == Some(rest))
+        } else if let Some(rest) = token.strip_prefix('-') {
+            let mut chars = rest.chars();
+            let c = chars.next()?;
+            if chars.next().is_some() {
+                return None;
+            }
+            self.args.iter().find(|a| a.short == Some(c))
+        } else {
+            None
+        }
+    }
+
+    /// Parses the given iterator of arguments (the first item is the binary
+    /// name, as in `std::env::args`).
+    pub fn try_get_matches_from<I, S>(self, itr: I) -> Result<ArgMatches, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut matches = ArgMatches::default();
+        for arg in &self.args {
+            if let Some(d) = &arg.default_value {
+                matches.values.insert(arg.id.clone(), d.clone());
+            }
+        }
+        let mut tokens = itr.into_iter().map(Into::into).skip(1).peekable();
+        while let Some(token) = tokens.next() {
+            if token == "--help" || token == "-h" {
+                return Err(Error { message: self.render_help(), is_help: true });
+            }
+            if self.version.is_some() && (token == "--version" || token == "-V") {
+                return Err(Error {
+                    message: format!("{} {}", self.name, self.version.clone().unwrap()),
+                    is_help: true,
+                });
+            }
+            let (head, inline_value) = match token.split_once('=') {
+                Some((h, v)) if h.starts_with('-') => (h.to_string(), Some(v.to_string())),
+                _ => (token.clone(), None),
+            };
+            let Some(arg) = self.find(&head) else {
+                return Err(Error {
+                    message: format!(
+                        "error: unexpected argument '{head}'\n\n{}",
+                        self.render_help()
+                    ),
+                    is_help: false,
+                });
+            };
+            match arg.action {
+                ArgAction::SetTrue => {
+                    if inline_value.is_some() {
+                        return Err(Error {
+                            message: format!("error: flag '{head}' takes no value"),
+                            is_help: false,
+                        });
+                    }
+                    matches.flags.insert(arg.id.clone());
+                }
+                ArgAction::Set => {
+                    let value = match inline_value {
+                        Some(v) => v,
+                        None => tokens.next().ok_or_else(|| Error {
+                            message: format!("error: a value is required for '{head}'"),
+                            is_help: false,
+                        })?,
+                    };
+                    matches.values.insert(arg.id.clone(), value);
+                }
+            }
+        }
+        Ok(matches)
+    }
+
+    /// Parses `std::env::args`, printing help/errors and exiting on failure.
+    pub fn get_matches(self) -> ArgMatches {
+        match self.try_get_matches_from(std::env::args()) {
+            Ok(m) => m,
+            Err(e) => e.exit(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> Command {
+        Command::new("demo")
+            .about("demo tool")
+            .version("1.0")
+            .arg(Arg::new("circuit").long("circuit").short('c').default_value("miller"))
+            .arg(Arg::new("seed").long("seed").short('s').value_name("N"))
+            .arg(Arg::new("fast").long("fast").action(ArgAction::SetTrue))
+    }
+
+    #[test]
+    fn defaults_and_values_parse() {
+        let m = cli().try_get_matches_from(["demo", "--seed", "7", "--fast"]).expect("parses");
+        assert_eq!(m.get_one::<String>("circuit").unwrap(), "miller");
+        assert_eq!(m.get_one::<String>("seed").unwrap(), "7");
+        assert!(m.get_flag("fast"));
+    }
+
+    #[test]
+    fn short_and_inline_forms_parse() {
+        let m = cli().try_get_matches_from(["demo", "-c", "buffer", "--seed=9"]).expect("parses");
+        assert_eq!(m.get_one::<String>("circuit").unwrap(), "buffer");
+        assert_eq!(m.get_one::<String>("seed").unwrap(), "9");
+        assert!(!m.get_flag("fast"));
+    }
+
+    #[test]
+    fn unknown_argument_errors() {
+        let err = cli().try_get_matches_from(["demo", "--nope"]).unwrap_err();
+        assert!(err.to_string().contains("unexpected argument"));
+    }
+
+    #[test]
+    fn help_is_rendered() {
+        let err = cli().try_get_matches_from(["demo", "--help"]).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("Usage: demo"));
+        assert!(text.contains("--circuit"));
+        assert!(text.contains("[default: miller]"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` /
+//! `bench_with_input` / `bench_function`, [`Bencher::iter`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! median-of-samples timer and plain-text output instead of statistical
+//! analysis and HTML reports. Results are printed as `ns/iter`, one line per
+//! benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered through `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"pack/32"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`: calibrates an iteration count to roughly
+    /// [`SAMPLE_TARGET`], collects `samples` samples and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // calibrate: grow the batch until it takes long enough to time
+        let mut batch: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_FLOOR || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let target_batches =
+            (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.0, 64.0) as u64;
+        let per_sample = batch * target_batches.max(1);
+        let mut samples_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / per_sample as f64
+            })
+            .collect();
+        samples_ns.sort_by(f64::total_cmp);
+        self.last_ns_per_iter = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Per-sample time budget the calibrator aims for.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Shortest measurement the calibrator trusts.
+const CALIBRATION_FLOOR: Duration = Duration::from_millis(2);
+
+fn run_one(group: &str, label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: samples.clamp(2, 16), last_ns_per_iter: 0.0 };
+    f(&mut b);
+    let ns = b.last_ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{group}/{label}: {human}/iter");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream emits summary reports here; the shim prints
+    /// as it goes).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored by the shim,
+    /// so `cargo bench -- <filter>` style invocations don't error).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 8, _criterion: self }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one("bench", &id.into().label, 8, &mut f);
+        self
+    }
+
+    /// Upstream API surface; a no-op in the shim.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_cheap_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(7))
+        });
+        group.finish();
+    }
+}

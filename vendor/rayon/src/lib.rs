@@ -1,0 +1,271 @@
+//! Offline shim for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the subset of rayon's data-parallel API that the workspace uses
+//! — `into_par_iter().map(..).collect()` / `for_each`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] for bounding the worker
+//! count — on top of `std::thread::scope`. Work is split into contiguous
+//! chunks, one per worker, and results are returned in input order, so
+//! `collect::<Vec<_>>()` is order-preserving exactly like upstream rayon's
+//! indexed parallel iterators.
+//!
+//! The shim is honest parallelism (real OS threads), just without work
+//! stealing; for the coarse-grained tasks in this workspace (whole annealing
+//! restarts) chunk scheduling is indistinguishable from rayon's.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (`0` means "automatic").
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped thread-count policy. Unlike upstream rayon the shim spawns
+/// threads per operation rather than keeping a persistent pool; `install`
+/// only pins the worker count used by parallel operations inside `f`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed. The previous
+    /// override is restored even if `f` panics.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|t| t.replace(self.num_threads)));
+        f()
+    }
+
+    /// The worker count parallel operations inside [`ThreadPool::install`]
+    /// will use.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+}
+
+/// Order-preserving parallel map over a vector: splits `items` into one
+/// contiguous chunk per worker and applies `f` on scoped threads.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads().max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers == 1 || n == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A parallel iterator. The shim models the pipeline lazily and executes it
+/// when consumed ([`ParallelIterator::collect`] / `for_each`).
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Executes the pipeline, returning items in input order.
+    fn run_to_vec(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        self.map(f).run_to_vec();
+    }
+
+    /// Collects the results (order-preserving).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Consumes the iterator into the collection.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.run_to_vec()
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned vector.
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn run_to_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter { items: self.collect() }
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run_to_vec(self) -> Vec<R> {
+        par_map_vec(self.base.run_to_vec(), self.f)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect::<Vec<_>>().into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(super::current_num_threads(), 1);
+            let v: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v, vec![2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |n: usize| {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            pool.install(|| {
+                (0..97u64)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15))
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

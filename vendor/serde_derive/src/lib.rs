@@ -1,0 +1,109 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on plain data types but
+//! never performs serde-based (de)serialization (JSON output is hand-written
+//! where needed), so these derives only have to emit marker impls for the
+//! vendored `serde` shim traits. No `syn`/`quote` dependency is available
+//! offline; the type name and generics are recovered with a small hand-rolled
+//! token scan.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` from a `struct`/`enum` definition token stream.
+///
+/// `generics` is the raw text between `<` and its matching `>` (empty when the
+/// type is not generic). Lifetimes and type parameters are re-emitted verbatim
+/// on the impl; defaults (`= T`) are stripped.
+fn type_name_and_generics(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                // collect generics if the next token opens a parameter list
+                let mut generics = String::new();
+                if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    tokens.next();
+                    let mut depth = 1usize;
+                    for tt in tokens.by_ref() {
+                        if let TokenTree::Punct(p) = &tt {
+                            match p.as_char() {
+                                '<' => depth += 1,
+                                '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        generics.push_str(&tt.to_string());
+                        generics.push(' ');
+                    }
+                }
+                return (name, strip_defaults(&generics));
+            }
+        }
+        // skip attribute bodies like #[derive(...)] — groups are single tokens
+        if let TokenTree::Group(g) = &tt {
+            if g.delimiter() == Delimiter::Bracket {
+                continue;
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct or enum found in derive input");
+}
+
+/// Removes ` = default` segments from a generic parameter list.
+fn strip_defaults(generics: &str) -> String {
+    generics
+        .split(',')
+        .map(|p| p.split('=').next().unwrap_or(p).trim())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Names of the parameters only (for the `for Type<...>` side of the impl):
+/// drops bounds like `: Clone`.
+fn param_names(generics: &str) -> String {
+    generics
+        .split(',')
+        .map(|p| p.split(':').next().unwrap_or(p).trim())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let (name, generics) = type_name_and_generics(input);
+    let names = param_names(&generics);
+    let mut params = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    if !generics.is_empty() {
+        params.push(generics.clone());
+    }
+    let impl_params =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let ty = if names.is_empty() { name } else { format!("{name}<{names}>") };
+    format!("impl{impl_params} {trait_path} for {ty} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", None)
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
