@@ -2,6 +2,7 @@
 
 use crate::{rng::SeededRng, AnnealState, Schedule};
 use rand::Rng;
+use std::time::{Duration, Instant};
 
 /// Statistics of one annealing run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -22,6 +23,8 @@ pub struct AnnealStats {
     pub final_cost: f64,
     /// Number of temperature steps executed.
     pub temperature_steps: u64,
+    /// Wall-clock time of the annealing loop (evaluation included).
+    pub wall_time: Duration,
 }
 
 impl AnnealStats {
@@ -42,6 +45,18 @@ impl AnnealStats {
             0.0
         } else {
             (self.initial_cost - self.final_cost) / self.initial_cost
+        }
+    }
+
+    /// Annealing throughput: proposals evaluated per second of wall time
+    /// (`None` when no move ran or the clock resolution swallowed the run).
+    #[must_use]
+    pub fn moves_per_second(&self) -> Option<f64> {
+        let secs = self.wall_time.as_secs_f64();
+        if self.moves_attempted == 0 || secs <= 0.0 {
+            None
+        } else {
+            Some(self.moves_attempted as f64 / secs)
         }
     }
 }
@@ -71,19 +86,22 @@ impl Annealer {
     /// Runs the annealing loop on `state` under `schedule`.
     ///
     /// The classic Metropolis criterion is used: downhill moves are always
-    /// accepted, uphill moves with probability `exp(-Δ/T)`. The state is left
-    /// in its last *accepted* configuration; callers that must recover the
-    /// global best configuration should snapshot it in
-    /// [`AnnealState::commit`].
+    /// accepted, uphill moves with probability `exp(-Δ/T)`. Each proposal is
+    /// evaluated exactly once; the accepted cost is handed to
+    /// [`AnnealState::commit`] so states never pay a second evaluation. The
+    /// state is left in its last *accepted* configuration; callers that must
+    /// recover the global best configuration should snapshot it in `commit`.
     pub fn run<S: AnnealState>(&self, state: &mut S, schedule: &Schedule) -> AnnealStats {
+        let started = Instant::now();
         let mut rng = SeededRng::new(self.seed);
+        let initial_cost = state.cost();
         let mut stats = AnnealStats {
-            initial_cost: state.cost(),
-            best_cost: state.cost(),
-            final_cost: state.cost(),
+            initial_cost,
+            best_cost: initial_cost,
+            final_cost: initial_cost,
             ..AnnealStats::default()
         };
-        let mut current_cost = stats.initial_cost;
+        let mut current_cost = initial_cost;
         let mut temperature = schedule.t_start();
 
         'outer: while temperature >= schedule.t_end() {
@@ -110,7 +128,7 @@ impl Annealer {
                         stats.uphill_accepted += 1;
                     }
                     current_cost = new_cost;
-                    state.commit();
+                    state.commit(new_cost);
                     if new_cost < stats.best_cost {
                         stats.best_cost = new_cost;
                     }
@@ -121,6 +139,7 @@ impl Annealer {
             temperature *= schedule.alpha();
         }
         stats.final_cost = current_cost;
+        stats.wall_time = started.elapsed();
         stats
     }
 }
@@ -143,7 +162,7 @@ mod tests {
     }
 
     impl AnnealState for Target {
-        fn cost(&self) -> f64 {
+        fn cost(&mut self) -> f64 {
             (self.x - 37).abs() as f64
         }
         fn propose(&mut self, rng: &mut dyn RngCore) {
@@ -195,6 +214,49 @@ mod tests {
         let schedule = Schedule::geometric(50.0, 0.01, 0.99, 1000).with_max_moves(10);
         let stats = Annealer::with_seed(3).run(&mut state, &schedule);
         assert_eq!(stats.moves_attempted, 10);
+    }
+
+    /// The single-evaluation contract: every committed cost equals the cost
+    /// the driver evaluated for that proposal, so states never re-evaluate.
+    struct Auditing {
+        inner: Target,
+        committed: Vec<f64>,
+    }
+
+    impl AnnealState for Auditing {
+        fn cost(&mut self) -> f64 {
+            self.inner.cost()
+        }
+        fn propose(&mut self, rng: &mut dyn RngCore) {
+            self.inner.propose(rng);
+        }
+        fn rollback(&mut self) {
+            self.inner.rollback();
+        }
+        fn commit(&mut self, accepted_cost: f64) {
+            assert_eq!(accepted_cost, self.inner.cost(), "commit cost must match evaluation");
+            self.committed.push(accepted_cost);
+        }
+    }
+
+    #[test]
+    fn commit_receives_the_evaluated_cost() {
+        let mut state = Auditing { inner: Target { x: 300, backup: 0 }, committed: Vec::new() };
+        let stats = Annealer::with_seed(8).run(&mut state, &Schedule::fast());
+        assert_eq!(state.committed.len() as u64, stats.moves_accepted);
+        let min_committed = state.committed.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(min_committed, stats.best_cost);
+    }
+
+    #[test]
+    fn throughput_is_reported() {
+        let mut state = Target { x: 250, backup: 0 };
+        let stats = Annealer::with_seed(6).run(&mut state, &Schedule::fast());
+        assert!(stats.moves_attempted > 0);
+        if let Some(mps) = stats.moves_per_second() {
+            assert!(mps > 0.0);
+        }
+        assert_eq!(AnnealStats::default().moves_per_second(), None);
     }
 
     #[test]

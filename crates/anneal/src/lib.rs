@@ -25,7 +25,7 @@
 //! struct Toy { value: i64, backup: i64 }
 //!
 //! impl AnnealState for Toy {
-//!     fn cost(&self) -> f64 { self.value.abs() as f64 }
+//!     fn cost(&mut self) -> f64 { self.value.abs() as f64 }
 //!     fn propose(&mut self, rng: &mut dyn rand::RngCore) {
 //!         self.backup = self.value;
 //!         let delta: i64 = (rng.next_u32() % 7) as i64 - 3;
@@ -55,24 +55,36 @@ use rand::RngCore;
 
 /// A state that can be explored by simulated annealing.
 ///
-/// The protocol is propose → (evaluate) → accept or [`AnnealState::rollback`].
-/// The engine calls [`AnnealState::propose`] exactly once per move and
-/// guarantees that `rollback` is only called for the most recent proposal, so
-/// implementations need to remember at most one undo record.
+/// The protocol is propose → evaluate → accept or [`AnnealState::rollback`].
+///
+/// **Single-evaluation contract:** the engine calls [`AnnealState::propose`]
+/// exactly once per move, then [`AnnealState::cost`] exactly once for that
+/// proposal, and finally either [`AnnealState::commit`] — passing the cost it
+/// just evaluated — or [`AnnealState::rollback`]. Implementations therefore
+/// never need to re-evaluate inside `commit`, and `cost` may freely reuse
+/// internal scratch buffers (it takes `&mut self` for exactly that reason).
+/// `rollback` is only ever called for the most recent proposal, so one undo
+/// record suffices.
 pub trait AnnealState {
     /// Cost of the current state (lower is better).
-    fn cost(&self) -> f64;
+    ///
+    /// Called exactly once per proposal (and once before the run starts for
+    /// the initial cost), so this is the natural place to pack the encoding
+    /// into reusable scratch storage.
+    fn cost(&mut self) -> f64;
 
     /// Applies a random perturbation to the state.
     ///
     /// Implementations must store whatever is needed to undo this single
-    /// perturbation if the engine rejects it.
+    /// perturbation if the engine rejects it (an O(1) undo log; cloning the
+    /// whole state works but defeats the hot path).
     fn propose(&mut self, rng: &mut dyn RngCore);
 
     /// Undoes the most recent proposal.
     fn rollback(&mut self);
 
-    /// Called when a proposal is accepted. The default does nothing; states
-    /// that cache expensive packings may use this hook to commit them.
-    fn commit(&mut self) {}
+    /// Called when a proposal is accepted, with the cost the engine evaluated
+    /// for it. The default does nothing; states that track a best-so-far
+    /// snapshot use this hook without re-evaluating anything.
+    fn commit(&mut self, _accepted_cost: f64) {}
 }

@@ -1,0 +1,91 @@
+//! Hot-path micro- and macro-benchmarks: contour placement, B*-tree packing,
+//! and end-to-end annealing throughput (moves/sec) per engine.
+//!
+//! The recorded trajectory lives in `BENCH_hotpath.json` at the repository
+//! root: every PR that touches the evaluation pipeline re-runs this bench and
+//! appends its numbers so regressions are visible in review.
+
+use apls_anneal::Schedule;
+use apls_bench::{random_dims, random_permutation};
+use apls_btree::{
+    pack_btree, pack_btree_into, BStarTree, BTreePlacer, HbTreePlacer, HbTreePlacerConfig,
+    PackScratch, PackedBTree,
+};
+use apls_circuit::benchmarks;
+use apls_geometry::Contour;
+use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Moves budget of the end-to-end engine benches; moves/sec = MOVES / time.
+const MOVES: u64 = 2000;
+
+fn bench_contour_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contour_place");
+    for &n in &[20usize, 100, 400] {
+        let dims = random_dims(n, 3);
+        group.bench_with_input(BenchmarkId::new("modules", n), &n, |b, _| {
+            b.iter(|| {
+                let mut contour = Contour::new();
+                let mut x = 0;
+                for (i, d) in dims.iter().enumerate() {
+                    // staircase of overlapping spans exercises splits + merges
+                    contour.place(x, d.w, d.h);
+                    x += if i % 3 == 0 { d.w / 2 } else { d.w };
+                }
+                contour.max_height()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_btree");
+    for &n in &[10usize, 50, 200] {
+        let dims = random_dims(n, 7);
+        let tree = BStarTree::balanced(&random_permutation(n, 17));
+        group.bench_with_input(BenchmarkId::new("alloc", n), &n, |b, _| {
+            b.iter(|| pack_btree(&tree, &dims));
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", n), &n, |b, _| {
+            let mut scratch = PackScratch::new();
+            let mut packed = PackedBTree::new();
+            b.iter(|| {
+                pack_btree_into(&mut scratch, &tree, &dims, &mut packed);
+                packed.area()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_moves");
+    group.sample_size(10);
+    let schedule = Schedule::geometric(1e6, 1.0, 0.95, 200).with_max_moves(MOVES);
+    let circuit = benchmarks::comparator_v2();
+
+    group.bench_with_input(
+        BenchmarkId::new("flat_btree_2000", circuit.module_count()),
+        &0,
+        |b, _| {
+            let config = HbTreePlacerConfig { seed: 3, schedule, ..HbTreePlacerConfig::default() };
+            let placer = BTreePlacer::new(&circuit.netlist, &circuit.constraints);
+            b.iter(|| placer.run(&config));
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("hbtree_2000", circuit.module_count()), &0, |b, _| {
+        let config = HbTreePlacerConfig { seed: 3, schedule, ..HbTreePlacerConfig::default() };
+        let placer = HbTreePlacer::new(&circuit);
+        b.iter(|| placer.run(&config));
+    });
+    group.bench_with_input(BenchmarkId::new("seqpair_2000", circuit.module_count()), &0, |b, _| {
+        let config = SeqPairPlacerConfig { seed: 3, schedule, ..SeqPairPlacerConfig::default() };
+        let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
+        b.iter(|| placer.run(&config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contour_place, bench_pack_btree, bench_engine_moves);
+criterion_main!(benches);

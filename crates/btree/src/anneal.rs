@@ -10,10 +10,13 @@
 //!   handling (symmetry enters the cost only as a penalty). It serves as the
 //!   baseline of the hierarchy ablation (experiment E10).
 
+use crate::hbtree::{HbPackScratch, HbUndoLog};
+use crate::pack::{pack_btree_into, PackScratch, PackedBTree};
+use crate::tree::TreeUndoLog;
 use crate::{pack_btree, BStarTree, HbTree};
 use apls_anneal::{AnnealState, AnnealStats, Annealer, Schedule};
 use apls_circuit::benchmarks::BenchmarkCircuit;
-use apls_circuit::{ConstraintSet, ModuleId, Netlist, Placement, PlacementMetrics};
+use apls_circuit::{ConstraintSet, ModuleId, NetAdjacency, Netlist, Placement, PlacementMetrics};
 use apls_geometry::Orientation;
 use rand::RngCore;
 
@@ -92,11 +95,16 @@ impl<'a> HbTreePlacer<'a> {
     pub fn run(&self, config: &HbTreePlacerConfig) -> HbTreeResult {
         let initial =
             HbTree::new(&self.circuit.netlist, &self.circuit.hierarchy, &self.circuit.constraints);
+        let module_count = initial.module_count();
         let mut state = HbState {
             tree: initial,
-            backup: None,
+            undo: HbUndoLog::default(),
+            #[cfg(debug_assertions)]
+            check: None,
             best: None,
-            netlist: &self.circuit.netlist,
+            adjacency: self.circuit.netlist.adjacency(),
+            scratch: HbPackScratch::new(),
+            placement: Placement::with_capacity(module_count),
             wirelength_weight: config.wirelength_weight,
         };
         let stats = Annealer::with_seed(config.seed).run(&mut state, &config.schedule);
@@ -108,46 +116,67 @@ impl<'a> HbTreePlacer<'a> {
     }
 }
 
-struct HbState<'a> {
+/// The HB*-tree annealing state on the zero-allocation hot path: packing goes
+/// through reusable scratch buffers, the cost skips the O(n²) overlap scan
+/// (HB*-tree packings are overlap-free by construction; `debug_assertions`
+/// builds still verify it), rejected moves are undone via the undo log instead
+/// of restoring a deep clone, and `commit` receives the already-evaluated cost
+/// from the driver so accepted moves never pack twice.
+struct HbState {
     tree: HbTree,
-    backup: Option<HbTree>,
+    undo: HbUndoLog,
+    /// Clone-based reference for the undo log, kept only in debug builds.
+    #[cfg(debug_assertions)]
+    check: Option<HbTree>,
     best: Option<(HbTree, f64)>,
-    netlist: &'a Netlist,
+    adjacency: NetAdjacency,
+    scratch: HbPackScratch,
+    placement: Placement,
     wirelength_weight: f64,
 }
 
-impl HbState<'_> {
-    fn evaluate(&self, tree: &HbTree) -> f64 {
-        let placement = tree.pack();
-        let metrics = placement.metrics(self.netlist);
-        metrics.bounding_area as f64 + self.wirelength_weight * metrics.wirelength
-    }
-}
-
-impl AnnealState for HbState<'_> {
-    fn cost(&self) -> f64 {
-        self.evaluate(&self.tree)
+impl AnnealState for HbState {
+    fn cost(&mut self) -> f64 {
+        self.tree.pack_into(&mut self.scratch, &mut self.placement);
+        debug_assert!(self.placement.is_complete());
+        #[cfg(debug_assertions)]
+        {
+            let rects: Vec<apls_geometry::Rect> = self.placement.rects().collect();
+            debug_assert_eq!(
+                apls_geometry::total_overlap_area(&rects),
+                0,
+                "HB*-tree packing produced overlapping modules"
+            );
+        }
+        self.placement.hot_cost(&self.adjacency, self.wirelength_weight)
     }
 
     fn propose(&mut self, rng: &mut dyn RngCore) {
-        self.backup = Some(self.tree.clone());
-        self.tree.perturb(rng);
+        #[cfg(debug_assertions)]
+        {
+            self.check = Some(self.tree.clone());
+        }
+        self.tree.perturb_logged(rng, &mut self.undo);
     }
 
     fn rollback(&mut self) {
-        if let Some(prev) = self.backup.take() {
-            self.tree = prev;
+        self.tree.undo(&mut self.undo);
+        #[cfg(debug_assertions)]
+        if let Some(prev) = self.check.take() {
+            debug_assert!(
+                self.tree == prev,
+                "undo-log rollback diverged from the clone-based reference"
+            );
         }
     }
 
-    fn commit(&mut self) {
-        let cost = self.evaluate(&self.tree);
+    fn commit(&mut self, accepted_cost: f64) {
         let better = match &self.best {
-            Some((_, c)) => cost < *c,
+            Some((_, c)) => accepted_cost < *c,
             None => true,
         };
         if better {
-            self.best = Some((self.tree.clone(), cost));
+            self.best = Some((self.tree.clone(), accepted_cost));
         }
     }
 }
@@ -179,10 +208,15 @@ impl<'a> BTreePlacer<'a> {
             self.netlist.modules().map(|(_, m)| m.rotation_allowed()).collect();
         let mut state = FlatState {
             tree: BStarTree::balanced(&modules),
-            backup: None,
+            undo: TreeUndoLog::default(),
+            #[cfg(debug_assertions)]
+            check: None,
             best: None,
-            netlist: self.netlist,
+            dims: self.netlist.default_dims(),
+            adjacency: self.netlist.adjacency(),
             rotatable,
+            scratch: PackScratch::new(),
+            packed: PackedBTree::new(),
             wirelength_weight: config.wirelength_weight,
         };
         let stats = Annealer::with_seed(config.seed).run(&mut state, &config.schedule);
@@ -197,55 +231,75 @@ impl<'a> BTreePlacer<'a> {
 fn flat_placement(netlist: &Netlist, tree: &BStarTree) -> Placement {
     let packed = pack_btree(tree, &netlist.default_dims());
     let mut placement = Placement::new(netlist);
-    for &(m, r) in packed.rects() {
-        let orientation = if tree.is_rotated(m) { Orientation::R90 } else { Orientation::R0 };
+    for (i, &(m, r)) in packed.rects().iter().enumerate() {
+        let orientation = if packed.rotated()[i] { Orientation::R90 } else { Orientation::R0 };
         placement.place(m, r, orientation, 0);
     }
     placement
 }
 
-struct FlatState<'a> {
+/// The flat B*-tree annealing state on the zero-allocation hot path: one
+/// `pack_btree_into` per proposal straight into reusable buffers, wirelength
+/// over the CSR pin adjacency with no intermediate placement, O(1) undo-log
+/// rollback, and a driver-supplied cost in `commit` (no second pack). The
+/// B*-tree packing anchors its bounding box at the origin, so the packed
+/// width/height are exactly the metrics bounding box of the equivalent
+/// placement.
+struct FlatState {
     tree: BStarTree,
-    backup: Option<BStarTree>,
+    undo: TreeUndoLog,
+    /// Clone-based reference for the undo log, kept only in debug builds.
+    #[cfg(debug_assertions)]
+    check: Option<BStarTree>,
     best: Option<(BStarTree, f64)>,
-    netlist: &'a Netlist,
+    dims: Vec<apls_geometry::Dims>,
+    adjacency: NetAdjacency,
     rotatable: Vec<bool>,
+    scratch: PackScratch,
+    packed: PackedBTree,
     wirelength_weight: f64,
 }
 
-impl FlatState<'_> {
-    fn evaluate(&self, tree: &BStarTree) -> f64 {
-        let placement = flat_placement(self.netlist, tree);
-        let metrics = placement.metrics(self.netlist);
-        metrics.bounding_area as f64 + self.wirelength_weight * metrics.wirelength
-    }
-}
-
-impl AnnealState for FlatState<'_> {
-    fn cost(&self) -> f64 {
-        self.evaluate(&self.tree)
+impl AnnealState for FlatState {
+    fn cost(&mut self) -> f64 {
+        pack_btree_into(&mut self.scratch, &self.tree, &self.dims, &mut self.packed);
+        let mut wirelength = 0.0;
+        for net in 0..self.adjacency.net_count() {
+            let net_length = apls_geometry::hpwl_filtered(
+                self.adjacency.pins(net).iter().map(|&m| self.packed.rect_of(m)),
+            );
+            wirelength += self.adjacency.weight(net) * net_length as f64;
+        }
+        self.packed.area() as f64 + self.wirelength_weight * wirelength
     }
 
     fn propose(&mut self, rng: &mut dyn RngCore) {
-        self.backup = Some(self.tree.clone());
-        let rotatable = self.rotatable.clone();
-        self.tree.perturb(rng, |m| rotatable[m.index()]);
+        #[cfg(debug_assertions)]
+        {
+            self.check = Some(self.tree.clone());
+        }
+        let rotatable = &self.rotatable;
+        self.tree.perturb_logged(rng, |m| rotatable[m.index()], &mut self.undo);
     }
 
     fn rollback(&mut self) {
-        if let Some(prev) = self.backup.take() {
-            self.tree = prev;
+        self.tree.undo(&mut self.undo);
+        #[cfg(debug_assertions)]
+        if let Some(prev) = self.check.take() {
+            debug_assert!(
+                self.tree == prev,
+                "undo-log rollback diverged from the clone-based reference"
+            );
         }
     }
 
-    fn commit(&mut self) {
-        let cost = self.evaluate(&self.tree);
+    fn commit(&mut self, accepted_cost: f64) {
         let better = match &self.best {
-            Some((_, c)) => cost < *c,
+            Some((_, c)) => accepted_cost < *c,
             None => true,
         };
         if better {
-            self.best = Some((self.tree.clone(), cost));
+            self.best = Some((self.tree.clone(), accepted_cost));
         }
     }
 }

@@ -20,7 +20,8 @@
 //! a simplification documented in DESIGN.md; pair halves still take arbitrary
 //! B*-tree shapes, which is where almost all of the packing freedom lies.
 
-use crate::{pack_btree, BStarTree};
+use crate::pack::{pack_btree_into, PackScratch, PackedBTree};
+use crate::BStarTree;
 use apls_circuit::{ModuleId, SymmetryGroup};
 use apls_geometry::{Coord, Dims, Rect};
 
@@ -32,6 +33,13 @@ pub struct SymmetryIsland {
     dims: Dims,
     /// Doubled x coordinate of the symmetry axis (island-relative).
     axis_x2: Coord,
+}
+
+impl Default for SymmetryIsland {
+    /// An empty island, ready to be filled by [`AsfBTree::pack_into`].
+    fn default() -> Self {
+        SymmetryIsland { rects: Vec::new(), dims: Dims::ZERO, axis_x2: 0 }
+    }
 }
 
 impl SymmetryIsland {
@@ -101,25 +109,55 @@ impl AsfBTree {
     /// self-symmetric modules are stacked *above* the mirrored halves, centred
     /// on the axis, so they do not widen the island.
     ///
+    /// Convenience wrapper over [`AsfBTree::pack_into`] that allocates fresh
+    /// scratch and output; hot loops should reuse both.
+    ///
     /// # Panics
     ///
     /// Panics if a group member's dimensions are missing from `dims`.
     #[must_use]
     pub fn pack(&self, dims: &[Dims]) -> SymmetryIsland {
-        // --- right half: pack the representatives --------------------------
-        let packed_half = pack_btree(&self.half_tree, dims);
-        let half_width = packed_half.width();
-        let pair_height = packed_half.height();
+        let mut scratch = PackScratch::new();
+        let mut half = PackedBTree::new();
+        let mut out = SymmetryIsland::default();
+        self.pack_into(dims, &mut scratch, &mut half, &mut out);
+        out
+    }
 
-        let self_widths: Vec<Coord> =
-            self.group.self_symmetric().iter().map(|m| dims[m.index()].w).collect();
-        let max_self_width = self_widths.iter().copied().max().unwrap_or(0);
+    /// Packs the island into reusable buffers — the allocation-free form of
+    /// [`AsfBTree::pack`] (identical output). `scratch` and `half` hold the
+    /// half-tree packing state; `out` receives the island.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group member's dimensions are missing from `dims`.
+    pub fn pack_into(
+        &self,
+        dims: &[Dims],
+        scratch: &mut PackScratch,
+        half: &mut PackedBTree,
+        out: &mut SymmetryIsland,
+    ) {
+        // --- right half: pack the representatives --------------------------
+        pack_btree_into(scratch, &self.half_tree, dims, half);
+        let half_width = half.width();
+        let pair_height = half.height();
+
+        let mut max_self_width: Coord = 0;
+        let mut first_self_width: Option<Coord> = None;
+        for &s in self.group.self_symmetric() {
+            let w = dims[s.index()].w;
+            if first_self_width.is_none() {
+                first_self_width = Some(w);
+            }
+            max_self_width = max_self_width.max(w);
+        }
 
         // island width: wide enough for both mirrored halves and the widest
         // self-symmetric module; parity chosen so the axis centres every
         // self-symmetric module exactly ((width - w_s) must be even).
         let mut width = (2 * half_width).max(max_self_width).max(1);
-        if let Some(&w0) = self_widths.first() {
+        if let Some(w0) = first_self_width {
             if (width - w0).rem_euclid(2) != 0 {
                 width += 1;
             }
@@ -127,15 +165,15 @@ impl AsfBTree {
         // doubled axis coordinate: the centre line of the island
         let axis_x2 = width;
 
-        let mut rects: Vec<(ModuleId, Rect)> = Vec::new();
+        out.rects.clear();
         // right half starts at the axis; left half is its mirror image
         let right_offset = width / 2 + (width % 2); // ceil(width / 2)
         for &(l, r) in self.group.pairs() {
-            let half_rect = packed_half.rect_of(l).expect("representative is in the half-tree");
+            let half_rect = half.rect_of(l).expect("representative is in the half-tree");
             let right_rect = half_rect.translated(apls_geometry::Point::new(right_offset, 0));
             let left_rect = right_rect.mirror_about_vertical_x2(axis_x2);
-            rects.push((r, right_rect));
-            rects.push((l, left_rect));
+            out.rects.push((r, right_rect));
+            out.rects.push((l, left_rect));
         }
         // self-symmetric modules stacked above the pair region, centred on the
         // axis
@@ -143,12 +181,13 @@ impl AsfBTree {
         for &s in self.group.self_symmetric() {
             let d = dims[s.index()];
             let x = (width - d.w) / 2;
-            rects.push((s, Rect::new(x, self_y, x + d.w, self_y + d.h)));
+            out.rects.push((s, Rect::new(x, self_y, x + d.w, self_y + d.h)));
             self_y += d.h;
         }
 
         let height = pair_height.max(self_y).max(1);
-        SymmetryIsland { rects, dims: Dims::new(width, height), axis_x2 }
+        out.dims = Dims::new(width, height);
+        out.axis_x2 = axis_x2;
     }
 }
 

@@ -21,9 +21,11 @@
 //! quantifies the impact by comparing against flat (non-hierarchical) B*-tree
 //! placement.
 
-use crate::asf::AsfBTree;
+use crate::asf::{AsfBTree, SymmetryIsland};
 use crate::common_centroid::generate_pattern;
-use crate::{pack_btree, BStarTree};
+use crate::pack::{pack_btree_into, PackScratch, PackedBTree};
+use crate::tree::TreeUndoLog;
+use crate::BStarTree;
 use apls_circuit::{
     ConstraintKind, ConstraintSet, HierarchyNode, HierarchyNodeId, HierarchyTree, ModuleId,
     Netlist, Placement,
@@ -72,6 +74,65 @@ pub struct HbTree {
     rotatable: Vec<bool>,
     /// Right-pair members per module index (for mirrored orientations).
     mirrored: Vec<bool>,
+    /// Hierarchy nodes that own a perturbable tree (ordinary sub-circuit or
+    /// symmetry-island half-tree). Node kinds never change during annealing,
+    /// so this is computed once instead of per move.
+    perturb_candidates: Vec<usize>,
+    /// Whether the packing *token* of a hierarchy node may be rotated: only
+    /// leaf tokens whose module allows rotation (rotating a sub-circuit block
+    /// would transpose its footprint without transposing its contents).
+    token_rotatable: Vec<bool>,
+}
+
+/// The inverse record of one [`HbTree::perturb_logged`] call: which hierarchy
+/// node was perturbed plus the undo log of its tree. Replayed by
+/// [`HbTree::undo`] in O(1) instead of deep-cloning the whole hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct HbUndoLog {
+    node: Option<usize>,
+    tree: TreeUndoLog,
+}
+
+/// Reusable working storage for [`HbTree::pack_into`]: per-node sub-placement
+/// buffers, the shared token-dimension table, contour/packing scratch, and a
+/// cache of the static (leaf and common-centroid) sub-placements, which never
+/// change during annealing.
+///
+/// A scratch belongs to one `HbTree` topology (clones of the same tree
+/// included): reusing it across different circuits gives wrong cached
+/// placements.
+#[derive(Debug, Clone, Default)]
+pub struct HbPackScratch {
+    /// `(module, rect, rotated)` triples per hierarchy node, block-relative.
+    node_rects: Vec<Vec<(ModuleId, Rect, bool)>>,
+    /// Footprint of each packed hierarchy node.
+    node_dims: Vec<Dims>,
+    /// Token dimension table shared by every `pack_btree_into` call (only the
+    /// current node's child entries are read, so no clearing is needed).
+    token_dims: Vec<Dims>,
+    pack: PackScratch,
+    packed: PackedBTree,
+    island: SymmetryIsland,
+    /// Marks leaf/common-centroid nodes whose sub-placement is already
+    /// computed; those never change, so they are packed exactly once.
+    static_done: Vec<bool>,
+}
+
+impl HbPackScratch {
+    /// Creates an empty scratch; buffers are sized lazily on the first pack.
+    #[must_use]
+    pub fn new() -> Self {
+        HbPackScratch::default()
+    }
+
+    fn ensure(&mut self, node_count: usize) {
+        if self.node_rects.len() < node_count {
+            self.node_rects.resize_with(node_count, Vec::new);
+            self.node_dims.resize(node_count, Dims::ZERO);
+            self.token_dims.resize(node_count, Dims::ZERO);
+            self.static_done.resize(node_count, false);
+        }
+    }
 }
 
 impl HbTree {
@@ -108,7 +169,31 @@ impl HbTree {
             kinds.push(Self::classify(netlist, hierarchy, constraints, id));
         }
 
-        HbTree { kinds, children, root, module_dims, module_count, rotatable, mirrored }
+        let perturb_candidates: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, NodeKind::Tree(_) | NodeKind::SymmetryIsland(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let token_rotatable: Vec<bool> = kinds
+            .iter()
+            .map(|k| match k {
+                NodeKind::Leaf(m) => rotatable[m.index()],
+                _ => false,
+            })
+            .collect();
+
+        HbTree {
+            kinds,
+            children,
+            root,
+            module_dims,
+            module_count,
+            rotatable,
+            mirrored,
+            perturb_candidates,
+            token_rotatable,
+        }
     }
 
     fn classify(
@@ -161,133 +246,150 @@ impl HbTree {
     /// Applies one random perturbation: pick a sub-circuit that owns a tree
     /// (ordinary node or symmetry-island half-tree) and perturb it.
     pub fn perturb(&mut self, rng: &mut dyn RngCore) {
-        let candidates: Vec<usize> = self
-            .kinds
-            .iter()
-            .enumerate()
-            .filter(|(_, k)| matches!(k, NodeKind::Tree(_) | NodeKind::SymmetryIsland(_)))
-            .map(|(i, _)| i)
-            .collect();
-        if candidates.is_empty() {
+        let mut log = HbUndoLog::default();
+        self.perturb_logged(rng, &mut log);
+    }
+
+    /// [`HbTree::perturb`] with an undo record for [`HbTree::undo`]. The RNG
+    /// consumption is identical to `perturb`, so logged and unlogged runs with
+    /// the same seed follow the same trajectory. Zero allocation: the
+    /// candidate list and token-rotatability table are precomputed at
+    /// construction (node kinds never change during annealing).
+    pub fn perturb_logged(&mut self, rng: &mut dyn RngCore, log: &mut HbUndoLog) {
+        log.node = None;
+        log.tree.reset();
+        if self.perturb_candidates.is_empty() {
             return;
         }
-        let pick = candidates[rng.gen_range(0..candidates.len())];
-        let rotatable = self.rotatable.clone();
-        // A token is rotatable only when it is a leaf whose module allows it:
-        // rotating a sub-circuit block would transpose its footprint without
-        // transposing its contents.
-        let kinds_snapshot: Vec<Option<ModuleId>> = self.kinds_leaf_modules();
+        let pick = self.perturb_candidates[rng.gen_range(0..self.perturb_candidates.len())];
+        log.node = Some(pick);
+        let token_rotatable = &self.token_rotatable;
         match &mut self.kinds[pick] {
             NodeKind::Tree(tree) => {
-                tree.perturb(rng, |token| {
-                    kinds_snapshot
-                        .get(token.index())
-                        .copied()
-                        .flatten()
-                        .map(|m| rotatable[m.index()])
-                        .unwrap_or(false)
-                });
+                tree.perturb_logged(
+                    rng,
+                    |token| token_rotatable.get(token.index()).copied().unwrap_or(false),
+                    &mut log.tree,
+                );
             }
             NodeKind::SymmetryIsland(asf) => {
-                asf.half_tree_mut().perturb(rng, |_| false);
+                asf.half_tree_mut().perturb_logged(rng, |_| false, &mut log.tree);
             }
             _ => {}
         }
     }
 
-    /// For every hierarchy node index, the module it represents when it is a
-    /// leaf.
-    fn kinds_leaf_modules(&self) -> Vec<Option<ModuleId>> {
-        self.kinds
-            .iter()
-            .map(|k| match k {
-                NodeKind::Leaf(m) => Some(*m),
-                _ => None,
-            })
-            .collect()
+    /// Replays the inverse of the perturbation recorded in `log`, restoring
+    /// the tree exactly. Consumes the log: a second call is a no-op.
+    pub fn undo(&mut self, log: &mut HbUndoLog) {
+        let Some(node) = log.node.take() else { return };
+        match &mut self.kinds[node] {
+            NodeKind::Tree(tree) => tree.undo(&mut log.tree),
+            NodeKind::SymmetryIsland(asf) => asf.half_tree_mut().undo(&mut log.tree),
+            _ => {}
+        }
     }
 
     /// Packs the hierarchy bottom-up into a placement.
+    ///
+    /// Convenience wrapper over [`HbTree::pack_into`] that allocates fresh
+    /// scratch and a fresh placement; hot loops should hold both and call
+    /// `pack_into` instead.
     #[must_use]
     pub fn pack(&self) -> Placement {
+        let mut scratch = HbPackScratch::new();
         let mut placement = Placement::with_capacity(self.module_count);
-        let sub = self.pack_node(self.root);
-        for (module, rect, rotated) in &sub.rects {
+        self.pack_into(&mut scratch, &mut placement);
+        placement
+    }
+
+    /// Packs the hierarchy bottom-up into a reusable placement using reusable
+    /// scratch buffers — the allocation-free form of [`HbTree::pack`]
+    /// (identical output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` has fewer slots than this tree's module count.
+    pub fn pack_into(&self, scratch: &mut HbPackScratch, placement: &mut Placement) {
+        scratch.ensure(self.kinds.len());
+        self.pack_node_into(self.root, scratch);
+        placement.clear();
+        for &(module, rect, rotated) in &scratch.node_rects[self.root] {
             let orientation = if self.mirrored[module.index()] {
                 Orientation::MY
-            } else if *rotated {
+            } else if rotated {
                 Orientation::R90
             } else {
                 Orientation::R0
             };
-            placement.place(*module, *rect, orientation, 0);
+            placement.place(module, rect, orientation, 0);
         }
-        placement
     }
 
-    fn pack_node(&self, node: usize) -> SubPlacement {
+    fn pack_node_into(&self, node: usize, scratch: &mut HbPackScratch) {
         match &self.kinds[node] {
             NodeKind::Leaf(module) => {
+                if scratch.static_done[node] {
+                    return;
+                }
                 let d = self.module_dims[module.index()];
-                SubPlacement {
-                    dims: d,
-                    rects: vec![(*module, Rect::from_dims(Point::ORIGIN, d), false)],
-                }
-            }
-            NodeKind::SymmetryIsland(asf) => {
-                let island = asf.pack(&self.module_dims);
-                SubPlacement {
-                    dims: island.dims(),
-                    rects: island.rects().iter().map(|&(m, r)| (m, r, false)).collect(),
-                }
+                scratch.node_dims[node] = d;
+                let out = &mut scratch.node_rects[node];
+                out.clear();
+                out.push((*module, Rect::from_dims(Point::ORIGIN, d), false));
+                scratch.static_done[node] = true;
             }
             NodeKind::CommonCentroid(group) => {
-                let pattern = generate_pattern(group, &self.module_dims);
-                SubPlacement {
-                    dims: pattern.dims(),
-                    rects: pattern.rects().iter().map(|&(m, r)| (m, r, false)).collect(),
+                if scratch.static_done[node] {
+                    return;
                 }
+                let pattern = generate_pattern(group, &self.module_dims);
+                scratch.node_dims[node] = pattern.dims();
+                let out = &mut scratch.node_rects[node];
+                out.clear();
+                out.extend(pattern.rects().iter().map(|&(m, r)| (m, r, false)));
+                scratch.static_done[node] = true;
+            }
+            NodeKind::SymmetryIsland(asf) => {
+                let HbPackScratch { node_rects, node_dims, pack, packed, island, .. } = scratch;
+                asf.pack_into(&self.module_dims, pack, packed, island);
+                node_dims[node] = island.dims();
+                let out = &mut node_rects[node];
+                out.clear();
+                out.extend(island.rects().iter().map(|&(m, r)| (m, r, false)));
             }
             NodeKind::Tree(tree) => {
                 // pack children first
-                let child_placements: Vec<(usize, SubPlacement)> =
-                    self.children[node].iter().map(|&c| (c, self.pack_node(c))).collect();
-                // token dims table indexed by hierarchy node index
-                let max_token = self.kinds.len();
-                let mut token_dims = vec![Dims::ZERO; max_token];
-                for (c, sub) in &child_placements {
-                    token_dims[*c] = sub.dims;
+                for &c in &self.children[node] {
+                    self.pack_node_into(c, scratch);
                 }
-                let packed = pack_btree(tree, &token_dims);
-                let mut rects = Vec::new();
-                for (token, rect) in packed.rects() {
+                let HbPackScratch { node_rects, node_dims, token_dims, pack, packed, .. } = scratch;
+                for &c in &self.children[node] {
+                    token_dims[c] = node_dims[c];
+                }
+                pack_btree_into(pack, tree, token_dims, packed);
+                // `node_rects[node]` is taken out so the child buffers can be
+                // read while the parent buffer is filled (no re-allocation:
+                // the taken Vec keeps its capacity and is put back)
+                let mut out = std::mem::take(&mut node_rects[node]);
+                out.clear();
+                for (i, (token, rect)) in packed.rects().iter().enumerate() {
                     let child = token.index();
-                    let sub = &child_placements
-                        .iter()
-                        .find(|(c, _)| *c == child)
-                        .expect("token corresponds to a child")
-                        .1;
                     if let NodeKind::Leaf(module) = &self.kinds[child] {
                         // leaf tokens may be rotated: the packed rect already
                         // has the transposed footprint
-                        rects.push((*module, *rect, tree.is_rotated(*token)));
+                        out.push((*module, *rect, packed.rotated()[i]));
                     } else {
-                        for (module, local, rot) in &sub.rects {
-                            rects.push((*module, local.translated(rect.origin()), *rot));
+                        for &(module, local, rot) in &node_rects[child] {
+                            out.push((module, local.translated(rect.origin()), rot));
                         }
                     }
                 }
-                SubPlacement { dims: packed.dims(), rects }
+                node_rects[node] = out;
+                node_dims[node] = packed.dims();
             }
         }
     }
-}
-
-/// A packed sub-circuit: block footprint plus module rectangles relative to
-/// the block origin. The `bool` marks modules that were rotated.
-struct SubPlacement {
-    dims: Dims,
-    rects: Vec<(ModuleId, Rect, bool)>,
 }
 
 fn node_id(index: usize) -> HierarchyNodeId {

@@ -48,6 +48,6 @@ mod pack;
 mod tree;
 
 pub use anneal::{BTreePlacer, BTreePlacerConfig, HbTreePlacer, HbTreePlacerConfig, HbTreeResult};
-pub use hbtree::HbTree;
-pub use pack::{pack_btree, PackedBTree};
-pub use tree::BStarTree;
+pub use hbtree::{HbPackScratch, HbTree, HbUndoLog};
+pub use pack::{pack_btree, pack_btree_into, PackScratch, PackedBTree};
+pub use tree::{BStarTree, TreeUndoLog};

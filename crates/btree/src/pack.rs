@@ -7,24 +7,47 @@ use apls_geometry::{Contour, Coord, Dims, Rect};
 
 /// The packed form of a B*-tree: one rectangle per module plus the floorplan
 /// extents.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Besides the pre-order rectangle list, the packing keeps a dense
+/// by-module-index table so [`PackedBTree::rect_of`] is a direct lookup
+/// instead of a linear scan, and a parallel rotation-flag list so consumers
+/// can recover orientations without re-querying the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PackedBTree {
     rects: Vec<(ModuleId, Rect)>,
+    /// Rotation flag of `rects[i]`, aligned with `rects`.
+    rotated: Vec<bool>,
+    /// Direct lookup table indexed by [`ModuleId::index`].
+    by_module: Vec<Option<Rect>>,
     width: Coord,
     height: Coord,
 }
 
 impl PackedBTree {
+    /// Creates an empty packing, ready to be filled by [`pack_btree_into`]
+    /// (and reused across calls without reallocating).
+    #[must_use]
+    pub fn new() -> Self {
+        PackedBTree::default()
+    }
+
     /// Rectangles in packing (pre-order) order.
     #[must_use]
     pub fn rects(&self) -> &[(ModuleId, Rect)] {
         &self.rects
     }
 
-    /// Rectangle of one module, if it was packed.
+    /// Rotation flags aligned with [`PackedBTree::rects`]: `rotated()[i]` is
+    /// `true` when `rects()[i]` was packed with the transposed footprint.
+    #[must_use]
+    pub fn rotated(&self) -> &[bool] {
+        &self.rotated
+    }
+
+    /// Rectangle of one module, if it was packed. Direct index lookup, O(1).
     #[must_use]
     pub fn rect_of(&self, module: ModuleId) -> Option<Rect> {
-        self.rects.iter().find(|(m, _)| *m == module).map(|(_, r)| *r)
+        self.by_module.get(module.index()).copied().flatten()
     }
 
     /// Floorplan width.
@@ -52,6 +75,28 @@ impl PackedBTree {
     }
 }
 
+/// Reusable working storage for [`pack_btree_into`].
+///
+/// Packing needs a contour and an x-interval table sized to the tree; both
+/// grow to their steady-state capacity on the first pack and are reused
+/// untouched afterwards, so repeated packing — the annealing hot loop —
+/// performs no heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct PackScratch {
+    contour: Contour,
+    /// `(x_min, x_max)` assigned so far, by arena index (parents are always
+    /// packed before their children in pre-order).
+    x_of: Vec<(Coord, Coord)>,
+}
+
+impl PackScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the first pack.
+    #[must_use]
+    pub fn new() -> Self {
+        PackScratch::default()
+    }
+}
+
 /// Packs a B*-tree against the contour.
 ///
 /// Pre-order traversal: the root is placed at the origin; a left child is
@@ -63,32 +108,54 @@ impl PackedBTree {
 ///
 /// `dims` is indexed by [`ModuleId::index`]; rotated nodes use the transposed
 /// footprint.
+///
+/// Convenience wrapper over [`pack_btree_into`] that allocates fresh scratch
+/// and output; hot loops should hold both and call `pack_btree_into` instead.
 #[must_use]
 pub fn pack_btree(tree: &BStarTree, dims: &[Dims]) -> PackedBTree {
-    let mut contour = Contour::new();
-    let mut rects: Vec<(ModuleId, Rect)> = Vec::with_capacity(tree.len());
-    // x positions assigned so far, by arena index
-    let mut x_of: Vec<Option<(Coord, Coord)>> = vec![None; tree.len()]; // (x_min, x_max)
-    let mut width = 0;
-    let mut height = 0;
+    let mut scratch = PackScratch::new();
+    let mut out = PackedBTree::new();
+    pack_btree_into(&mut scratch, tree, dims, &mut out);
+    out
+}
 
+/// Packs a B*-tree into a reusable [`PackedBTree`] using reusable scratch
+/// buffers — the allocation-free form of [`pack_btree`] (identical output).
+pub fn pack_btree_into(
+    scratch: &mut PackScratch,
+    tree: &BStarTree,
+    dims: &[Dims],
+    out: &mut PackedBTree,
+) {
+    scratch.contour.clear();
+    scratch.x_of.clear();
+    scratch.x_of.resize(tree.len(), (0, 0));
+    out.rects.clear();
+    out.rotated.clear();
+    out.by_module.clear();
+    out.by_module.resize(dims.len(), None);
+    out.width = 0;
+    out.height = 0;
+
+    let contour = &mut scratch.contour;
+    let x_of = &mut scratch.x_of;
     tree.walk_preorder(&mut |arena_idx, module, rotated, slot| {
         let base = dims[module.index()];
         let d = if rotated { base.rotated() } else { base };
         let x = match slot {
             Slot::Root => 0,
-            Slot::LeftChildOf(p) => x_of[p].expect("parent packed before child").1,
-            Slot::RightChildOf(p) => x_of[p].expect("parent packed before child").0,
+            Slot::LeftChildOf(p) => x_of[p].1,
+            Slot::RightChildOf(p) => x_of[p].0,
         };
         let y = contour.place(x, d.w, d.h);
         let rect = Rect::new(x, y, x + d.w, y + d.h);
-        x_of[arena_idx] = Some((x, x + d.w));
-        width = width.max(rect.x_max);
-        height = height.max(rect.y_max);
-        rects.push((module, rect));
+        x_of[arena_idx] = (x, x + d.w);
+        out.width = out.width.max(rect.x_max);
+        out.height = out.height.max(rect.y_max);
+        out.rects.push((module, rect));
+        out.rotated.push(rotated);
+        out.by_module[module.index()] = Some(rect);
     });
-
-    PackedBTree { rects, width, height }
 }
 
 #[cfg(test)]
@@ -155,6 +222,30 @@ mod tests {
                 assert!(r.x_min >= 0 && r.y_min >= 0);
                 assert!(r.x_max <= packed.width() && r.y_max <= packed.height());
             }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_packs_identically_to_the_allocating_path() {
+        let n = 12;
+        let modules = ids(n);
+        let dims: Vec<Dims> =
+            (0..n).map(|i| Dims::new(4 + (i as i64 * 5) % 25, 4 + (i as i64 * 11) % 20)).collect();
+        let mut tree = BStarTree::balanced(&modules);
+        let mut rng = SeededRng::new(77);
+        let mut scratch = PackScratch::new();
+        let mut reused = PackedBTree::new();
+        for _ in 0..200 {
+            tree.perturb(&mut rng, |_| true);
+            let fresh = pack_btree(&tree, &dims);
+            pack_btree_into(&mut scratch, &tree, &dims, &mut reused);
+            assert_eq!(fresh, reused);
+            // the by-module index agrees with the linear list
+            for (i, &(m, r)) in fresh.rects().iter().enumerate() {
+                assert_eq!(reused.rect_of(m), Some(r));
+                assert_eq!(reused.rotated()[i], fresh.rotated()[i]);
+            }
+            assert_eq!(reused.rect_of(ModuleId::from_index(n + 5)), None);
         }
     }
 

@@ -46,6 +46,58 @@ pub struct BStarTree {
     root: Option<usize>,
 }
 
+/// The inverse record of one perturbation, replayed by [`BStarTree::undo`].
+///
+/// One log undoes exactly one perturbation (the annealing engine guarantees
+/// rollbacks only target the most recent proposal), so a state owns a single
+/// reusable log: recording overwrites it, undoing consumes it. The embedded
+/// swap buffer is reused across moves, which is what makes rollback
+/// allocation-free in steady state — O(1) structural work plus the sink-swap
+/// chain, instead of a full deep clone of the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeUndoLog {
+    kind: UndoKind,
+    /// The module/rotation swaps `move_node` performed while sinking the moved
+    /// node to a leaf, in application order (each swap is its own inverse).
+    swaps: Vec<(usize, usize)>,
+}
+
+impl TreeUndoLog {
+    /// Returns `true` when the log holds nothing to undo (the last recorded
+    /// perturbation was a no-op, or the log was already consumed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kind == UndoKind::None
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.kind = UndoKind::None;
+        self.swaps.clear();
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum UndoKind {
+    /// Nothing to undo.
+    #[default]
+    None,
+    /// The rotation flag of this arena node was toggled.
+    Rotate(usize),
+    /// The payloads of these two arena nodes were swapped.
+    Swap(usize, usize),
+    /// A `move_node`: after the sink swaps, the node at arena index `leaf`
+    /// was detached from `old_parent` and reattached under `target`,
+    /// displacing `displaced` into the leaf's left slot.
+    Move {
+        leaf: usize,
+        old_parent: usize,
+        old_as_left: bool,
+        target: usize,
+        new_as_left: bool,
+        displaced: Option<usize>,
+    },
+}
+
 impl BStarTree {
     /// Builds a degenerate tree where every module is the left child of the
     /// previous one: the packing is a single row.
@@ -210,6 +262,21 @@ impl BStarTree {
         target_module: ModuleId,
         as_left_child: bool,
     ) -> bool {
+        let mut log = TreeUndoLog::default();
+        self.move_node_logged(module, target_module, as_left_child, &mut log)
+    }
+
+    /// [`BStarTree::move_node`] with an undo record: on success `log` holds
+    /// the exact inverse of the move for [`BStarTree::undo`]; on failure the
+    /// log is left empty.
+    pub fn move_node_logged(
+        &mut self,
+        module: ModuleId,
+        target_module: ModuleId,
+        as_left_child: bool,
+        log: &mut TreeUndoLog,
+    ) -> bool {
+        log.reset();
         if module == target_module || self.nodes.len() < 2 {
             return false;
         }
@@ -222,12 +289,14 @@ impl BStarTree {
         let mut idx = self.nodes.iter().position(|n| n.module == module).expect("checked above");
         while let Some(child) = self.nodes[idx].left.or(self.nodes[idx].right) {
             self.swap_modules(idx, child);
+            log.swaps.push((idx, child));
             idx = child;
         }
         // 2. detach the leaf (it always has a parent: a childless root would
         //    mean a single-node tree, excluded above)
         let parent = self.nodes[idx].parent.expect("leaf of a multi-node tree has a parent");
-        if self.nodes[parent].left == Some(idx) {
+        let old_as_left = self.nodes[parent].left == Some(idx);
+        if old_as_left {
             self.nodes[parent].left = None;
         } else {
             self.nodes[parent].right = None;
@@ -248,8 +317,64 @@ impl BStarTree {
             self.nodes[idx].left = Some(d);
             self.nodes[d].parent = Some(idx);
         }
+        log.kind = UndoKind::Move {
+            leaf: idx,
+            old_parent: parent,
+            old_as_left,
+            target,
+            new_as_left: as_left_child,
+            displaced,
+        };
         debug_assert!(self.validate().is_ok());
         true
+    }
+
+    /// Replays the inverse of the perturbation recorded in `log`, restoring
+    /// the tree to its exact pre-perturbation state in O(1) structural work
+    /// (plus the sink-swap chain of a move). Consumes the log: a second call
+    /// is a no-op.
+    pub fn undo(&mut self, log: &mut TreeUndoLog) {
+        match log.kind {
+            UndoKind::None => {}
+            UndoKind::Rotate(idx) => {
+                self.nodes[idx].rotated = !self.nodes[idx].rotated;
+            }
+            UndoKind::Swap(a, b) => {
+                self.swap_modules(a, b);
+            }
+            UndoKind::Move { leaf, old_parent, old_as_left, target, new_as_left, displaced } => {
+                // detach the leaf from its new position under `target`
+                if new_as_left {
+                    self.nodes[target].left = None;
+                } else {
+                    self.nodes[target].right = None;
+                }
+                self.nodes[leaf].parent = None;
+                // restore the displaced child to its old slot under `target`
+                if let Some(d) = displaced {
+                    self.nodes[leaf].left = None;
+                    if new_as_left {
+                        self.nodes[target].left = Some(d);
+                    } else {
+                        self.nodes[target].right = Some(d);
+                    }
+                    self.nodes[d].parent = Some(target);
+                }
+                // reattach the leaf under its old parent
+                if old_as_left {
+                    self.nodes[old_parent].left = Some(leaf);
+                } else {
+                    self.nodes[old_parent].right = Some(leaf);
+                }
+                self.nodes[leaf].parent = Some(old_parent);
+                // unwind the sink swaps (each is its own inverse)
+                for &(a, b) in log.swaps.iter().rev() {
+                    self.swap_modules(a, b);
+                }
+                debug_assert!(self.validate().is_ok());
+            }
+        }
+        log.reset();
     }
 
     /// Grafts a copy of `other` into this tree: `other`'s root becomes the
@@ -311,6 +436,21 @@ impl BStarTree {
     /// `rotatable` decides whether a module may be rotated (modules under
     /// matching constraints usually may not).
     pub fn perturb<F: Fn(ModuleId) -> bool>(&mut self, rng: &mut dyn RngCore, rotatable: F) {
+        let mut log = TreeUndoLog::default();
+        self.perturb_logged(rng, rotatable, &mut log);
+    }
+
+    /// [`BStarTree::perturb`] with an undo record: after the call `log` holds
+    /// the exact inverse of whatever was applied (possibly nothing), ready for
+    /// [`BStarTree::undo`]. The RNG consumption is identical to `perturb`, so
+    /// logged and unlogged runs with the same seed follow the same trajectory.
+    pub fn perturb_logged<F: Fn(ModuleId) -> bool>(
+        &mut self,
+        rng: &mut dyn RngCore,
+        rotatable: F,
+        log: &mut TreeUndoLog,
+    ) {
+        log.reset();
         let n = self.nodes.len();
         if n == 0 {
             return;
@@ -321,9 +461,11 @@ impl BStarTree {
                 let module = self.nodes[idx].module;
                 if rotatable(module) {
                     self.nodes[idx].rotated = !self.nodes[idx].rotated;
+                    log.kind = UndoKind::Rotate(idx);
                 } else if n >= 2 {
                     let j = (idx + 1 + rng.gen_range(0..n - 1)) % n;
                     self.swap_modules(idx, j);
+                    log.kind = UndoKind::Swap(idx, j);
                 }
             }
             1 => {
@@ -331,6 +473,7 @@ impl BStarTree {
                     let a = rng.gen_range(0..n);
                     let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
                     self.swap_modules(a, b);
+                    log.kind = UndoKind::Swap(a, b);
                 }
             }
             _ => {
@@ -340,7 +483,7 @@ impl BStarTree {
                     let module = self.nodes[idx].module;
                     let target_module = self.nodes[other].module;
                     let as_left = rng.gen_bool(0.5);
-                    self.move_node(module, target_module, as_left);
+                    self.move_node_logged(module, target_module, as_left, log);
                 }
             }
         }
@@ -484,6 +627,55 @@ mod tests {
             pre.sort();
             assert_eq!(pre, ids(12), "lost module after step {step}");
         }
+    }
+
+    #[test]
+    fn undo_restores_the_exact_tree_after_any_perturbation() {
+        let mut tree = BStarTree::balanced(&ids(12));
+        let mut rng = SeededRng::new(123);
+        let mut log = TreeUndoLog::default();
+        for step in 0..2000 {
+            let before = tree.clone();
+            tree.perturb_logged(&mut rng, |m| m.index() % 2 == 0, &mut log);
+            tree.undo(&mut log);
+            assert_eq!(tree, before, "undo mismatch at step {step}");
+            assert!(log.is_empty());
+            // drift so the next iteration starts from a new shape
+            tree.perturb(&mut rng, |_| true);
+        }
+    }
+
+    #[test]
+    fn undo_of_an_explicit_move_restores_structure() {
+        let mut tree = BStarTree::balanced(&ids(8));
+        let before = tree.clone();
+        let mut log = TreeUndoLog::default();
+        assert!(tree.move_node_logged(
+            ModuleId::from_index(1),
+            ModuleId::from_index(6),
+            true,
+            &mut log
+        ));
+        assert_ne!(tree, before);
+        tree.undo(&mut log);
+        assert_eq!(tree, before);
+        // a consumed log is a no-op
+        tree.undo(&mut log);
+        assert_eq!(tree, before);
+    }
+
+    #[test]
+    fn logged_and_unlogged_perturbations_share_the_rng_trajectory() {
+        let mut plain = BStarTree::balanced(&ids(9));
+        let mut logged = BStarTree::balanced(&ids(9));
+        let mut rng_a = SeededRng::new(7);
+        let mut rng_b = SeededRng::new(7);
+        let mut log = TreeUndoLog::default();
+        for _ in 0..500 {
+            plain.perturb(&mut rng_a, |m| m.index() != 3);
+            logged.perturb_logged(&mut rng_b, |m| m.index() != 3, &mut log);
+        }
+        assert_eq!(plain, logged);
     }
 
     #[test]

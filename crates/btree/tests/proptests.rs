@@ -2,7 +2,7 @@
 
 use apls_anneal::rng::SeededRng;
 use apls_btree::asf::AsfBTree;
-use apls_btree::{pack_btree, BStarTree, HbTree};
+use apls_btree::{pack_btree, BStarTree, HbTree, HbUndoLog, TreeUndoLog};
 use apls_circuit::benchmarks::{generate, GeneratorConfig};
 use apls_circuit::{Module, ModuleId, Netlist, Placement, SymmetryGroup};
 use apls_geometry::{total_overlap_area, Dims, Orientation, Rect};
@@ -78,6 +78,63 @@ proptest! {
         for (_, r) in island.rects() {
             prop_assert!(r.x_min >= 0 && r.y_min >= 0);
             prop_assert!(r.x_max <= island.dims().w && r.y_max <= island.dims().h);
+        }
+    }
+
+    /// Undo-log rollback restores a B*-tree to its exact pre-perturbation
+    /// state from any reachable shape, under any rotatability predicate.
+    #[test]
+    fn undo_log_restores_trees_exactly(
+        n in 2usize..24,
+        seed in 0u64..1000,
+        drift in 0usize..40,
+        checks in 1usize..40,
+        rotatable_mask in 0u32..u32::MAX,
+    ) {
+        let modules = ids(n);
+        let mut tree = BStarTree::balanced(&modules);
+        let mut rng = SeededRng::new(seed);
+        for _ in 0..drift {
+            tree.perturb(&mut rng, |_| true);
+        }
+        let mut log = TreeUndoLog::default();
+        for _ in 0..checks {
+            let before = tree.clone();
+            tree.perturb_logged(
+                &mut rng,
+                |m| rotatable_mask & (1 << (m.index() % 32)) != 0,
+                &mut log,
+            );
+            tree.undo(&mut log);
+            prop_assert_eq!(&tree, &before);
+            prop_assert!(log.is_empty());
+            prop_assert!(tree.validate().is_ok());
+            // drift one applied step so every check starts from a new shape
+            tree.perturb(&mut rng, |_| true);
+        }
+    }
+
+    /// Undo-log rollback restores a whole HB*-tree (hierarchy, symmetry
+    /// islands included) exactly, on randomly generated circuits.
+    #[test]
+    fn undo_log_restores_hbtrees_exactly(
+        module_count in 6usize..30,
+        seed in 0u64..300,
+        checks in 1usize..25,
+    ) {
+        let circuit = generate(
+            "prop-undo",
+            GeneratorConfig { module_count, seed, ..GeneratorConfig::default() },
+        );
+        let mut hb = HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints);
+        let mut rng = SeededRng::new(seed ^ 0xBEEF);
+        let mut log = HbUndoLog::default();
+        for _ in 0..checks {
+            let before = hb.clone();
+            hb.perturb_logged(&mut rng, &mut log);
+            hb.undo(&mut log);
+            prop_assert_eq!(&hb, &before);
+            hb.perturb(&mut rng);
         }
     }
 

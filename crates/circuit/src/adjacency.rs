@@ -1,0 +1,128 @@
+//! CSR-style pin adjacency for allocation-free wirelength evaluation.
+
+use crate::{ModuleId, Netlist};
+
+/// A compressed (CSR-style) view of a netlist's pins: one flat pin array plus
+/// per-net offsets and weights.
+///
+/// The annealing hot loop evaluates per-net HPWL thousands of times per
+/// second; walking [`crate::Net::pins`] through the netlist works but touches
+/// one heap object per net and tempts callers into collecting per-net `Vec`s
+/// of pin rectangles. `NetAdjacency` flattens the whole pin structure into
+/// three cache-friendly arrays once, so every subsequent wirelength evaluation
+/// is a linear scan with zero allocation.
+///
+/// The adjacency is a snapshot: build it after the netlist is fully
+/// constructed (engines do this once per run).
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{Module, NetAdjacency, Netlist};
+/// use apls_geometry::Dims;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_module(Module::new("A", Dims::new(10, 10)));
+/// let b = nl.add_module(Module::new("B", Dims::new(10, 10)));
+/// nl.add_net("n", [a, b]);
+/// let adj = NetAdjacency::new(&nl);
+/// assert_eq!(adj.net_count(), 1);
+/// assert_eq!(adj.pins(0), &[a, b]);
+/// assert_eq!(adj.weight(0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetAdjacency {
+    /// `offsets[i]..offsets[i + 1]` indexes the pins of net `i`.
+    offsets: Vec<u32>,
+    /// All pins of all nets, net-major, in net/pin declaration order.
+    pins: Vec<ModuleId>,
+    /// One wirelength weight per net.
+    weights: Vec<f64>,
+}
+
+impl NetAdjacency {
+    /// Builds the adjacency snapshot of a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist holds more than `u32::MAX` pins in total.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let total_pins: usize = netlist.nets().map(|(_, n)| n.pins().len()).sum();
+        let mut offsets = Vec::with_capacity(netlist.net_count() + 1);
+        let mut pins = Vec::with_capacity(total_pins);
+        let mut weights = Vec::with_capacity(netlist.net_count());
+        offsets.push(0);
+        for (_, net) in netlist.nets() {
+            pins.extend_from_slice(net.pins());
+            offsets.push(u32::try_from(pins.len()).expect("pin count fits in u32"));
+            weights.push(net.weight());
+        }
+        NetAdjacency { offsets, pins, weights }
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Pins of net `net`, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn pins(&self, net: usize) -> &[ModuleId] {
+        &self.pins[self.offsets[net] as usize..self.offsets[net + 1] as usize]
+    }
+
+    /// Wirelength weight of net `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn weight(&self, net: usize) -> f64 {
+        self.weights[net]
+    }
+
+    /// Total number of pins over all nets.
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Module, Net};
+    use apls_geometry::Dims;
+
+    #[test]
+    fn csr_layout_mirrors_the_netlist() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_module(Module::new("A", Dims::new(5, 5)));
+        let b = nl.add_module(Module::new("B", Dims::new(5, 5)));
+        let c = nl.add_module(Module::new("C", Dims::new(5, 5)));
+        nl.add_net("n0", [a, b]);
+        nl.add_weighted_net(Net::new("n1", vec![a, b, c]).with_weight(2.5));
+        nl.add_net("n2", []);
+        let adj = NetAdjacency::new(&nl);
+        assert_eq!(adj.net_count(), 3);
+        assert_eq!(adj.pin_count(), 5);
+        assert_eq!(adj.pins(0), &[a, b]);
+        assert_eq!(adj.pins(1), &[a, b, c]);
+        assert_eq!(adj.pins(2), &[]);
+        assert_eq!(adj.weight(1), 2.5);
+        assert_eq!(adj.weight(2), 1.0);
+    }
+
+    #[test]
+    fn empty_netlist_yields_empty_adjacency() {
+        let adj = NetAdjacency::new(&Netlist::new("empty"));
+        assert_eq!(adj.net_count(), 0);
+        assert_eq!(adj.pin_count(), 0);
+    }
+}

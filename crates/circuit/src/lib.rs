@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjacency;
 pub mod benchmarks;
 pub mod constraint;
 pub mod hierarchy;
@@ -41,6 +42,7 @@ mod net;
 mod netlist;
 mod placement;
 
+pub use adjacency::NetAdjacency;
 pub use constraint::{
     CommonCentroidGroup, ConstraintKind, ConstraintSet, ProximityGroup, SymmetryGroup, SymmetryRole,
 };

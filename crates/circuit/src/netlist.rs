@@ -152,6 +152,14 @@ impl Netlist {
     pub fn default_dims(&self) -> Vec<Dims> {
         self.modules.iter().map(Module::dims).collect()
     }
+
+    /// Builds the CSR-style pin adjacency snapshot of this netlist (see
+    /// [`crate::NetAdjacency`]). Engines call this once per run and reuse the
+    /// snapshot for every allocation-free wirelength evaluation.
+    #[must_use]
+    pub fn adjacency(&self) -> crate::NetAdjacency {
+        crate::NetAdjacency::new(self)
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Placement results and quality metrics.
 
-use crate::{ConstraintSet, ModuleId, Netlist};
-use apls_geometry::{hpwl, total_overlap_area, BoundingBox, Coord, Orientation, Rect};
+use crate::{ConstraintSet, ModuleId, NetAdjacency, Netlist};
+use apls_geometry::{hpwl_filtered, total_overlap_area, BoundingBox, Coord, Orientation, Rect};
 use serde::{Deserialize, Serialize};
 
 /// The placed instance of one module: its rectangle, orientation and the shape
@@ -131,10 +131,16 @@ impl Placement {
             .filter_map(|(i, s)| s.as_ref().map(|p| (ModuleId::from_index(i), p)))
     }
 
-    /// Rectangles of all placed modules, in module-id order.
-    #[must_use]
-    pub fn rects(&self) -> Vec<Rect> {
-        self.slots.iter().filter_map(|s| s.as_ref().map(|p| p.rect)).collect()
+    /// Rectangles of all placed modules, in module-id order (no intermediate
+    /// allocation).
+    pub fn rects(&self) -> impl Iterator<Item = Rect> + '_ {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|p| p.rect))
+    }
+
+    /// Resets every slot to unplaced, keeping the buffer for reuse in hot
+    /// loops (the counterpart of [`Placement::with_capacity`]).
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
     }
 
     /// Translates every placed module by `(dx, dy)`.
@@ -147,24 +153,59 @@ impl Placement {
     /// Normalises the placement so that its bounding box is anchored at the
     /// origin.
     pub fn normalize(&mut self) {
-        let bb: BoundingBox = self.rects().into_iter().collect();
-        if let Some(r) = bb.to_rect() {
+        if let Some(r) = self.bounding_rect() {
             self.translate(-r.x_min, -r.y_min);
         }
     }
 
     /// Bounding rectangle of the placed modules (`None` when nothing is
-    /// placed).
+    /// placed). Accumulated by direct iteration — no intermediate `Vec`.
     #[must_use]
     pub fn bounding_rect(&self) -> Option<Rect> {
-        let bb: BoundingBox = self.rects().into_iter().collect();
+        let mut bb = BoundingBox::new();
+        for r in self.rects() {
+            bb.include_rect(&r);
+        }
         bb.to_rect()
+    }
+
+    /// HPWL of one net given its pins, skipping unplaced pins, without
+    /// collecting the pin rectangles (the shared
+    /// [`apls_geometry::hpwl_filtered`] kernel over the placement slots).
+    fn net_hpwl(&self, pins: &[ModuleId]) -> Coord {
+        hpwl_filtered(pins.iter().map(|&m| self.get(m).map(|p| p.rect)))
+    }
+
+    /// Weighted HPWL over all nets of a CSR adjacency snapshot, with zero
+    /// allocation. Equals the `wirelength` field of [`Placement::metrics`]
+    /// bit for bit (same net order, same accumulation).
+    #[must_use]
+    pub fn wirelength_with(&self, adjacency: &NetAdjacency) -> f64 {
+        let mut wirelength = 0.0;
+        for net in 0..adjacency.net_count() {
+            wirelength += adjacency.weight(net) * self.net_hpwl(adjacency.pins(net)) as f64;
+        }
+        wirelength
+    }
+
+    /// The annealing-loop cost of this placement: bounding-box area plus the
+    /// weighted HPWL, with zero allocation and **without** the O(n²) overlap
+    /// scan (overlap-freedom is structural for the topological encodings; the
+    /// full check stays in [`Placement::metrics`] for final reporting and
+    /// debug assertions).
+    #[must_use]
+    pub fn hot_cost(&self, adjacency: &NetAdjacency, wirelength_weight: f64) -> f64 {
+        let mut bb = BoundingBox::new();
+        for r in self.rects() {
+            bb.include_rect(&r);
+        }
+        bb.area() as f64 + wirelength_weight * self.wirelength_with(adjacency)
     }
 
     /// Computes the quality metrics of this placement against its netlist.
     #[must_use]
     pub fn metrics(&self, netlist: &Netlist) -> PlacementMetrics {
-        let rects = self.rects();
+        let rects: Vec<Rect> = self.rects().collect();
         let bb: BoundingBox = rects.iter().copied().collect();
         let bounding_area = bb.area();
         let total_area = netlist.total_module_area();
@@ -173,9 +214,7 @@ impl Placement {
 
         let mut wirelength = 0.0;
         for (_, net) in netlist.nets() {
-            let pin_rects: Vec<Rect> =
-                net.pins().iter().filter_map(|&m| self.get(m).map(|p| p.rect)).collect();
-            wirelength += net.weight() * hpwl(&pin_rects) as f64;
+            wirelength += net.weight() * self.net_hpwl(net.pins()) as f64;
         }
 
         PlacementMetrics {
@@ -277,6 +316,32 @@ mod tests {
         let bb = p.bounding_rect().unwrap();
         assert_eq!(bb.x_min, 0);
         assert_eq!(bb.y_min, 0);
+    }
+
+    #[test]
+    fn hot_cost_matches_metrics_cost() {
+        let (mut nl, ids) = netlist3();
+        nl.add_net("n1", [ids[0], ids[1]]);
+        nl.add_net("n2", [ids[0], ids[1], ids[2]]);
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(ids[1], Rect::new(10, 0, 30, 10), Orientation::R0, 0);
+        p.place(ids[2], Rect::new(30, 0, 40, 30), Orientation::R0, 0);
+        let adj = nl.adjacency();
+        let m = p.metrics(&nl);
+        let w = 0.75;
+        assert_eq!(p.wirelength_with(&adj), m.wirelength);
+        assert_eq!(p.hot_cost(&adj, w), m.bounding_area as f64 + w * m.wirelength);
+    }
+
+    #[test]
+    fn clear_resets_all_slots_for_reuse() {
+        let (nl, ids) = netlist3();
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.clear();
+        assert_eq!(p.placed_count(), 0);
+        assert_eq!(p.bounding_rect(), None);
     }
 
     #[test]

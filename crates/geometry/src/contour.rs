@@ -52,18 +52,26 @@ impl Contour {
         Contour { segments: Vec::new() }
     }
 
+    /// Resets the contour to the empty skyline, keeping the segment buffer
+    /// allocated so repeated packings stop allocating once warmed up.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
     /// Maximum skyline height over the half-open interval `[x_start, x_end)`.
     ///
-    /// Intervals not covered by any placed module have height 0.
+    /// Intervals not covered by any placed module have height 0. The segments
+    /// are sorted and disjoint, so the overlapping range is found by binary
+    /// search.
     #[must_use]
     pub fn height_over(&self, x_start: Coord, x_end: Coord) -> Coord {
         debug_assert!(x_end >= x_start);
-        self.segments
-            .iter()
-            .filter(|s| s.x_start < x_end && x_start < s.x_end)
-            .map(|s| s.y)
-            .max()
-            .unwrap_or(0)
+        let lo = self.segments.partition_point(|s| s.x_end <= x_start);
+        let hi = self.segments.partition_point(|s| s.x_start < x_end);
+        if lo >= hi {
+            return 0;
+        }
+        self.segments[lo..hi].iter().map(|s| s.y).max().unwrap_or(0)
     }
 
     /// Places a module of width `w` and height `h` with its left edge at `x`,
@@ -78,39 +86,55 @@ impl Contour {
     /// Raises the skyline to exactly `y` over `[x_start, x_end)`, replacing
     /// whatever was there (callers must ensure `y` is not lower than the
     /// existing skyline, which [`Contour::place`] guarantees).
+    ///
+    /// The update splices the affected segment range in place: at most the
+    /// first and last overlapped segments survive as remainders, so the
+    /// replacement is a bounded-size window and the segment buffer is never
+    /// rebuilt (no allocation once its capacity has warmed up).
     fn raise(&mut self, x_start: Coord, x_end: Coord, y: Coord) {
         if x_start >= x_end {
             return;
         }
-        let mut next: Vec<ContourSegment> = Vec::with_capacity(self.segments.len() + 2);
-        for &seg in &self.segments {
-            if seg.x_end <= x_start || seg.x_start >= x_end {
-                next.push(seg);
-                continue;
-            }
-            // left remainder
-            if seg.x_start < x_start {
-                next.push(ContourSegment { x_start: seg.x_start, x_end: x_start, y: seg.y });
-            }
-            // right remainder
-            if seg.x_end > x_end {
-                next.push(ContourSegment { x_start: x_end, x_end: seg.x_end, y: seg.y });
+        // [lo, hi) = segments overlapping [x_start, x_end)
+        let lo = self.segments.partition_point(|s| s.x_end <= x_start);
+        let hi = self.segments.partition_point(|s| s.x_start < x_end);
+        let new_seg = ContourSegment { x_start, x_end, y };
+        let mut repl = [new_seg; 3];
+        let mut repl_len = 0;
+        if lo < hi && self.segments[lo].x_start < x_start {
+            repl[repl_len] = ContourSegment {
+                x_start: self.segments[lo].x_start,
+                x_end: x_start,
+                y: self.segments[lo].y,
+            };
+            repl_len += 1;
+        }
+        repl[repl_len] = new_seg;
+        repl_len += 1;
+        if lo < hi && self.segments[hi - 1].x_end > x_end {
+            repl[repl_len] = ContourSegment {
+                x_start: x_end,
+                x_end: self.segments[hi - 1].x_end,
+                y: self.segments[hi - 1].y,
+            };
+            repl_len += 1;
+        }
+        self.segments.splice(lo..hi, repl[..repl_len].iter().copied());
+        // merge equal-height neighbours, which can only appear at the joints
+        // of the spliced window (the rest of the contour was already merged)
+        let mut i = lo.saturating_sub(1);
+        let mut end = lo + repl_len;
+        while i + 1 < self.segments.len() && i < end {
+            if self.segments[i].x_end == self.segments[i + 1].x_start
+                && self.segments[i].y == self.segments[i + 1].y
+            {
+                self.segments[i].x_end = self.segments[i + 1].x_end;
+                self.segments.remove(i + 1);
+                end -= 1;
+            } else {
+                i += 1;
             }
         }
-        next.push(ContourSegment { x_start, x_end, y });
-        next.sort_by_key(|s| s.x_start);
-        // merge adjacent segments of equal height
-        let mut merged: Vec<ContourSegment> = Vec::with_capacity(next.len());
-        for seg in next {
-            if let Some(last) = merged.last_mut() {
-                if last.x_end == seg.x_start && last.y == seg.y {
-                    last.x_end = seg.x_end;
-                    continue;
-                }
-            }
-            merged.push(seg);
-        }
-        self.segments = merged;
     }
 
     /// Highest point of the skyline (0 for an empty contour).
@@ -193,6 +217,29 @@ mod tests {
         c.place(5, 5, 3);
         assert_eq!(c.segments().len(), 1);
         assert_eq!(c.segments()[0], ContourSegment { x_start: 0, x_end: 10, y: 3 });
+    }
+
+    #[test]
+    fn clear_resets_to_empty_skyline() {
+        let mut c = Contour::new();
+        c.place(0, 10, 5);
+        c.place(5, 10, 5);
+        c.clear();
+        assert_eq!(c.segments().len(), 0);
+        assert_eq!(c.height_over(0, 100), 0);
+        assert_eq!(c.place(0, 4, 4), 0);
+    }
+
+    #[test]
+    fn raise_to_equal_height_merges_across_the_joint() {
+        let mut c = Contour::new();
+        c.place(0, 5, 3);
+        // zero-height placement on an adjacent span lands at y = 0 and raises
+        // to 0 + 3 == 3 via a second module of height 3
+        c.place(5, 5, 3);
+        c.place(10, 5, 3);
+        assert_eq!(c.segments().len(), 1);
+        assert_eq!(c.segments()[0], ContourSegment { x_start: 0, x_end: 15, y: 3 });
     }
 
     #[test]

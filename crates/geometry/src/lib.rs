@@ -43,7 +43,7 @@ pub use dims::Dims;
 pub use orientation::Orientation;
 pub use point::Point;
 pub use rect::{overlap_area, total_overlap_area, Rect};
-pub use wirelength::{hpwl, hpwl_of_points};
+pub use wirelength::{hpwl, hpwl_filtered, hpwl_of_points};
 
 /// Database-unit coordinate type used throughout the workspace.
 ///

@@ -51,21 +51,48 @@ where
 /// ```
 #[must_use]
 pub fn hpwl(module_rects: &[Rect]) -> Coord {
-    if module_rects.len() < 2 {
-        return 0;
-    }
+    hpwl_filtered(module_rects.iter().copied().map(Some))
+}
+
+/// [`hpwl`] over the rectangles a lookup yields, skipping `None`s (unplaced
+/// pins contribute nothing; fewer than two resolved pins give zero length).
+///
+/// This is the single HPWL kernel behind every wirelength evaluation in the
+/// workspace — the annealing hot paths feed it placement slots or packed
+/// B*-tree lookups directly, so all cost functions stay bit-identical by
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use apls_geometry::{hpwl_filtered, Rect};
+///
+/// let rects = [Some(Rect::new(0, 0, 10, 10)), None, Some(Rect::new(20, 0, 30, 10))];
+/// assert_eq!(hpwl_filtered(rects), 20);
+/// ```
+#[must_use]
+pub fn hpwl_filtered<I>(rects: I) -> Coord
+where
+    I: IntoIterator<Item = Option<Rect>>,
+{
+    let mut resolved = 0usize;
     let mut min_cx2 = Coord::MAX;
     let mut max_cx2 = Coord::MIN;
     let mut min_cy2 = Coord::MAX;
     let mut max_cy2 = Coord::MIN;
-    for r in module_rects {
+    for r in rects.into_iter().flatten() {
         let (cx2, cy2) = r.center_x2();
         min_cx2 = min_cx2.min(cx2);
         max_cx2 = max_cx2.max(cx2);
         min_cy2 = min_cy2.min(cy2);
         max_cy2 = max_cy2.max(cy2);
+        resolved += 1;
     }
-    ((max_cx2 - min_cx2) + (max_cy2 - min_cy2)) / 2
+    if resolved < 2 {
+        0
+    } else {
+        ((max_cx2 - min_cx2) + (max_cy2 - min_cy2)) / 2
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,64 @@ proptest! {
         prop_assert_eq!(total_overlap_area(&rects), 0);
     }
 
+    /// The in-place splicing `raise` must produce exactly the canonical
+    /// (sorted, disjoint, merged) segment list of the naive rebuild-the-Vec
+    /// reference implementation, for any placement sequence.
+    #[test]
+    fn contour_matches_naive_reference(
+        moves in proptest::collection::vec((0i64..120, 1i64..50, 0i64..40), 1..30),
+    ) {
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct Seg { x_start: i64, x_end: i64, y: i64 }
+        let mut reference: Vec<Seg> = Vec::new();
+        let mut contour = Contour::new();
+        for &(x, w, h) in &moves {
+            // reference: query then rebuild (the pre-hot-path algorithm)
+            let (x_start, x_end) = (x, x + w);
+            let top = reference
+                .iter()
+                .filter(|s| s.x_start < x_end && x_start < s.x_end)
+                .map(|s| s.y)
+                .max()
+                .unwrap_or(0);
+            let y = top + h;
+            let mut next: Vec<Seg> = Vec::new();
+            for &seg in &reference {
+                if seg.x_end <= x_start || seg.x_start >= x_end {
+                    next.push(seg);
+                    continue;
+                }
+                if seg.x_start < x_start {
+                    next.push(Seg { x_start: seg.x_start, x_end: x_start, y: seg.y });
+                }
+                if seg.x_end > x_end {
+                    next.push(Seg { x_start: x_end, x_end: seg.x_end, y: seg.y });
+                }
+            }
+            next.push(Seg { x_start, x_end, y });
+            next.sort_by_key(|s| s.x_start);
+            reference.clear();
+            for seg in next {
+                if let Some(last) = reference.last_mut() {
+                    if last.x_end == seg.x_start && last.y == seg.y {
+                        last.x_end = seg.x_end;
+                        continue;
+                    }
+                }
+                reference.push(seg);
+            }
+
+            let placed_y = contour.place(x, w, h);
+            prop_assert_eq!(placed_y, top);
+            let got: Vec<Seg> = contour
+                .segments()
+                .iter()
+                .map(|s| Seg { x_start: s.x_start, x_end: s.x_end, y: s.y })
+                .collect();
+            prop_assert_eq!(&got, &reference);
+        }
+    }
+
     #[test]
     fn contour_height_is_monotone_in_placements(
         widths in proptest::collection::vec((1i64..40, 1i64..40), 1..20),

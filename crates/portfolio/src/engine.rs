@@ -100,6 +100,9 @@ pub struct RestartOutcome {
     pub acceptance_ratio: Option<f64>,
     /// Proposals evaluated (0 for the deterministic engine).
     pub moves_attempted: u64,
+    /// Annealing throughput in proposals per second, measured over the
+    /// annealing loop only (`None` for the deterministic engine).
+    pub moves_per_second: Option<f64>,
 }
 
 /// Runs `engine` once on `circuit` with the given seed and settings.
@@ -132,6 +135,7 @@ pub fn run_engine_once(
                 symmetry_error: result.symmetry_error,
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
                 moves_attempted: result.stats.moves_attempted,
+                moves_per_second: result.stats.moves_per_second(),
             }
         }
         PortfolioEngine::HbTree => {
@@ -150,6 +154,7 @@ pub fn run_engine_once(
                 symmetry_error: result.symmetry_error,
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
                 moves_attempted: result.stats.moves_attempted,
+                moves_per_second: result.stats.moves_per_second(),
             }
         }
         PortfolioEngine::Deterministic => {
@@ -164,6 +169,7 @@ pub fn run_engine_once(
                 symmetry_error,
                 acceptance_ratio: None,
                 moves_attempted: 0,
+                moves_per_second: None,
             }
         }
     }

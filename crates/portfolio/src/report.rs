@@ -24,6 +24,9 @@ pub struct RestartRecord {
     pub acceptance_ratio: Option<f64>,
     /// Proposals evaluated.
     pub moves_attempted: u64,
+    /// Annealing throughput in proposals per second, measured over the
+    /// annealing loop only (`None` for the deterministic engine).
+    pub moves_per_second: Option<f64>,
     /// Metrics of the restart's placement.
     pub metrics: PlacementMetrics,
     /// Largest symmetry deviation (doubled dbu).
@@ -45,6 +48,9 @@ pub struct EngineSummary {
     pub best_restart: usize,
     /// Mean acceptance ratio (`None` for the deterministic engine).
     pub mean_acceptance: Option<f64>,
+    /// Mean annealing throughput in proposals per second (`None` for the
+    /// deterministic engine).
+    pub mean_moves_per_second: Option<f64>,
     /// Summed wall-clock time of the engine's restarts.
     pub total_runtime: Duration,
 }
@@ -117,12 +123,20 @@ impl PortfolioReport {
                 } else {
                     Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
                 };
+                let throughputs: Vec<f64> =
+                    runs.iter().filter_map(|r| r.moves_per_second).collect();
+                let mean_moves_per_second = if throughputs.is_empty() {
+                    None
+                } else {
+                    Some(throughputs.iter().sum::<f64>() / throughputs.len() as f64)
+                };
                 Some(EngineSummary {
                     engine,
                     restarts_run: runs.len(),
                     cost,
                     best_restart,
                     mean_acceptance,
+                    mean_moves_per_second,
                     total_runtime: runs.iter().map(|r| r.runtime).sum(),
                 })
             })
@@ -193,7 +207,7 @@ impl PortfolioReport {
         out.push_str(",\n  \"engines\": [\n");
         for (i, e) in self.engines.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"engine\": \"{}\", \"restarts_run\": {}, \"best_cost\": {:.3}, \"mean_cost\": {:.3}, \"worst_cost\": {:.3}, \"best_restart\": {}, \"mean_acceptance\": {}, \"total_runtime_ms\": {:.3}}}{}\n",
+                "    {{\"engine\": \"{}\", \"restarts_run\": {}, \"best_cost\": {:.3}, \"mean_cost\": {:.3}, \"worst_cost\": {:.3}, \"best_restart\": {}, \"mean_acceptance\": {}, \"mean_moves_per_sec\": {}, \"total_runtime_ms\": {:.3}}}{}\n",
                 e.engine,
                 e.restarts_run,
                 e.cost.min,
@@ -201,6 +215,7 @@ impl PortfolioReport {
                 e.cost.max,
                 e.best_restart,
                 json_opt(e.mean_acceptance),
+                json_opt_rounded(e.mean_moves_per_second),
                 e.total_runtime.as_secs_f64() * 1e3,
                 comma(i, self.engines.len()),
             ));
@@ -208,13 +223,14 @@ impl PortfolioReport {
         out.push_str("  ],\n  \"restarts\": [\n");
         for (i, r) in self.restarts.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"engine\": \"{}\", \"restart\": {}, \"seed\": {}, \"cost\": {:.3}, \"runtime_ms\": {:.3}, \"acceptance\": {}, \"symmetry_error\": {}}}{}\n",
+                "    {{\"engine\": \"{}\", \"restart\": {}, \"seed\": {}, \"cost\": {:.3}, \"runtime_ms\": {:.3}, \"acceptance\": {}, \"moves_per_sec\": {}, \"symmetry_error\": {}}}{}\n",
                 r.engine,
                 r.restart,
                 r.seed,
                 r.cost,
                 r.runtime.as_secs_f64() * 1e3,
                 json_opt(r.acceptance_ratio),
+                json_opt_rounded(r.moves_per_second),
                 r.symmetry_error,
                 comma(i, self.restarts.len()),
             ));
@@ -261,6 +277,12 @@ fn comma(i: usize, len: usize) -> &'static str {
 
 fn json_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| format!("{x:.4}"))
+}
+
+/// Like [`json_opt`] but rounded to whole units (used for moves/sec, where
+/// fractional digits are noise).
+fn json_opt_rounded(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{:.0}", x.round()))
 }
 
 /// Escapes a string for embedding in a JSON literal.
@@ -311,6 +333,27 @@ mod tests {
         assert!(json.contains("\"histogram\""));
         // deterministic engine serialises a null acceptance
         assert!(json.contains("\"acceptance\": null"));
+        // annealing throughput is surfaced per restart and per engine
+        assert!(json.contains("\"moves_per_sec\""));
+        assert!(json.contains("\"mean_moves_per_sec\""));
+        assert!(json.contains("\"moves_per_sec\": null"));
+    }
+
+    #[test]
+    fn stochastic_engines_report_throughput() {
+        let report = small_report();
+        for r in &report.restarts {
+            if r.engine.is_stochastic() && r.moves_attempted > 0 {
+                // sub-microsecond clock resolution could in principle swallow a
+                // run, but the smoke schedule always takes measurable time
+                assert!(r.moves_per_second.unwrap_or(0.0) > 0.0, "{}", r.engine);
+            } else if !r.engine.is_stochastic() {
+                assert_eq!(r.moves_per_second, None);
+            }
+        }
+        for e in &report.engines {
+            assert_eq!(e.mean_moves_per_second.is_none(), !e.engine.is_stochastic());
+        }
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn execute(
         runtime: start.elapsed(),
         acceptance_ratio: outcome.acceptance_ratio,
         moves_attempted: outcome.moves_attempted,
+        moves_per_second: outcome.moves_per_second,
         metrics: outcome.metrics,
         symmetry_error: outcome.symmetry_error,
         placement: outcome.placement,

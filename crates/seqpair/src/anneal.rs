@@ -13,10 +13,11 @@
 //!   alternative the paper argues against.
 
 use crate::place::SymmetricPlacer;
+use crate::seq::SpUndoLog;
 use crate::symmetry::{canonical_symmetric_feasible, SymmetricMoveSet};
 use crate::SequencePair;
 use apls_anneal::{AnnealState, AnnealStats, Annealer, Schedule};
-use apls_circuit::{ConstraintSet, ModuleId, Netlist, Placement, PlacementMetrics};
+use apls_circuit::{ConstraintSet, ModuleId, NetAdjacency, Netlist, Placement, PlacementMetrics};
 use rand::{Rng, RngCore};
 
 /// How symmetry constraints are handled during annealing.
@@ -123,10 +124,12 @@ impl<'a> SeqPairPlacer<'a> {
         let placer = SymmetricPlacer::new(self.netlist, self.constraints);
         let mut state = SpState {
             sp: initial,
-            backup: None,
+            undo: SpUndoLog::default(),
+            #[cfg(debug_assertions)]
+            check: None,
             best: None,
             placer,
-            netlist: self.netlist,
+            adjacency: self.netlist.adjacency(),
             constraints: self.constraints,
             moves: SymmetricMoveSet::new(self.constraints.clone()),
             config: config.clone(),
@@ -142,13 +145,22 @@ impl<'a> SeqPairPlacer<'a> {
     }
 }
 
+/// The sequence-pair annealing state on the single-evaluation hot path: each
+/// proposal is legalised and scored exactly once (the driver hands the
+/// accepted cost back to `commit`), the cost skips the O(n²) overlap scan
+/// (sequence-pair packings are overlap-free by construction), and rejected
+/// moves are undone by replaying the undo log instead of restoring a clone of
+/// the whole encoding.
 struct SpState<'a> {
     sp: SequencePair,
-    backup: Option<SequencePair>,
+    undo: SpUndoLog,
+    /// Clone-based reference for the undo log, kept only in debug builds.
+    #[cfg(debug_assertions)]
+    check: Option<SequencePair>,
     /// Best (sequence-pair, cost) seen so far.
     best: Option<(SequencePair, f64)>,
     placer: SymmetricPlacer<'a>,
-    netlist: &'a Netlist,
+    adjacency: NetAdjacency,
     constraints: &'a ConstraintSet,
     moves: SymmetricMoveSet,
     config: SeqPairPlacerConfig,
@@ -164,9 +176,7 @@ impl SpState<'_> {
 
     fn evaluate(&self, sp: &SequencePair) -> f64 {
         let placement = self.build_placement(sp);
-        let metrics = placement.metrics(self.netlist);
-        let mut cost =
-            metrics.bounding_area as f64 + self.config.wirelength_weight * metrics.wirelength;
+        let mut cost = placement.hot_cost(&self.adjacency, self.config.wirelength_weight);
         if let SymmetryMode::Penalty { weight } = self.config.symmetry_mode {
             cost += weight * placement.symmetry_error(self.constraints) as f64;
         }
@@ -175,23 +185,28 @@ impl SpState<'_> {
 }
 
 impl AnnealState for SpState<'_> {
-    fn cost(&self) -> f64 {
+    fn cost(&mut self) -> f64 {
         self.evaluate(&self.sp)
     }
 
     fn propose(&mut self, rng: &mut dyn RngCore) {
-        self.backup = Some(self.sp.clone());
+        #[cfg(debug_assertions)]
+        {
+            self.check = Some(self.sp.clone());
+        }
         match self.config.symmetry_mode {
             SymmetryMode::Exact => {
-                // the S-F move set may occasionally reject a structural move;
-                // retry a few times so proposals almost always change the state
+                // the S-F move set may occasionally reject a structural move
+                // (already undone internally via the log); retry a few times
+                // so proposals almost always change the state
                 for _ in 0..8 {
-                    if self.moves.perturb(&mut self.sp, rng) {
+                    if self.moves.perturb_logged(&mut self.sp, rng, &mut self.undo) {
                         break;
                     }
                 }
             }
             SymmetryMode::Penalty { .. } => {
+                self.undo.clear();
                 let n = self.sp.len();
                 if n < 2 {
                     return;
@@ -202,11 +217,11 @@ impl AnnealState for SpState<'_> {
                     j = (j + 1) % n;
                 }
                 match rng.gen_range(0..3u32) {
-                    0 => self.sp.swap_in_alpha(i, j),
-                    1 => self.sp.swap_in_beta(i, j),
+                    0 => self.sp.swap_in_alpha_logged(i, j, &mut self.undo),
+                    1 => self.sp.swap_in_beta_logged(i, j, &mut self.undo),
                     _ => {
-                        self.sp.swap_in_alpha(i, j);
-                        self.sp.swap_in_beta(i, j);
+                        self.sp.swap_in_alpha_logged(i, j, &mut self.undo);
+                        self.sp.swap_in_beta_logged(i, j, &mut self.undo);
                     }
                 }
             }
@@ -214,19 +229,23 @@ impl AnnealState for SpState<'_> {
     }
 
     fn rollback(&mut self) {
-        if let Some(prev) = self.backup.take() {
-            self.sp = prev;
+        self.sp.undo(&mut self.undo);
+        #[cfg(debug_assertions)]
+        if let Some(prev) = self.check.take() {
+            debug_assert!(
+                self.sp == prev,
+                "undo-log rollback diverged from the clone-based reference"
+            );
         }
     }
 
-    fn commit(&mut self) {
-        let cost = self.evaluate(&self.sp);
+    fn commit(&mut self, accepted_cost: f64) {
         let better = match &self.best {
-            Some((_, best_cost)) => cost < *best_cost,
+            Some((_, best_cost)) => accepted_cost < *best_cost,
             None => true,
         };
         if better {
-            self.best = Some((self.sp.clone(), cost));
+            self.best = Some((self.sp.clone(), accepted_cost));
         }
     }
 }

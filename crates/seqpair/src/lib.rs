@@ -56,4 +56,4 @@ pub mod symmetry;
 
 pub use anneal::{SeqPairPlacer, SeqPairPlacerConfig, SymmetryMode};
 pub use pack::{PackAlgorithm, PackedFloorplan};
-pub use seq::SequencePair;
+pub use seq::{SequencePair, SpUndoLog};

@@ -25,6 +25,45 @@ pub struct SequencePair {
     beta_pos: Vec<usize>,
 }
 
+/// One primitive, self-inverse edit of a [`SequencePair`]: every move of the
+/// annealing placer decomposes into at most four of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpOp {
+    /// Positions `i` and `j` of α were swapped.
+    AlphaPos(usize, usize),
+    /// Positions `i` and `j` of β were swapped.
+    BetaPos(usize, usize),
+    /// Modules `a` and `b` were swapped in α.
+    AlphaModules(ModuleId, ModuleId),
+    /// Modules `a` and `b` were swapped in β.
+    BetaModules(ModuleId, ModuleId),
+}
+
+/// The inverse record of one perturbation, replayed by [`SequencePair::undo`].
+///
+/// Every primitive edit of a sequence-pair is an involution (a swap undoes
+/// itself), so undoing a move is replaying its recorded ops in reverse order —
+/// O(move size) instead of restoring a full clone of both sequences and both
+/// position caches. The op buffer (at most four entries per move) is reused
+/// across moves, so steady-state recording allocates nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpUndoLog {
+    ops: Vec<SpOp>,
+}
+
+impl SpUndoLog {
+    /// Discards any recorded ops (the start of recording a new move).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Returns `true` when the log holds nothing to undo.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
 /// Error returned when the two sequences are not permutations of the same set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvalidSequencePairError {
@@ -189,6 +228,46 @@ impl SequencePair {
         self.swap_in_beta(i, j);
     }
 
+    /// [`SequencePair::swap_in_alpha`] with an undo record appended to `log`.
+    pub fn swap_in_alpha_logged(&mut self, i: usize, j: usize, log: &mut SpUndoLog) {
+        self.swap_in_alpha(i, j);
+        log.ops.push(SpOp::AlphaPos(i, j));
+    }
+
+    /// [`SequencePair::swap_in_beta`] with an undo record appended to `log`.
+    pub fn swap_in_beta_logged(&mut self, i: usize, j: usize, log: &mut SpUndoLog) {
+        self.swap_in_beta(i, j);
+        log.ops.push(SpOp::BetaPos(i, j));
+    }
+
+    /// [`SequencePair::swap_modules_in_alpha`] with an undo record appended to
+    /// `log`.
+    pub fn swap_modules_in_alpha_logged(&mut self, a: ModuleId, b: ModuleId, log: &mut SpUndoLog) {
+        self.swap_modules_in_alpha(a, b);
+        log.ops.push(SpOp::AlphaModules(a, b));
+    }
+
+    /// [`SequencePair::swap_modules_in_beta`] with an undo record appended to
+    /// `log`.
+    pub fn swap_modules_in_beta_logged(&mut self, a: ModuleId, b: ModuleId, log: &mut SpUndoLog) {
+        self.swap_modules_in_beta(a, b);
+        log.ops.push(SpOp::BetaModules(a, b));
+    }
+
+    /// Replays the inverse of the ops recorded in `log` (reverse order; each
+    /// op is its own inverse), restoring the encoding to its exact state
+    /// before the move. Consumes the log: a second call is a no-op.
+    pub fn undo(&mut self, log: &mut SpUndoLog) {
+        while let Some(op) = log.ops.pop() {
+            match op {
+                SpOp::AlphaPos(i, j) => self.swap_in_alpha(i, j),
+                SpOp::BetaPos(i, j) => self.swap_in_beta(i, j),
+                SpOp::AlphaModules(a, b) => self.swap_modules_in_alpha(a, b),
+                SpOp::BetaModules(a, b) => self.swap_modules_in_beta(a, b),
+            }
+        }
+    }
+
     /// Checks the internal position caches (used by debug assertions and the
     /// property tests).
     #[must_use]
@@ -273,6 +352,25 @@ mod tests {
         sp.swap_modules_in_beta(id(1), id(2));
         assert_eq!(sp.beta_position(id(1)), 2);
         assert!(sp.is_consistent());
+    }
+
+    #[test]
+    fn undo_replays_logged_swaps_in_reverse() {
+        let mut sp = SequencePair::identity(vec![id(0), id(1), id(2), id(3)]);
+        let before = sp.clone();
+        let mut log = SpUndoLog::default();
+        sp.swap_in_alpha_logged(0, 3, &mut log);
+        sp.swap_modules_in_beta_logged(id(1), id(2), &mut log);
+        sp.swap_in_beta_logged(0, 1, &mut log);
+        sp.swap_modules_in_alpha_logged(id(0), id(2), &mut log);
+        assert_ne!(sp, before);
+        sp.undo(&mut log);
+        assert_eq!(sp, before);
+        assert!(sp.is_consistent());
+        assert!(log.is_empty());
+        // a consumed log is a no-op
+        sp.undo(&mut log);
+        assert_eq!(sp, before);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! S-F encoding still packs into a valid symmetric placement (see
 //! [`crate::place`]).
 
+use crate::seq::SpUndoLog;
 use crate::SequencePair;
 use apls_circuit::{ConstraintSet, ModuleId, SymmetryGroup};
 use rand::Rng;
@@ -157,10 +158,25 @@ impl SymmetricMoveSet {
     /// is still symmetric-feasible) and `false` when the attempted move had to
     /// be rolled back; callers typically retry a bounded number of times.
     pub fn perturb(&self, sp: &mut SequencePair, rng: &mut dyn RngCore) -> bool {
+        let mut log = SpUndoLog::default();
+        self.perturb_logged(sp, rng, &mut log)
+    }
+
+    /// [`SymmetricMoveSet::perturb`] with an undo record: on success `log`
+    /// holds the exact inverse of the applied move for
+    /// [`SequencePair::undo`]; on failure the move is already undone via the
+    /// log (no clone-and-restore) and the log is left empty. RNG consumption
+    /// is identical to `perturb`, so both follow the same trajectory.
+    pub fn perturb_logged(
+        &self,
+        sp: &mut SequencePair,
+        rng: &mut dyn RngCore,
+        log: &mut SpUndoLog,
+    ) -> bool {
+        log.clear();
         if sp.len() < 2 {
             return false;
         }
-        let before = sp.clone();
         let kind = rng.gen_range(0..3u32);
         let n = sp.len();
         let i = rng.gen_range(0..n);
@@ -173,42 +189,42 @@ impl SymmetricMoveSet {
                 // swap in alpha, mirror partners in beta
                 let a = sp.alpha()[i];
                 let b = sp.alpha()[j];
-                sp.swap_in_alpha(i, j);
+                sp.swap_in_alpha_logged(i, j, log);
                 let sym_a = self.partner_or_self(a);
                 let sym_b = self.partner_or_self(b);
                 if sym_a != sym_b {
-                    sp.swap_modules_in_beta(sym_a, sym_b);
+                    sp.swap_modules_in_beta_logged(sym_a, sym_b, log);
                 }
             }
             1 => {
                 // swap in beta, mirror partners in alpha
                 let a = sp.beta()[i];
                 let b = sp.beta()[j];
-                sp.swap_in_beta(i, j);
+                sp.swap_in_beta_logged(i, j, log);
                 let sym_a = self.partner_or_self(a);
                 let sym_b = self.partner_or_self(b);
                 if sym_a != sym_b {
-                    sp.swap_modules_in_alpha(sym_a, sym_b);
+                    sp.swap_modules_in_alpha_logged(sym_a, sym_b, log);
                 }
             }
             _ => {
                 // full swap in both sequences (by module), mirrored for partners
                 let a = sp.alpha()[i];
                 let b = sp.alpha()[j];
-                sp.swap_in_alpha(i, j);
-                sp.swap_modules_in_beta(a, b);
+                sp.swap_in_alpha_logged(i, j, log);
+                sp.swap_modules_in_beta_logged(a, b, log);
                 let sym_a = self.partner_or_self(a);
                 let sym_b = self.partner_or_self(b);
                 if (sym_a, sym_b) != (a, b) && (sym_a, sym_b) != (b, a) && sym_a != sym_b {
-                    sp.swap_modules_in_alpha(sym_a, sym_b);
-                    sp.swap_modules_in_beta(sym_a, sym_b);
+                    sp.swap_modules_in_alpha_logged(sym_a, sym_b, log);
+                    sp.swap_modules_in_beta_logged(sym_a, sym_b, log);
                 }
             }
         }
         if is_symmetric_feasible_for_all(sp, &self.constraints) {
             true
         } else {
-            *sp = before;
+            sp.undo(log);
             false
         }
     }

@@ -113,6 +113,48 @@ proptest! {
         prop_assert_eq!(placement.symmetry_error(&constraints), 0);
     }
 
+    /// Undo-log rollback restores a sequence-pair exactly after any applied
+    /// S-F move, and failed moves leave the encoding untouched (they are
+    /// undone internally through the same log).
+    #[test]
+    fn undo_log_restores_sequence_pairs_exactly(
+        n_pairs in 1usize..4,
+        n_self in 0usize..2,
+        n_free in 0usize..5,
+        seed in 0u64..1000,
+        checks in 1usize..40,
+    ) {
+        let n = n_pairs * 2 + n_self + n_free;
+        let modules: Vec<ModuleId> = (0..n).map(id).collect();
+        let mut constraints = ConstraintSet::new();
+        let mut group = SymmetryGroup::new("g");
+        for k in 0..n_pairs {
+            group = group.with_pair(id(2 * k), id(2 * k + 1));
+        }
+        for k in 0..n_self {
+            group = group.with_self_symmetric(id(n_pairs * 2 + k));
+        }
+        constraints.add_symmetry_group(group);
+        let mut sp = canonical_symmetric_feasible(&modules, &constraints);
+        let move_set = SymmetricMoveSet::new(constraints.clone());
+        let mut rng = apls_anneal::rng::SeededRng::new(seed);
+        let mut log = apls_seqpair::SpUndoLog::default();
+        for _ in 0..checks {
+            let before = sp.clone();
+            let applied = move_set.perturb_logged(&mut sp, &mut rng, &mut log);
+            if applied {
+                sp.undo(&mut log);
+            } else {
+                // a rejected move must already have been rolled back
+                prop_assert!(log.is_empty());
+            }
+            prop_assert_eq!(&sp, &before);
+            prop_assert!(sp.is_consistent());
+            // drift so the next check starts from a different encoding
+            move_set.perturb(&mut sp, &mut rng);
+        }
+    }
+
     /// The S-F move set never leaves the symmetric-feasible subspace and never
     /// corrupts the permutations.
     #[test]

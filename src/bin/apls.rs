@@ -101,6 +101,17 @@ fn cli() -> Command {
         )
 }
 
+/// Renders a moves/sec figure compactly (`412k`, `1.3M`, `950`).
+fn human_throughput(mps: f64) -> String {
+    if mps >= 1e6 {
+        format!("{:.1}M", mps / 1e6)
+    } else if mps >= 1e3 {
+        format!("{:.0}k", mps / 1e3)
+    } else {
+        format!("{mps:.0}")
+    }
+}
+
 fn parse_number<T: std::str::FromStr>(
     matches_value: Option<&String>,
     what: &str,
@@ -169,7 +180,7 @@ fn run() -> Result<(), String> {
     println!("{}", report.summary());
     for engine in &report.engines {
         println!(
-            "  {:<14} {} restart(s): best {:.0}, mean {:.0}, worst {:.0}{}",
+            "  {:<14} {} restart(s): best {:.0}, mean {:.0}, worst {:.0}{}{}",
             engine.engine.to_string() + ":",
             engine.restarts_run,
             engine.cost.min,
@@ -178,6 +189,10 @@ fn run() -> Result<(), String> {
             engine
                 .mean_acceptance
                 .map(|a| format!(", acceptance {:.0}%", a * 100.0))
+                .unwrap_or_default(),
+            engine
+                .mean_moves_per_second
+                .map(|mps| format!(", {} moves/s", human_throughput(mps)))
                 .unwrap_or_default(),
         );
     }

@@ -1,0 +1,290 @@
+//! Pinned-seed equivalence of the zero-allocation hot path.
+//!
+//! The annealing evaluation pipeline was rearchitected (single evaluation per
+//! proposal, undo-log rollback, scratch-buffer packing, CSR wirelength); the
+//! refactor must not change a single trajectory. These tests re-implement the
+//! *pre-refactor* evaluator — clone-per-move backup, full `Placement::metrics`
+//! per evaluation, re-evaluating `commit` — drive it with the exact RNG
+//! discipline of the old driver, and assert that every engine produces a
+//! placement identical to the reference on every named benchmark circuit.
+
+use analog_layout_synthesis::anneal::rng::SeededRng;
+use analog_layout_synthesis::anneal::Schedule;
+use analog_layout_synthesis::btree::{
+    pack_btree, BStarTree, BTreePlacer, HbTree, HbTreePlacer, HbTreePlacerConfig,
+};
+use analog_layout_synthesis::circuit::benchmarks;
+use analog_layout_synthesis::circuit::{ModuleId, Netlist, Placement};
+use analog_layout_synthesis::geometry::Orientation;
+use analog_layout_synthesis::seqpair::place::SymmetricPlacer;
+use analog_layout_synthesis::seqpair::symmetry::{canonical_symmetric_feasible, SymmetricMoveSet};
+use analog_layout_synthesis::seqpair::{SeqPairPlacer, SeqPairPlacerConfig, SequencePair};
+use rand::Rng;
+
+const SEED: u64 = 0xC0FFEE;
+const WIRELENGTH_WEIGHT: f64 = 0.5;
+
+/// The pre-refactor `AnnealState` shape: `cost` on `&self`, clone-based
+/// rollback, and a `commit` that re-evaluates from scratch.
+trait RefState {
+    fn cost(&self) -> f64;
+    fn propose(&mut self, rng: &mut SeededRng);
+    fn rollback(&mut self);
+    fn commit(&mut self);
+}
+
+/// The pre-refactor annealing loop: identical Metropolis discipline and RNG
+/// consumption to `Annealer::run`, with the old double-evaluating protocol.
+fn reference_anneal<S: RefState>(seed: u64, state: &mut S, schedule: &Schedule) {
+    let mut rng = SeededRng::new(seed);
+    let mut current = state.cost();
+    let mut temperature = schedule.t_start();
+    let mut attempted = 0u64;
+    'outer: while temperature >= schedule.t_end() {
+        for _ in 0..schedule.moves_per_step() {
+            if let Some(cap) = schedule.max_moves() {
+                if attempted >= cap {
+                    break 'outer;
+                }
+            }
+            attempted += 1;
+            state.propose(&mut rng);
+            let new_cost = state.cost();
+            let delta = new_cost - current;
+            let accept =
+                if delta <= 0.0 { true } else { rng.gen::<f64>() < (-delta / temperature).exp() };
+            if accept {
+                current = new_cost;
+                state.commit();
+            } else {
+                state.rollback();
+            }
+        }
+        temperature *= schedule.alpha();
+    }
+}
+
+/// A schedule sized so the whole matrix (3 engines × 7 circuits × 2 runs)
+/// stays fast while still exercising thousands of accept/reject decisions.
+fn schedule_for(module_count: usize) -> Schedule {
+    let moves = if module_count > 40 { 120 } else { 400 };
+    Schedule::geometric(1e6, 1.0, 0.92, 50).with_max_moves(moves)
+}
+
+// --- flat B*-tree reference ------------------------------------------------
+
+fn old_flat_placement(netlist: &Netlist, tree: &BStarTree) -> Placement {
+    let packed = pack_btree(tree, &netlist.default_dims());
+    let mut placement = Placement::new(netlist);
+    for &(m, r) in packed.rects() {
+        let orientation = if tree.is_rotated(m) { Orientation::R90 } else { Orientation::R0 };
+        placement.place(m, r, orientation, 0);
+    }
+    placement
+}
+
+struct RefFlat<'a> {
+    tree: BStarTree,
+    backup: Option<BStarTree>,
+    best: Option<(BStarTree, f64)>,
+    netlist: &'a Netlist,
+    rotatable: Vec<bool>,
+}
+
+impl RefFlat<'_> {
+    fn evaluate(&self, tree: &BStarTree) -> f64 {
+        let metrics = old_flat_placement(self.netlist, tree).metrics(self.netlist);
+        metrics.bounding_area as f64 + WIRELENGTH_WEIGHT * metrics.wirelength
+    }
+}
+
+impl RefState for RefFlat<'_> {
+    fn cost(&self) -> f64 {
+        self.evaluate(&self.tree)
+    }
+    fn propose(&mut self, rng: &mut SeededRng) {
+        self.backup = Some(self.tree.clone());
+        let rotatable = self.rotatable.clone();
+        self.tree.perturb(rng, |m| rotatable[m.index()]);
+    }
+    fn rollback(&mut self) {
+        if let Some(prev) = self.backup.take() {
+            self.tree = prev;
+        }
+    }
+    fn commit(&mut self) {
+        let cost = self.evaluate(&self.tree);
+        if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            self.best = Some((self.tree.clone(), cost));
+        }
+    }
+}
+
+// --- HB*-tree reference ----------------------------------------------------
+
+struct RefHb<'a> {
+    tree: HbTree,
+    backup: Option<HbTree>,
+    best: Option<(HbTree, f64)>,
+    netlist: &'a Netlist,
+}
+
+impl RefHb<'_> {
+    fn evaluate(&self, tree: &HbTree) -> f64 {
+        let metrics = tree.pack().metrics(self.netlist);
+        metrics.bounding_area as f64 + WIRELENGTH_WEIGHT * metrics.wirelength
+    }
+}
+
+impl RefState for RefHb<'_> {
+    fn cost(&self) -> f64 {
+        self.evaluate(&self.tree)
+    }
+    fn propose(&mut self, rng: &mut SeededRng) {
+        self.backup = Some(self.tree.clone());
+        self.tree.perturb(rng);
+    }
+    fn rollback(&mut self) {
+        if let Some(prev) = self.backup.take() {
+            self.tree = prev;
+        }
+    }
+    fn commit(&mut self) {
+        let cost = self.evaluate(&self.tree);
+        if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            self.best = Some((self.tree.clone(), cost));
+        }
+    }
+}
+
+// --- sequence-pair reference (exact symmetry mode) -------------------------
+
+struct RefSp<'a> {
+    sp: SequencePair,
+    backup: Option<SequencePair>,
+    best: Option<(SequencePair, f64)>,
+    placer: SymmetricPlacer<'a>,
+    netlist: &'a Netlist,
+    moves: SymmetricMoveSet,
+}
+
+impl RefSp<'_> {
+    fn evaluate(&self, sp: &SequencePair) -> f64 {
+        let metrics = self.placer.place(sp).metrics(self.netlist);
+        metrics.bounding_area as f64 + WIRELENGTH_WEIGHT * metrics.wirelength
+    }
+}
+
+impl RefState for RefSp<'_> {
+    fn cost(&self) -> f64 {
+        self.evaluate(&self.sp)
+    }
+    fn propose(&mut self, rng: &mut SeededRng) {
+        self.backup = Some(self.sp.clone());
+        for _ in 0..8 {
+            if self.moves.perturb(&mut self.sp, rng) {
+                break;
+            }
+        }
+    }
+    fn rollback(&mut self) {
+        if let Some(prev) = self.backup.take() {
+            self.sp = prev;
+        }
+    }
+    fn commit(&mut self) {
+        let cost = self.evaluate(&self.sp);
+        if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            self.best = Some((self.sp.clone(), cost));
+        }
+    }
+}
+
+// --- the equivalence matrix ------------------------------------------------
+
+#[test]
+fn flat_btree_hot_path_matches_pre_refactor_evaluator_on_all_benchmarks() {
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let schedule = schedule_for(circuit.module_count());
+
+        let config =
+            HbTreePlacerConfig { seed: SEED, schedule, wirelength_weight: WIRELENGTH_WEIGHT };
+        let new = BTreePlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+
+        let modules: Vec<ModuleId> = circuit.netlist.module_ids().collect();
+        let rotatable: Vec<bool> =
+            circuit.netlist.modules().map(|(_, m)| m.rotation_allowed()).collect();
+        let mut reference = RefFlat {
+            tree: BStarTree::balanced(&modules),
+            backup: None,
+            best: None,
+            netlist: &circuit.netlist,
+            rotatable,
+        };
+        reference_anneal(SEED, &mut reference, &schedule);
+        let best_tree = reference.best.map(|(t, _)| t).unwrap_or(reference.tree);
+        let expected = old_flat_placement(&circuit.netlist, &best_tree);
+
+        assert_eq!(new.placement, expected, "flat B*-tree diverged on {name}");
+        assert_eq!(new.metrics, expected.metrics(&circuit.netlist), "{name}");
+    }
+}
+
+#[test]
+fn hbtree_hot_path_matches_pre_refactor_evaluator_on_all_benchmarks() {
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let schedule = schedule_for(circuit.module_count());
+
+        let config =
+            HbTreePlacerConfig { seed: SEED, schedule, wirelength_weight: WIRELENGTH_WEIGHT };
+        let new = HbTreePlacer::new(&circuit).run(&config);
+
+        let mut reference = RefHb {
+            tree: HbTree::new(&circuit.netlist, &circuit.hierarchy, &circuit.constraints),
+            backup: None,
+            best: None,
+            netlist: &circuit.netlist,
+        };
+        reference_anneal(SEED, &mut reference, &schedule);
+        let best_tree = reference.best.map(|(t, _)| t).unwrap_or(reference.tree);
+        let expected = best_tree.pack();
+
+        assert_eq!(new.placement, expected, "HB*-tree diverged on {name}");
+        assert_eq!(new.metrics, expected.metrics(&circuit.netlist), "{name}");
+    }
+}
+
+#[test]
+fn seqpair_hot_path_matches_pre_refactor_evaluator_on_all_benchmarks() {
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let schedule = schedule_for(circuit.module_count());
+
+        let config = SeqPairPlacerConfig {
+            seed: SEED,
+            schedule,
+            wirelength_weight: WIRELENGTH_WEIGHT,
+            ..SeqPairPlacerConfig::default()
+        };
+        let new = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+
+        let modules: Vec<ModuleId> = circuit.netlist.module_ids().collect();
+        let mut reference = RefSp {
+            sp: canonical_symmetric_feasible(&modules, &circuit.constraints),
+            backup: None,
+            best: None,
+            placer: SymmetricPlacer::new(&circuit.netlist, &circuit.constraints),
+            netlist: &circuit.netlist,
+            moves: SymmetricMoveSet::new(circuit.constraints.clone()),
+        };
+        reference_anneal(SEED, &mut reference, &schedule);
+        let (best_sp, _) = reference.best.clone().unwrap_or((reference.sp.clone(), f64::MAX));
+        let expected = reference.placer.place(&best_sp);
+
+        assert_eq!(new.sequence_pair, best_sp, "sequence-pair encoding diverged on {name}");
+        assert_eq!(new.placement, expected, "sequence-pair placement diverged on {name}");
+        assert_eq!(new.metrics, expected.metrics(&circuit.netlist), "{name}");
+    }
+}
