@@ -45,9 +45,11 @@ pub mod common_centroid;
 pub mod counting;
 pub mod hbtree;
 mod pack;
+pub mod subset;
 mod tree;
 
 pub use anneal::{BTreePlacer, BTreePlacerConfig, HbTreePlacer, HbTreePlacerConfig, HbTreeResult};
 pub use hbtree::{HbPackScratch, HbTree, HbUndoLog};
 pub use pack::{pack_btree, pack_btree_into, PackScratch, PackedBTree};
+pub use subset::{anneal_subset, SubsetAnnealConfig, SubsetAnnealResult};
 pub use tree::{BStarTree, TreeUndoLog};

@@ -46,6 +46,22 @@ impl BenchmarkCircuit {
     pub fn module_count(&self) -> usize {
         self.netlist.module_count()
     }
+
+    /// Rotation permissions indexed by module id: a module may rotate when
+    /// its netlist entry allows it and no constraint group mentions it
+    /// (rotating one member of a matched/symmetric/proximity group would
+    /// break the group's geometry). This is the shared eligibility rule of
+    /// the enumeration, hier, and subset-annealing engines.
+    #[must_use]
+    pub fn rotatable_modules(&self) -> Vec<bool> {
+        self.netlist
+            .module_ids()
+            .map(|m| {
+                self.netlist.module(m).rotation_allowed()
+                    && self.constraints.kinds_for(m).is_empty()
+            })
+            .collect()
+    }
 }
 
 /// Parameters of the synthetic circuit generator.

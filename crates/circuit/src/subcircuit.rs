@@ -1,0 +1,249 @@
+//! Sub-circuit extraction: a netlist and its constraints restricted to a
+//! module subset.
+//!
+//! The hierarchical placement pipeline solves one hierarchy node at a time,
+//! and the annealing sub-solvers need a self-contained problem for the node's
+//! modules: the nets among them and the symmetry / common-centroid / proximity
+//! constraints they inherit from the full design. [`SubCircuit::restrict`]
+//! builds exactly that, with dense local module ids and a recorded mapping
+//! back to the parent netlist.
+
+use crate::{
+    CommonCentroidGroup, ConstraintSet, ModuleId, Net, Netlist, ProximityGroup, SymmetryGroup,
+};
+
+/// A netlist plus constraints restricted to a module subset, with the mapping
+/// back to the parent netlist's module ids.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::benchmarks::miller_opamp_fig6;
+/// use apls_circuit::{ModuleId, SubCircuit};
+///
+/// let circuit = miller_opamp_fig6();
+/// // the differential pair and its current-mirror load
+/// let core: Vec<ModuleId> = (0..4).map(ModuleId::from_index).collect();
+/// let sub = SubCircuit::restrict(&circuit.netlist, &circuit.constraints, &core);
+/// assert_eq!(sub.netlist.module_count(), 4);
+/// // the symmetry pairs (P1, P2) and (N3, N4) are inherited
+/// assert_eq!(sub.constraints.symmetry_groups()[0].pair_count(), 2);
+/// assert!(sub.constraints.validate(&sub.netlist).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubCircuit {
+    /// The restricted netlist; module ids are dense local indices in the
+    /// order of the subset handed to [`SubCircuit::restrict`].
+    pub netlist: Netlist,
+    /// The inherited constraints, rewritten to local module ids.
+    pub constraints: ConstraintSet,
+    to_global: Vec<ModuleId>,
+}
+
+impl SubCircuit {
+    /// Restricts `netlist` and `constraints` to `modules`.
+    ///
+    /// * modules are copied in subset order, so local id `i` is `modules[i]`;
+    /// * nets keep their name and weight but only the pins inside the subset,
+    ///   and nets left with fewer than two pins are dropped;
+    /// * symmetry groups inherit the pairs whose *both* partners are in the
+    ///   subset plus the self-symmetric members in the subset (a pair with one
+    ///   partner outside the subset cannot be mirrored locally);
+    /// * common-centroid groups are inherited when both devices keep at least
+    ///   one unit; proximity groups when at least two members remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modules` is empty, contains duplicates, or references a
+    /// module that does not exist in `netlist`.
+    #[must_use]
+    pub fn restrict(
+        netlist: &Netlist,
+        constraints: &ConstraintSet,
+        modules: &[ModuleId],
+    ) -> SubCircuit {
+        assert!(!modules.is_empty(), "cannot restrict a netlist to an empty module subset");
+        let mut to_local: Vec<Option<ModuleId>> = vec![None; netlist.module_count()];
+        let mut sub = Netlist::new(format!("{}::subset", netlist.name()));
+        for (local, &global) in modules.iter().enumerate() {
+            assert!(
+                global.index() < netlist.module_count(),
+                "subset module {global} does not exist in netlist"
+            );
+            assert!(
+                to_local[global.index()].is_none(),
+                "subset module {global} appears more than once"
+            );
+            to_local[global.index()] = Some(ModuleId::from_index(local));
+            let added = sub.add_module(netlist.module(global).clone());
+            debug_assert_eq!(added.index(), local);
+        }
+        let local = |m: ModuleId| -> Option<ModuleId> { to_local[m.index()] };
+
+        for (_, net) in netlist.nets() {
+            let pins: Vec<ModuleId> = net.pins().iter().filter_map(|&p| local(p)).collect();
+            if pins.len() >= 2 {
+                sub.add_weighted_net(Net::new(net.name(), pins).with_weight(net.weight()));
+            }
+        }
+
+        let mut sub_constraints = ConstraintSet::new();
+        for group in constraints.symmetry_groups() {
+            let mut inherited = SymmetryGroup::new(group.name());
+            let mut non_empty = false;
+            for &(l, r) in group.pairs() {
+                if let (Some(ll), Some(lr)) = (local(l), local(r)) {
+                    inherited = inherited.with_pair(ll, lr);
+                    non_empty = true;
+                }
+            }
+            for &s in group.self_symmetric() {
+                if let Some(ls) = local(s) {
+                    inherited = inherited.with_self_symmetric(ls);
+                    non_empty = true;
+                }
+            }
+            if non_empty {
+                sub_constraints.add_symmetry_group(inherited);
+            }
+        }
+        for group in constraints.common_centroid_groups() {
+            let units_a: Vec<ModuleId> = group.units_a().iter().filter_map(|&m| local(m)).collect();
+            let units_b: Vec<ModuleId> = group.units_b().iter().filter_map(|&m| local(m)).collect();
+            if !units_a.is_empty() && !units_b.is_empty() {
+                sub_constraints.add_common_centroid_group(CommonCentroidGroup::new(
+                    group.name(),
+                    units_a,
+                    units_b,
+                ));
+            }
+        }
+        for group in constraints.proximity_groups() {
+            let members: Vec<ModuleId> = group.members().iter().filter_map(|&m| local(m)).collect();
+            if members.len() >= 2 {
+                sub_constraints.add_proximity_group(
+                    ProximityGroup::new(group.name(), members).with_max_gap(group.max_gap()),
+                );
+            }
+        }
+
+        SubCircuit { netlist: sub, constraints: sub_constraints, to_global: modules.to_vec() }
+    }
+
+    /// The global module id behind a local one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local id does not belong to this sub-circuit.
+    #[must_use]
+    pub fn to_global(&self, local: ModuleId) -> ModuleId {
+        self.to_global[local.index()]
+    }
+
+    /// The full local-to-global mapping, indexed by local module id.
+    #[must_use]
+    pub fn globals(&self) -> &[ModuleId] {
+        &self.to_global
+    }
+
+    /// Number of modules in the subset.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.to_global.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::miller_opamp_fig6;
+    use crate::Module;
+    use apls_geometry::Dims;
+
+    fn id(i: usize) -> ModuleId {
+        ModuleId::from_index(i)
+    }
+
+    #[test]
+    fn restriction_keeps_modules_in_subset_order() {
+        let circuit = miller_opamp_fig6();
+        let subset = [id(4), id(2), id(7)];
+        let sub = SubCircuit::restrict(&circuit.netlist, &circuit.constraints, &subset);
+        assert_eq!(sub.module_count(), 3);
+        for (local, &global) in subset.iter().enumerate() {
+            assert_eq!(sub.to_global(id(local)), global);
+            assert_eq!(sub.netlist.module(id(local)).name(), circuit.netlist.module(global).name());
+            assert_eq!(sub.netlist.module(id(local)).dims(), circuit.netlist.module(global).dims());
+        }
+    }
+
+    #[test]
+    fn nets_are_filtered_and_reweighted() {
+        let circuit = miller_opamp_fig6();
+        // P2, N4, N8, C carry the 4-pin "diff_out" net (weight 2.0)
+        let sub = SubCircuit::restrict(
+            &circuit.netlist,
+            &circuit.constraints,
+            &[id(1), id(3), id(7), id(8)],
+        );
+        let diff_out = sub
+            .netlist
+            .nets()
+            .find(|(_, n)| n.name() == "diff_out")
+            .map(|(_, n)| n)
+            .expect("diff_out survives");
+        assert_eq!(diff_out.pins().len(), 4);
+        assert_eq!(diff_out.weight(), 2.0);
+        // single-pin leftovers are dropped
+        assert!(sub.netlist.nets().all(|(_, n)| n.pins().len() >= 2));
+    }
+
+    #[test]
+    fn symmetry_pairs_with_one_partner_outside_are_dropped() {
+        let circuit = miller_opamp_fig6();
+        // P1 without P2: the (P1, P2) pair cannot be inherited, but (N3, N4) can
+        let sub =
+            SubCircuit::restrict(&circuit.netlist, &circuit.constraints, &[id(0), id(2), id(3)]);
+        let groups = sub.constraints.symmetry_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].pair_count(), 1);
+        assert_eq!(groups[0].partner_of(id(1)), Some(id(2))); // local N3 <-> N4
+        assert!(sub.constraints.validate(&sub.netlist).is_ok());
+    }
+
+    #[test]
+    fn common_centroid_and_proximity_are_inherited() {
+        let circuit = miller_opamp_fig6();
+        let sub = SubCircuit::restrict(
+            &circuit.netlist,
+            &circuit.constraints,
+            &[id(2), id(3), id(4), id(5), id(6)],
+        );
+        assert_eq!(sub.constraints.common_centroid_groups().len(), 1);
+        assert_eq!(sub.constraints.proximity_groups().len(), 1);
+        assert_eq!(sub.constraints.proximity_groups()[0].members().len(), 3);
+        assert_eq!(sub.constraints.proximity_groups()[0].max_gap(), 10);
+    }
+
+    #[test]
+    fn groups_that_lose_all_members_disappear() {
+        let circuit = miller_opamp_fig6();
+        let sub = SubCircuit::restrict(&circuit.netlist, &circuit.constraints, &[id(7), id(8)]);
+        assert!(sub.constraints.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn duplicate_subset_modules_panic() {
+        let mut nl = Netlist::new("t");
+        nl.add_module(Module::new("A", Dims::new(10, 10)));
+        let _ = SubCircuit::restrict(&nl, &ConstraintSet::new(), &[id(0), id(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty module subset")]
+    fn empty_subset_panics() {
+        let nl = Netlist::new("t");
+        let _ = SubCircuit::restrict(&nl, &ConstraintSet::new(), &[]);
+    }
+}

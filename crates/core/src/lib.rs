@@ -11,13 +11,17 @@
 //! * [`Engine::HbTree`] — hierarchical B*-tree annealing with symmetry
 //!   islands and common-centroid patterns (Section III);
 //! * [`Engine::Deterministic`] — hierarchically bounded enumeration with
-//!   enhanced shape functions (Section IV).
+//!   enhanced shape functions (Section IV);
+//! * [`Engine::Hier`] — the hierarchical cross-engine pipeline
+//!   ([`shapefn::hier`]): enumeration for small basic sets, pinned-seed
+//!   annealing sub-solvers for larger hierarchy nodes, rayon-parallel
+//!   shape-function composition.
 //!
 //! Layout-aware sizing (Section V) lives in [`layoutaware`] and is exercised
 //! through the example binaries and the `fig10` bench.
 //!
 //! Beyond single-engine runs, [`AnalogPlacer::place_portfolio`] races all
-//! three engines across seeded annealing restarts in parallel (the
+//! four engines across seeded annealing restarts in parallel (the
 //! [`portfolio`] crate) and returns the best-of-portfolio result.
 //!
 //! # Example
@@ -79,6 +83,11 @@ pub enum Engine {
     HbTree,
     /// Deterministic enumeration with enhanced shape functions (Section IV).
     Deterministic,
+    /// Hierarchical cross-engine pipeline: exhaustive enumeration for small
+    /// basic sets, pinned-seed annealing for larger hierarchy nodes, composed
+    /// bottom-up as enhanced shape functions (see [`shapefn::hier`]). Never
+    /// loses to [`Engine::Deterministic`] by construction.
+    Hier,
 }
 
 /// The unified placement entry point.
@@ -126,7 +135,7 @@ impl AnalogPlacer {
         self.engine
     }
 
-    /// This placer's settings as a portfolio configuration racing all three
+    /// This placer's settings as a portfolio configuration racing all four
     /// engines with `restarts` restarts each: the seed becomes the root seed
     /// and the schedule/wirelength settings carry over.
     #[must_use]
@@ -150,6 +159,7 @@ impl AnalogPlacer {
         let settings = apls_portfolio::RestartSettings {
             fast_schedule: self.fast_schedule,
             wirelength_weight: self.wirelength_weight,
+            ..apls_portfolio::RestartSettings::default()
         };
         // Dispatch through the portfolio's engine adapter: a single-engine
         // run IS restart 0 of that engine's portfolio lane, which is what
@@ -158,7 +168,7 @@ impl AnalogPlacer {
         PlacementReport::new(self.engine, circuit, outcome.placement, start.elapsed())
     }
 
-    /// Races all three engines across `restarts` seeded annealing restarts in
+    /// Races all four engines across `restarts` seeded annealing restarts in
     /// parallel and returns the aggregated [`PortfolioReport`].
     ///
     /// Seeds derive from this placer's seed via
@@ -185,6 +195,7 @@ impl From<Engine> for PortfolioEngine {
             Engine::SequencePair => PortfolioEngine::SequencePair,
             Engine::HbTree => PortfolioEngine::HbTree,
             Engine::Deterministic => PortfolioEngine::Deterministic,
+            Engine::Hier => PortfolioEngine::Hier,
         }
     }
 }
@@ -195,6 +206,7 @@ impl From<PortfolioEngine> for Engine {
             PortfolioEngine::SequencePair => Engine::SequencePair,
             PortfolioEngine::HbTree => Engine::HbTree,
             PortfolioEngine::Deterministic => Engine::Deterministic,
+            PortfolioEngine::Hier => Engine::Hier,
         }
     }
 }
@@ -207,7 +219,7 @@ mod tests {
     #[test]
     fn every_engine_produces_a_legal_placement_report() {
         let circuit = benchmarks::miller_opamp_fig6();
-        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
+        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic, Engine::Hier] {
             let report =
                 AnalogPlacer::new(engine).with_seed(3).with_fast_schedule(true).place(&circuit);
             assert!(report.placement.is_complete(), "{engine:?}");
@@ -236,7 +248,7 @@ mod tests {
             .with_seed(7)
             .with_fast_schedule(true)
             .place_portfolio(&circuit, 2);
-        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic] {
+        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic, Engine::Hier] {
             let single =
                 AnalogPlacer::new(engine).with_seed(7).with_fast_schedule(true).place(&circuit);
             assert!(

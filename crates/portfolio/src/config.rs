@@ -48,6 +48,9 @@ pub struct PortfolioConfig {
     /// Weight of the wirelength term in both the annealing cost functions
     /// and the portfolio's uniform comparison cost.
     pub wirelength_weight: f64,
+    /// Hierarchy nodes with more than this many modules are refined by the
+    /// hier engine's annealing sub-solver (hier engine only).
+    pub hier_anneal_threshold: usize,
     /// Optional plateau-based early stop.
     pub early_stop: Option<EarlyStop>,
 }
@@ -61,6 +64,7 @@ impl Default for PortfolioConfig {
             threads: 0,
             fast_schedule: false,
             wirelength_weight: 0.5,
+            hier_anneal_threshold: 5,
             early_stop: None,
         }
     }
@@ -108,6 +112,13 @@ impl PortfolioConfig {
         self
     }
 
+    /// Sets the hier engine's annealing threshold (builder style).
+    #[must_use]
+    pub fn with_hier_anneal_threshold(mut self, threshold: usize) -> Self {
+        self.hier_anneal_threshold = threshold;
+        self
+    }
+
     /// Enables plateau-based early stopping (builder style).
     #[must_use]
     pub fn with_early_stop(mut self, early_stop: EarlyStop) -> Self {
@@ -121,6 +132,7 @@ impl PortfolioConfig {
         RestartSettings {
             fast_schedule: self.fast_schedule,
             wirelength_weight: self.wirelength_weight,
+            hier_anneal_threshold: self.hier_anneal_threshold,
         }
     }
 
@@ -174,6 +186,7 @@ impl PortfolioConfig {
             self.wirelength_weight.is_finite() && self.wirelength_weight >= 0.0,
             "wirelength weight must be finite and non-negative"
         );
+        assert!(self.hier_anneal_threshold >= 1, "hier annealing threshold must be at least 1");
         if let Some(es) = &self.early_stop {
             assert!(es.window >= 1, "early-stop window must be at least 1");
             assert!(
@@ -205,16 +218,16 @@ mod tests {
         let a = config.generations();
         let b = config.generations();
         assert_eq!(a, b);
-        // generation 0 has all three engines, later ones only the stochastic two
-        assert_eq!(a[0].len(), 3);
-        assert!(a[1..].iter().all(|g| g.len() == 2));
+        // generation 0 has all four engines, later ones only the stochastic three
+        assert_eq!(a[0].len(), 4);
+        assert!(a[1..].iter().all(|g| g.len() == 3));
         // restart 0 replays the root seed for every engine
         assert!(a[0].iter().all(|t| t.seed == 77));
         // later restarts get distinct seeds across engines and indices
         let mut seeds: Vec<u64> = a[1..].iter().flatten().map(|t| t.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
-        assert_eq!(seeds.len(), 6);
+        assert_eq!(seeds.len(), 9);
     }
 
     #[test]

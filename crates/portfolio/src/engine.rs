@@ -1,4 +1,4 @@
-//! Uniform adapters over the three placement engines.
+//! Uniform adapters over the four placement engines.
 //!
 //! [`run_engine_once`] is the single restart primitive of the portfolio: it
 //! builds the engine's native configuration exactly the way the facade's
@@ -12,10 +12,11 @@ use apls_btree::{HbTreePlacer, HbTreePlacerConfig};
 use apls_circuit::benchmarks::BenchmarkCircuit;
 use apls_circuit::{Placement, PlacementMetrics};
 use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
-use apls_shapefn::{DeterministicPlacer, ShapeModel};
+use apls_shapefn::{DeterministicPlacer, HierOptions, HierPlacer, ShapeModel};
 use std::fmt;
 
-/// One of the three topological placement approaches of the DATE 2009 survey.
+/// One of the four placement approaches the portfolio races: the three
+/// engines of the DATE 2009 survey plus the hierarchical cross-engine hybrid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortfolioEngine {
     /// Symmetric-feasible sequence-pair annealing (Section II).
@@ -24,12 +25,21 @@ pub enum PortfolioEngine {
     HbTree,
     /// Deterministic enumeration with enhanced shape functions (Section IV).
     Deterministic,
+    /// Hierarchical cross-engine pipeline: enumeration for small basic sets,
+    /// pinned-seed B*-tree annealing for larger hierarchy nodes, composed
+    /// bottom-up as enhanced shape functions (never loses to
+    /// [`PortfolioEngine::Deterministic`] by construction).
+    Hier,
 }
 
 impl PortfolioEngine {
     /// All engines, in canonical portfolio order.
-    pub const ALL: [PortfolioEngine; 3] =
-        [PortfolioEngine::SequencePair, PortfolioEngine::HbTree, PortfolioEngine::Deterministic];
+    pub const ALL: [PortfolioEngine; 4] = [
+        PortfolioEngine::SequencePair,
+        PortfolioEngine::HbTree,
+        PortfolioEngine::Deterministic,
+        PortfolioEngine::Hier,
+    ];
 
     /// The seed-stream lane of this engine (see
     /// [`apls_anneal::rng::SeedStream`]).
@@ -39,6 +49,7 @@ impl PortfolioEngine {
             PortfolioEngine::SequencePair => 1,
             PortfolioEngine::HbTree => 2,
             PortfolioEngine::Deterministic => 3,
+            PortfolioEngine::Hier => 4,
         }
     }
 
@@ -50,6 +61,16 @@ impl PortfolioEngine {
         !matches!(self, PortfolioEngine::Deterministic)
     }
 
+    /// Whether the engine exposes a single annealing loop whose acceptance
+    /// ratio and moves/sec are meaningful restart-level statistics. The hier
+    /// engine is seeded (stochastic) but runs many small node-level anneals
+    /// inside an enumeration pipeline, so — like the deterministic engine —
+    /// it reports no loop statistics.
+    #[must_use]
+    pub fn reports_annealing_stats(self) -> bool {
+        matches!(self, PortfolioEngine::SequencePair | PortfolioEngine::HbTree)
+    }
+
     /// Stable lowercase name used in reports, JSON and the CLI.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -57,6 +78,7 @@ impl PortfolioEngine {
             PortfolioEngine::SequencePair => "seqpair",
             PortfolioEngine::HbTree => "hbtree",
             PortfolioEngine::Deterministic => "deterministic",
+            PortfolioEngine::Hier => "hier",
         }
     }
 
@@ -67,6 +89,7 @@ impl PortfolioEngine {
             "seqpair" => Some(PortfolioEngine::SequencePair),
             "hbtree" => Some(PortfolioEngine::HbTree),
             "deterministic" => Some(PortfolioEngine::Deterministic),
+            "hier" => Some(PortfolioEngine::Hier),
             _ => None,
         }
     }
@@ -85,6 +108,15 @@ pub struct RestartSettings {
     pub fast_schedule: bool,
     /// Weight of the wirelength term in the annealing cost functions.
     pub wirelength_weight: f64,
+    /// Hierarchy nodes with more than this many modules are refined by the
+    /// hier engine's annealing sub-solver (hier engine only).
+    pub hier_anneal_threshold: usize,
+}
+
+impl Default for RestartSettings {
+    fn default() -> Self {
+        RestartSettings { fast_schedule: false, wirelength_weight: 0.5, hier_anneal_threshold: 5 }
+    }
 }
 
 /// The engine-independent result of one restart.
@@ -172,6 +204,26 @@ pub fn run_engine_once(
                 moves_per_second: None,
             }
         }
+        PortfolioEngine::Hier => {
+            let options = HierOptions::default()
+                .with_seed(seed)
+                .with_fast_schedule(settings.fast_schedule)
+                .with_anneal_threshold(settings.hier_anneal_threshold);
+            let result = HierPlacer::new(circuit)
+                .with_options(options)
+                .with_sub_solver(Box::new(apls_shapefn::BTreeAnnealSolver))
+                .run();
+            let metrics = result.placement.metrics(&circuit.netlist);
+            let symmetry_error = result.placement.symmetry_error(&circuit.constraints);
+            RestartOutcome {
+                placement: result.placement,
+                metrics,
+                symmetry_error,
+                acceptance_ratio: None,
+                moves_attempted: 0,
+                moves_per_second: None,
+            }
+        }
     }
 }
 
@@ -191,19 +243,19 @@ mod tests {
     #[test]
     fn every_engine_produces_a_legal_outcome() {
         let circuit = benchmarks::miller_opamp_fig6();
-        let settings = RestartSettings { fast_schedule: true, wirelength_weight: 0.5 };
+        let settings = RestartSettings { fast_schedule: true, ..RestartSettings::default() };
         for engine in PortfolioEngine::ALL {
             let outcome = run_engine_once(&circuit, engine, 11, &settings);
             assert!(outcome.placement.is_complete(), "{engine}");
             assert_eq!(outcome.metrics.overlap_area, 0, "{engine}");
-            assert_eq!(outcome.acceptance_ratio.is_none(), !engine.is_stochastic());
+            assert_eq!(outcome.acceptance_ratio.is_some(), engine.reports_annealing_stats());
         }
     }
 
     #[test]
     fn restarts_are_seed_reproducible() {
         let circuit = benchmarks::miller_opamp_fig6();
-        let settings = RestartSettings { fast_schedule: true, wirelength_weight: 0.5 };
+        let settings = RestartSettings { fast_schedule: true, ..RestartSettings::default() };
         let a = run_engine_once(&circuit, PortfolioEngine::SequencePair, 21, &settings);
         let b = run_engine_once(&circuit, PortfolioEngine::SequencePair, 21, &settings);
         assert_eq!(a.placement, b.placement);

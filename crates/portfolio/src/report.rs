@@ -343,16 +343,16 @@ mod tests {
     fn stochastic_engines_report_throughput() {
         let report = small_report();
         for r in &report.restarts {
-            if r.engine.is_stochastic() && r.moves_attempted > 0 {
+            if r.engine.reports_annealing_stats() && r.moves_attempted > 0 {
                 // sub-microsecond clock resolution could in principle swallow a
                 // run, but the smoke schedule always takes measurable time
                 assert!(r.moves_per_second.unwrap_or(0.0) > 0.0, "{}", r.engine);
-            } else if !r.engine.is_stochastic() {
+            } else if !r.engine.reports_annealing_stats() {
                 assert_eq!(r.moves_per_second, None);
             }
         }
         for e in &report.engines {
-            assert_eq!(e.mean_moves_per_second.is_none(), !e.engine.is_stochastic());
+            assert_eq!(e.mean_moves_per_second.is_some(), e.engine.reports_annealing_stats());
         }
     }
 

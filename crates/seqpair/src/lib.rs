@@ -52,8 +52,10 @@ pub mod counting;
 pub mod pack;
 pub mod place;
 mod seq;
+pub mod subset;
 pub mod symmetry;
 
 pub use anneal::{SeqPairPlacer, SeqPairPlacerConfig, SymmetryMode};
 pub use pack::{PackAlgorithm, PackedFloorplan};
 pub use seq::{SequencePair, SpUndoLog};
+pub use subset::{place_subcircuit, SubsetSeqPairResult};

@@ -3,6 +3,7 @@
 use apls_btree::{pack_btree, BStarTree};
 use apls_circuit::ModuleId;
 use apls_geometry::Dims;
+use rayon::prelude::*;
 
 /// One realisable placement of a sub-circuit: its bounding box together with
 /// the B*-tree that produces it.
@@ -65,10 +66,9 @@ impl EnhancedShapeFunction {
     #[must_use]
     pub fn for_module(module: ModuleId, module_dims: &[Dims], rotatable: bool) -> Self {
         let mut esf = EnhancedShapeFunction::new();
-        let tree = BStarTree::left_chain(&[module]);
-        esf.insert(EnhancedShape::from_tree(tree.clone(), module_dims));
+        esf.insert(EnhancedShape::from_tree(BStarTree::left_chain(&[module]), module_dims));
         if rotatable {
-            let mut rotated = tree;
+            let mut rotated = BStarTree::left_chain(&[module]);
             rotated.rotate_node(module);
             esf.insert(EnhancedShape::from_tree(rotated, module_dims));
         }
@@ -135,6 +135,7 @@ impl EnhancedShapeFunction {
         module_dims: &[Dims],
     ) -> EnhancedShapeFunction {
         let mut out = EnhancedShapeFunction::new();
+        out.shapes.reserve(self.shapes.len() + other.shapes.len());
         for a in &self.shapes {
             for b in &other.shapes {
                 for merged in merge_trees(&a.tree, &b.tree, module_dims) {
@@ -145,15 +146,61 @@ impl EnhancedShapeFunction {
         out
     }
 
+    /// [`EnhancedShapeFunction::add`] with the candidate packings fanned out
+    /// over rayon workers.
+    ///
+    /// Candidates are collected per operand pair and inserted in exactly the
+    /// order the sequential `add` produces them, so the two methods return
+    /// bit-identical shape functions — parallelism only changes wall time.
+    /// Small operands fall through to the sequential path.
+    #[must_use]
+    pub fn add_parallel(
+        &self,
+        other: &EnhancedShapeFunction,
+        module_dims: &[Dims],
+    ) -> EnhancedShapeFunction {
+        /// Below this many tree merges the fan-out overhead dominates.
+        const MIN_PARALLEL_PAIRS: usize = 32;
+        if self.shapes.len() * other.shapes.len() < MIN_PARALLEL_PAIRS {
+            return self.add(other, module_dims);
+        }
+        let pairs: Vec<(usize, usize)> = (0..self.shapes.len())
+            .flat_map(|i| (0..other.shapes.len()).map(move |j| (i, j)))
+            .collect();
+        let merged: Vec<Vec<EnhancedShape>> = pairs
+            .into_par_iter()
+            .map(|(i, j)| merge_trees(&self.shapes[i].tree, &other.shapes[j].tree, module_dims))
+            .collect();
+        let mut out = EnhancedShapeFunction::new();
+        out.shapes.reserve(self.shapes.len() + other.shapes.len());
+        for batch in merged {
+            for shape in batch {
+                out.insert(shape);
+            }
+        }
+        out
+    }
+
     /// Union with another enhanced shape function (alternative realisations of
     /// the same module set).
     #[must_use]
     pub fn union(&self, other: &EnhancedShapeFunction) -> EnhancedShapeFunction {
         let mut out = self.clone();
+        out.shapes.reserve(other.shapes.len());
         for s in other.shapes() {
             out.insert(s.clone());
         }
         out
+    }
+
+    /// Consuming union: moves `other`'s shapes into `self` instead of cloning
+    /// them (the composition hot path of the hierarchical driver unions whole
+    /// sub-solver results, whose realising trees can be large).
+    pub fn merge_from(&mut self, other: EnhancedShapeFunction) {
+        self.shapes.reserve(other.shapes.len());
+        for s in other.shapes {
+            self.insert(s);
+        }
     }
 
     /// Caps the staircase at `max_shapes` entries (even spread over widths,
@@ -173,7 +220,15 @@ impl EnhancedShapeFunction {
         }
         keep_indices.sort_unstable();
         keep_indices.dedup();
-        self.shapes = keep_indices.into_iter().map(|i| self.shapes[i].clone()).collect();
+        // drain by moving: the kept shapes (and their realising trees) are
+        // reused, not cloned
+        let mut kept = Vec::with_capacity(keep_indices.len());
+        for (i, shape) in std::mem::take(&mut self.shapes).into_iter().enumerate() {
+            if keep_indices.binary_search(&i).is_ok() {
+                kept.push(shape);
+            }
+        }
+        self.shapes = kept;
     }
 }
 

@@ -15,11 +15,11 @@
 //! [`ShapeModel::Regular`] reproduces the ESF-vs-RSF comparison of Table I and
 //! the staircase comparison of Fig. 8.
 
-use crate::{EnhancedShapeFunction, ShapeFunction};
-use apls_btree::{counting::enumerate_trees, pack_btree, BStarTree};
+use crate::hier::{HierOptions, HierPlacer};
+use crate::ShapeFunction;
 use apls_circuit::benchmarks::BenchmarkCircuit;
 use apls_circuit::{HierarchyNode, HierarchyNodeId, ModuleId, Placement};
-use apls_geometry::{Dims, Orientation};
+use apls_geometry::Dims;
 use std::time::Instant;
 
 /// Which shape model the deterministic placer uses.
@@ -71,6 +71,13 @@ pub struct DeterministicResult {
 
 /// The deterministic, enumeration-based placer of Section IV.
 ///
+/// Since the hierarchical pipeline landed, this placer is a thin adapter: the
+/// enhanced model runs [`HierPlacer`](crate::hier::HierPlacer) in its
+/// pure-enumeration configuration (no annealing sub-solver), whose results
+/// are bit-identical to the original recursive implementation (pinned by the
+/// `hier_equivalence` integration tests). The regular bounding-box model
+/// stays local because regular shape functions carry no realising trees.
+///
 /// See the crate-level example.
 #[derive(Debug, Clone)]
 pub struct DeterministicPlacer<'a> {
@@ -100,23 +107,24 @@ impl<'a> DeterministicPlacer<'a> {
     #[must_use]
     pub fn run(&self, model: ShapeModel) -> DeterministicResult {
         let start = Instant::now();
-        let root = self.circuit.hierarchy.root().expect("hierarchy has a root");
         let total_area = self.circuit.netlist.total_module_area();
 
         let (dims, root_shapes, staircase, placement) = match model {
             ShapeModel::Enhanced => {
-                let esf = self.enhanced_of(root);
-                let best = esf.min_area_shape().expect("root shape function is non-empty");
-                let placement = self.placement_from_tree(best.tree());
-                (
-                    best.dims(),
-                    esf.len(),
-                    esf.shapes().iter().map(|s| (s.dims().w, s.dims().h)).collect(),
-                    Some(placement),
-                )
+                // the pure-enumeration configuration of the hierarchical
+                // pipeline (no annealing sub-solver)
+                let result = HierPlacer::new(self.circuit)
+                    .with_options(HierOptions::pure(self.options))
+                    .run();
+                (result.dims, result.root_shapes, result.staircase, Some(result.placement))
             }
             ShapeModel::Regular => {
-                let sf = self.regular_of(root);
+                let root = self.circuit.hierarchy.root().expect("hierarchy has a root");
+                // hoisted once per run (the rotation check walks every
+                // constraint group, so per-node rebuilds were O(nodes·groups))
+                let rotatable = self.circuit.rotatable_modules();
+                let dims = self.circuit.netlist.default_dims();
+                let sf = self.regular_of(root, &dims, &rotatable);
                 let best = sf.min_area_shape().expect("root shape function is non-empty");
                 (
                     best.dims,
@@ -138,101 +146,27 @@ impl<'a> DeterministicPlacer<'a> {
         }
     }
 
-    fn module_dims(&self) -> Vec<Dims> {
-        self.circuit.netlist.default_dims()
-    }
-
-    fn rotatable(&self, module: ModuleId) -> bool {
-        self.circuit.netlist.module(module).rotation_allowed()
-            && self.circuit.constraints.kinds_for(module).is_empty()
-    }
-
-    // ---------------------------------------------------------------- enhanced
-
-    fn enhanced_of(&self, node: HierarchyNodeId) -> EnhancedShapeFunction {
-        let dims = self.module_dims();
-        match self.circuit.hierarchy.node(node) {
-            HierarchyNode::Leaf { module } => {
-                EnhancedShapeFunction::for_module(*module, &dims, self.rotatable(*module))
-            }
-            HierarchyNode::Internal { .. } => {
-                let modules = self.circuit.hierarchy.leaves_under(node);
-                let is_basic = self.circuit.hierarchy.is_basic_module_set(node);
-                let mut esf = if is_basic && modules.len() <= self.options.max_enumerated_set {
-                    self.enumerate_basic_set_enhanced(&modules, &dims)
-                } else {
-                    let mut acc: Option<EnhancedShapeFunction> = None;
-                    for &child in self.circuit.hierarchy.children(node) {
-                        let child_esf = self.enhanced_of(child);
-                        acc = Some(match acc {
-                            None => child_esf,
-                            Some(prev) => prev.add(&child_esf, &dims),
-                        });
-                    }
-                    acc.unwrap_or_default()
-                };
-                esf.truncate(self.options.max_shapes);
-                esf
-            }
-        }
-    }
-
-    /// Exhaustive enumeration of every B*-tree (and rotation assignment) of a
-    /// basic module set.
-    fn enumerate_basic_set_enhanced(
-        &self,
-        modules: &[ModuleId],
-        dims: &[Dims],
-    ) -> EnhancedShapeFunction {
-        let mut esf = EnhancedShapeFunction::new();
-        let rotatable: Vec<bool> = modules.iter().map(|&m| self.rotatable(m)).collect();
-        let rot_count = 1usize << modules.iter().filter(|&&m| self.rotatable(m)).count();
-        for tree in enumerate_trees(modules) {
-            for rot_mask in 0..rot_count {
-                let mut t: BStarTree = tree.clone();
-                let mut bit = 0;
-                for (i, &m) in modules.iter().enumerate() {
-                    if rotatable[i] {
-                        if (rot_mask >> bit) & 1 == 1 {
-                            t.rotate_node(m);
-                        }
-                        bit += 1;
-                    }
-                }
-                esf.insert(crate::EnhancedShape::from_tree(t, dims));
-            }
-        }
-        esf
-    }
-
-    fn placement_from_tree(&self, tree: &BStarTree) -> Placement {
-        let dims = self.module_dims();
-        let packed = pack_btree(tree, &dims);
-        let mut placement = Placement::new(&self.circuit.netlist);
-        for &(m, r) in packed.rects() {
-            let orientation = if tree.is_rotated(m) { Orientation::R90 } else { Orientation::R0 };
-            placement.place(m, r, orientation, 0);
-        }
-        placement
-    }
-
     // ---------------------------------------------------------------- regular
 
-    fn regular_of(&self, node: HierarchyNodeId) -> ShapeFunction {
+    fn regular_of(
+        &self,
+        node: HierarchyNodeId,
+        dims: &[Dims],
+        rotatable: &[bool],
+    ) -> ShapeFunction {
         match self.circuit.hierarchy.node(node) {
-            HierarchyNode::Leaf { module } => ShapeFunction::for_module(
-                self.circuit.netlist.module(*module).dims(),
-                self.rotatable(*module),
-            ),
+            HierarchyNode::Leaf { module } => {
+                ShapeFunction::for_module(dims[module.index()], rotatable[module.index()])
+            }
             HierarchyNode::Internal { .. } => {
                 let modules = self.circuit.hierarchy.leaves_under(node);
                 let is_basic = self.circuit.hierarchy.is_basic_module_set(node);
                 let mut sf = if is_basic && modules.len() <= self.options.max_enumerated_set {
-                    self.enumerate_basic_set_regular(&modules)
+                    self.enumerate_basic_set_regular(&modules, dims, rotatable)
                 } else {
                     let mut acc: Option<ShapeFunction> = None;
                     for &child in self.circuit.hierarchy.children(node) {
-                        let child_sf = self.regular_of(child);
+                        let child_sf = self.regular_of(child, dims, rotatable);
                         acc = Some(match acc {
                             None => child_sf,
                             Some(prev) => prev.add_both(&child_sf),
@@ -249,11 +183,15 @@ impl<'a> DeterministicPlacer<'a> {
     /// For regular shape functions the basic-set enumeration degenerates to
     /// folding the module shape functions with bounding-box additions in both
     /// directions (bounding boxes cannot express anything richer).
-    fn enumerate_basic_set_regular(&self, modules: &[ModuleId]) -> ShapeFunction {
+    fn enumerate_basic_set_regular(
+        &self,
+        modules: &[ModuleId],
+        dims: &[Dims],
+        rotatable: &[bool],
+    ) -> ShapeFunction {
         let mut acc: Option<ShapeFunction> = None;
         for &m in modules {
-            let sf =
-                ShapeFunction::for_module(self.circuit.netlist.module(m).dims(), self.rotatable(m));
+            let sf = ShapeFunction::for_module(dims[m.index()], rotatable[m.index()]);
             acc = Some(match acc {
                 None => sf,
                 Some(prev) => prev.add_both(&sf),

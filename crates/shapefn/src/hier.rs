@@ -1,0 +1,667 @@
+//! The hierarchical cross-engine placement pipeline.
+//!
+//! Section IV of the paper bounds B*-tree enumeration with the layout design
+//! hierarchy; this module promotes that idea from a single-engine detail into
+//! a shared execution substrate. [`HierPlacer`] walks the hierarchy bottom-up
+//! and solves **every node with a pluggable [`SubSolver`]**:
+//!
+//! * *basic module sets* small enough to enumerate exhaustively are solved
+//!   exactly (every B*-tree and rotation assignment, as in the deterministic
+//!   placer);
+//! * larger sets are handed to an annealing sub-solver — a flat B*-tree
+//!   annealer over the subset ([`BTreeAnnealSolver`]) or the full
+//!   symmetric-feasible sequence-pair engine on the extracted sub-netlist
+//!   ([`SeqPairAnnealSolver`]) — with seeds derived per node from one root
+//!   seed, so runs are reproducible and independent of the worker thread
+//!   count;
+//! * every sub-result is abstracted as an [`EnhancedShapeFunction`] and
+//!   siblings are composed bottom-up with rayon-parallel candidate packing
+//!   and dominance pruning.
+//!
+//! The pure-enumeration configuration of this driver (no sub-solver) **is**
+//! the deterministic placer of Section IV: [`crate::DeterministicPlacer`]
+//! delegates to it, and the equivalence is pinned bit-for-bit by the
+//! `hier_equivalence` integration tests. The hybrid configuration can only
+//! improve on it: the driver keeps the pure enumeration result as a fallback
+//! and returns whichever root shape has the smaller area, mirroring the
+//! portfolio's restart-0 guarantee.
+
+use crate::{EnhancedShape, EnhancedShapeFunction};
+use apls_anneal::rng::SeedStream;
+use apls_anneal::Schedule;
+use apls_btree::{anneal_subset, pack_btree, BStarTree, SubsetAnnealConfig};
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_circuit::{HierarchyNode, HierarchyNodeId, ModuleId, Placement, SubCircuit};
+use apls_geometry::{Dims, Orientation, Rect};
+use apls_seqpair::{place_subcircuit, SeqPairPlacerConfig};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Tuning options of the hierarchical pipeline.
+#[derive(Debug, Clone)]
+pub struct HierOptions {
+    /// Maximum number of shapes kept per shape function after every addition.
+    pub max_shapes: usize,
+    /// Basic module sets larger than this are not exhaustively enumerated.
+    pub max_enumerated_set: usize,
+    /// Hierarchy nodes with more than this many modules qualify for the
+    /// annealing sub-solver (when one is installed). Exhaustively enumerated
+    /// nodes are never annealed — enumeration is already exact.
+    pub anneal_threshold: usize,
+    /// Nodes with more than this many modules are composed from their
+    /// children only; annealing a flat sub-problem that large would dominate
+    /// the runtime without improving on composition.
+    pub anneal_cap: usize,
+    /// Aspect-ratio targets (`w / h`) the annealing sub-solver sweeps; one
+    /// extra pure-area run is always added. More targets widen the staircase
+    /// a node contributes upward.
+    pub aspect_targets: Vec<f64>,
+    /// Root seed of the per-node sub-solver seed derivation.
+    pub seed: u64,
+    /// Use the short smoke-test schedule in the annealing sub-solvers.
+    pub fast_schedule: bool,
+}
+
+impl Default for HierOptions {
+    fn default() -> Self {
+        HierOptions {
+            max_shapes: 24,
+            max_enumerated_set: 5,
+            anneal_threshold: 5,
+            anneal_cap: 24,
+            aspect_targets: vec![0.5, 1.0, 2.0],
+            seed: 1,
+            fast_schedule: false,
+        }
+    }
+}
+
+impl HierOptions {
+    /// The options of the pure-enumeration configuration behind
+    /// [`crate::DeterministicPlacer`].
+    #[must_use]
+    pub fn pure(options: crate::PlacerOptions) -> Self {
+        HierOptions {
+            max_shapes: options.max_shapes,
+            max_enumerated_set: options.max_enumerated_set,
+            ..HierOptions::default()
+        }
+    }
+
+    /// Sets the root seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the short annealing schedule (builder style).
+    #[must_use]
+    pub fn with_fast_schedule(mut self, fast: bool) -> Self {
+        self.fast_schedule = fast;
+        self
+    }
+
+    /// Sets the annealing threshold (builder style).
+    #[must_use]
+    pub fn with_anneal_threshold(mut self, threshold: usize) -> Self {
+        self.anneal_threshold = threshold;
+        self
+    }
+}
+
+/// One sub-problem of the hierarchical pipeline: a hierarchy node, its
+/// modules, and everything a solver needs to produce candidate shapes.
+#[derive(Debug)]
+pub struct SubProblem<'a> {
+    /// The full circuit (sub-netlist extraction needs nets and constraints).
+    pub circuit: &'a BenchmarkCircuit,
+    /// The hierarchy node being solved.
+    pub node: HierarchyNodeId,
+    /// The modules under the node, in schematic order.
+    pub modules: &'a [ModuleId],
+    /// Global module dimension table (hoisted once per run).
+    pub module_dims: &'a [Dims],
+    /// Global rotation permissions (false for constrained modules).
+    pub rotatable: &'a [bool],
+    /// The run's root seed, identical for every node. Solvers must derive
+    /// their per-run seeds through [`SubProblem::run_seed`], which mixes in
+    /// the node id and run index — seeding an RNG from this value directly
+    /// would give every node the same stream.
+    pub seed: u64,
+    /// Whether to use the short smoke-test schedule.
+    pub fast_schedule: bool,
+    /// Aspect-ratio targets to sweep.
+    pub aspect_targets: &'a [f64],
+}
+
+impl SubProblem<'_> {
+    /// The seed of run `index` of this node's solver (pure in the index).
+    #[must_use]
+    pub fn run_seed(&self, index: u64) -> u64 {
+        SeedStream::new(self.seed).seed_for(self.node.index() as u64, index)
+    }
+
+    /// The annealing schedule for this sub-problem's size.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        if self.fast_schedule {
+            Schedule::fast()
+        } else {
+            Schedule::for_problem_size(self.modules.len())
+        }
+    }
+}
+
+/// A pluggable per-node solver of the hierarchical pipeline.
+///
+/// Implementations must be pure functions of the [`SubProblem`] (no hidden
+/// state, no wall-clock or thread-identity dependence): the driver fans nodes
+/// out over rayon workers and pins the guarantee that results do not depend
+/// on the thread count.
+pub trait SubSolver: Send + Sync {
+    /// Stable name, used in reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Produces candidate shapes for the node. The returned function may be
+    /// empty (the driver then keeps the composed candidates only).
+    fn solve(&self, problem: &SubProblem<'_>) -> EnhancedShapeFunction;
+}
+
+/// Flat B*-tree annealing over the node's modules (global ids, so the best
+/// trees feed straight into the enhanced shape functions). One pinned-seed
+/// run per aspect-ratio target plus one pure-area run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BTreeAnnealSolver;
+
+impl SubSolver for BTreeAnnealSolver {
+    fn name(&self) -> &'static str {
+        "btree-anneal"
+    }
+
+    fn solve(&self, problem: &SubProblem<'_>) -> EnhancedShapeFunction {
+        let mut esf = EnhancedShapeFunction::new();
+        let runs = problem.aspect_targets.len() + 1;
+        for run in 0..runs {
+            let mut config = SubsetAnnealConfig {
+                seed: problem.run_seed(run as u64),
+                schedule: problem.schedule(),
+                aspect_target: None,
+                aspect_weight: 0.3,
+            };
+            if run < problem.aspect_targets.len() {
+                config.aspect_target = Some(problem.aspect_targets[run]);
+            }
+            let result =
+                anneal_subset(problem.modules, problem.module_dims, problem.rotatable, &config);
+            esf.insert(EnhancedShape::from_tree(result.tree, problem.module_dims));
+        }
+        esf
+    }
+}
+
+/// Symmetric-feasible sequence-pair annealing on the extracted sub-netlist
+/// (inherited symmetry / common-centroid / proximity constraints), with the
+/// resulting placement re-encoded as a B*-tree for shape-function
+/// composition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqPairAnnealSolver;
+
+impl SubSolver for SeqPairAnnealSolver {
+    fn name(&self) -> &'static str {
+        "seqpair-anneal"
+    }
+
+    fn solve(&self, problem: &SubProblem<'_>) -> EnhancedShapeFunction {
+        let sub = SubCircuit::restrict(
+            &problem.circuit.netlist,
+            &problem.circuit.constraints,
+            problem.modules,
+        );
+        let config = SeqPairPlacerConfig {
+            seed: problem.run_seed(0),
+            schedule: problem.schedule(),
+            ..SeqPairPlacerConfig::default()
+        };
+        let result = place_subcircuit(&sub, &config);
+        let mut esf = EnhancedShapeFunction::new();
+        let tree = tree_from_rects(&result.rects);
+        esf.insert(EnhancedShape::from_tree(tree, problem.module_dims));
+        esf
+    }
+}
+
+/// Re-encodes a placed rectangle set as a B*-tree.
+///
+/// The reconstruction is a deterministic greedy sweep in `(x_min, y_min)`
+/// order: each module prefers to become the *left child* of its left-abutting
+/// neighbour (same packing position), falling back to the *right child* of
+/// the module directly below it, and finally to any free slot. Packing the
+/// resulting tree left/bottom-compacts the placement, so the encoded shape is
+/// never larger than the bounding box of an already-compacted input; for
+/// non-admissible inputs (e.g. symmetry-legalised placements with slack) the
+/// tree is a compacted *candidate* whose exact footprint the caller re-packs.
+#[must_use]
+pub fn tree_from_rects(rects: &[(ModuleId, Rect)]) -> BStarTree {
+    assert!(!rects.is_empty(), "cannot encode an empty placement");
+    let mut order: Vec<(ModuleId, Rect)> = rects.to_vec();
+    order.sort_by_key(|&(m, r)| (r.x_min, r.y_min, m));
+    let mut tree = BStarTree::left_chain(&[order[0].0]);
+    let mut placed: Vec<(ModuleId, Rect)> = vec![order[0]];
+    for &(m, r) in &order[1..] {
+        let single = BStarTree::left_chain(&[m]);
+        // 1. left-abutting neighbour with the largest vertical overlap
+        let left_anchor = placed
+            .iter()
+            .filter(|(_, p)| p.x_max == r.x_min && p.y_min < r.y_max && r.y_min < p.y_max)
+            .max_by_key(|(_, p)| {
+                (p.y_max.min(r.y_max) - p.y_min.max(r.y_min), std::cmp::Reverse(p.y_min))
+            })
+            .map(|&(pm, _)| pm);
+        // 2. module directly below, sharing the left edge if possible
+        let below_anchor = placed
+            .iter()
+            .filter(|(_, p)| p.y_max <= r.y_min && p.x_min < r.x_max && r.x_min < p.x_max)
+            .max_by_key(|(_, p)| (p.y_max, p.x_min == r.x_min))
+            .map(|&(pm, _)| pm);
+        let grafted = left_anchor.is_some_and(|anchor| tree.graft(&single, anchor, true))
+            || below_anchor.is_some_and(|anchor| tree.graft(&single, anchor, false));
+        if !grafted {
+            // 3. any free slot, scanning in insertion order (always succeeds:
+            //    a binary tree over n nodes has n + 1 free slots)
+            let attached = placed
+                .iter()
+                .any(|&(pm, _)| tree.graft(&single, pm, true) || tree.graft(&single, pm, false));
+            assert!(attached, "a binary tree always has a free slot");
+        }
+        placed.push((m, r));
+    }
+    tree
+}
+
+/// Result of one hierarchical pipeline run.
+#[derive(Debug, Clone)]
+pub struct HierResult {
+    /// Footprint of the minimum-area root shape.
+    pub dims: Dims,
+    /// Bounding-box area of the root shape divided by the total module area.
+    pub area_usage: f64,
+    /// Wall-clock runtime of the run.
+    pub runtime: std::time::Duration,
+    /// Number of shapes in the root shape function.
+    pub root_shapes: usize,
+    /// The root shape-function staircase as `(width, height)` pairs.
+    pub staircase: Vec<(i64, i64)>,
+    /// The final placement, extracted from the minimum-area root shape's
+    /// realising B*-tree.
+    pub placement: Placement,
+    /// Hierarchy nodes the annealing sub-solver was *applied* to during the
+    /// hybrid walk. When [`HierResult::enumeration_won`] is `true` the
+    /// refinements were attempted but discarded — the returned shapes owe
+    /// them nothing.
+    pub annealed_nodes: usize,
+    /// `true` when the pure-enumeration fallback beat the hybrid root shape
+    /// (the driver then returns the enumeration result, so the hybrid can
+    /// never lose to the deterministic placer).
+    pub enumeration_won: bool,
+}
+
+/// The hierarchical cross-engine placer.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::benchmarks::miller_opamp_fig6;
+/// use apls_shapefn::hier::HierPlacer;
+///
+/// let circuit = miller_opamp_fig6();
+/// let result = HierPlacer::hybrid(&circuit, 7).run();
+/// assert!(result.placement.is_complete());
+/// assert_eq!(result.placement.metrics(&circuit.netlist).overlap_area, 0);
+/// ```
+pub struct HierPlacer<'a> {
+    circuit: &'a BenchmarkCircuit,
+    options: HierOptions,
+    solver: Option<Box<dyn SubSolver>>,
+}
+
+impl<'a> HierPlacer<'a> {
+    /// Creates a pure-enumeration placer (no sub-solver): the configuration
+    /// behind [`crate::DeterministicPlacer`].
+    #[must_use]
+    pub fn new(circuit: &'a BenchmarkCircuit) -> Self {
+        HierPlacer { circuit, options: HierOptions::default(), solver: None }
+    }
+
+    /// Creates the default hybrid placer: B*-tree annealing sub-solver with
+    /// the given root seed.
+    #[must_use]
+    pub fn hybrid(circuit: &'a BenchmarkCircuit, seed: u64) -> Self {
+        HierPlacer::new(circuit)
+            .with_options(HierOptions::default().with_seed(seed))
+            .with_sub_solver(Box::new(BTreeAnnealSolver))
+    }
+
+    /// Overrides the tuning options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: HierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Installs an annealing sub-solver (builder style). Without one the
+    /// placer is the pure enumeration pipeline.
+    #[must_use]
+    pub fn with_sub_solver(mut self, solver: Box<dyn SubSolver>) -> Self {
+        self.solver = Some(solver);
+        self
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's hierarchy tree has no root.
+    #[must_use]
+    pub fn run(&self) -> HierResult {
+        let start = Instant::now();
+        let root = self.circuit.hierarchy.root().expect("hierarchy has a root");
+        // hoisted once per run; the old deterministic placer rebuilt the
+        // dimension table on every recursive node visit
+        let dims = self.circuit.netlist.default_dims();
+        let rotatable = self.circuit.rotatable_modules();
+        let ctx = Ctx {
+            circuit: self.circuit,
+            dims: &dims,
+            rotatable: &rotatable,
+            options: &self.options,
+            solver: self.solver.as_deref(),
+        };
+        let solution = solve_node(&ctx, root);
+        let annealed_nodes = solution.annealed;
+
+        // The never-lose anchor: the walk carries the pure-enumeration shape
+        // function alongside the hybrid one (sharing every subtree the
+        // sub-solver never touched), and the better root shape wins. This
+        // mirrors the portfolio's restart-0 guarantee — the hybrid engine can
+        // match the deterministic engine in the worst case, never trail it.
+        let (esf, enumeration_won) = match solution.pure {
+            Some(pure_esf) => {
+                let hybrid_area =
+                    solution.hybrid.min_area_shape().map_or(i128::MAX, EnhancedShape::area);
+                let pure_area = pure_esf.min_area_shape().map_or(i128::MAX, EnhancedShape::area);
+                if pure_area < hybrid_area {
+                    (pure_esf, true)
+                } else {
+                    (solution.hybrid, false)
+                }
+            }
+            None => (solution.hybrid, false),
+        };
+
+        let best = esf.min_area_shape().expect("root shape function is non-empty");
+        let placement = placement_from_tree(self.circuit, best.tree(), &dims);
+        let dims = best.dims();
+        HierResult {
+            dims,
+            area_usage: dims.area() as f64 / self.circuit.netlist.total_module_area() as f64,
+            runtime: start.elapsed(),
+            root_shapes: esf.len(),
+            staircase: esf.shapes().iter().map(|s| (s.dims().w, s.dims().h)).collect(),
+            placement,
+            annealed_nodes,
+            enumeration_won,
+        }
+    }
+}
+
+/// Shared per-run context of the recursive solve: the hoisted dimension and
+/// rotation tables plus the installed solver.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    circuit: &'a BenchmarkCircuit,
+    dims: &'a [Dims],
+    rotatable: &'a [bool],
+    options: &'a HierOptions,
+    solver: Option<&'a dyn SubSolver>,
+}
+
+/// The result of solving one hierarchy node.
+struct NodeSolution {
+    /// Shape function of the hybrid walk (annealing refinements included).
+    hybrid: EnhancedShapeFunction,
+    /// The pure-enumeration shape function of the same subtree, materialised
+    /// only once a sub-solver has touched the subtree — `None` means "equal
+    /// to `hybrid`", which lets untouched subtrees (leaves, enumerated basic
+    /// sets, and everything below the first annealed node) be computed and
+    /// stored exactly once instead of re-running the whole pure pipeline for
+    /// the never-lose anchor.
+    pure: Option<EnhancedShapeFunction>,
+    /// Sub-solver refinements in the subtree.
+    annealed: usize,
+}
+
+impl NodeSolution {
+    fn shared(esf: EnhancedShapeFunction) -> Self {
+        NodeSolution { hybrid: esf, pure: None, annealed: 0 }
+    }
+
+    /// The pure-enumeration side (falls back to `hybrid` when shared).
+    fn pure_esf(&self) -> &EnhancedShapeFunction {
+        self.pure.as_ref().unwrap_or(&self.hybrid)
+    }
+}
+
+/// Solves one hierarchy node bottom-up.
+fn solve_node(ctx: &Ctx<'_>, node: HierarchyNodeId) -> NodeSolution {
+    match ctx.circuit.hierarchy.node(node) {
+        HierarchyNode::Leaf { module } => NodeSolution::shared(EnhancedShapeFunction::for_module(
+            *module,
+            ctx.dims,
+            ctx.rotatable[module.index()],
+        )),
+        HierarchyNode::Internal { .. } => {
+            let modules = ctx.circuit.hierarchy.leaves_under(node);
+            let is_basic = ctx.circuit.hierarchy.is_basic_module_set(node);
+            let enumerated = is_basic && modules.len() <= ctx.options.max_enumerated_set;
+            if enumerated {
+                // exact — annealing could only rediscover a subset
+                let mut esf = enumerate_basic_set(ctx, &modules);
+                esf.truncate(ctx.options.max_shapes);
+                return NodeSolution::shared(esf);
+            }
+
+            // solve the children in parallel (each is a pure function of its
+            // subtree), then compose in schematic order — the fold order
+            // fixes the result, so thread count never matters
+            let children = ctx.circuit.hierarchy.children(node).to_vec();
+            let solved: Vec<NodeSolution> =
+                children.into_par_iter().map(|child| solve_node(ctx, child)).collect();
+            let mut annealed: usize = solved.iter().map(|s| s.annealed).sum();
+            let anneals_here = ctx.solver.is_some()
+                && modules.len() > ctx.options.anneal_threshold
+                && modules.len() <= ctx.options.anneal_cap;
+
+            // the pure side diverges from the hybrid side only above annealed
+            // nodes; below them it is the same object and costs nothing
+            let (mut hybrid, mut pure) = if annealed > 0 {
+                let mut h: Option<EnhancedShapeFunction> = None;
+                let mut p: Option<EnhancedShapeFunction> = None;
+                for child in solved {
+                    match h {
+                        None => {
+                            // first child: move both sides out; a shared pure
+                            // side needs one clone to materialise
+                            p = Some(match child.pure {
+                                Some(child_pure) => child_pure,
+                                None => child.hybrid.clone(),
+                            });
+                            h = Some(child.hybrid);
+                        }
+                        Some(prev_h) => {
+                            let prev_p = p.take().expect("pure fold tracks hybrid fold");
+                            p = Some(prev_p.add_parallel(child.pure_esf(), ctx.dims));
+                            h = Some(prev_h.add_parallel(&child.hybrid, ctx.dims));
+                        }
+                    }
+                }
+                (h.unwrap_or_default(), p)
+            } else {
+                let mut h: Option<EnhancedShapeFunction> = None;
+                for child in solved {
+                    h = Some(match h {
+                        None => child.hybrid,
+                        Some(prev) => prev.add_parallel(&child.hybrid, ctx.dims),
+                    });
+                }
+                let h = h.unwrap_or_default();
+                let p = if anneals_here { Some(h.clone()) } else { None };
+                (h, p)
+            };
+
+            if anneals_here {
+                let problem = SubProblem {
+                    circuit: ctx.circuit,
+                    node,
+                    modules: &modules,
+                    module_dims: ctx.dims,
+                    rotatable: ctx.rotatable,
+                    seed: ctx.options.seed,
+                    fast_schedule: ctx.options.fast_schedule,
+                    aspect_targets: &ctx.options.aspect_targets,
+                };
+                hybrid.merge_from(ctx.solver.expect("anneals_here").solve(&problem));
+                annealed += 1;
+            }
+            hybrid.truncate(ctx.options.max_shapes);
+            if let Some(p) = &mut pure {
+                p.truncate(ctx.options.max_shapes);
+            }
+            NodeSolution { hybrid, pure, annealed }
+        }
+    }
+}
+
+/// Exhaustive enumeration of every B*-tree (and rotation assignment) of a
+/// basic module set.
+fn enumerate_basic_set(ctx: &Ctx<'_>, modules: &[ModuleId]) -> EnhancedShapeFunction {
+    use apls_btree::counting::enumerate_trees;
+    let mut esf = EnhancedShapeFunction::new();
+    let rotatable: Vec<bool> = modules.iter().map(|&m| ctx.rotatable[m.index()]).collect();
+    let rot_count = 1usize << rotatable.iter().filter(|&&r| r).count();
+    for tree in enumerate_trees(modules) {
+        for rot_mask in 0..rot_count {
+            let mut t: BStarTree = tree.clone();
+            let mut bit = 0;
+            for (i, &m) in modules.iter().enumerate() {
+                if rotatable[i] {
+                    if (rot_mask >> bit) & 1 == 1 {
+                        t.rotate_node(m);
+                    }
+                    bit += 1;
+                }
+            }
+            esf.insert(EnhancedShape::from_tree(t, ctx.dims));
+        }
+    }
+    esf
+}
+
+/// Extracts the full placement realised by a root-shape B*-tree.
+pub(crate) fn placement_from_tree(
+    circuit: &BenchmarkCircuit,
+    tree: &BStarTree,
+    module_dims: &[Dims],
+) -> Placement {
+    let packed = pack_btree(tree, module_dims);
+    let mut placement = Placement::new(&circuit.netlist);
+    for &(m, r) in packed.rects() {
+        let orientation = if tree.is_rotated(m) { Orientation::R90 } else { Orientation::R0 };
+        placement.place(m, r, orientation, 0);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apls_circuit::benchmarks::{self, miller_opamp_fig6};
+
+    #[test]
+    fn hybrid_run_produces_a_legal_complete_placement() {
+        let circuit = miller_opamp_fig6();
+        let mut options = HierOptions::default().with_seed(7).with_fast_schedule(true);
+        options.anneal_threshold = 4;
+        let result = HierPlacer::new(&circuit)
+            .with_options(options)
+            .with_sub_solver(Box::new(BTreeAnnealSolver))
+            .run();
+        assert!(result.placement.is_complete());
+        let metrics = result.placement.metrics(&circuit.netlist);
+        assert_eq!(metrics.overlap_area, 0);
+        assert_eq!(metrics.bounding_area, result.dims.area());
+        assert!(result.annealed_nodes > 0, "the miller root must qualify for annealing");
+    }
+
+    #[test]
+    fn hybrid_never_loses_to_pure_enumeration() {
+        for circuit in [miller_opamp_fig6(), benchmarks::comparator_v2()] {
+            let pure = HierPlacer::new(&circuit).run();
+            let hybrid = HierPlacer::new(&circuit)
+                .with_options(HierOptions::default().with_seed(3).with_fast_schedule(true))
+                .with_sub_solver(Box::new(BTreeAnnealSolver))
+                .run();
+            assert!(
+                hybrid.dims.area() <= pure.dims.area(),
+                "{}: hybrid {:?} lost to pure {:?}",
+                circuit.name,
+                hybrid.dims,
+                pure.dims
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_runs_are_seed_reproducible() {
+        let circuit = benchmarks::miller_v2();
+        let run = || {
+            HierPlacer::new(&circuit)
+                .with_options(HierOptions::default().with_seed(11).with_fast_schedule(true))
+                .with_sub_solver(Box::new(BTreeAnnealSolver))
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.dims, b.dims);
+        assert_eq!(a.staircase, b.staircase);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn seqpair_sub_solver_produces_legal_shapes() {
+        let circuit = miller_opamp_fig6();
+        let mut options = HierOptions::default().with_seed(5).with_fast_schedule(true);
+        options.anneal_threshold = 4;
+        let result = HierPlacer::new(&circuit)
+            .with_options(options)
+            .with_sub_solver(Box::new(SeqPairAnnealSolver))
+            .run();
+        assert!(result.placement.is_complete());
+        assert_eq!(result.placement.metrics(&circuit.netlist).overlap_area, 0);
+    }
+
+    #[test]
+    fn tree_reconstruction_round_trips_an_admissible_placement() {
+        // a 2x2 grid packing: reconstruction + repack must reproduce it
+        let rects = vec![
+            (ModuleId::from_index(0), Rect::new(0, 0, 20, 10)),
+            (ModuleId::from_index(1), Rect::new(20, 0, 30, 10)),
+            (ModuleId::from_index(2), Rect::new(0, 10, 20, 25)),
+            (ModuleId::from_index(3), Rect::new(20, 10, 30, 20)),
+        ];
+        let dims = vec![Dims::new(20, 10), Dims::new(10, 10), Dims::new(20, 15), Dims::new(10, 10)];
+        let tree = tree_from_rects(&rects);
+        let packed = pack_btree(&tree, &dims);
+        assert_eq!(packed.dims(), Dims::new(30, 25));
+    }
+}

@@ -15,7 +15,14 @@
 //!   placements of every *basic module set* (leaf group of the layout design
 //!   hierarchy) are enumerated, stored as (enhanced) shape functions, and
 //!   combined bottom-up along the hierarchy tree; the minimum-area root shape
-//!   is the final placement.
+//!   is the final placement;
+//! * [`hier`] — the hierarchical **cross-engine** pipeline generalising that
+//!   flow: every hierarchy node is solved by a pluggable [`SubSolver`]
+//!   (exhaustive enumeration for small basic sets, pinned-seed B*-tree or
+//!   sequence-pair annealing for larger sets), abstracted as an enhanced
+//!   shape function, and composed bottom-up with rayon-parallel candidate
+//!   packing. [`DeterministicPlacer`] is its pure-enumeration configuration;
+//!   the hybrid configuration is the portfolio's fourth engine (`hier`).
 //!
 //! The deterministic placer is the engine behind Table I and Fig. 8 of the
 //! paper (experiments E1 and E6).
@@ -40,8 +47,13 @@
 
 mod enhanced;
 mod enumerate;
+pub mod hier;
 mod shape;
 
 pub use enhanced::{EnhancedShape, EnhancedShapeFunction};
 pub use enumerate::{DeterministicPlacer, DeterministicResult, PlacerOptions, ShapeModel};
+pub use hier::{
+    BTreeAnnealSolver, HierOptions, HierPlacer, HierResult, SeqPairAnnealSolver, SubProblem,
+    SubSolver,
+};
 pub use shape::{Shape, ShapeFunction};

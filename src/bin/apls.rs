@@ -35,7 +35,7 @@ fn cli() -> Command {
                 .short('e')
                 .value_name("ENGINE")
                 .default_value("portfolio")
-                .help("portfolio, seqpair, hbtree, or deterministic"),
+                .help("portfolio, seqpair, hbtree, deterministic, or hier"),
         )
         .arg(
             Arg::new("restarts")
@@ -68,6 +68,13 @@ fn cli() -> Command {
                 .value_name("W")
                 .default_value("0.5")
                 .help("Weight of the wirelength term in the cost"),
+        )
+        .arg(
+            Arg::new("hier-anneal-threshold")
+                .long("hier-anneal-threshold")
+                .value_name("N")
+                .default_value("5")
+                .help("hier engine: anneal hierarchy nodes with more than N modules"),
         )
         .arg(
             Arg::new("plateau")
@@ -147,8 +154,15 @@ fn run() -> Result<(), String> {
     let threads: usize = parse_number(matches.get_one::<String>("threads"), "--threads")?;
     let wirelength_weight: f64 =
         parse_number(matches.get_one::<String>("wirelength-weight"), "--wirelength-weight")?;
+    let hier_anneal_threshold: usize = parse_number(
+        matches.get_one::<String>("hier-anneal-threshold"),
+        "--hier-anneal-threshold",
+    )?;
     if restarts == 0 {
         return Err("--restarts must be at least 1".to_string());
+    }
+    if hier_anneal_threshold == 0 {
+        return Err("--hier-anneal-threshold must be at least 1".to_string());
     }
     if !wirelength_weight.is_finite() || wirelength_weight < 0.0 {
         return Err("--wirelength-weight must be finite and non-negative".to_string());
@@ -158,7 +172,7 @@ fn run() -> Result<(), String> {
     let engines = match engine_name.as_str() {
         "portfolio" => PortfolioEngine::ALL.to_vec(),
         other => vec![PortfolioEngine::from_name(other).ok_or_else(|| {
-            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic)")
+            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic, hier)")
         })?],
     };
 
@@ -167,7 +181,8 @@ fn run() -> Result<(), String> {
         .with_engines(engines)
         .with_threads(threads)
         .with_fast_schedule(matches.get_flag("fast"))
-        .with_wirelength_weight(wirelength_weight);
+        .with_wirelength_weight(wirelength_weight)
+        .with_hier_anneal_threshold(hier_anneal_threshold);
     if matches.get_one::<String>("plateau").is_some() {
         let window: usize = parse_number(matches.get_one::<String>("plateau"), "--plateau")?;
         if window == 0 {

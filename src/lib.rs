@@ -23,7 +23,8 @@
 //!
 //! # Best-of-portfolio
 //!
-//! [`AnalogPlacer::place_portfolio`] races all three engines of the survey
+//! [`AnalogPlacer::place_portfolio`] races all four engines — the three of
+//! the survey plus the hierarchical cross-engine hybrid (`hier`) —
 //! across seeded annealing restarts in parallel (see [`portfolio`]):
 //!
 //! ```

@@ -1,0 +1,320 @@
+//! Equivalence and superiority pins of the hierarchical pipeline:
+//!
+//! 1. the refactored `DeterministicPlacer` (now the pure-enumeration
+//!    configuration of `HierPlacer`) reproduces the pre-refactor results
+//!    **bit-identically** on every bundled circuit — the golden values below
+//!    were captured from the recursive implementation before the refactor;
+//! 2. `HierPlacer` without a sub-solver and `DeterministicPlacer` agree
+//!    exactly, down to the placement;
+//! 3. hybrid results are independent of the worker thread count;
+//! 4. the hier engine never loses to the deterministic engine on bounding
+//!    area (the driver's enumeration fallback makes this structural).
+
+use analog_layout_synthesis::circuit::benchmarks;
+use analog_layout_synthesis::portfolio::{
+    run_engine_once, run_portfolio, PortfolioConfig, PortfolioEngine, RestartSettings,
+};
+use analog_layout_synthesis::shapefn::hier::{BTreeAnnealSolver, HierOptions, HierPlacer};
+use analog_layout_synthesis::shapefn::{DeterministicPlacer, ShapeModel};
+
+/// Golden results of the pre-refactor `DeterministicPlacer`, one row per
+/// bundled circuit: enhanced `(w, h)`, enhanced root-shape count, the full
+/// enhanced staircase, regular `(w, h)`, regular root-shape count, and the
+/// wirelength of the enhanced placement.
+#[allow(clippy::type_complexity)]
+fn golden() -> Vec<(&'static str, (i64, i64), usize, Vec<(i64, i64)>, (i64, i64), usize, f64)> {
+    vec![
+        (
+            "miller_opamp_fig6",
+            (238, 90),
+            12,
+            vec![
+                (90, 270),
+                (96, 238),
+                (108, 218),
+                (116, 214),
+                (120, 212),
+                (130, 172),
+                (150, 164),
+                (160, 148),
+                (170, 140),
+                (186, 130),
+                (226, 108),
+                (238, 90),
+            ],
+            (238, 90),
+            12,
+            726.0,
+        ),
+        (
+            "miller_v2",
+            (835, 356),
+            18,
+            vec![
+                (350, 994),
+                (395, 971),
+                (429, 901),
+                (453, 707),
+                (492, 638),
+                (595, 629),
+                (660, 607),
+                (663, 534),
+                (686, 517),
+                (699, 471),
+                (777, 447),
+                (796, 423),
+                (835, 356),
+                (1042, 308),
+                (1120, 285),
+                (1127, 284),
+                (1443, 275),
+                (1508, 264),
+            ],
+            (350, 994),
+            19,
+            3882.0,
+        ),
+        (
+            "comparator_v2",
+            (383, 1316),
+            14,
+            vec![
+                (199, 2582),
+                (308, 2560),
+                (358, 2026),
+                (378, 1338),
+                (383, 1316),
+                (542, 1192),
+                (716, 1101),
+                (756, 710),
+                (880, 680),
+                (900, 596),
+                (1278, 534),
+                (1512, 443),
+                (1636, 351),
+                (1696, 329),
+            ],
+            (383, 1316),
+            12,
+            5869.0,
+        ),
+        (
+            "folded_cascode",
+            (581, 684),
+            24,
+            vec![
+                (305, 1381),
+                (306, 1369),
+                (311, 1336),
+                (316, 1278),
+                (330, 1207),
+                (340, 1176),
+                (396, 1162),
+                (463, 1038),
+                (489, 1020),
+                (529, 781),
+                (570, 726),
+                (581, 684),
+                (605, 668),
+                (621, 650),
+                (651, 637),
+                (713, 602),
+                (754, 567),
+                (966, 525),
+                (971, 496),
+                (974, 472),
+                (1087, 442),
+                (1128, 401),
+                (1172, 396),
+                (1236, 338),
+            ],
+            (529, 803),
+            25,
+            6534.0,
+        ),
+        (
+            "buffer",
+            (460, 1850),
+            25,
+            vec![
+                (271, 3306),
+                (317, 3128),
+                (352, 2536),
+                (377, 2388),
+                (450, 1955),
+                (460, 1850),
+                (546, 1735),
+                (602, 1661),
+                (613, 1521),
+                (704, 1298),
+                (825, 1278),
+                (848, 1172),
+                (908, 969),
+                (1001, 949),
+                (1142, 830),
+                (1379, 675),
+                (1512, 669),
+                (1573, 620),
+                (1646, 594),
+                (1647, 568),
+                (1921, 527),
+                (2059, 483),
+                (2101, 446),
+                (2394, 402),
+                (2641, 344),
+            ],
+            (951, 995),
+            24,
+            27201.0,
+        ),
+        (
+            "biasynth",
+            (1851, 796),
+            25,
+            vec![
+                (348, 4552),
+                (373, 4355),
+                (443, 3995),
+                (501, 3586),
+                (584, 3413),
+                (639, 2571),
+                (695, 2279),
+                (815, 2140),
+                (971, 1811),
+                (1033, 1521),
+                (1192, 1432),
+                (1257, 1315),
+                (1349, 1245),
+                (1571, 1117),
+                (1672, 1024),
+                (1814, 887),
+                (1851, 796),
+                (2348, 691),
+                (3065, 584),
+                (3370, 509),
+                (3609, 481),
+                (3916, 461),
+                (4333, 403),
+                (4901, 360),
+                (5379, 309),
+            ],
+            (5718, 316),
+            25,
+            32686.0,
+        ),
+        (
+            "lnamixbias",
+            (4844, 425),
+            24,
+            vec![
+                (359, 6050),
+                (395, 5588),
+                (472, 4901),
+                (532, 4022),
+                (593, 3683),
+                (723, 3148),
+                (799, 2645),
+                (963, 2227),
+                (1101, 2025),
+                (1260, 1860),
+                (1425, 1681),
+                (1586, 1513),
+                (1756, 1290),
+                (1997, 1183),
+                (2154, 981),
+                (2367, 929),
+                (2700, 820),
+                (2891, 728),
+                (3222, 678),
+                (4082, 591),
+                (4512, 508),
+                (4844, 425),
+                (5493, 376),
+                (6419, 347),
+            ],
+            (362, 6497),
+            25,
+            114691.0,
+        ),
+    ]
+}
+
+#[test]
+fn deterministic_placer_reproduces_pre_refactor_results_bit_identically() {
+    for (name, e_dims, e_shapes, e_staircase, r_dims, r_shapes, wirelength) in golden() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let placer = DeterministicPlacer::new(&circuit);
+        let enhanced = placer.run(ShapeModel::Enhanced);
+        assert_eq!((enhanced.dims.w, enhanced.dims.h), e_dims, "{name}: enhanced dims");
+        assert_eq!(enhanced.root_shapes, e_shapes, "{name}: enhanced root shapes");
+        assert_eq!(enhanced.staircase, e_staircase, "{name}: enhanced staircase");
+        let metrics =
+            enhanced.placement.as_ref().expect("enhanced placement").metrics(&circuit.netlist);
+        assert_eq!(metrics.wirelength, wirelength, "{name}: placement wirelength");
+        let regular = placer.run(ShapeModel::Regular);
+        assert_eq!((regular.dims.w, regular.dims.h), r_dims, "{name}: regular dims");
+        assert_eq!(regular.root_shapes, r_shapes, "{name}: regular root shapes");
+    }
+}
+
+#[test]
+fn pure_hier_placer_and_deterministic_placer_agree_exactly() {
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let deterministic = DeterministicPlacer::new(&circuit).run(ShapeModel::Enhanced);
+        let hier = HierPlacer::new(&circuit).run();
+        assert_eq!(deterministic.dims, hier.dims, "{name}");
+        assert_eq!(deterministic.staircase, hier.staircase, "{name}");
+        assert_eq!(deterministic.root_shapes, hier.root_shapes, "{name}");
+        assert_eq!(deterministic.placement.as_ref(), Some(&hier.placement), "{name}");
+        assert_eq!(hier.annealed_nodes, 0, "{name}: pure configuration must not anneal");
+    }
+}
+
+#[test]
+fn hybrid_results_are_independent_of_the_thread_count() {
+    let circuit = benchmarks::folded_cascode();
+    let config = PortfolioConfig::new(77)
+        .with_restarts(2)
+        .with_engines([PortfolioEngine::Hier])
+        .with_fast_schedule(true);
+    let one = run_portfolio(&circuit, &config.clone().with_threads(1));
+    let eight = run_portfolio(&circuit, &config.with_threads(8));
+    assert_eq!(one.best_cost(), eight.best_cost());
+    assert_eq!(one.restarts.len(), eight.restarts.len());
+    for (a, b) in one.restarts.iter().zip(&eight.restarts) {
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    // and directly, outside the portfolio: two hybrid runs are bit-identical
+    let run = || {
+        HierPlacer::new(&circuit)
+            .with_options(HierOptions::default().with_seed(9).with_fast_schedule(true))
+            .with_sub_solver(Box::new(BTreeAnnealSolver))
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.dims, b.dims);
+    assert_eq!(a.staircase, b.staircase);
+    assert_eq!(a.placement, b.placement);
+}
+
+#[test]
+fn hier_engine_matches_or_beats_deterministic_area_on_every_bundled_circuit() {
+    let settings = RestartSettings { fast_schedule: true, ..RestartSettings::default() };
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+        let deterministic = run_engine_once(&circuit, PortfolioEngine::Deterministic, 7, &settings);
+        let hier = run_engine_once(&circuit, PortfolioEngine::Hier, 7, &settings);
+        assert!(
+            hier.metrics.bounding_area <= deterministic.metrics.bounding_area,
+            "{name}: hier {} lost to deterministic {}",
+            hier.metrics.bounding_area,
+            deterministic.metrics.bounding_area,
+        );
+        assert_eq!(hier.metrics.overlap_area, 0, "{name}");
+        assert!(hier.placement.is_complete(), "{name}");
+    }
+}
