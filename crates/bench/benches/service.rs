@@ -1,0 +1,90 @@
+//! Throughput of the placement service: a 16-job batch of small fast jobs
+//! round-tripped through TCP at 1, 4, and one-per-core workers (distinct
+//! seeds, cache disabled — the full solve path), plus the cache-hit
+//! fast path for comparison. Divide the reported time per iteration by 16
+//! for the per-job cost; jobs/sec is its inverse.
+
+use apls_portfolio::PortfolioEngine;
+use apls_service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BATCH: usize = 16;
+
+fn spec_with_seed(seed: u64) -> JobSpec {
+    JobSpec::bundled("miller_opamp_fig6")
+        .with_seed(seed)
+        .with_restarts(1)
+        .with_engines([PortfolioEngine::SequencePair])
+        .with_fast(true)
+}
+
+/// Round-trips exactly `BATCH` jobs through the service over `connections`
+/// parallel client connections (the remainder spreads over the first
+/// connections, so the per-job arithmetic in `BENCH_service.json` stays
+/// honest on core counts that do not divide `BATCH`).
+fn run_batch(addr: SocketAddr, connections: usize, seeds: &AtomicU64) {
+    std::thread::scope(|scope| {
+        for i in 0..connections {
+            let share = BATCH / connections + usize::from(i < BATCH % connections);
+            scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connects");
+                for _ in 0..share {
+                    let seed = seeds.fetch_add(1, Ordering::Relaxed);
+                    let response = client.place(&spec_with_seed(seed)).expect("round-trips");
+                    assert!(response.is_ok(), "{:?}", response.error);
+                }
+            });
+        }
+    });
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("service_{BATCH}_jobs"));
+    group.sample_size(4);
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut worker_counts = vec![1usize, 4, auto];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    // fresh seeds per job so every request takes the full solve path
+    let seeds = AtomicU64::new(1);
+    for workers in worker_counts {
+        let service = PlacementService::start(ServiceConfig {
+            workers,
+            queue_capacity: BATCH * 2,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let addr = service.local_addr();
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| run_batch(addr, workers.min(BATCH), &seeds));
+        });
+        service.shutdown();
+        service.join();
+    }
+    group.finish();
+}
+
+fn bench_cache_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_cache_hit");
+    group.sample_size(8);
+    let service = PlacementService::start(ServiceConfig::default()).expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let spec = spec_with_seed(0xCAFE);
+    // prime the cache once; every timed request is then a pure cache hit
+    assert!(!client.place(&spec).expect("round-trips").cache_hit);
+    group.bench_function("round_trip", |b| {
+        b.iter(|| {
+            let response = client.place(&spec).expect("round-trips");
+            assert!(response.cache_hit);
+        });
+    });
+    group.finish();
+    service.shutdown();
+    service.join();
+}
+
+criterion_group!(benches, bench_service_throughput, bench_cache_hit_path);
+criterion_main!(benches);

@@ -20,6 +20,10 @@
 //! Layout-aware sizing (Section V) lives in [`layoutaware`] and is exercised
 //! through the example binaries and the `fig10` bench.
 //!
+//! Circuits travel as `.apls` text through [`io`] (parser, canonical
+//! serializer, content hashing), and [`service`] serves placement jobs over
+//! TCP with caching and a worker pool (see `apls serve` / `apls submit`).
+//!
 //! Beyond single-engine runs, [`AnalogPlacer::place_portfolio`] races all
 //! four engines across seeded annealing restarts in parallel (the
 //! [`portfolio`] crate) and returns the best-of-portfolio result.
@@ -60,9 +64,11 @@ pub use apls_anneal as anneal;
 pub use apls_btree as btree;
 pub use apls_circuit as circuit;
 pub use apls_geometry as geometry;
+pub use apls_io as io;
 pub use apls_layoutaware as layoutaware;
 pub use apls_portfolio as portfolio;
 pub use apls_seqpair as seqpair;
+pub use apls_service as service;
 pub use apls_shapefn as shapefn;
 
 mod report;

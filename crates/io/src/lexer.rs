@@ -1,0 +1,257 @@
+//! Line-oriented lexer for the `.apls` format.
+//!
+//! The format is strictly line-based: every directive occupies one line, `#`
+//! starts a comment running to the end of the line, and blank lines are
+//! ignored. The lexer therefore produces one token list per non-empty line,
+//! with every token carrying its 1-based `(line, column)` position so the
+//! parser can attach exact locations to its diagnostics.
+
+use std::fmt;
+
+/// A parse diagnostic with its exact source position.
+///
+/// Renders as `line:col: message` — the format asserted by the golden-error
+/// tests and surfaced verbatim by `apls-service` for inline circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// What went wrong, usually `expected …, found …`.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// What a token is; the payload lives in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// A bare keyword: `module`, `rotate`, `pairs`, …
+    Word,
+    /// An (unsigned or negative) numeric literal, kept as raw text.
+    Number,
+    /// A quoted string, stored with escapes already decoded.
+    Str,
+}
+
+/// One lexed token with its position.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+    /// Raw source length in characters (including quotes and escapes for
+    /// strings); used to position "expected …, found end of line" errors.
+    pub len: usize,
+}
+
+/// One non-empty source line.
+#[derive(Debug, Clone)]
+pub(crate) struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    pub tokens: Vec<Token>,
+}
+
+/// Splits a document into tokenised lines (blank and comment-only lines are
+/// dropped).
+pub(crate) fn lex(text: &str) -> Result<Vec<Line>, ParseError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let number = idx + 1;
+        let tokens = lex_line(raw, number)?;
+        if !tokens.is_empty() {
+            lines.push(Line { number, tokens });
+        }
+    }
+    Ok(lines)
+}
+
+fn lex_line(raw: &str, line: usize) -> Result<Vec<Token>, ParseError> {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = i + 1;
+        if c == '#' {
+            break; // comment to end of line
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '"' {
+            let (value, next) = lex_string(&chars, i, line)?;
+            tokens.push(Token { kind: TokenKind::Str, text: value, line, col, len: next - i });
+            i = next;
+        } else if c.is_ascii_digit()
+            || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            i += 1;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || matches!(chars[i], '.' | 'e' | 'E' | '+' | '-'))
+            {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            tokens.push(Token { kind: TokenKind::Number, text, line, col, len: i - start });
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            tokens.push(Token { kind: TokenKind::Word, text, line, col, len: i - start });
+        } else {
+            return Err(ParseError::new(line, col, format!("unexpected character '{c}'")));
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a quoted string starting at `chars[start] == '"'`; returns the
+/// decoded value and the index just past the closing quote.
+fn lex_string(chars: &[char], start: usize, line: usize) -> Result<(String, usize), ParseError> {
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let esc = chars.get(i + 1).copied().ok_or_else(|| {
+                    ParseError::new(line, i + 2, "unterminated escape sequence".to_string())
+                })?;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        // \uXXXX — exactly four hex digits, as in JSON; the
+                        // serializer uses this for other control characters
+                        let mut code = 0u32;
+                        for k in 0..4 {
+                            let digit = chars
+                                .get(i + 2 + k)
+                                .and_then(|d| d.to_digit(16))
+                                .ok_or_else(|| {
+                                    ParseError::new(
+                                        line,
+                                        i + 2 + k + 1,
+                                        "\\u escape needs four hex digits".to_string(),
+                                    )
+                                })?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).ok_or_else(|| {
+                            ParseError::new(
+                                line,
+                                i + 2,
+                                format!("\\u{code:04x} is not a valid character"),
+                            )
+                        })?);
+                        i += 4;
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            line,
+                            i + 2,
+                            format!("unknown escape sequence '\\{other}'"),
+                        ))
+                    }
+                }
+                i += 2;
+            }
+            c if (c as u32) < 0x20 => {
+                return Err(ParseError::new(
+                    line,
+                    i + 1,
+                    "raw control character in string (use \\n, \\r, \\t or \\uXXXX)".to_string(),
+                ))
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err(ParseError::new(line, start + 1, "unterminated string literal".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_one_based_chars() {
+        let lines = lex("apls 1\n  module \"a b\" 3 4\n").expect("lexes");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].tokens[0].col, 1);
+        assert_eq!(lines[0].tokens[1].col, 6);
+        assert_eq!(lines[1].number, 2);
+        assert_eq!(lines[1].tokens[0].col, 3);
+        assert_eq!(lines[1].tokens[1].text, "a b");
+        assert_eq!(lines[1].tokens[1].col, 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_vanish() {
+        let lines = lex("# header\n\napls 1 # trailing\n").expect("lexes");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].tokens.len(), 2);
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let lines = lex("circuit \"a\\\"b\\\\c\\nd\\te\"").expect("lexes");
+        assert_eq!(lines[0].tokens[1].text, "a\"b\\c\nd\te");
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let lines = lex("circuit \"a\\u0001b\\u00e9\"").expect("lexes");
+        assert_eq!(lines[0].tokens[1].text, "a\u{1}bé");
+        let err = lex("circuit \"\\u00\"").unwrap_err();
+        assert!(err.message.contains("four hex digits"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_lex_as_one_token() {
+        let lines = lex("net \"x\" -1.5 0").expect("lexes");
+        assert_eq!(lines[0].tokens[2].text, "-1.5");
+        assert_eq!(lines[0].tokens[2].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn lexer_errors_carry_positions() {
+        let err = lex("module @").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 8));
+        assert!(err.to_string().starts_with("1:8: "));
+
+        let err = lex("a\nb \"unterminated").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+
+        let err = lex("x \"bad\\q\"").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 8));
+        assert!(err.message.contains("unknown escape"));
+    }
+}

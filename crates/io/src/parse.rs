@@ -1,0 +1,588 @@
+//! Recursive-descent parser for the `.apls` format.
+//!
+//! Grammar (one directive per line, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! document := header circuit [netlist] body*
+//! header   := "apls" 1
+//! circuit  := "circuit" STRING
+//! netlist  := "netlist" STRING              # only when it differs from the circuit name
+//! body     := module | net | sym | cc | prox | node | root
+//! module   := "module" STRING INT INT ("rotate" | "norotate") ("variant" INT INT INT)*
+//! net      := "net" STRING FLOAT INT*       # weight, then pin module indices
+//! sym      := "sym" STRING "pairs" (INT INT)* "selfs" INT*
+//! cc       := "cc" STRING "a" INT* "b" INT*
+//! prox     := "prox" STRING "gap" INT "members" INT*
+//! node     := "node" INT ("leaf" INT | "group" STRING ("sym"|"cc"|"prox"|"none") INT+)
+//! root     := "root" INT
+//! ```
+//!
+//! Module references are dense insertion indices (the `ModuleId` space);
+//! hierarchy node ids must be declared densely in order, children before
+//! parents, exactly as [`apls_circuit::HierarchyTree`] hands them out — which
+//! is what makes `parse(serialize(c)) == c` an identity on ids, not just on
+//! structure. All references are checked as they are read, with positioned
+//! errors; after the last line the circuit-level invariants
+//! ([`apls_circuit::HierarchyTree::validate`] and
+//! [`apls_circuit::ConstraintSet::validate`]) are enforced as well.
+
+use crate::lexer::{lex, Line, ParseError, Token, TokenKind};
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_circuit::{
+    CommonCentroidGroup, ConstraintKind, ConstraintSet, HierarchyNodeId, HierarchyTree, Module,
+    ModuleId, Net, Netlist, ProximityGroup, SymmetryGroup,
+};
+use apls_geometry::{Coord, Dims};
+
+/// Parses a `.apls` document into a full benchmark circuit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with an exact `line:col` position for lexical and
+/// syntactic problems and for dangling references (module indices, hierarchy
+/// node ids). Circuit-level consistency problems (e.g. a module missing from
+/// the hierarchy tree) are reported at the position of the `root` directive.
+pub fn parse_circuit(text: &str) -> Result<BenchmarkCircuit, ParseError> {
+    let lines = lex(text)?;
+    let last_line = text.lines().count().max(1);
+    let mut lines = lines.into_iter();
+
+    // header
+    let header = lines.next().ok_or_else(|| {
+        ParseError::new(last_line, 1, "expected 'apls <version>' header".to_string())
+    })?;
+    parse_header(&header)?;
+
+    // circuit name
+    let name_line = lines
+        .next()
+        .ok_or_else(|| ParseError::new(last_line, 1, "expected 'circuit' directive".to_string()))?;
+    let mut cursor = Cursor::new(&name_line);
+    cursor.expect_word("circuit")?;
+    let circuit_name = cursor.string("circuit name")?;
+    cursor.finish()?;
+
+    let mut st = State {
+        netlist: Netlist::new(circuit_name.clone()),
+        netlist_renamed: false,
+        body_seen: false,
+        hierarchy: HierarchyTree::new(),
+        constraints: ConstraintSet::new(),
+        root_pos: None,
+    };
+
+    for line in lines {
+        let mut c = Cursor::new(&line);
+        let keyword = c.word("directive")?;
+        if keyword != "netlist" {
+            st.body_seen = true;
+        }
+        match keyword.as_str() {
+            "netlist" => {
+                // replacing the netlist after any body directive would
+                // silently discard already-parsed nets or modules
+                if st.body_seen || st.netlist_renamed {
+                    return Err(c.err_prev("'netlist' must appear before any other directive"));
+                }
+                let name = c.string("netlist name")?;
+                st.netlist = Netlist::new(name);
+                st.netlist_renamed = true;
+            }
+            "module" => parse_module(&mut c, &mut st)?,
+            "net" => parse_net(&mut c, &mut st)?,
+            "sym" => parse_sym(&mut c, &mut st)?,
+            "cc" => parse_cc(&mut c, &mut st)?,
+            "prox" => parse_prox(&mut c, &mut st)?,
+            "node" => parse_node(&mut c, &mut st)?,
+            "root" => parse_root(&mut c, &mut st)?,
+            "apls" | "circuit" => {
+                return Err(c.err_prev(format!("duplicate '{keyword}' directive")))
+            }
+            other => {
+                return Err(c.err_prev(format!(
+                "unknown directive '{other}' (expected module, net, sym, cc, prox, node or root)"
+            )))
+            }
+        }
+        c.finish()?;
+    }
+
+    let Some((root_line, root_col)) = st.root_pos else {
+        return Err(ParseError::new(last_line, 1, "missing 'root' directive".to_string()));
+    };
+    if let Err(problems) = st.hierarchy.validate(&st.netlist) {
+        return Err(ParseError::new(
+            root_line,
+            root_col,
+            format!("inconsistent hierarchy: {}", problems.join("; ")),
+        ));
+    }
+    if let Err(problems) = st.constraints.validate(&st.netlist) {
+        return Err(ParseError::new(
+            root_line,
+            root_col,
+            format!("inconsistent constraints: {}", problems.join("; ")),
+        ));
+    }
+    Ok(BenchmarkCircuit {
+        name: circuit_name,
+        netlist: st.netlist,
+        hierarchy: st.hierarchy,
+        constraints: st.constraints,
+    })
+}
+
+/// Parser state accumulated across directives.
+struct State {
+    netlist: Netlist,
+    netlist_renamed: bool,
+    body_seen: bool,
+    hierarchy: HierarchyTree,
+    constraints: ConstraintSet,
+    root_pos: Option<(usize, usize)>,
+}
+
+fn parse_header(line: &Line) -> Result<(), ParseError> {
+    let mut c = Cursor::new(line);
+    c.expect_word("apls")?;
+    let version = c.u64("format version")?;
+    if version != u64::from(crate::FORMAT_VERSION) {
+        return Err(c.err_prev(format!(
+            "unsupported format version {version} (this reader supports {})",
+            crate::FORMAT_VERSION
+        )));
+    }
+    c.finish()
+}
+
+fn parse_module(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let name = c.string("module name")?;
+    let w = c.coord("module width")?;
+    let h = c.coord("module height")?;
+    let mut module = Module::new(name, Dims::new(w, h));
+    match c.word("'rotate' or 'norotate'")?.as_str() {
+        "rotate" => {}
+        "norotate" => module = module.with_rotation_allowed(false),
+        other => {
+            return Err(c.err_prev(format!("expected 'rotate' or 'norotate', found '{other}'")))
+        }
+    }
+    while !c.at_end() {
+        c.expect_word("variant")?;
+        let vw = c.coord("variant width")?;
+        let vh = c.coord("variant height")?;
+        let folds = c.u32("variant folds")?;
+        module = module.with_variant(Dims::new(vw, vh), folds);
+    }
+    st.netlist.add_module(module);
+    Ok(())
+}
+
+fn parse_net(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let name = c.string("net name")?;
+    let weight = c.f64("net weight")?;
+    let mut pins = Vec::new();
+    while !c.at_end() {
+        pins.push(c.module_ref(st)?);
+    }
+    st.netlist.add_weighted_net(Net::new(name, pins).with_weight(weight));
+    Ok(())
+}
+
+fn parse_sym(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let name = c.string("symmetry group name")?;
+    let mut group = SymmetryGroup::new(name);
+    c.expect_word("pairs")?;
+    while !c.next_is_word("selfs") {
+        let left = c.module_ref_expected(st, "module index or 'selfs'")?;
+        let right = c.module_ref(st)?;
+        group = group.with_pair(left, right);
+    }
+    c.expect_word("selfs")?;
+    while !c.at_end() {
+        group = group.with_self_symmetric(c.module_ref(st)?);
+    }
+    st.constraints.add_symmetry_group(group);
+    Ok(())
+}
+
+fn parse_cc(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let name = c.string("common-centroid group name")?;
+    c.expect_word("a")?;
+    let mut units_a = Vec::new();
+    while !c.next_is_word("b") {
+        units_a.push(c.module_ref_expected(st, "module index or 'b'")?);
+    }
+    c.expect_word("b")?;
+    let mut units_b = Vec::new();
+    while !c.at_end() {
+        units_b.push(c.module_ref(st)?);
+    }
+    st.constraints.add_common_centroid_group(CommonCentroidGroup::new(name, units_a, units_b));
+    Ok(())
+}
+
+fn parse_prox(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let name = c.string("proximity group name")?;
+    c.expect_word("gap")?;
+    let gap = c.coord("proximity gap")?;
+    c.expect_word("members")?;
+    let mut members = Vec::new();
+    while !c.at_end() {
+        members.push(c.module_ref(st)?);
+    }
+    st.constraints.add_proximity_group(ProximityGroup::new(name, members).with_max_gap(gap));
+    Ok(())
+}
+
+fn parse_node(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let declared = c.usize("hierarchy node id")?;
+    let expected = st.hierarchy.node_count();
+    if declared != expected {
+        return Err(c.err_prev(format!(
+            "hierarchy node ids must be dense and ordered: expected {expected}, found {declared}"
+        )));
+    }
+    match c.word("'leaf' or 'group'")?.as_str() {
+        "leaf" => {
+            let module = c.module_ref(st)?;
+            st.hierarchy.add_leaf(module);
+        }
+        "group" => {
+            let name = c.string("group name")?;
+            let constraint = match c.word("'sym', 'cc', 'prox' or 'none'")?.as_str() {
+                "sym" => Some(ConstraintKind::Symmetry),
+                "cc" => Some(ConstraintKind::CommonCentroid),
+                "prox" => Some(ConstraintKind::Proximity),
+                "none" => None,
+                other => {
+                    return Err(c.err_prev(format!(
+                        "expected 'sym', 'cc', 'prox' or 'none', found '{other}'"
+                    )))
+                }
+            };
+            let mut children = Vec::new();
+            while !c.at_end() {
+                let child = c.usize("child node id")?;
+                if child >= expected {
+                    return Err(c.err_prev(format!(
+                        "child node {child} is not declared yet (children must precede parents)"
+                    )));
+                }
+                children.push(HierarchyNodeId::from_index(child));
+            }
+            if children.is_empty() {
+                return Err(c.err_eol("expected at least one child node id"));
+            }
+            st.hierarchy.add_internal(name, children, constraint);
+        }
+        other => return Err(c.err_prev(format!("expected 'leaf' or 'group', found '{other}'"))),
+    }
+    Ok(())
+}
+
+fn parse_root(c: &mut Cursor<'_>, st: &mut State) -> Result<(), ParseError> {
+    let pos = (c.line.number, c.line.tokens[0].col);
+    if st.root_pos.is_some() {
+        return Err(c.err_prev("duplicate 'root' directive"));
+    }
+    let id = c.usize("root node id")?;
+    if id >= st.hierarchy.node_count() {
+        return Err(c.err_prev(format!("root node {id} is not declared")));
+    }
+    st.hierarchy.set_root(HierarchyNodeId::from_index(id));
+    st.root_pos = Some(pos);
+    Ok(())
+}
+
+/// Token cursor over one line, with positioned-error helpers.
+struct Cursor<'a> {
+    line: &'a Line,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a Line) -> Self {
+        Cursor { line, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.line.tokens.len()
+    }
+
+    fn next_is_word(&self, word: &str) -> bool {
+        self.line.tokens.get(self.pos).is_some_and(|t| t.kind == TokenKind::Word && t.text == word)
+    }
+
+    fn advance(&mut self, expected: &str) -> Result<&'a Token, ParseError> {
+        let token = self
+            .line
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| self.err_eol(format!("expected {expected}, found end of line")))?;
+        self.pos += 1;
+        Ok(token)
+    }
+
+    /// Error at the column just past the last token of the line.
+    fn err_eol(&self, message: impl Into<String>) -> ParseError {
+        let col = self.line.tokens.last().map_or(1, |t| t.col + t.len);
+        ParseError::new(self.line.number, col, message)
+    }
+
+    /// Error positioned at the token consumed last.
+    fn err_prev(&self, message: impl Into<String>) -> ParseError {
+        let token = &self.line.tokens[self.pos.saturating_sub(1).min(self.line.tokens.len() - 1)];
+        ParseError::new(self.line.number, token.col, message)
+    }
+
+    fn word(&mut self, expected: &str) -> Result<String, ParseError> {
+        let token = self.advance(expected)?;
+        if token.kind != TokenKind::Word {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected}, found {}", describe(token)),
+            ));
+        }
+        Ok(token.text.clone())
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), ParseError> {
+        let token = self.advance(&format!("'{word}'"))?;
+        if token.kind != TokenKind::Word || token.text != word {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!("expected '{word}', found {}", describe(token)),
+            ));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, expected: &str) -> Result<String, ParseError> {
+        let token = self.advance(expected)?;
+        if token.kind != TokenKind::Str {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected} (a quoted string), found {}", describe(token)),
+            ));
+        }
+        Ok(token.text.clone())
+    }
+
+    fn number(&mut self, expected: &str) -> Result<&'a Token, ParseError> {
+        let token = self.advance(expected)?;
+        if token.kind != TokenKind::Number {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected}, found {}", describe(token)),
+            ));
+        }
+        Ok(token)
+    }
+
+    fn integer<T: std::str::FromStr>(&mut self, expected: &str) -> Result<T, ParseError> {
+        let token = self.number(expected)?;
+        token.text.parse().map_err(|_| {
+            ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected} (an integer), found {}", token.text),
+            )
+        })
+    }
+
+    fn u32(&mut self, expected: &str) -> Result<u32, ParseError> {
+        self.integer(expected)
+    }
+
+    fn u64(&mut self, expected: &str) -> Result<u64, ParseError> {
+        self.integer(expected)
+    }
+
+    fn usize(&mut self, expected: &str) -> Result<usize, ParseError> {
+        self.integer(expected)
+    }
+
+    fn coord(&mut self, expected: &str) -> Result<Coord, ParseError> {
+        let token = self.number(expected)?;
+        let value: Coord = token.text.parse().map_err(|_| {
+            ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected} (an integer), found {}", token.text),
+            )
+        })?;
+        if value < 0 {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!("{expected} must be non-negative, found {value}"),
+            ));
+        }
+        Ok(value)
+    }
+
+    fn f64(&mut self, expected: &str) -> Result<f64, ParseError> {
+        let token = self.number(expected)?;
+        let value: f64 = token.text.parse().map_err(|_| {
+            ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected} (a number), found {}", token.text),
+            )
+        })?;
+        if !value.is_finite() {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!("{expected} must be finite"),
+            ));
+        }
+        Ok(value)
+    }
+
+    fn module_ref(&mut self, st: &State) -> Result<ModuleId, ParseError> {
+        self.module_ref_expected(st, "module index")
+    }
+
+    fn module_ref_expected(&mut self, st: &State, expected: &str) -> Result<ModuleId, ParseError> {
+        let token = self.number(expected)?;
+        let index: usize = token.text.parse().map_err(|_| {
+            ParseError::new(
+                token.line,
+                token.col,
+                format!("expected {expected} (an integer), found {}", token.text),
+            )
+        })?;
+        if index >= st.netlist.module_count() {
+            return Err(ParseError::new(
+                token.line,
+                token.col,
+                format!(
+                    "module index {index} out of range ({} modules declared so far)",
+                    st.netlist.module_count()
+                ),
+            ));
+        }
+        Ok(ModuleId::from_index(index))
+    }
+
+    /// Requires the whole line to be consumed.
+    fn finish(&mut self) -> Result<(), ParseError> {
+        match self.line.tokens.get(self.pos) {
+            None => Ok(()),
+            Some(extra) => Err(ParseError::new(
+                extra.line,
+                extra.col,
+                format!("expected end of line, found {}", describe(extra)),
+            )),
+        }
+    }
+}
+
+fn describe(token: &Token) -> String {
+    match token.kind {
+        TokenKind::Word => format!("'{}'", token.text),
+        TokenKind::Number => token.text.clone(),
+        TokenKind::Str => "a quoted string".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize_circuit;
+    use apls_circuit::benchmarks;
+
+    fn expect_err(text: &str) -> ParseError {
+        parse_circuit(text).expect_err("must not parse")
+    }
+
+    #[test]
+    fn all_bundled_circuits_round_trip() {
+        for name in benchmarks::names() {
+            let circuit = benchmarks::by_name(name).expect("bundled");
+            let text = serialize_circuit(&circuit);
+            let parsed = parse_circuit(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(parsed.name, circuit.name, "{name}");
+            assert_eq!(parsed.netlist, circuit.netlist, "{name}");
+            assert_eq!(parsed.hierarchy, circuit.hierarchy, "{name}");
+            assert_eq!(parsed.constraints, circuit.constraints, "{name}");
+            // canonical form is a serializer fixed point
+            assert_eq!(serialize_circuit(&parsed), text, "{name}");
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let text = serialize_circuit(&circuit);
+        let noisy: String =
+            text.lines().map(|l| format!("  {l}   # noise\n\n")).collect::<String>();
+        let parsed = parse_circuit(&noisy).expect("noisy document parses");
+        assert_eq!(parsed.netlist, circuit.netlist);
+    }
+
+    #[test]
+    fn missing_header_is_positioned() {
+        let err = expect_err("circuit \"x\"\n");
+        assert_eq!((err.line, err.col), (1, 1));
+        assert!(err.to_string().contains("expected 'apls'"));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let err = expect_err("apls 99\ncircuit \"x\"\n");
+        assert!(err.message.contains("unsupported format version 99"));
+    }
+
+    #[test]
+    fn dangling_net_pin_is_positioned() {
+        let err = expect_err("apls 1\ncircuit \"x\"\nmodule \"a\" 10 10 rotate\nnet \"n\" 1 0 3\n");
+        assert_eq!((err.line, err.col), (4, 13));
+        assert!(err.message.contains("module index 3 out of range"));
+    }
+
+    #[test]
+    fn non_dense_node_ids_are_rejected() {
+        let err = expect_err("apls 1\ncircuit \"x\"\nmodule \"a\" 10 10 rotate\nnode 1 leaf 0\n");
+        assert_eq!((err.line, err.col), (4, 6));
+        assert!(err.message.contains("dense and ordered"));
+    }
+
+    #[test]
+    fn missing_root_reports_at_eof() {
+        let err = expect_err("apls 1\ncircuit \"x\"\nmodule \"a\" 10 10 rotate\nnode 0 leaf 0\n");
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("missing 'root'"));
+    }
+
+    #[test]
+    fn uncovered_module_is_a_root_level_error() {
+        let err = expect_err(
+            "apls 1\ncircuit \"x\"\nmodule \"a\" 10 10 rotate\nmodule \"b\" 5 5 rotate\nnode 0 leaf 0\nroot 0\n",
+        );
+        assert_eq!((err.line, err.col), (6, 1));
+        assert!(err.message.contains("not covered"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_positioned() {
+        let err = expect_err("apls 1 extra\ncircuit \"x\"\n");
+        assert_eq!((err.line, err.col), (1, 8));
+        assert!(err.message.contains("expected end of line"));
+    }
+
+    #[test]
+    fn minimal_circuit_parses() {
+        let text = "apls 1\ncircuit \"one\"\nmodule \"m\" 10 20 norotate\nnode 0 leaf 0\nnode 1 group \"top\" none 0\nroot 1\n";
+        let c = parse_circuit(text).expect("parses");
+        assert_eq!(c.netlist.module_count(), 1);
+        assert_eq!(c.hierarchy.node_count(), 2);
+        assert!(!c.netlist.module(ModuleId::from_index(0)).rotation_allowed());
+    }
+}

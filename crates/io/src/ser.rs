@@ -1,0 +1,182 @@
+//! Canonical serializer for the `.apls` format.
+//!
+//! The canonical form is fully determined by the circuit: a fixed directive
+//! order (header, names, modules, nets, symmetry / common-centroid /
+//! proximity groups, hierarchy nodes, root), insertion order within every
+//! category, exactly one space between tokens, no comments, and shortest
+//! round-trip formatting for net weights. This makes the serializer a fixed
+//! point of the parser — `serialize(parse(s)) == s` for every canonical `s` —
+//! and its output a stable content key (see [`crate::circuit_fingerprint`]).
+
+use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_circuit::HierarchyNode;
+use std::fmt::Write as _;
+
+/// Serializes a circuit to canonical `.apls` text.
+#[must_use]
+pub fn serialize_circuit(circuit: &BenchmarkCircuit) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "apls {}", crate::FORMAT_VERSION);
+    let _ = writeln!(out, "circuit {}", quote(&circuit.name));
+    if circuit.netlist.name() != circuit.name {
+        let _ = writeln!(out, "netlist {}", quote(circuit.netlist.name()));
+    }
+
+    for (_, module) in circuit.netlist.modules() {
+        let dims = module.dims();
+        let rot = if module.rotation_allowed() { "rotate" } else { "norotate" };
+        let _ = write!(out, "module {} {} {} {rot}", quote(module.name()), dims.w, dims.h);
+        for variant in &module.variants()[1..] {
+            let _ = write!(out, " variant {} {} {}", variant.dims.w, variant.dims.h, variant.folds);
+        }
+        out.push('\n');
+    }
+
+    for (_, net) in circuit.netlist.nets() {
+        let _ = write!(out, "net {} {}", quote(net.name()), fmt_weight(net.weight()));
+        for pin in net.pins() {
+            let _ = write!(out, " {}", pin.index());
+        }
+        out.push('\n');
+    }
+
+    for group in circuit.constraints.symmetry_groups() {
+        let _ = write!(out, "sym {} pairs", quote(group.name()));
+        for &(l, r) in group.pairs() {
+            let _ = write!(out, " {} {}", l.index(), r.index());
+        }
+        out.push_str(" selfs");
+        for &m in group.self_symmetric() {
+            let _ = write!(out, " {}", m.index());
+        }
+        out.push('\n');
+    }
+
+    for group in circuit.constraints.common_centroid_groups() {
+        let _ = write!(out, "cc {} a", quote(group.name()));
+        for &m in group.units_a() {
+            let _ = write!(out, " {}", m.index());
+        }
+        out.push_str(" b");
+        for &m in group.units_b() {
+            let _ = write!(out, " {}", m.index());
+        }
+        out.push('\n');
+    }
+
+    for group in circuit.constraints.proximity_groups() {
+        let _ = write!(out, "prox {} gap {} members", quote(group.name()), group.max_gap());
+        for &m in group.members() {
+            let _ = write!(out, " {}", m.index());
+        }
+        out.push('\n');
+    }
+
+    for index in 0..circuit.hierarchy.node_count() {
+        let id = apls_circuit::HierarchyNodeId::from_index(index);
+        match circuit.hierarchy.node(id) {
+            HierarchyNode::Leaf { module } => {
+                let _ = writeln!(out, "node {index} leaf {}", module.index());
+            }
+            HierarchyNode::Internal { name, children, constraint } => {
+                let kind = match constraint {
+                    Some(apls_circuit::ConstraintKind::Symmetry) => "sym",
+                    Some(apls_circuit::ConstraintKind::CommonCentroid) => "cc",
+                    Some(apls_circuit::ConstraintKind::Proximity) => "prox",
+                    None => "none",
+                };
+                let _ = write!(out, "node {index} group {} {kind}", quote(name));
+                for child in children {
+                    let _ = write!(out, " {}", child.index());
+                }
+                out.push('\n');
+            }
+        }
+    }
+
+    if let Some(root) = circuit.hierarchy.root() {
+        let _ = writeln!(out, "root {}", root.index());
+    }
+    out
+}
+
+/// Quotes a name. The named escapes cover the common cases; any other
+/// control character goes out as `\uXXXX` so every name — however hostile —
+/// serializes to something the lexer accepts (the round-trip guarantee).
+fn quote(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest decimal representation that parses back to the same `f64`
+/// (Rust's `Display` guarantee), so weights round-trip exactly.
+fn fmt_weight(weight: f64) -> String {
+    debug_assert!(weight.is_finite(), "net weights must be finite");
+    format!("{weight}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_circuit;
+    use apls_circuit::benchmarks;
+
+    #[test]
+    fn weights_round_trip_exactly() {
+        for w in [1.0f64, 2.0, 1.5, 0.1, 1.0 / 3.0, 123456.789] {
+            let text = fmt_weight(w);
+            assert_eq!(text.parse::<f64>().unwrap(), w, "{text}");
+        }
+        assert_eq!(fmt_weight(2.0), "2");
+    }
+
+    #[test]
+    fn names_with_specials_round_trip() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        // control characters outside the named escapes go out as \uXXXX
+        assert_eq!(quote("a\u{1}b"), "\"a\\u0001b\"");
+        let mut hostile = benchmarks::miller_opamp_fig6();
+        hostile.name = "ctl\u{1}\u{1f}name".to_string();
+        let text = serialize_circuit(&hostile);
+        let parsed = parse_circuit(&text).expect("control characters round-trip via \\u");
+        assert_eq!(parsed.name, hostile.name);
+        assert_eq!(serialize_circuit(&parsed), text);
+        let mut circuit = benchmarks::miller_opamp_fig6();
+        circuit.name = "odd \"name\"\twith\nspecials".to_string();
+        let text = serialize_circuit(&circuit);
+        let parsed = parse_circuit(&text).expect("parses");
+        assert_eq!(parsed.name, circuit.name);
+        // renamed circuit keeps the original netlist via the 'netlist' directive
+        assert_eq!(parsed.netlist, circuit.netlist);
+        assert_eq!(serialize_circuit(&parsed), text);
+    }
+
+    #[test]
+    fn canonical_form_is_stable() {
+        let circuit = benchmarks::folded_cascode();
+        assert_eq!(serialize_circuit(&circuit), serialize_circuit(&circuit));
+    }
+
+    #[test]
+    fn fixture_shape_smoke() {
+        let text = serialize_circuit(&benchmarks::miller_opamp_fig6());
+        assert!(text.starts_with("apls 1\ncircuit \"miller_opamp\"\n"));
+        assert!(text.contains("module \"P1\" 60 30 norotate\n"));
+        assert!(text.contains("sym \"dp_sym\" pairs 0 1 2 3 selfs\n"));
+        assert!(text.contains("prox \"bias_prox\" gap 10 members 4 5 6\n"));
+        assert!(text.ends_with("root 14\n"));
+    }
+}

@@ -1,0 +1,52 @@
+//! The checked-in `.apls` fixtures under `examples/circuits/` are the
+//! canonical serializations of the seven bundled benchmark circuits — bit
+//! for bit. Regenerate with `apls convert --circuit <name> --out <file>`
+//! after intentional format or generator changes.
+
+use apls_circuit::benchmarks;
+use apls_io::{parse_circuit, serialize_circuit};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/circuits")
+        .join(format!("{name}.apls"))
+}
+
+#[test]
+fn fixtures_are_canonical_and_bit_exact() {
+    for name in benchmarks::names() {
+        let circuit = benchmarks::by_name(name).expect("bundled circuit resolves");
+        let path = fixture_path(name);
+        let fixture = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        // the fixture IS the canonical form…
+        assert_eq!(
+            serialize_circuit(&circuit),
+            fixture,
+            "{name}: fixture is stale, regenerate with `apls convert --circuit {name}`"
+        );
+        // …and parses back to the identical circuit (bit-exact round trip)
+        let parsed = parse_circuit(&fixture).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed.name, circuit.name, "{name}");
+        assert_eq!(parsed.netlist, circuit.netlist, "{name}");
+        assert_eq!(parsed.hierarchy, circuit.hierarchy, "{name}");
+        assert_eq!(parsed.constraints, circuit.constraints, "{name}");
+    }
+}
+
+#[test]
+fn no_stray_fixtures() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/circuits");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixture directory exists")
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".apls"))
+        .map(|n| n.trim_end_matches(".apls").to_string())
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = benchmarks::names().iter().map(ToString::to_string).collect();
+    expected.sort();
+    assert_eq!(found, expected, "examples/circuits/ must hold exactly the bundled circuits");
+}

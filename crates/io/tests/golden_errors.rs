@@ -1,0 +1,77 @@
+//! Golden-error tests: every parser diagnostic must carry the exact
+//! `line:col` of the offending token, rendered as `line:col: message`.
+
+use apls_io::parse_circuit;
+
+/// A well-formed minimal document the error cases are derived from.
+const GOOD: &str = "apls 1\n\
+circuit \"c\"\n\
+module \"a\" 10 20 rotate\n\
+module \"b\" 5 5 norotate\n\
+net \"n\" 1.5 0 1\n\
+node 0 leaf 0\n\
+node 1 leaf 1\n\
+node 2 group \"top\" none 0 1\n\
+root 2\n";
+
+#[test]
+fn the_good_document_parses() {
+    let circuit = parse_circuit(GOOD).expect("good document parses");
+    assert_eq!(circuit.netlist.module_count(), 2);
+    assert_eq!(circuit.hierarchy.node_count(), 3);
+}
+
+/// `(document, expected line, expected col, expected message fragment)`.
+const GOLDEN: &[(&str, usize, usize, &str)] = &[
+    // lexer-level
+    ("apls 1\ncircuit \"c\"\nmodule ?\n", 3, 8, "unexpected character '?'"),
+    ("apls 1\ncircuit \"unterminated\n", 2, 9, "unterminated string"),
+    ("apls 1\ncircuit \"bad\\x\"\n", 2, 14, "unknown escape sequence '\\x'"),
+    // header / structure
+    ("circuit \"c\"\n", 1, 1, "expected 'apls'"),
+    ("apls 2\ncircuit \"c\"\n", 1, 6, "unsupported format version 2"),
+    ("apls 1\nmodule \"a\" 1 1 rotate\n", 2, 1, "expected 'circuit'"),
+    ("apls 1\ncircuit \"c\"\ncircuit \"d\"\n", 3, 1, "duplicate 'circuit' directive"),
+    // a late 'netlist' would silently discard already-parsed body directives
+    ("apls 1\ncircuit \"c\"\nnet \"n\" 1\nnetlist \"y\"\n", 4, 1, "'netlist' must appear before any other directive"),
+    ("apls 1\ncircuit \"c\"\nnetlist \"y\"\nnetlist \"z\"\n", 4, 1, "'netlist' must appear before any other directive"),
+    ("apls 1\ncircuit \"c\"\nwibble\n", 3, 1, "unknown directive 'wibble'"),
+    // tokens in the wrong place
+    ("apls 1\ncircuit 7\n", 2, 9, "expected circuit name (a quoted string), found 7"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 maybe\n", 3, 16, "expected 'rotate' or 'norotate'"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" -4 1 rotate\n", 3, 12, "module width must be non-negative"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate\nnet \"n\"\n", 4, 8, "expected net weight, found end of line"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate junk\n", 3, 23, "expected 'variant', found 'junk'"),
+    // dangling references
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate\nnet \"n\" 1 0 5\n", 4, 13, "module index 5 out of range"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate\nsym \"s\" pairs 0 9 selfs\n", 4, 17, "module index 9 out of range"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate\nnode 0 leaf 0\nnode 1 group \"g\" none 5\n", 5, 23, "child node 5 is not declared yet"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate\nnode 0 leaf 0\nroot 3\n", 5, 6, "root node 3 is not declared"),
+    ("apls 1\ncircuit \"c\"\nmodule \"a\" 1 1 rotate\nnode 4 leaf 0\n", 4, 6, "hierarchy node ids must be dense and ordered: expected 0, found 4"),
+];
+
+#[test]
+fn diagnostics_carry_exact_positions() {
+    for (doc, line, col, fragment) in GOLDEN {
+        let err = parse_circuit(doc).expect_err(doc);
+        assert_eq!((err.line, err.col), (*line, *col), "wrong position for {doc:?}: got {err}");
+        assert!(
+            err.message.contains(fragment),
+            "message for {doc:?} should contain {fragment:?}, got: {err}"
+        );
+        // the Display format is the `line:col: message` contract
+        assert_eq!(err.to_string(), format!("{}:{}: {}", err.line, err.col, err.message));
+    }
+}
+
+#[test]
+fn every_prefix_truncation_errors_but_never_panics() {
+    // Chop the good document after every line: the parser must fail cleanly
+    // (missing root / missing coverage), never panic.
+    let lines: Vec<&str> = GOOD.lines().collect();
+    for n in 0..lines.len() {
+        let doc = lines[..n].iter().map(|l| format!("{l}\n")).collect::<String>();
+        let result = parse_circuit(&doc);
+        assert!(result.is_err(), "prefix of {n} lines should not parse");
+    }
+}

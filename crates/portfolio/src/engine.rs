@@ -135,6 +135,9 @@ pub struct RestartOutcome {
     /// Annealing throughput in proposals per second, measured over the
     /// annealing loop only (`None` for the deterministic engine).
     pub moves_per_second: Option<f64>,
+    /// Whether the hier engine's pure-enumeration fallback beat its hybrid
+    /// pipeline and was returned instead (`None` for every other engine).
+    pub enumeration_won: Option<bool>,
 }
 
 /// Runs `engine` once on `circuit` with the given seed and settings.
@@ -168,6 +171,7 @@ pub fn run_engine_once(
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
                 moves_attempted: result.stats.moves_attempted,
                 moves_per_second: result.stats.moves_per_second(),
+                enumeration_won: None,
             }
         }
         PortfolioEngine::HbTree => {
@@ -187,6 +191,7 @@ pub fn run_engine_once(
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
                 moves_attempted: result.stats.moves_attempted,
                 moves_per_second: result.stats.moves_per_second(),
+                enumeration_won: None,
             }
         }
         PortfolioEngine::Deterministic => {
@@ -202,6 +207,7 @@ pub fn run_engine_once(
                 acceptance_ratio: None,
                 moves_attempted: 0,
                 moves_per_second: None,
+                enumeration_won: None,
             }
         }
         PortfolioEngine::Hier => {
@@ -222,6 +228,7 @@ pub fn run_engine_once(
                 acceptance_ratio: None,
                 moves_attempted: 0,
                 moves_per_second: None,
+                enumeration_won: Some(result.enumeration_won),
             }
         }
     }

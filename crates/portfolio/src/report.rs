@@ -27,6 +27,9 @@ pub struct RestartRecord {
     /// Annealing throughput in proposals per second, measured over the
     /// annealing loop only (`None` for the deterministic engine).
     pub moves_per_second: Option<f64>,
+    /// Whether the hier engine's never-lose pure-enumeration fallback beat
+    /// the hybrid pipeline in this restart (`None` for every other engine).
+    pub enumeration_won: Option<bool>,
     /// Metrics of the restart's placement.
     pub metrics: PlacementMetrics,
     /// Largest symmetry deviation (doubled dbu).
@@ -51,6 +54,9 @@ pub struct EngineSummary {
     /// Mean annealing throughput in proposals per second (`None` for the
     /// deterministic engine).
     pub mean_moves_per_second: Option<f64>,
+    /// How many restarts fell back to the pure-enumeration result (hier
+    /// engine only; `None` for engines that have no such fallback).
+    pub enumeration_wins: Option<usize>,
     /// Summed wall-clock time of the engine's restarts.
     pub total_runtime: Duration,
 }
@@ -130,6 +136,11 @@ impl PortfolioReport {
                 } else {
                     Some(throughputs.iter().sum::<f64>() / throughputs.len() as f64)
                 };
+                let enumeration_wins = if runs.iter().any(|r| r.enumeration_won.is_some()) {
+                    Some(runs.iter().filter(|r| r.enumeration_won == Some(true)).count())
+                } else {
+                    None
+                };
                 Some(EngineSummary {
                     engine,
                     restarts_run: runs.len(),
@@ -137,6 +148,7 @@ impl PortfolioReport {
                     best_restart,
                     mean_acceptance,
                     mean_moves_per_second,
+                    enumeration_wins,
                     total_runtime: runs.iter().map(|r| r.runtime).sum(),
                 })
             })
@@ -193,6 +205,30 @@ impl PortfolioReport {
     /// written by hand; the schema is documented in DESIGN.md §6.
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// Serialises the report with every timing-derived field (`wall_ms`,
+    /// `runtime_ms`, `total_runtime_ms`, `moves_per_sec`,
+    /// `mean_moves_per_sec`) emitted as `null`.
+    ///
+    /// What remains is a pure function of `(circuit, config, root_seed)` —
+    /// byte-identical across runs, thread counts and machines. This is the
+    /// report body `apls-service` returns and caches, and the object of its
+    /// determinism guarantee (DESIGN.md §10).
+    #[must_use]
+    pub fn to_json_deterministic(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, timings: bool) -> String {
+        let ms = |d: Duration| -> String {
+            if timings {
+                format!("{:.3}", d.as_secs_f64() * 1e3)
+            } else {
+                "null".to_string()
+            }
+        };
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
         out.push_str(&format!("  \"circuit\": \"{}\",\n", esc(&self.circuit_name)));
@@ -200,14 +236,14 @@ impl PortfolioReport {
         out.push_str(&format!("  \"restarts_scheduled\": {},\n", self.restarts_scheduled));
         out.push_str(&format!("  \"restarts_run\": {},\n", self.restarts.len()));
         out.push_str(&format!("  \"early_stopped\": {},\n", self.early_stopped));
-        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall_time.as_secs_f64() * 1e3));
+        out.push_str(&format!("  \"wall_ms\": {},\n", ms(self.wall_time)));
         let best = self.best();
         out.push_str("  \"best\": ");
         push_restart_json(&mut out, best, "  ");
         out.push_str(",\n  \"engines\": [\n");
         for (i, e) in self.engines.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"engine\": \"{}\", \"restarts_run\": {}, \"best_cost\": {:.3}, \"mean_cost\": {:.3}, \"worst_cost\": {:.3}, \"best_restart\": {}, \"mean_acceptance\": {}, \"mean_moves_per_sec\": {}, \"total_runtime_ms\": {:.3}}}{}\n",
+                "    {{\"engine\": \"{}\", \"restarts_run\": {}, \"best_cost\": {:.3}, \"mean_cost\": {:.3}, \"worst_cost\": {:.3}, \"best_restart\": {}, \"mean_acceptance\": {}, \"mean_moves_per_sec\": {}, \"enumeration_wins\": {}, \"total_runtime_ms\": {}}}{}\n",
                 e.engine,
                 e.restarts_run,
                 e.cost.min,
@@ -215,22 +251,24 @@ impl PortfolioReport {
                 e.cost.max,
                 e.best_restart,
                 json_opt(e.mean_acceptance),
-                json_opt_rounded(e.mean_moves_per_second),
-                e.total_runtime.as_secs_f64() * 1e3,
+                if timings { json_opt_rounded(e.mean_moves_per_second) } else { "null".into() },
+                json_opt_usize(e.enumeration_wins),
+                ms(e.total_runtime),
                 comma(i, self.engines.len()),
             ));
         }
         out.push_str("  ],\n  \"restarts\": [\n");
         for (i, r) in self.restarts.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"engine\": \"{}\", \"restart\": {}, \"seed\": {}, \"cost\": {:.3}, \"runtime_ms\": {:.3}, \"acceptance\": {}, \"moves_per_sec\": {}, \"symmetry_error\": {}}}{}\n",
+                "    {{\"engine\": \"{}\", \"restart\": {}, \"seed\": {}, \"cost\": {:.3}, \"runtime_ms\": {}, \"acceptance\": {}, \"moves_per_sec\": {}, \"enumeration_won\": {}, \"symmetry_error\": {}}}{}\n",
                 r.engine,
                 r.restart,
                 r.seed,
                 r.cost,
-                r.runtime.as_secs_f64() * 1e3,
+                ms(r.runtime),
                 json_opt(r.acceptance_ratio),
-                json_opt_rounded(r.moves_per_second),
+                if timings { json_opt_rounded(r.moves_per_second) } else { "null".into() },
+                json_opt_bool(r.enumeration_won),
                 r.symmetry_error,
                 comma(i, self.restarts.len()),
             ));
@@ -253,7 +291,7 @@ impl PortfolioReport {
 /// Appends the JSON object of one restart (without trailing newline).
 fn push_restart_json(out: &mut String, r: &RestartRecord, indent: &str) {
     out.push_str(&format!(
-        "{{\n{indent}  \"engine\": \"{}\",\n{indent}  \"restart\": {},\n{indent}  \"seed\": {},\n{indent}  \"cost\": {:.3},\n{indent}  \"width\": {},\n{indent}  \"height\": {},\n{indent}  \"area_usage\": {:.4},\n{indent}  \"wirelength\": {:.3},\n{indent}  \"symmetry_error\": {},\n{indent}  \"overlap_area\": {}\n{indent}}}",
+        "{{\n{indent}  \"engine\": \"{}\",\n{indent}  \"restart\": {},\n{indent}  \"seed\": {},\n{indent}  \"cost\": {:.3},\n{indent}  \"width\": {},\n{indent}  \"height\": {},\n{indent}  \"area_usage\": {:.4},\n{indent}  \"wirelength\": {:.3},\n{indent}  \"symmetry_error\": {},\n{indent}  \"overlap_area\": {},\n{indent}  \"enumeration_won\": {}\n{indent}}}",
         r.engine,
         r.restart,
         r.seed,
@@ -264,6 +302,7 @@ fn push_restart_json(out: &mut String, r: &RestartRecord, indent: &str) {
         r.metrics.wirelength,
         r.symmetry_error,
         r.metrics.overlap_area,
+        json_opt_bool(r.enumeration_won),
     ));
 }
 
@@ -283,6 +322,14 @@ fn json_opt(v: Option<f64>) -> String {
 /// fractional digits are noise).
 fn json_opt_rounded(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| format!("{:.0}", x.round()))
+}
+
+fn json_opt_bool(v: Option<bool>) -> String {
+    v.map_or_else(|| "null".to_string(), |b| b.to_string())
+}
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
 }
 
 /// Escapes a string for embedding in a JSON literal.
@@ -354,6 +401,44 @@ mod tests {
         for e in &report.engines {
             assert_eq!(e.mean_moves_per_second.is_some(), e.engine.reports_annealing_stats());
         }
+    }
+
+    #[test]
+    fn enumeration_flag_is_hier_only() {
+        use crate::engine::PortfolioEngine;
+        let report = small_report();
+        for r in &report.restarts {
+            assert_eq!(
+                r.enumeration_won.is_some(),
+                r.engine == PortfolioEngine::Hier,
+                "{}",
+                r.engine
+            );
+        }
+        for e in &report.engines {
+            assert_eq!(
+                e.enumeration_wins.is_some(),
+                e.engine == PortfolioEngine::Hier,
+                "{}",
+                e.engine
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"enumeration_won\": null"));
+        assert!(json.contains("\"enumeration_wins\""));
+    }
+
+    #[test]
+    fn deterministic_json_is_reproducible_across_runs_and_threads() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(3).with_restarts(2).with_fast_schedule(true);
+        let a = run_portfolio(&circuit, &config).to_json_deterministic();
+        let b = run_portfolio(&circuit, &config.clone().with_threads(2)).to_json_deterministic();
+        assert_eq!(a, b);
+        assert!(a.contains("\"wall_ms\": null"));
+        assert!(a.contains("\"runtime_ms\": null"));
+        assert!(a.contains("\"total_runtime_ms\": null"));
+        assert!(!a.contains("\"moves_per_sec\": 0"));
     }
 
     #[test]

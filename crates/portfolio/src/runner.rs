@@ -78,6 +78,7 @@ fn execute(
         acceptance_ratio: outcome.acceptance_ratio,
         moves_attempted: outcome.moves_attempted,
         moves_per_second: outcome.moves_per_second,
+        enumeration_won: outcome.enumeration_won,
         metrics: outcome.metrics,
         symmetry_error: outcome.symmetry_error,
         placement: outcome.placement,

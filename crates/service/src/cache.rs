@@ -1,0 +1,116 @@
+//! A small LRU map for finished placement reports.
+//!
+//! The service keys results by `(canonical circuit text, canonical config
+//! string, seed)` — full content, not hashes, so key collisions are
+//! impossible by construction; values are the deterministic report bodies.
+//! Capacities are small
+//! (hundreds), so recency is tracked with a monotonic stamp per entry and
+//! eviction scans for the minimum — O(capacity), branch-free simple, and
+//! plenty fast next to placement jobs that take milliseconds to seconds.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used cache with a fixed entry capacity.
+///
+/// A capacity of 0 disables the cache (every `get` misses, `insert` is a
+/// no-op).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache that holds at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1024)) }
+    }
+
+    /// Looks a key up, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(stamp, value)| {
+            *stamp = tick;
+            &*value
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+    /// when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache = LruCache::new(4);
+        cache.insert(1, "a");
+        assert_eq!(cache.get(&1), Some(&"a"));
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        assert_eq!(cache.get(&1), Some(&"a")); // 1 is now fresher than 2
+        cache.insert(3, "c"); // evicts 2
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(&"a"));
+        assert_eq!(cache.get(&3), Some(&"c"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        cache.insert(1, "a2"); // refresh, not a new entry
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(&"a2"));
+        assert_eq!(cache.get(&2), Some(&"b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1, "a");
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+    }
+}

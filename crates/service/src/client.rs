@@ -1,0 +1,94 @@
+//! A small blocking client for the placement service.
+//!
+//! One connection, synchronous request/response over JSON lines. Concurrency
+//! comes from opening several clients — the service interleaves jobs from
+//! different connections across its worker pool.
+
+use crate::protocol::{JobSpec, PlaceResponse};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking JSON-lines client.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServiceClient> {
+        let writer = TcpStream::connect(addr)?;
+        // request/response turns are latency-bound; don't let Nagle pair
+        // small writes with the peer's delayed ACK
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServiceClient { reader, writer })
+    }
+
+    /// Sends one raw request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a closed connection reads as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        let mut request = String::with_capacity(line.len() + 1);
+        request.push_str(line);
+        request.push('\n');
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Submits a placement job and decodes the response envelope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an undecodable response becomes
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn place(&mut self, spec: &JobSpec) -> io::Result<PlaceResponse> {
+        let line = self.request_line(&spec.to_json_line())?;
+        PlaceResponse::from_json_line(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Health check; returns the raw response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn ping(&mut self) -> io::Result<String> {
+        self.request_line("{\"op\":\"ping\"}")
+    }
+
+    /// Service statistics; returns the raw response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.request_line("{\"op\":\"stats\"}")
+    }
+
+    /// Asks the service to shut down gracefully; returns the raw response
+    /// line (normally `{"status":"shutting_down"}`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn shutdown(&mut self) -> io::Result<String> {
+        self.request_line("{\"op\":\"shutdown\"}")
+    }
+}

@@ -1,0 +1,428 @@
+//! A minimal JSON reader/writer for the service protocol.
+//!
+//! The workspace's vendored serde is a marker-only shim, so the JSON-lines
+//! protocol is handled by this hand-rolled module instead: a recursive
+//! descent parser into a [`Json`] value tree plus the string-escaping helpers
+//! the envelope writers use. Numbers keep their raw source text so 64-bit
+//! seeds round-trip without `f64` precision loss.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw literal text (see [`Json::as_u64`]).
+    Num(String),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { s: text, pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos < p.s.len() {
+            return Err(format!("trailing characters after JSON value at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is an integral number in range.
+    /// Parses the raw literal, so full 64-bit seeds are exact.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, if this is an integral number in range.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` when the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact (single-line) JSON emission.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(raw) => f.write_str(raw),
+            Json::Str(s) => write!(f, "{}", quote(s)),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{value}", quote(key))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Escapes and quotes a string as a JSON string literal.
+#[must_use]
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Deepest allowed array/object nesting. A hostile request of hundreds of
+/// thousands of `[` would otherwise overflow the handler thread's stack and
+/// abort the whole process.
+const MAX_DEPTH: usize = 64;
+
+/// Byte-offset parser over the input `&str` — no up-front `Vec<char>` copy,
+/// so a request near the service's 16 MiB line cap costs one buffer, not
+/// five (offsets in error messages are byte offsets).
+struct Parser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    /// Advances past `c`, which must be the char `peek` just returned.
+    fn bump(&mut self, c: char) {
+        self.pos += c.len_utf8();
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.bump(c);
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.bump(c);
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at offset {}", self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        match self.peek() {
+            Some('n') => self.literal("null", Json::Null),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('[') => self.array(depth),
+            Some('{') => self.object(depth),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected character '{c}' at offset {}", self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.pos += 1;
+        }
+        let raw = &self.s[start..self.pos];
+        // validate by parsing; the raw text is what gets stored
+        raw.parse::<f64>().map_err(|_| format!("invalid number '{raw}' at offset {start}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or("unterminated string")?;
+            self.bump(c);
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.bump(esc);
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&first) {
+                                // high surrogate: require a low surrogate next
+                                self.expect('\\')?;
+                                self.expect('u')?;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err("invalid surrogate pair".to_string());
+                                }
+                                0x10000 + ((first - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape '\\{other}'")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or("truncated \\u escape")?;
+            self.bump(c);
+            code = code * 16 + c.to_digit(16).ok_or(format!("invalid hex digit '{c}'"))?;
+        }
+        Ok(code)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Json::parse("-1.5").unwrap().as_f64(), Some(-1.5));
+        assert_eq!(Json::parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn u64_seeds_do_not_lose_precision() {
+        let seed = u64::MAX - 7;
+        let json = Json::parse(&seed.to_string()).unwrap();
+        assert_eq!(json.as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn objects_and_arrays_round_trip() {
+        let text = r#"{"op":"place","seed":7,"engines":["seqpair","hier"],"fast":true,"x":null}"#;
+        let json = Json::parse(text).unwrap();
+        assert_eq!(json.get("op").and_then(Json::as_str), Some("place"));
+        assert_eq!(json.get("seed").and_then(Json::as_u64), Some(7));
+        assert_eq!(json.get("engines").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert!(json.get("x").is_some_and(Json::is_null));
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}f\u{1F600}";
+        let quoted = quote(original);
+        let parsed = Json::parse(&quoted).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
+        // embedded multi-line report bodies survive quoting
+        let report = "{\n  \"circuit\": \"x\"\n}\n";
+        assert_eq!(Json::parse(&quote(report)).unwrap().as_str(), Some(report));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let json = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(json.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_fatal() {
+        // 200k nested brackets must yield an error, not a stack overflow
+        let bomb = "[".repeat(200_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // moderate nesting still parses
+        let ok = format!("{}1{}", "[".repeat(32), "]".repeat(32));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"\\ud800x\"").is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Placement-as-a-service: a deterministic TCP job daemon over the portfolio
+//! layer.
+//!
+//! `apls-service` turns the one-shot placement portfolio
+//! ([`apls_portfolio::run_portfolio`]) into a long-running service built
+//! entirely on `std::net` and `std::sync` — no async runtime, no new
+//! dependencies:
+//!
+//! * **JSON-lines protocol** ([`protocol`], [`json`]) — one request object
+//!   per line; jobs name a bundled benchmark circuit or carry an inline
+//!   [`.apls` circuit](apls_io) plus a [`PortfolioConfig`
+//!   subset](apls_portfolio::PortfolioConfig);
+//! * **bounded queue + worker pool** ([`PlacementService`]) — a
+//!   `sync_channel` of configurable depth feeds N solver threads; a full
+//!   queue answers `{"status":"retry"}` instead of buffering unboundedly;
+//! * **result cache** ([`cache::LruCache`]) — keyed by (canonical circuit
+//!   text, canonical config string, seed), full content rather than hashes
+//!   so a collision can never cross-serve a report; hits are answered
+//!   before a queue slot is spent and the response envelope says so
+//!   (`"cache_hit": true`);
+//! * **determinism** — report bodies are
+//!   [`apls_portfolio::PortfolioReport::to_json_deterministic`], a pure
+//!   function of `(circuit, config, seed)`; derived job seeds come from
+//!   [`apls_anneal::rng::SeedStream::seed_for`]`(`[`JOB_SEED_LANE`]`,
+//!   job_index)`, so a replayed job log reproduces every report
+//!   byte-for-byte regardless of worker count;
+//! * **graceful shutdown** — a `{"op":"shutdown"}` control request (or
+//!   [`PlacementService::shutdown`]) stops the acceptor, drains the queue
+//!   and joins every thread.
+//!
+//! The `apls` CLI exposes all of this as `apls serve` and `apls submit`; the
+//! wire protocol and guarantees are documented in DESIGN.md §10.
+//!
+//! # Example
+//!
+//! ```
+//! use apls_service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+//!
+//! let service = PlacementService::start(ServiceConfig::default()).expect("binds");
+//! let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+//!
+//! let spec = JobSpec::bundled("miller_opamp_fig6").with_seed(7).with_restarts(1).with_fast(true);
+//! let first = client.place(&spec).expect("solves");
+//! let second = client.place(&spec).expect("solves");
+//! assert!(!first.cache_hit);
+//! assert!(second.cache_hit);
+//! assert_eq!(first.report, second.report);
+//!
+//! client.shutdown().expect("acknowledged");
+//! service.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod client;
+pub mod json;
+mod protocol;
+mod server;
+
+pub use client::ServiceClient;
+pub use protocol::{CircuitSource, JobSpec, PlaceResponse};
+pub use server::{PlacementService, ServiceConfig, JOB_SEED_LANE, PROTOCOL_VERSION};

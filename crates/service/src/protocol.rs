@@ -1,0 +1,461 @@
+//! The JSON-lines wire protocol: job requests and response envelopes.
+//!
+//! One JSON object per line in each direction. Requests carry an `op`:
+//!
+//! ```text
+//! {"op":"place","circuit":"miller_v2","seed":7,"restarts":4,"fast":true}
+//! {"op":"place","apls":"apls 1\ncircuit \"x\"\n…","engines":["seqpair","hier"]}
+//! {"op":"ping"}   {"op":"stats"}   {"op":"shutdown"}
+//! ```
+//!
+//! `place` responses wrap the *deterministic* portfolio report
+//! ([`apls_portfolio::PortfolioReport::to_json_deterministic`]) verbatim in a
+//! `"report"` string field, alongside the job envelope (id, seed, cache flag,
+//! queue/solve/total milliseconds). The full schema is documented in
+//! DESIGN.md §10.
+
+use crate::json::{quote, Json};
+use apls_io::canonical_hash;
+use apls_portfolio::{EarlyStop, PortfolioConfig, PortfolioEngine};
+
+/// Where a job's circuit comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitSource {
+    /// One of the bundled benchmark circuits, by name
+    /// (see [`apls_circuit::benchmarks::names`]).
+    Bundled(String),
+    /// An inline circuit in `.apls` text form.
+    Inline(String),
+}
+
+/// A placement job request: a circuit source plus the `PortfolioConfig`
+/// subset a client may set. Unset fields take the service defaults
+/// ([`PortfolioConfig::default`], with one rayon thread per job — parallelism
+/// comes from the service worker pool).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The circuit to place.
+    pub circuit: CircuitSource,
+    /// Root seed. `None` lets the service derive one from its own seed
+    /// stream and the job index (reproducible under job-log replay).
+    pub seed: Option<u64>,
+    /// Restarts per stochastic engine.
+    pub restarts: Option<usize>,
+    /// Engine subset to race.
+    pub engines: Option<Vec<PortfolioEngine>>,
+    /// Short smoke annealing schedule.
+    pub fast: Option<bool>,
+    /// Wirelength weight of the cost function.
+    pub wirelength_weight: Option<f64>,
+    /// The hier engine's annealing threshold.
+    pub hier_anneal_threshold: Option<usize>,
+    /// Plateau early-stop window.
+    pub plateau: Option<usize>,
+    /// Rayon threads *within* the job (default 1).
+    pub threads: Option<usize>,
+}
+
+impl JobSpec {
+    /// A default-configured job for a bundled benchmark circuit.
+    #[must_use]
+    pub fn bundled(name: impl Into<String>) -> Self {
+        JobSpec::new(CircuitSource::Bundled(name.into()))
+    }
+
+    /// A default-configured job for an inline `.apls` circuit.
+    #[must_use]
+    pub fn inline(text: impl Into<String>) -> Self {
+        JobSpec::new(CircuitSource::Inline(text.into()))
+    }
+
+    fn new(circuit: CircuitSource) -> Self {
+        JobSpec {
+            circuit,
+            seed: None,
+            restarts: None,
+            engines: None,
+            fast: None,
+            wirelength_weight: None,
+            hier_anneal_threshold: None,
+            plateau: None,
+            threads: None,
+        }
+    }
+
+    /// Pins the root seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the restarts per stochastic engine (builder style).
+    #[must_use]
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = Some(restarts);
+        self
+    }
+
+    /// Restricts the racing engines (builder style).
+    #[must_use]
+    pub fn with_engines(mut self, engines: impl Into<Vec<PortfolioEngine>>) -> Self {
+        self.engines = Some(engines.into());
+        self
+    }
+
+    /// Selects the short smoke schedule (builder style).
+    #[must_use]
+    pub fn with_fast(mut self, fast: bool) -> Self {
+        self.fast = Some(fast);
+        self
+    }
+
+    /// Encodes the request as one JSON line (without trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{\"op\":\"place\"");
+        match &self.circuit {
+            CircuitSource::Bundled(name) => {
+                out.push_str(&format!(",\"circuit\":{}", quote(name)));
+            }
+            CircuitSource::Inline(text) => {
+                out.push_str(&format!(",\"apls\":{}", quote(text)));
+            }
+        }
+        if let Some(seed) = self.seed {
+            out.push_str(&format!(",\"seed\":{seed}"));
+        }
+        if let Some(restarts) = self.restarts {
+            out.push_str(&format!(",\"restarts\":{restarts}"));
+        }
+        if let Some(engines) = &self.engines {
+            let names: Vec<String> = engines.iter().map(|e| quote(e.name())).collect();
+            out.push_str(&format!(",\"engines\":[{}]", names.join(",")));
+        }
+        if let Some(fast) = self.fast {
+            out.push_str(&format!(",\"fast\":{fast}"));
+        }
+        if let Some(w) = self.wirelength_weight {
+            out.push_str(&format!(",\"wirelength_weight\":{w}"));
+        }
+        if let Some(t) = self.hier_anneal_threshold {
+            out.push_str(&format!(",\"hier_anneal_threshold\":{t}"));
+        }
+        if let Some(p) = self.plateau {
+            out.push_str(&format!(",\"plateau\":{p}"));
+        }
+        if let Some(t) = self.threads {
+            out.push_str(&format!(",\"threads\":{t}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes a `place` request object (the server side of
+    /// [`JobSpec::to_json_line`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the request is structurally valid JSON but not
+    /// a valid job: missing/conflicting circuit source, out-of-range or
+    /// wrong-typed fields, unknown engine names, duplicate engines.
+    pub fn from_json(json: &Json) -> Result<JobSpec, String> {
+        // strict field set: a typo'd option must error, not silently run the
+        // job with defaults
+        const KNOWN: [&str; 11] = [
+            "op",
+            "circuit",
+            "apls",
+            "seed",
+            "restarts",
+            "engines",
+            "fast",
+            "wirelength_weight",
+            "hier_anneal_threshold",
+            "plateau",
+            "threads",
+        ];
+        if let Json::Obj(fields) = json {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(format!(
+                        "unknown request field '{key}' (known: {})",
+                        KNOWN.join(", ")
+                    ));
+                }
+            }
+        }
+        let circuit = match (json.get("circuit"), json.get("apls")) {
+            (Some(_), Some(_)) => {
+                return Err("request has both 'circuit' and 'apls'; pick one".to_string())
+            }
+            (Some(name), None) => CircuitSource::Bundled(
+                name.as_str().ok_or("'circuit' must be a string")?.to_string(),
+            ),
+            (None, Some(text)) => {
+                CircuitSource::Inline(text.as_str().ok_or("'apls' must be a string")?.to_string())
+            }
+            (None, None) => {
+                return Err(
+                    "request needs a circuit: 'circuit' (bundled name) or 'apls' (inline text)"
+                        .to_string(),
+                )
+            }
+        };
+        let mut spec = JobSpec::new(circuit);
+        if let Some(v) = json.get("seed") {
+            spec.seed = Some(v.as_u64().ok_or("'seed' must be an unsigned 64-bit integer")?);
+        }
+        if let Some(v) = json.get("restarts") {
+            let restarts = v.as_usize().ok_or("'restarts' must be a positive integer")?;
+            if restarts == 0 {
+                return Err("'restarts' must be at least 1".to_string());
+            }
+            spec.restarts = Some(restarts);
+        }
+        if let Some(v) = json.get("engines") {
+            let items = v.as_arr().ok_or("'engines' must be an array of engine names")?;
+            let mut engines = Vec::with_capacity(items.len());
+            for item in items {
+                let name = item.as_str().ok_or("'engines' entries must be strings")?;
+                let engine = PortfolioEngine::from_name(name).ok_or_else(|| {
+                    format!("unknown engine '{name}' (seqpair, hbtree, deterministic, hier)")
+                })?;
+                if engines.contains(&engine) {
+                    return Err(format!("duplicate engine '{name}'"));
+                }
+                engines.push(engine);
+            }
+            if engines.is_empty() {
+                return Err("'engines' must name at least one engine".to_string());
+            }
+            spec.engines = Some(engines);
+        }
+        if let Some(v) = json.get("fast") {
+            spec.fast = Some(v.as_bool().ok_or("'fast' must be a boolean")?);
+        }
+        if let Some(v) = json.get("wirelength_weight") {
+            let w = v.as_f64().ok_or("'wirelength_weight' must be a number")?;
+            if !w.is_finite() || w < 0.0 {
+                return Err("'wirelength_weight' must be finite and non-negative".to_string());
+            }
+            spec.wirelength_weight = Some(w);
+        }
+        if let Some(v) = json.get("hier_anneal_threshold") {
+            let t = v.as_usize().ok_or("'hier_anneal_threshold' must be a positive integer")?;
+            if t == 0 {
+                return Err("'hier_anneal_threshold' must be at least 1".to_string());
+            }
+            spec.hier_anneal_threshold = Some(t);
+        }
+        if let Some(v) = json.get("plateau") {
+            let p = v.as_usize().ok_or("'plateau' must be a positive integer")?;
+            if p == 0 {
+                return Err("'plateau' must be at least 1".to_string());
+            }
+            spec.plateau = Some(p);
+        }
+        if let Some(v) = json.get("threads") {
+            spec.threads = Some(v.as_usize().ok_or("'threads' must be an integer")?);
+        }
+        Ok(spec)
+    }
+
+    /// Resolves the spec into a full portfolio configuration rooted at
+    /// `seed`. Defaults match [`PortfolioConfig::default`] except `threads`,
+    /// which defaults to 1: job-level parallelism belongs to the service's
+    /// worker pool, not to rayon inside one job.
+    #[must_use]
+    pub fn resolved_config(&self, seed: u64) -> PortfolioConfig {
+        let mut config = PortfolioConfig::new(seed).with_threads(self.threads.unwrap_or(1));
+        if let Some(restarts) = self.restarts {
+            config = config.with_restarts(restarts);
+        }
+        if let Some(engines) = &self.engines {
+            config = config.with_engines(engines.clone());
+        }
+        if let Some(fast) = self.fast {
+            config = config.with_fast_schedule(fast);
+        }
+        if let Some(w) = self.wirelength_weight {
+            config = config.with_wirelength_weight(w);
+        }
+        if let Some(t) = self.hier_anneal_threshold {
+            config = config.with_hier_anneal_threshold(t);
+        }
+        if let Some(p) = self.plateau {
+            config = config.with_early_stop(EarlyStop::after(p));
+        }
+        config
+    }
+
+    /// Canonical string of every *result-relevant* configuration field.
+    ///
+    /// Built over the resolved configuration, so explicit defaults and
+    /// omitted fields produce identical strings. `threads` is deliberately
+    /// excluded — thread count never changes portfolio results — and the seed
+    /// is a separate cache-key component. The service uses this string (with
+    /// the canonical circuit text and the seed) as its cache key, comparing
+    /// content rather than hashes so collisions cannot cross-serve reports.
+    #[must_use]
+    pub fn config_canonical(&self) -> String {
+        let config = self.resolved_config(0);
+        let engines: Vec<&str> = config.engines.iter().map(|e| e.name()).collect();
+        format!(
+            "restarts={};engines={};fast={};ww={:016x};hat={};plateau={}",
+            config.restarts,
+            engines.join(","),
+            config.fast_schedule,
+            config.wirelength_weight.to_bits(),
+            config.hier_anneal_threshold,
+            config.early_stop.map_or_else(|| "none".to_string(), |e| e.window.to_string()),
+        )
+    }
+
+    /// [`canonical_hash`] of [`JobSpec::config_canonical`] — a compact
+    /// summary for logs and tests (the cache itself keys on the full
+    /// string).
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        canonical_hash(&self.config_canonical())
+    }
+}
+
+/// A decoded `place` response envelope.
+#[derive(Debug, Clone)]
+pub struct PlaceResponse {
+    /// Job id assigned by the service (arrival order), when the job was
+    /// accepted.
+    pub id: Option<u64>,
+    /// `"ok"`, `"retry"` or `"error"`.
+    pub status: String,
+    /// Circuit name, echoed back.
+    pub circuit: Option<String>,
+    /// The root seed the job ran with (pinned or derived).
+    pub seed: Option<u64>,
+    /// Whether the report came from the result cache.
+    pub cache_hit: bool,
+    /// Time spent queued, in milliseconds.
+    pub queue_ms: Option<f64>,
+    /// Time spent solving (or fetching from cache), in milliseconds.
+    pub solve_ms: Option<f64>,
+    /// Total request latency observed by the service, in milliseconds.
+    pub total_ms: Option<f64>,
+    /// The deterministic portfolio report JSON, verbatim.
+    pub report: Option<String>,
+    /// Error message for `"error"` / `"retry"` responses.
+    pub error: Option<String>,
+}
+
+impl PlaceResponse {
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not a JSON object.
+    pub fn from_json_line(line: &str) -> Result<PlaceResponse, String> {
+        let json = Json::parse(line)?;
+        if !matches!(json, Json::Obj(_)) {
+            return Err("response is not a JSON object".to_string());
+        }
+        Ok(PlaceResponse {
+            id: json.get("id").and_then(Json::as_u64),
+            status: json.get("status").and_then(Json::as_str).unwrap_or("error").to_string(),
+            circuit: json.get("circuit").and_then(Json::as_str).map(str::to_string),
+            seed: json.get("seed").and_then(Json::as_u64),
+            cache_hit: json.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
+            queue_ms: json.get("queue_ms").and_then(Json::as_f64),
+            solve_ms: json.get("solve_ms").and_then(Json::as_f64),
+            total_ms: json.get("total_ms").and_then(Json::as_f64),
+            report: json.get("report").and_then(Json::as_str).map(str::to_string),
+            error: json.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// `true` for a successful placement response.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// `true` when the service asked the client to retry (queue full).
+    #[must_use]
+    pub fn is_retry(&self) -> bool {
+        self.status == "retry"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let spec = JobSpec::bundled("miller_v2")
+            .with_seed(0xDEAD_BEEF_DEAD_BEEF)
+            .with_restarts(4)
+            .with_engines([PortfolioEngine::SequencePair, PortfolioEngine::Hier])
+            .with_fast(true);
+        let line = spec.to_json_line();
+        let json = Json::parse(&line).expect("encodes valid JSON");
+        assert_eq!(json.get("op").and_then(Json::as_str), Some("place"));
+        let decoded = JobSpec::from_json(&json).expect("decodes");
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn inline_circuits_survive_quoting() {
+        let spec = JobSpec::inline("apls 1\ncircuit \"x\"\n");
+        let json = Json::parse(&spec.to_json_line()).unwrap();
+        let decoded = JobSpec::from_json(&json).unwrap();
+        assert_eq!(decoded.circuit, CircuitSource::Inline("apls 1\ncircuit \"x\"\n".to_string()));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            (r#"{"op":"place"}"#, "needs a circuit"),
+            (r#"{"op":"place","circuit":"x","apls":"y"}"#, "pick one"),
+            (r#"{"op":"place","circuit":"x","restarts":0}"#, "at least 1"),
+            (r#"{"op":"place","circuit":"x","engines":["warp"]}"#, "unknown engine"),
+            (r#"{"op":"place","circuit":"x","engines":["hier","hier"]}"#, "duplicate engine"),
+            (r#"{"op":"place","circuit":"x","wirelength_weight":-1}"#, "non-negative"),
+            (r#"{"op":"place","circuit":"x","seed":"abc"}"#, "'seed'"),
+            // typo'd field names must not silently fall back to defaults
+            (r#"{"op":"place","circuit":"x","restart":4}"#, "unknown request field 'restart'"),
+            (r#"{"op":"place","circuit":"x","Seed":7}"#, "unknown request field 'Seed'"),
+        ] {
+            let err = JobSpec::from_json(&Json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_and_matches_explicit_defaults() {
+        let base = JobSpec::bundled("miller_v2");
+        let mut threaded = base.clone();
+        threaded.threads = Some(8);
+        assert_eq!(base.config_fingerprint(), threaded.config_fingerprint());
+
+        let mut explicit = base.clone();
+        explicit.restarts = Some(PortfolioConfig::default().restarts);
+        assert_eq!(base.config_fingerprint(), explicit.config_fingerprint());
+
+        let different = base.clone().with_restarts(3);
+        assert_ne!(base.config_fingerprint(), different.config_fingerprint());
+    }
+
+    #[test]
+    fn response_envelope_decodes() {
+        let line = r#"{"id":3,"status":"ok","circuit":"miller_v2","seed":7,"cache_hit":true,"queue_ms":0.5,"solve_ms":12.0,"total_ms":12.5,"report":"{\n}\n"}"#;
+        let response = PlaceResponse::from_json_line(line).unwrap();
+        assert!(response.is_ok());
+        assert!(response.cache_hit);
+        assert_eq!(response.id, Some(3));
+        assert_eq!(response.report.as_deref(), Some("{\n}\n"));
+
+        let retry =
+            PlaceResponse::from_json_line(r#"{"status":"retry","error":"queue full"}"#).unwrap();
+        assert!(retry.is_retry());
+    }
+}

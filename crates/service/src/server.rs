@@ -1,0 +1,573 @@
+//! The placement daemon: TCP acceptor, bounded job queue, worker pool,
+//! result cache.
+//!
+//! ```text
+//!            ┌────────────┐   bounded sync_channel    ┌──────────┐
+//!  TCP ──────► connection │ ──── Job {circuit, ...} ──► worker 0..N
+//!  clients   │  handlers  │ ◄─── JobDone {report} ──── │ run_portfolio
+//!            └────────────┘     (per-job channel)      └────┬─────┘
+//!                 ▲                                         │
+//!                 └──────────── LRU result cache ◄──────────┘
+//! ```
+//!
+//! Determinism contract: a job's report body is
+//! [`apls_portfolio::PortfolioReport::to_json_deterministic`] — a pure
+//! function of `(circuit, config, seed)` — so responses are byte-identical
+//! regardless of worker count, queue depth, arrival order, or whether the
+//! cache served them. Jobs without a pinned seed get one from
+//! [`SeedStream::seed_for`]`(JOB_SEED_LANE, job_index)` where `job_index`
+//! counts accepted jobs from 0, so replaying a job log against a fresh
+//! service reproduces every report bit for bit.
+
+use crate::cache::LruCache;
+use crate::json::{quote, Json};
+use crate::protocol::{CircuitSource, JobSpec};
+use apls_anneal::rng::SeedStream;
+use apls_circuit::benchmarks::{self, BenchmarkCircuit};
+use apls_io::serialize_circuit;
+use apls_portfolio::{run_portfolio, PortfolioConfig};
+use std::io::Read;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The seed-stream lane job seeds derive from (engines use lanes 1–4 of
+/// their per-job streams; this lane lives in the *service's* stream, rooted
+/// at [`ServiceConfig::seed`]).
+pub const JOB_SEED_LANE: u64 = 0x10B;
+
+/// Wire-protocol version reported by `ping`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// How long a connection handler waits for bytes before re-checking the
+/// shutdown flag. Bounds shutdown latency for idle connections.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Largest accepted request line. Inline `.apls` circuits are the big case
+/// (~30 bytes per module line); 16 MiB fits circuits three orders of
+/// magnitude beyond the largest bundled benchmark while bounding what one
+/// peer can make the daemon buffer.
+const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+
+/// Concurrent connections served at once; beyond this, new connections are
+/// refused with an error line so a connection flood cannot exhaust threads.
+const MAX_CONNECTIONS: usize = 1024;
+
+/// How long the (nonblocking) acceptor sleeps between polls. Bounds both
+/// idle CPU and shutdown latency.
+const ACCEPT_TICK: Duration = Duration::from_millis(50);
+
+/// Configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind (`0` = ephemeral, see
+    /// [`PlacementService::local_addr`]).
+    pub port: u16,
+    /// Worker threads executing placement jobs.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue answers `retry`.
+    pub queue_capacity: usize,
+    /// Result-cache entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Root of the service seed stream for jobs without a pinned seed.
+    pub seed: u64,
+    /// Test/bench hook: artificial extra latency per computed (non-cached)
+    /// job, simulating heavier circuits than the suite can afford to run.
+    pub job_delay: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            seed: 1,
+            job_delay: None,
+        }
+    }
+}
+
+/// The result-cache key: full canonical content, not hashes, so a 64-bit
+/// hash collision can never serve one client another circuit's report.
+/// (`HashMap` hashes the strings internally; equality compares the bytes.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Canonical `.apls` text of the circuit.
+    circuit: String,
+    /// Canonical string of every result-relevant config field.
+    config: String,
+    /// The job's root seed.
+    seed: u64,
+}
+
+/// One queued placement job.
+struct Job {
+    circuit: BenchmarkCircuit,
+    config: PortfolioConfig,
+    cache_key: CacheKey,
+    enqueued: Instant,
+    respond: mpsc::Sender<JobDone>,
+}
+
+/// What a worker hands back to the connection handler.
+struct JobDone {
+    report: String,
+    cache_hit: bool,
+    queue_ms: f64,
+    solve_ms: f64,
+}
+
+/// The sending half of the job queue plus the arrival-order job counter,
+/// behind one mutex so that (index assignment, enqueue) is atomic: a
+/// rejected job never consumes an index, which keeps derived seeds replayable.
+struct EnqueueSlot {
+    next_index: u64,
+    tx: SyncSender<Job>,
+}
+
+/// State shared by the acceptor, handlers and workers.
+struct Shared {
+    config: ServiceConfig,
+    seeds: SeedStream,
+    started: Instant,
+    shutdown: AtomicBool,
+    jobs_completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache: Mutex<LruCache<CacheKey, String>>,
+    enqueue: Mutex<Option<EnqueueSlot>>,
+}
+
+/// A running placement service.
+///
+/// # Example
+///
+/// ```
+/// use apls_service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+///
+/// let service = PlacementService::start(ServiceConfig::default()).expect("binds");
+/// let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+/// let spec = JobSpec::bundled("miller_opamp_fig6").with_seed(7).with_restarts(1).with_fast(true);
+/// let response = client.place(&spec).expect("round-trips");
+/// assert!(response.is_ok());
+/// service.shutdown();
+/// service.join();
+/// ```
+pub struct PlacementService {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PlacementService {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `queue_capacity` is zero.
+    pub fn start(config: ServiceConfig) -> std::io::Result<PlacementService> {
+        assert!(config.workers >= 1, "service needs at least one worker");
+        assert!(config.queue_capacity >= 1, "service needs a queue depth of at least 1");
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let local_addr = listener.local_addr()?;
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            seeds: SeedStream::new(config.seed),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            jobs_completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            enqueue: Mutex::new(Some(EnqueueSlot { next_index: 0, tx })),
+            config,
+        });
+
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || accept_loop(&listener, &shared)))
+        };
+        Ok(PlacementService { local_addr, shared, acceptor, workers })
+    }
+
+    /// The bound address (with the actual port when an ephemeral one was
+    /// requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Initiates a graceful shutdown: stop accepting, drain the queue, let
+    /// in-flight responses go out. Idempotent; [`PlacementService::join`]
+    /// waits for completion.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Blocks until the service has shut down (via
+    /// [`PlacementService::shutdown`] or a client `shutdown` request) and
+    /// every thread has exited.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PlacementService {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_threads();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Dropping the only SyncSender lets the workers drain the queue and exit.
+    shared.enqueue.lock().expect("enqueue lock").take();
+    // Best-effort accelerator: a throwaway connection makes a (blocking)
+    // acceptor observe the flag immediately. The nonblocking acceptor's poll
+    // tick bounds shutdown latency even when this connect cannot succeed.
+    let mut wake = local_addr;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect(wake);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    // Nonblocking accept with a sleep tick: observing the shutdown flag never
+    // depends on the wake-up self-connect reaching the listener (it may not,
+    // e.g. for 0.0.0.0 binds on platforms that don't route them to loopback).
+    let nonblocking = listener.set_nonblocking(true).is_ok();
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // reap finished handlers so a long-running daemon holds
+                // handles (and memory) only for *live* connections, not
+                // every connection ever seen
+                handlers.retain(|h| !h.is_finished());
+                if handlers.len() >= MAX_CONNECTIONS {
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.write_all(
+                        b"{\"status\":\"error\",\"error\":\"connection limit reached, retry later\"}\n",
+                    );
+                    continue; // dropping the stream closes it
+                }
+                let shared = Arc::clone(shared);
+                handlers.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => {
+                if !nonblocking {
+                    // a blocking accept that errors repeatedly must not spin
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+            }
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Holding the lock while waiting is fine: the holder takes the next
+        // job and releases before solving, so dequeueing is serialised but
+        // solving is parallel.
+        let job = match rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => break, // queue closed and drained: shutdown
+        };
+        let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        let solve_start = Instant::now();
+
+        let cached = shared.cache.lock().expect("cache lock").get(&job.cache_key).cloned();
+        let (report, cache_hit) = match cached {
+            Some(report) => {
+                shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                (report, true)
+            }
+            None => {
+                if let Some(delay) = shared.config.job_delay {
+                    std::thread::sleep(delay);
+                }
+                let report = run_portfolio(&job.circuit, &job.config).to_json_deterministic();
+                shared.cache.lock().expect("cache lock").insert(job.cache_key, report.clone());
+                (report, false)
+            }
+        };
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        let done = JobDone {
+            report,
+            cache_hit,
+            queue_ms,
+            solve_ms: solve_start.elapsed().as_secs_f64() * 1e3,
+        };
+        // The handler may have hung up (client gone); nothing to do then.
+        let _ = job.respond.send(done);
+    }
+}
+
+/// Whether the handler keeps serving this connection after a request.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // accepted sockets can inherit the listener's nonblocking flag on some
+    // platforms; the handler wants blocking reads with a timeout
+    let _ = stream.set_nonblocking(false);
+    // One-line request/response traffic is latency-bound: without NODELAY,
+    // Nagle holds the reply until the peer's delayed ACK (~40 ms per turn).
+    let _ = stream.set_nodelay(true);
+    let Ok(()) = stream.set_read_timeout(Some(READ_TICK)) else { return };
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // The `Take` adapter enforces the request cap *during* the read, so a
+        // peer streaming bytes without newlines can never make the daemon
+        // buffer more than MAX_REQUEST_BYTES + 1 bytes. Partial data stays in
+        // `buf` across read-timeout ticks.
+        let limit = (MAX_REQUEST_BYTES + 1 - buf.len()) as u64;
+        match reader.by_ref().take(limit).read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if buf.len() > MAX_REQUEST_BYTES {
+                    let _ = writer.write_all(oversized_response().as_bytes());
+                    break;
+                }
+                // under the cap and no newline means EOF arrived mid-line:
+                // process what we have, the next read reports the EOF
+                let Ok(text) = std::str::from_utf8(&buf) else {
+                    let _ = writer.write_all(
+                        format!("{}\n", error_response("request is not valid UTF-8")).as_bytes(),
+                    );
+                    break;
+                };
+                let request = text.trim();
+                let flow = if request.is_empty() {
+                    Flow::Continue
+                } else {
+                    let (mut response, flow) = process_request(request, shared, &writer);
+                    response.push('\n');
+                    if writer.write_all(response.as_bytes()).and_then(|()| writer.flush()).is_err()
+                    {
+                        break;
+                    }
+                    flow
+                };
+                buf.clear();
+                if matches!(flow, Flow::Close) {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue; // idle tick: re-check the shutdown flag
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn oversized_response() -> String {
+    format!(
+        "{{\"status\":\"error\",\"error\":\"request exceeds {MAX_REQUEST_BYTES} bytes, closing connection\"}}\n"
+    )
+}
+
+fn error_response(message: &str) -> String {
+    format!("{{\"status\":\"error\",\"error\":{}}}", quote(message))
+}
+
+fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (String, Flow) {
+    let json = match Json::parse(line) {
+        Ok(json) => json,
+        Err(e) => return (error_response(&format!("invalid JSON: {e}")), Flow::Continue),
+    };
+    match json.get("op").and_then(Json::as_str) {
+        Some("ping") => (
+            format!("{{\"status\":\"ok\",\"service\":\"apls\",\"protocol\":{PROTOCOL_VERSION}}}"),
+            Flow::Continue,
+        ),
+        Some("stats") => (stats_response(shared), Flow::Continue),
+        Some("shutdown") => {
+            if let Ok(addr) = writer.local_addr() {
+                initiate_shutdown(shared, addr);
+            }
+            ("{\"status\":\"shutting_down\"}".to_string(), Flow::Close)
+        }
+        Some("place") => (place(&json, shared), Flow::Continue),
+        Some(other) => (
+            error_response(&format!("unknown op '{other}' (place, ping, stats, shutdown)")),
+            Flow::Continue,
+        ),
+        None => (error_response("request needs an 'op' field"), Flow::Continue),
+    }
+}
+
+fn stats_response(shared: &Shared) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0}}}",
+        shared.config.workers,
+        shared.config.queue_capacity,
+        shared.config.cache_capacity,
+        shared.jobs_completed.load(Ordering::Relaxed),
+        shared.cache_hits.load(Ordering::Relaxed),
+        shared.cache.lock().expect("cache lock").len(),
+        shared.started.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+fn place(json: &Json, shared: &Arc<Shared>) -> String {
+    let spec = match JobSpec::from_json(json) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(&e),
+    };
+    let circuit = match resolve_circuit(&spec.circuit) {
+        Ok(circuit) => circuit,
+        Err(e) => return error_response(&e),
+    };
+    let circuit_name = circuit.name.clone();
+    let circuit_canonical = serialize_circuit(&circuit);
+    let config_canonical = spec.config_canonical();
+
+    let total_start = Instant::now();
+    let (done_rx, id, seed) = {
+        let mut guard = shared.enqueue.lock().expect("enqueue lock");
+        let Some(slot) = guard.as_mut() else {
+            return error_response("service is shutting down");
+        };
+        let index = slot.next_index;
+        let seed = spec.seed.unwrap_or_else(|| shared.seeds.seed_for(JOB_SEED_LANE, index));
+        let config = spec.resolved_config(seed);
+        let cache_key = CacheKey { circuit: circuit_canonical, config: config_canonical, seed };
+        // Probe the cache here, before spending a queue slot: a hit is
+        // answered even when the queue is full of multi-second solves.
+        // Hits still consume a job index, exactly as enqueued jobs do, so
+        // derived seeds stay replay-stable either way.
+        let cached = shared.cache.lock().expect("cache lock").get(&cache_key).cloned();
+        if let Some(report) = cached {
+            slot.next_index += 1;
+            drop(guard);
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            let elapsed_ms = total_start.elapsed().as_secs_f64() * 1e3;
+            return ok_envelope(
+                index,
+                &circuit_name,
+                seed,
+                true,
+                0.0,
+                elapsed_ms,
+                elapsed_ms,
+                &report,
+            );
+        }
+        let (done_tx, done_rx) = mpsc::channel();
+        let job = Job { circuit, config, cache_key, enqueued: Instant::now(), respond: done_tx };
+        match slot.tx.try_send(job) {
+            Ok(()) => {
+                slot.next_index += 1;
+                (done_rx, index, seed)
+            }
+            Err(TrySendError::Full(_)) => {
+                return "{\"status\":\"retry\",\"error\":\"job queue full, retry later\"}"
+                    .to_string()
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return error_response("service is shutting down")
+            }
+        }
+    };
+
+    let Ok(done) = done_rx.recv() else {
+        return error_response("worker terminated before completing the job");
+    };
+    ok_envelope(
+        id,
+        &circuit_name,
+        seed,
+        done.cache_hit,
+        done.queue_ms,
+        done.solve_ms,
+        total_start.elapsed().as_secs_f64() * 1e3,
+        &done.report,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ok_envelope(
+    id: u64,
+    circuit: &str,
+    seed: u64,
+    cache_hit: bool,
+    queue_ms: f64,
+    solve_ms: f64,
+    total_ms: f64,
+    report: &str,
+) -> String {
+    format!(
+        "{{\"id\":{id},\"status\":\"ok\",\"circuit\":{},\"seed\":{seed},\"cache_hit\":{cache_hit},\"queue_ms\":{queue_ms:.3},\"solve_ms\":{solve_ms:.3},\"total_ms\":{total_ms:.3},\"report\":{}}}",
+        quote(circuit),
+        quote(report),
+    )
+}
+
+fn resolve_circuit(source: &CircuitSource) -> Result<BenchmarkCircuit, String> {
+    match source {
+        CircuitSource::Bundled(name) => benchmarks::by_name(name).ok_or_else(|| {
+            format!("unknown circuit '{name}' (available: {})", benchmarks::names().join(", "))
+        }),
+        CircuitSource::Inline(text) => {
+            apls_io::parse_circuit(text).map_err(|e| format!("invalid inline circuit: {e}"))
+        }
+    }
+}

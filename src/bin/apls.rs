@@ -1,20 +1,33 @@
 //! `apls` — analog placement from the command line.
 //!
-//! Selects a bundled benchmark circuit, runs a single engine or the full
-//! multi-start portfolio, prints a summary, and optionally writes the
-//! portfolio report as JSON and the winning placement as SVG:
+//! Without a subcommand, selects a bundled benchmark circuit, runs a single
+//! engine or the full multi-start portfolio, prints a summary, and optionally
+//! writes the portfolio report as JSON and the winning placement as SVG:
 //!
 //! ```text
 //! apls --list
 //! apls --circuit miller_opamp_fig6 --restarts 8 --seed 42 --json report.json --svg best.svg
 //! apls --circuit folded_cascode --engine hbtree --restarts 4 --fast
 //! ```
+//!
+//! Subcommands expose the `.apls` circuit format and the placement service:
+//!
+//! ```text
+//! apls serve --port 7171 --workers 4          # placement daemon (JSON lines over TCP)
+//! apls submit --addr 127.0.0.1:7171 --circuit miller_v2 --seed 7 --json report.json
+//! apls submit --addr 127.0.0.1:7171 --op shutdown
+//! apls convert --circuit buffer --out buffer.apls
+//! apls convert --in custom.apls --out -       # parse + canonicalise
+//! apls gen --modules 200 --seed 9 --out big.apls
+//! ```
 
-use analog_layout_synthesis::circuit::benchmarks;
+use analog_layout_synthesis::circuit::benchmarks::{self, GeneratorConfig};
+use analog_layout_synthesis::io::{parse_circuit, serialize_circuit};
 use analog_layout_synthesis::portfolio::{
     run_portfolio, EarlyStop, PortfolioConfig, PortfolioEngine,
 };
-use clap::{Arg, ArgAction, Command};
+use analog_layout_synthesis::service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+use clap::{Arg, ArgAction, ArgMatches, Command};
 use std::process::ExitCode;
 
 fn cli() -> Command {
@@ -106,6 +119,249 @@ fn cli() -> Command {
                 .action(ArgAction::SetTrue)
                 .help("List the bundled benchmark circuits and exit"),
         )
+        .subcommand(serve_command())
+        .subcommand(submit_command())
+        .subcommand(convert_command())
+        .subcommand(gen_command())
+}
+
+fn serve_command() -> Command {
+    Command::new("serve")
+        .about("Run the placement service (JSON lines over TCP)")
+        .arg(
+            Arg::new("host")
+                .long("host")
+                .value_name("HOST")
+                .default_value("127.0.0.1")
+                .help("Interface to bind"),
+        )
+        .arg(
+            Arg::new("port")
+                .long("port")
+                .short('p')
+                .value_name("PORT")
+                .default_value("7171")
+                .help("Port to bind (0 = pick an ephemeral port and print it)"),
+        )
+        .arg(
+            Arg::new("workers")
+                .long("workers")
+                .value_name("N")
+                .default_value("0")
+                .help("Placement worker threads (0 = one per core)"),
+        )
+        .arg(
+            Arg::new("queue")
+                .long("queue")
+                .value_name("DEPTH")
+                .default_value("64")
+                .help("Bounded job-queue depth; a full queue answers 'retry'"),
+        )
+        .arg(
+            Arg::new("cache")
+                .long("cache")
+                .value_name("ENTRIES")
+                .default_value("128")
+                .help("Result-cache entries, keyed by (circuit, config, seed); 0 disables"),
+        )
+        .arg(
+            Arg::new("seed")
+                .long("seed")
+                .short('s')
+                .value_name("SEED")
+                .default_value("1")
+                .help("Root of the service seed stream for jobs without a pinned seed"),
+        )
+}
+
+fn submit_command() -> Command {
+    Command::new("submit")
+        .about("Submit one request to a running placement service")
+        .arg(
+            Arg::new("addr")
+                .long("addr")
+                .short('a')
+                .value_name("HOST:PORT")
+                .default_value("127.0.0.1:7171")
+                .help("Service address"),
+        )
+        .arg(
+            Arg::new("op")
+                .long("op")
+                .value_name("OP")
+                .default_value("place")
+                .help("place, ping, stats, or shutdown"),
+        )
+        .arg(
+            Arg::new("circuit")
+                .long("circuit")
+                .short('c')
+                .value_name("NAME")
+                .help("Bundled benchmark circuit to place"),
+        )
+        .arg(
+            Arg::new("file")
+                .long("file")
+                .short('f')
+                .value_name("FILE")
+                .help("Inline circuit: a .apls file to embed in the request"),
+        )
+        .arg(
+            Arg::new("seed").long("seed").short('s').value_name("SEED").help(
+                "Pin the job's root seed (otherwise the service derives one from the job index)",
+            ),
+        )
+        .arg(
+            Arg::new("restarts")
+                .long("restarts")
+                .short('k')
+                .value_name("K")
+                .help("Annealing restarts per stochastic engine"),
+        )
+        .arg(
+            Arg::new("engine")
+                .long("engine")
+                .short('e')
+                .value_name("ENGINE")
+                .default_value("portfolio")
+                .help("portfolio, seqpair, hbtree, deterministic, or hier"),
+        )
+        .arg(
+            Arg::new("wirelength-weight")
+                .long("wirelength-weight")
+                .short('w')
+                .value_name("W")
+                .help("Weight of the wirelength term in the cost"),
+        )
+        .arg(
+            Arg::new("hier-anneal-threshold")
+                .long("hier-anneal-threshold")
+                .value_name("N")
+                .help("hier engine: anneal hierarchy nodes with more than N modules"),
+        )
+        .arg(
+            Arg::new("plateau")
+                .long("plateau")
+                .value_name("WINDOW")
+                .help("Stop early after WINDOW generations without improvement"),
+        )
+        .arg(
+            Arg::new("threads")
+                .long("threads")
+                .short('t')
+                .value_name("N")
+                .help("Rayon threads inside the job (service default: 1)"),
+        )
+        .arg(
+            Arg::new("fast")
+                .long("fast")
+                .action(ArgAction::SetTrue)
+                .help("Use the short smoke-test annealing schedule"),
+        )
+        .arg(
+            Arg::new("json")
+                .long("json")
+                .value_name("FILE")
+                .help("Write the job's report body as JSON ('-' for stdout)"),
+        )
+}
+
+fn convert_command() -> Command {
+    Command::new("convert")
+        .about("Convert circuits to canonical .apls text")
+        .arg(
+            Arg::new("circuit")
+                .long("circuit")
+                .short('c')
+                .value_name("NAME")
+                .help("Bundled benchmark circuit to export"),
+        )
+        .arg(
+            Arg::new("in")
+                .long("in")
+                .short('i')
+                .value_name("FILE")
+                .help(".apls file to parse and canonicalise"),
+        )
+        .arg(
+            Arg::new("out")
+                .long("out")
+                .short('o')
+                .value_name("FILE")
+                .default_value("-")
+                .help("Output file ('-' for stdout)"),
+        )
+}
+
+fn gen_command() -> Command {
+    Command::new("gen")
+        .about("Generate a synthetic analog circuit as .apls text")
+        .arg(
+            Arg::new("modules")
+                .long("modules")
+                .short('m')
+                .value_name("N")
+                .default_value("20")
+                .help("Number of modules to generate"),
+        )
+        .arg(
+            Arg::new("seed")
+                .long("seed")
+                .short('s')
+                .value_name("SEED")
+                .default_value("1")
+                .help("Generator seed (same seed = identical circuit)"),
+        )
+        .arg(
+            Arg::new("name")
+                .long("name")
+                .value_name("NAME")
+                .default_value("synthetic")
+                .help("Circuit name"),
+        )
+        .arg(
+            Arg::new("sym-fraction")
+                .long("sym-fraction")
+                .value_name("F")
+                .default_value("0.35")
+                .help("Fraction of basic module sets with a symmetry constraint"),
+        )
+        .arg(
+            Arg::new("cc-fraction")
+                .long("cc-fraction")
+                .value_name("F")
+                .default_value("0.15")
+                .help("Fraction of basic module sets with a common-centroid constraint"),
+        )
+        .arg(
+            Arg::new("prox-fraction")
+                .long("prox-fraction")
+                .value_name("F")
+                .default_value("0.25")
+                .help("Fraction of basic module sets with a proximity constraint"),
+        )
+        .arg(
+            Arg::new("min-edge")
+                .long("min-edge")
+                .value_name("DBU")
+                .default_value("20")
+                .help("Smallest module edge length"),
+        )
+        .arg(
+            Arg::new("max-edge")
+                .long("max-edge")
+                .value_name("DBU")
+                .default_value("360")
+                .help("Largest module edge length"),
+        )
+        .arg(
+            Arg::new("out")
+                .long("out")
+                .short('o')
+                .value_name("FILE")
+                .default_value("-")
+                .help("Output file ('-' for stdout)"),
+        )
 }
 
 /// Renders a moves/sec figure compactly (`412k`, `1.3M`, `950`).
@@ -127,9 +383,201 @@ fn parse_number<T: std::str::FromStr>(
     raw.parse().map_err(|_| format!("invalid {what}: '{raw}'"))
 }
 
-fn run() -> Result<(), String> {
-    let matches = cli().get_matches();
+fn parse_optional<T: std::str::FromStr>(
+    matches_value: Option<&String>,
+    what: &str,
+) -> Result<Option<T>, String> {
+    matches_value.map(|raw| parse_number(Some(raw), what)).transpose()
+}
 
+fn write_output(path: &str, content: &str, what: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("{what} written to {path}");
+        Ok(())
+    }
+}
+
+fn engines_for(engine_name: &str) -> Result<Vec<PortfolioEngine>, String> {
+    match engine_name {
+        "portfolio" => Ok(PortfolioEngine::ALL.to_vec()),
+        other => Ok(vec![PortfolioEngine::from_name(other).ok_or_else(|| {
+            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic, hier)")
+        })?]),
+    }
+}
+
+fn run_serve(matches: &ArgMatches) -> Result<(), String> {
+    let workers: usize = parse_number(matches.get_one::<String>("workers"), "--workers")?;
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        workers
+    };
+    let queue_capacity: usize = parse_number(matches.get_one::<String>("queue"), "--queue")?;
+    if queue_capacity == 0 {
+        return Err("--queue must be at least 1".to_string());
+    }
+    let config = ServiceConfig {
+        host: matches.get_one::<String>("host").expect("defaulted").clone(),
+        port: parse_number(matches.get_one::<String>("port"), "--port")?,
+        workers,
+        queue_capacity,
+        cache_capacity: parse_number(matches.get_one::<String>("cache"), "--cache")?,
+        seed: parse_number(matches.get_one::<String>("seed"), "--seed")?,
+        job_delay: None,
+    };
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let cache = config.cache_capacity;
+    let service =
+        PlacementService::start(config).map_err(|e| format!("cannot start service: {e}"))?;
+    println!(
+        "apls service listening on {} ({workers} worker(s), queue {queue}, cache {cache})",
+        service.local_addr()
+    );
+    println!("stop with: apls submit --addr {} --op shutdown", service.local_addr());
+    service.join();
+    println!("apls service stopped");
+    Ok(())
+}
+
+fn run_submit(matches: &ArgMatches) -> Result<(), String> {
+    let addr = matches.get_one::<String>("addr").expect("defaulted");
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let op = matches.get_one::<String>("op").expect("defaulted");
+    match op.as_str() {
+        "ping" | "stats" | "shutdown" => {
+            let response = match op.as_str() {
+                "ping" => client.ping(),
+                "stats" => client.stats(),
+                _ => client.shutdown(),
+            }
+            .map_err(|e| format!("request failed: {e}"))?;
+            println!("{response}");
+            return Ok(());
+        }
+        "place" => {}
+        other => return Err(format!("unknown op '{other}' (place, ping, stats, shutdown)")),
+    }
+
+    let mut spec = match (matches.get_one::<String>("circuit"), matches.get_one::<String>("file")) {
+        (Some(_), Some(_)) => return Err("--circuit and --file are mutually exclusive".to_string()),
+        (Some(name), None) => JobSpec::bundled(name.clone()),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            // fail fast with a positioned message instead of shipping junk
+            parse_circuit(&text).map_err(|e| format!("{path}:{e}"))?;
+            JobSpec::inline(text)
+        }
+        (None, None) => {
+            return Err("submit needs a circuit: --circuit NAME or --file FILE.apls".to_string())
+        }
+    };
+    spec.seed = parse_optional(matches.get_one::<String>("seed"), "--seed")?;
+    spec.restarts = parse_optional(matches.get_one::<String>("restarts"), "--restarts")?;
+    spec.wirelength_weight =
+        parse_optional(matches.get_one::<String>("wirelength-weight"), "--wirelength-weight")?;
+    spec.hier_anneal_threshold = parse_optional(
+        matches.get_one::<String>("hier-anneal-threshold"),
+        "--hier-anneal-threshold",
+    )?;
+    spec.plateau = parse_optional(matches.get_one::<String>("plateau"), "--plateau")?;
+    spec.threads = parse_optional(matches.get_one::<String>("threads"), "--threads")?;
+    if matches.get_flag("fast") {
+        spec.fast = Some(true);
+    }
+    let engine_name = matches.get_one::<String>("engine").expect("defaulted");
+    if engine_name != "portfolio" {
+        spec.engines = Some(engines_for(engine_name)?);
+    }
+
+    let response = client.place(&spec).map_err(|e| format!("request failed: {e}"))?;
+    match response.status.as_str() {
+        "ok" => {
+            println!(
+                "job {}: status=ok circuit={} seed={} cache_hit={} queue {:.1} ms, solve {:.1} ms, total {:.1} ms",
+                response.id.unwrap_or(0),
+                response.circuit.as_deref().unwrap_or("?"),
+                response.seed.unwrap_or(0),
+                response.cache_hit,
+                response.queue_ms.unwrap_or(0.0),
+                response.solve_ms.unwrap_or(0.0),
+                response.total_ms.unwrap_or(0.0),
+            );
+            if let Some(path) = matches.get_one::<String>("json") {
+                let report = response.report.as_deref().ok_or("response carried no report")?;
+                write_output(path, report, "report")?;
+            }
+            Ok(())
+        }
+        "retry" => Err(format!(
+            "service busy: {} (resubmit later)",
+            response.error.as_deref().unwrap_or("queue full")
+        )),
+        _ => {
+            Err(format!("service error: {}", response.error.as_deref().unwrap_or("unknown error")))
+        }
+    }
+}
+
+fn run_convert(matches: &ArgMatches) -> Result<(), String> {
+    let circuit = match (matches.get_one::<String>("circuit"), matches.get_one::<String>("in")) {
+        (Some(_), Some(_)) => return Err("--circuit and --in are mutually exclusive".to_string()),
+        (Some(name), None) => benchmarks::by_name(name).ok_or_else(|| {
+            format!("unknown circuit '{name}' (available: {})", benchmarks::names().join(", "))
+        })?,
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_circuit(&text).map_err(|e| format!("{path}:{e}"))?
+        }
+        (None, None) => {
+            return Err("convert needs an input: --circuit NAME or --in FILE.apls".to_string())
+        }
+    };
+    let out = matches.get_one::<String>("out").expect("defaulted");
+    write_output(out, &serialize_circuit(&circuit), &format!("circuit '{}'", circuit.name))
+}
+
+fn run_gen(matches: &ArgMatches) -> Result<(), String> {
+    let module_count: usize = parse_number(matches.get_one::<String>("modules"), "--modules")?;
+    if module_count == 0 {
+        return Err("--modules must be at least 1".to_string());
+    }
+    let config = GeneratorConfig {
+        module_count,
+        seed: parse_number(matches.get_one::<String>("seed"), "--seed")?,
+        symmetry_fraction: parse_number(
+            matches.get_one::<String>("sym-fraction"),
+            "--sym-fraction",
+        )?,
+        common_centroid_fraction: parse_number(
+            matches.get_one::<String>("cc-fraction"),
+            "--cc-fraction",
+        )?,
+        proximity_fraction: parse_number(
+            matches.get_one::<String>("prox-fraction"),
+            "--prox-fraction",
+        )?,
+        min_edge: parse_number(matches.get_one::<String>("min-edge"), "--min-edge")?,
+        max_edge: parse_number(matches.get_one::<String>("max-edge"), "--max-edge")?,
+    };
+    if config.min_edge < 1 || config.max_edge <= config.min_edge {
+        return Err("edge lengths must satisfy 1 <= --min-edge < --max-edge".to_string());
+    }
+    let name = matches.get_one::<String>("name").expect("defaulted");
+    let circuit = benchmarks::generate(name, config);
+    let out = matches.get_one::<String>("out").expect("defaulted");
+    write_output(out, &serialize_circuit(&circuit), &format!("circuit '{name}'"))
+}
+
+fn run_default(matches: &ArgMatches) -> Result<(), String> {
     if matches.get_flag("list") {
         println!("bundled benchmark circuits:");
         for name in benchmarks::names() {
@@ -169,12 +617,7 @@ fn run() -> Result<(), String> {
     }
 
     let engine_name = matches.get_one::<String>("engine").expect("defaulted");
-    let engines = match engine_name.as_str() {
-        "portfolio" => PortfolioEngine::ALL.to_vec(),
-        other => vec![PortfolioEngine::from_name(other).ok_or_else(|| {
-            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic, hier)")
-        })?],
-    };
+    let engines = engines_for(engine_name)?;
 
     let mut config = PortfolioConfig::new(seed)
         .with_restarts(restarts)
@@ -195,7 +638,7 @@ fn run() -> Result<(), String> {
     println!("{}", report.summary());
     for engine in &report.engines {
         println!(
-            "  {:<14} {} restart(s): best {:.0}, mean {:.0}, worst {:.0}{}{}",
+            "  {:<14} {} restart(s): best {:.0}, mean {:.0}, worst {:.0}{}{}{}",
             engine.engine.to_string() + ":",
             engine.restarts_run,
             engine.cost.min,
@@ -208,6 +651,10 @@ fn run() -> Result<(), String> {
             engine
                 .mean_moves_per_second
                 .map(|mps| format!(", {} moves/s", human_throughput(mps)))
+                .unwrap_or_default(),
+            engine
+                .enumeration_wins
+                .map(|wins| format!(", enum fallback won {wins}/{}", engine.restarts_run))
                 .unwrap_or_default(),
         );
     }
@@ -228,6 +675,17 @@ fn run() -> Result<(), String> {
         println!("winning placement written to {path}");
     }
     Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let matches = cli().get_matches();
+    match matches.subcommand() {
+        Some(("serve", sub)) => run_serve(sub),
+        Some(("submit", sub)) => run_submit(sub),
+        Some(("convert", sub)) => run_convert(sub),
+        Some(("gen", sub)) => run_gen(sub),
+        _ => run_default(&matches),
+    }
 }
 
 fn main() -> ExitCode {

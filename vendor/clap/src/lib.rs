@@ -11,7 +11,8 @@
 //! * all values are stored as `String`s; `get_one::<T>` ignores its type
 //!   parameter and returns `Option<&String>` (callers parse numbers
 //!   themselves);
-//! * there are no subcommands, positionals, or derive macros;
+//! * one level of subcommands is supported ([`Command::subcommand`] /
+//!   [`ArgMatches::subcommand`]); there are no positionals or derive macros;
 //! * parse errors print a message plus usage and exit with status 2, like
 //!   clap's default behaviour.
 
@@ -95,6 +96,7 @@ impl Arg {
 pub struct ArgMatches {
     values: BTreeMap<String, String>,
     flags: BTreeSet<String>,
+    subcommand: Option<Box<(String, ArgMatches)>>,
 }
 
 impl ArgMatches {
@@ -110,6 +112,12 @@ impl ArgMatches {
     #[must_use]
     pub fn get_flag(&self, id: &str) -> bool {
         self.flags.contains(id)
+    }
+
+    /// The matched subcommand (name plus its own matches), if one was given.
+    #[must_use]
+    pub fn subcommand(&self) -> Option<(&str, &ArgMatches)> {
+        self.subcommand.as_deref().map(|(name, matches)| (name.as_str(), matches))
     }
 }
 
@@ -148,6 +156,7 @@ pub struct Command {
     about: Option<String>,
     version: Option<String>,
     args: Vec<Arg>,
+    subcommands: Vec<Command>,
 }
 
 impl Command {
@@ -177,6 +186,15 @@ impl Command {
         self
     }
 
+    /// Adds a subcommand. The first bare (non-`-`) token naming one
+    /// dispatches the remaining arguments to it; `<sub> --help` renders the
+    /// subcommand's own help.
+    #[must_use]
+    pub fn subcommand(mut self, command: Command) -> Self {
+        self.subcommands.push(command);
+        self
+    }
+
     /// Renders the help text.
     #[must_use]
     pub fn render_help(&self) -> String {
@@ -185,7 +203,19 @@ impl Command {
             out.push_str(about);
             out.push_str("\n\n");
         }
-        out.push_str(&format!("Usage: {} [OPTIONS]\n\nOptions:\n", self.name));
+        if self.subcommands.is_empty() {
+            out.push_str(&format!("Usage: {} [OPTIONS]\n\nOptions:\n", self.name));
+        } else {
+            out.push_str(&format!("Usage: {} [COMMAND] [OPTIONS]\n\nCommands:\n", self.name));
+            for sub in &self.subcommands {
+                out.push_str(&format!(
+                    "  {:<32}{}\n",
+                    sub.name,
+                    sub.about.clone().unwrap_or_default()
+                ));
+            }
+            out.push_str("\nOptions:\n");
+        }
         for arg in &self.args {
             let mut left = String::from("  ");
             if let Some(s) = arg.short {
@@ -241,7 +271,19 @@ impl Command {
             }
         }
         let mut tokens = itr.into_iter().map(Into::into).skip(1).peekable();
+        let mut first = true;
         while let Some(token) = tokens.next() {
+            if first {
+                first = false;
+                if let Some(sub) = self.subcommands.iter().find(|s| s.name == token) {
+                    let rest: Vec<String> = std::iter::once(format!("{} {}", self.name, sub.name))
+                        .chain(tokens)
+                        .collect();
+                    let sub_matches = sub.clone().try_get_matches_from(rest)?;
+                    matches.subcommand = Some(Box::new((token, sub_matches)));
+                    return Ok(matches);
+                }
+            }
             if token == "--help" || token == "-h" {
                 return Err(Error { message: self.render_help(), is_help: true });
             }
@@ -340,5 +382,43 @@ mod tests {
         assert!(text.contains("Usage: demo"));
         assert!(text.contains("--circuit"));
         assert!(text.contains("[default: miller]"));
+    }
+
+    fn cli_with_subs() -> Command {
+        cli().subcommand(
+            Command::new("serve")
+                .about("run the daemon")
+                .arg(Arg::new("port").long("port").default_value("0")),
+        )
+    }
+
+    #[test]
+    fn subcommands_dispatch_remaining_args() {
+        let m = cli_with_subs().try_get_matches_from(["demo", "serve", "--port", "8080"]).unwrap();
+        let (name, sub) = m.subcommand().expect("matched subcommand");
+        assert_eq!(name, "serve");
+        assert_eq!(sub.get_one::<String>("port").unwrap(), "8080");
+    }
+
+    #[test]
+    fn top_level_args_still_parse_without_a_subcommand() {
+        let m = cli_with_subs().try_get_matches_from(["demo", "--seed", "7"]).unwrap();
+        assert!(m.subcommand().is_none());
+        assert_eq!(m.get_one::<String>("seed").unwrap(), "7");
+    }
+
+    #[test]
+    fn subcommand_help_and_listing() {
+        let err = cli_with_subs().try_get_matches_from(["demo", "--help"]).unwrap_err();
+        assert!(err.to_string().contains("Commands:"));
+        assert!(err.to_string().contains("serve"));
+        let err = cli_with_subs().try_get_matches_from(["demo", "serve", "--help"]).unwrap_err();
+        assert!(err.to_string().contains("--port"));
+    }
+
+    #[test]
+    fn unknown_bare_token_is_still_an_error() {
+        let err = cli_with_subs().try_get_matches_from(["demo", "nonsense"]).unwrap_err();
+        assert!(err.to_string().contains("unexpected argument"));
     }
 }
