@@ -47,9 +47,11 @@
 mod annealer;
 pub mod rng;
 mod schedule;
+pub mod tempering;
 
 pub use annealer::{AnnealStats, Annealer};
 pub use schedule::Schedule;
+pub use tempering::{run_tempering, TemperingConfig, TemperingStats};
 
 use rand::RngCore;
 

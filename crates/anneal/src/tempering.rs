@@ -1,0 +1,394 @@
+//! Deterministic parallel tempering (replica exchange) over [`AnnealState`].
+//!
+//! Parallel tempering runs `K` replicas of the same annealing problem at a
+//! ladder of temperatures. Between *rounds* of ordinary Metropolis moves,
+//! adjacent temperature slots may exchange their replicas: a hot replica that
+//! stumbled onto a good configuration hands it down the ladder, while the
+//! cold slot's configuration is re-heated to escape its local minimum.
+//!
+//! # Determinism
+//!
+//! The driver is bit-identical at any worker thread count:
+//!
+//! * every replica owns a private RNG seeded via
+//!   [`SeedStream::seed_for`]`(lane, replica_index)` — streams never depend
+//!   on scheduling;
+//! * the move phase is an order-preserving parallel map over the replicas
+//!   (each replica touches only its own state and RNG);
+//! * the exchange phase runs serially after every round, drawing from one
+//!   dedicated swap RNG (`SeedStream::seed_for(lane, u64::MAX)`) with exactly
+//!   one draw per attempted swap, so the swap schedule is a pure function of
+//!   the seed and the replica costs.
+
+use crate::rng::{SeedStream, SeededRng};
+use crate::{AnnealState, Schedule};
+use rand::Rng;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Configuration of a parallel-tempering run.
+#[derive(Debug, Clone)]
+pub struct TemperingConfig {
+    /// Root seed; replica and swap RNGs derive from it via [`SeedStream`].
+    pub seed: u64,
+    /// Seed-stream lane that namespaces this run's RNGs.
+    pub lane: u64,
+    /// Number of temperature replicas (at least 1).
+    pub replicas: usize,
+    /// Geometric spacing between adjacent ladder slots: slot `s` runs at
+    /// `t_round * ladder_ratio^s`. Must be at least 1.
+    pub ladder_ratio: f64,
+    /// Base cooling schedule. Slot 0 follows it exactly: one tempering round
+    /// per temperature step, [`Schedule::moves_per_step`] moves per round,
+    /// and an optional [`Schedule::max_moves`] budget applied per replica.
+    pub schedule: Schedule,
+}
+
+impl TemperingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas == 0` or `ladder_ratio < 1`.
+    pub fn validate(&self) {
+        assert!(self.replicas >= 1, "tempering needs at least one replica");
+        assert!(
+            self.ladder_ratio.is_finite() && self.ladder_ratio >= 1.0,
+            "ladder ratio must be finite and at least 1"
+        );
+    }
+}
+
+/// Statistics of one parallel-tempering run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TemperingStats {
+    /// Tempering rounds executed (= temperature steps of the base schedule).
+    pub rounds: u64,
+    /// Metropolis proposals evaluated, summed over all replicas.
+    pub moves_attempted: u64,
+    /// Proposals accepted, summed over all replicas.
+    pub moves_accepted: u64,
+    /// Uphill proposals accepted, summed over all replicas.
+    pub uphill_accepted: u64,
+    /// Replica exchanges attempted between adjacent ladder slots.
+    pub swaps_attempted: u64,
+    /// Replica exchanges accepted.
+    pub swaps_accepted: u64,
+    /// Cost of replica 0's initial state (all replicas start identically in
+    /// the placement wrappers, but the driver only guarantees replica 0).
+    pub initial_cost: f64,
+    /// Best cost observed by any replica at any point of the run.
+    pub best_cost: f64,
+    /// Index of the replica that observed [`TemperingStats::best_cost`]
+    /// first (lowest index on ties).
+    pub best_replica: usize,
+    /// Wall-clock time of the tempering loop.
+    pub wall_time: Duration,
+}
+
+impl TemperingStats {
+    /// Move acceptance ratio over all replicas.
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.moves_attempted == 0 {
+            0.0
+        } else {
+            self.moves_accepted as f64 / self.moves_attempted as f64
+        }
+    }
+
+    /// Swap acceptance ratio over all rounds.
+    #[must_use]
+    pub fn swap_ratio(&self) -> f64 {
+        if self.swaps_attempted == 0 {
+            0.0
+        } else {
+            self.swaps_accepted as f64 / self.swaps_attempted as f64
+        }
+    }
+
+    /// Tempering throughput: proposals evaluated per second of wall time
+    /// (`None` when no move ran or the clock swallowed the run).
+    #[must_use]
+    pub fn moves_per_second(&self) -> Option<f64> {
+        let secs = self.wall_time.as_secs_f64();
+        if self.moves_attempted == 0 || secs <= 0.0 {
+            None
+        } else {
+            Some(self.moves_attempted as f64 / secs)
+        }
+    }
+}
+
+/// One replica's bundle on the move phase: state, private RNG, running cost
+/// and counters. Owned, so the parallel map can ship it to a worker.
+struct Replica<S> {
+    state: S,
+    rng: SeededRng,
+    cost: f64,
+    best_cost: f64,
+    attempted: u64,
+    accepted: u64,
+    uphill: u64,
+}
+
+/// Runs parallel tempering over `replicas` (all assumed to encode the same
+/// problem, typically from identical initial states) and returns the states
+/// together with the run statistics.
+///
+/// Replica `k` starts at ladder slot `k` (slot 0 coldest). The final states
+/// come back in *replica* order — inspect each state's own best snapshot and
+/// [`TemperingStats::best_replica`] to recover the winner.
+///
+/// # Panics
+///
+/// Panics when `states.len() != config.replicas` or the configuration is
+/// invalid (see [`TemperingConfig::validate`]).
+pub fn run_tempering<S: AnnealState + Send>(
+    states: Vec<S>,
+    config: &TemperingConfig,
+) -> (Vec<S>, TemperingStats) {
+    config.validate();
+    assert_eq!(states.len(), config.replicas, "one state per replica required");
+    let started = Instant::now();
+    let stream = SeedStream::new(config.seed);
+    let schedule = &config.schedule;
+    let k = config.replicas;
+
+    // Initial evaluation, exactly like the plain annealer's first `cost()`.
+    let mut replicas: Vec<Replica<S>> = states
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut state)| {
+            let cost = state.cost();
+            Replica {
+                state,
+                rng: stream.rng_for(config.lane, i as u64),
+                cost,
+                best_cost: cost,
+                attempted: 0,
+                accepted: 0,
+                uphill: 0,
+            }
+        })
+        .collect();
+    let initial_cost = replicas[0].cost;
+
+    // Ladder slot -> replica index; swaps permute this assignment so the
+    // (large) states never move.
+    let mut slots: Vec<usize> = (0..k).collect();
+    let mut swap_rng = stream.rng_for(config.lane, u64::MAX);
+    let mut stats = TemperingStats { initial_cost, best_cost: initial_cost, ..Default::default() };
+
+    let mut t_round = schedule.t_start();
+    let mut round = 0u64;
+    while t_round >= schedule.t_end() {
+        stats.rounds += 1;
+
+        // --- move phase: every slot runs one round at its ladder temperature
+        let mut temp_of_replica = vec![0.0f64; k];
+        let mut ladder_t = t_round;
+        for &replica in &slots {
+            temp_of_replica[replica] = ladder_t;
+            ladder_t *= config.ladder_ratio;
+        }
+        let moves_per_round = schedule.moves_per_step();
+        let max_moves = schedule.max_moves();
+        replicas = replicas
+            .into_iter()
+            .zip(temp_of_replica)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(mut r, temperature)| {
+                metropolis_round(&mut r, temperature, moves_per_round, max_moves);
+                r
+            })
+            .collect();
+
+        // --- exchange phase: adjacent slots, alternating parity per round
+        let parity = (round % 2) as usize;
+        let mut s = parity;
+        while s + 1 < k {
+            let (i, j) = (slots[s], slots[s + 1]);
+            let t_cold = temp_of_slot(t_round, config.ladder_ratio, s);
+            let t_hot = temp_of_slot(t_round, config.ladder_ratio, s + 1);
+            stats.swaps_attempted += 1;
+            // Replica-exchange criterion: accept with min(1, exp(Δ)),
+            // Δ = (1/T_cold − 1/T_hot) · (E_cold − E_hot). One RNG draw per
+            // attempt keeps the swap stream independent of the outcome.
+            let delta = (1.0 / t_cold - 1.0 / t_hot) * (replicas[i].cost - replicas[j].cost);
+            let u = swap_rng.gen::<f64>();
+            if delta >= 0.0 || u < delta.exp() {
+                slots.swap(s, s + 1);
+                stats.swaps_accepted += 1;
+            }
+            s += 2;
+        }
+
+        t_round *= schedule.alpha();
+        round += 1;
+    }
+
+    for (i, r) in replicas.iter().enumerate() {
+        stats.moves_attempted += r.attempted;
+        stats.moves_accepted += r.accepted;
+        stats.uphill_accepted += r.uphill;
+        if r.best_cost < stats.best_cost {
+            stats.best_cost = r.best_cost;
+            stats.best_replica = i;
+        }
+    }
+    stats.wall_time = started.elapsed();
+    (replicas.into_iter().map(|r| r.state).collect(), stats)
+}
+
+/// Temperature of ladder slot `s` in a round whose slot-0 temperature is
+/// `t_round`, matching the repeated-multiplication ladder of the move phase.
+fn temp_of_slot(t_round: f64, ratio: f64, s: usize) -> f64 {
+    let mut t = t_round;
+    for _ in 0..s {
+        t *= ratio;
+    }
+    t
+}
+
+/// One round of fixed-temperature Metropolis moves on one replica, following
+/// the single-evaluation protocol of [`crate::Annealer::run`].
+fn metropolis_round<S: AnnealState>(
+    r: &mut Replica<S>,
+    temperature: f64,
+    moves: usize,
+    max_moves: Option<u64>,
+) {
+    for _ in 0..moves {
+        if let Some(cap) = max_moves {
+            if r.attempted >= cap {
+                return;
+            }
+        }
+        r.attempted += 1;
+        r.state.propose(&mut r.rng);
+        let new_cost = r.state.cost();
+        let delta = new_cost - r.cost;
+        let accept = if delta <= 0.0 {
+            true
+        } else {
+            let p = (-delta / temperature).exp();
+            r.rng.gen::<f64>() < p
+        };
+        if accept {
+            r.accepted += 1;
+            if delta > 0.0 {
+                r.uphill += 1;
+            }
+            r.cost = new_cost;
+            r.state.commit(new_cost);
+            if new_cost < r.best_cost {
+                r.best_cost = new_cost;
+            }
+        } else {
+            r.state.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    /// Minimises |x - target| over integers; snapshots its best in `commit`.
+    #[derive(Debug, Clone)]
+    struct Toy {
+        x: i64,
+        backup: i64,
+        best: i64,
+    }
+
+    impl Toy {
+        fn new(x: i64) -> Self {
+            Toy { x, backup: x, best: x }
+        }
+    }
+
+    impl AnnealState for Toy {
+        fn cost(&mut self) -> f64 {
+            (self.x - 37).abs() as f64
+        }
+        fn propose(&mut self, rng: &mut dyn RngCore) {
+            self.backup = self.x;
+            self.x += (rng.next_u32() % 11) as i64 - 5;
+        }
+        fn rollback(&mut self) {
+            self.x = self.backup;
+        }
+        fn commit(&mut self, accepted_cost: f64) {
+            if accepted_cost < (self.best - 37).abs() as f64 {
+                self.best = self.x;
+            }
+        }
+    }
+
+    fn config(replicas: usize) -> TemperingConfig {
+        TemperingConfig {
+            seed: 5,
+            lane: 9,
+            replicas,
+            ladder_ratio: 2.0,
+            schedule: Schedule::geometric(50.0, 0.5, 0.8, 40),
+        }
+    }
+
+    #[test]
+    fn tempering_improves_and_reports_consistent_stats() {
+        let states = vec![Toy::new(500); 4];
+        let (finals, stats) = run_tempering(states, &config(4));
+        assert_eq!(finals.len(), 4);
+        assert!(stats.best_cost <= stats.initial_cost);
+        assert!(stats.moves_attempted > 0);
+        assert!(stats.moves_accepted <= stats.moves_attempted);
+        assert!(stats.swaps_accepted <= stats.swaps_attempted);
+        assert!(stats.rounds > 0);
+        assert!(stats.best_replica < 4);
+    }
+
+    #[test]
+    fn identical_configs_reproduce_identical_runs() {
+        let run = || run_tempering(vec![Toy::new(200); 3], &config(3));
+        let (a_states, a) = run();
+        let (b_states, b) = run();
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.moves_accepted, b.moves_accepted);
+        assert_eq!(a.swaps_accepted, b.swaps_accepted);
+        for (x, y) in a_states.iter().zip(&b_states) {
+            assert_eq!(x.x, y.x);
+        }
+        // an explicitly different run differs somewhere
+        let mut other = config(3);
+        other.seed = 6;
+        let (_, c) = run_tempering(vec![Toy::new(200); 3], &other);
+        assert!((a.best_cost, a.moves_accepted) != (c.best_cost, c.moves_accepted));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| run_tempering(vec![Toy::new(321); 5], &config(5)))
+        };
+        let (s1, a) = run_with(1);
+        let (s4, b) = run_with(4);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.moves_accepted, b.moves_accepted);
+        assert_eq!(a.swaps_accepted, b.swaps_accepted);
+        for (x, y) in s1.iter().zip(&s4) {
+            assert_eq!(x.x, y.x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per replica")]
+    fn replica_count_mismatch_panics() {
+        let _ = run_tempering(vec![Toy::new(0); 2], &config(3));
+    }
+}

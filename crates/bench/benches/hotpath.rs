@@ -11,8 +11,9 @@ use apls_btree::{
     pack_btree, pack_btree_into, BStarTree, BTreePlacer, HbTreePlacer, HbTreePlacerConfig,
     PackScratch, PackedBTree,
 };
-use apls_circuit::benchmarks;
-use apls_geometry::Contour;
+use apls_circuit::benchmarks::{self, GeneratorConfig};
+use apls_circuit::{DeltaCost, ModuleId, Placement};
+use apls_geometry::{Contour, Orientation, Rect};
 use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -59,6 +60,74 @@ fn bench_pack_btree(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_delta_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_eval");
+    for &n in &[10usize, 50, 200] {
+        let circuit = benchmarks::generate(
+            "delta_bench",
+            GeneratorConfig { module_count: n, seed: 11, ..GeneratorConfig::default() },
+        );
+        let netlist = &circuit.netlist;
+        let adjacency = netlist.adjacency();
+        let dims = netlist.default_dims();
+
+        // A deterministic diagonal placement; the benched move walks one
+        // module back and forth so the committed geometry never drifts.
+        let mut placement = Placement::new(netlist);
+        for (i, m) in netlist.module_ids().enumerate() {
+            let d = dims[i];
+            let x = 40 * i as i64;
+            placement.place(m, Rect::new(x, x, x + d.w, x + d.h), Orientation::R0, 0);
+        }
+        let moved = ModuleId::from_index(n / 2);
+        let home = placement.get(moved).expect("placed").rect;
+        let away =
+            Rect::new(home.x_min + 500, home.y_min + 500, home.x_max + 500, home.y_max + 500);
+
+        // Incremental: one module moves, only its incident nets re-total.
+        group.bench_with_input(BenchmarkId::new("delta_hpwl", n), &n, |b, _| {
+            let mut delta = DeltaCost::new(adjacency.clone(), netlist.module_count());
+            delta.begin();
+            delta.refresh_all(|m| placement.get(m).map(|pm| pm.rect));
+            delta.commit();
+            let mut there = false;
+            b.iter(|| {
+                there = !there;
+                let rect = if there { away } else { home };
+                delta.begin();
+                let wl = delta.delta_hpwl(&[moved], |q| {
+                    if q == moved {
+                        Some(rect)
+                    } else {
+                        placement.get(q).map(|pm| pm.rect)
+                    }
+                });
+                delta.commit();
+                wl
+            });
+        });
+
+        // Reference: the same move scored by a from-scratch full-net sweep.
+        group.bench_with_input(BenchmarkId::new("full_sweep", n), &n, |b, _| {
+            let mut there = false;
+            b.iter(|| {
+                there = !there;
+                let rect = if there { away } else { home };
+                let mut delta = DeltaCost::new(adjacency.clone(), netlist.module_count());
+                delta.begin();
+                delta.refresh_all(|q| {
+                    if q == moved {
+                        Some(rect)
+                    } else {
+                        placement.get(q).map(|pm| pm.rect)
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_engine_moves(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_moves");
     group.sample_size(10);
@@ -79,6 +148,15 @@ fn bench_engine_moves(c: &mut Criterion) {
         let placer = HbTreePlacer::new(&circuit);
         b.iter(|| placer.run(&config));
     });
+    let big = benchmarks::generate(
+        "flat50",
+        GeneratorConfig { module_count: 50, seed: 5, ..GeneratorConfig::default() },
+    );
+    group.bench_with_input(BenchmarkId::new("flat_btree_2000", big.module_count()), &0, |b, _| {
+        let config = HbTreePlacerConfig { seed: 3, schedule, ..HbTreePlacerConfig::default() };
+        let placer = BTreePlacer::new(&big.netlist, &big.constraints);
+        b.iter(|| placer.run(&config));
+    });
     group.bench_with_input(BenchmarkId::new("seqpair_2000", circuit.module_count()), &0, |b, _| {
         let config = SeqPairPlacerConfig { seed: 3, schedule, ..SeqPairPlacerConfig::default() };
         let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
@@ -87,5 +165,11 @@ fn bench_engine_moves(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_contour_place, bench_pack_btree, bench_engine_moves);
+criterion_group!(
+    benches,
+    bench_contour_place,
+    bench_pack_btree,
+    bench_delta_eval,
+    bench_engine_moves
+);
 criterion_main!(benches);

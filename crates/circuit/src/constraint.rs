@@ -169,17 +169,28 @@ impl SymmetryGroup {
     /// vertical-centre mismatch between pair partners.
     #[must_use]
     pub fn axis_error(&self, placement: &Placement) -> Coord {
+        self.axis_error_with(|m| placement.get(m).map(|p| p.rect.center_x2()))
+    }
+
+    /// [`SymmetryGroup::axis_error`] over an arbitrary doubled-centre lookup
+    /// (`None` = unplaced). Hot evaluators that keep coordinates in flat SoA
+    /// arrays instead of a [`Placement`] feed their caches through this so
+    /// the error — candidate order, f64 accumulation, final `ceil` — stays
+    /// bit-identical to the placement-based path.
+    #[must_use]
+    pub fn axis_error_with(
+        &self,
+        mut center_x2_of: impl FnMut(ModuleId) -> Option<(Coord, Coord)>,
+    ) -> Coord {
         let mut axis_candidates: Vec<f64> = Vec::new();
         for &(l, r) in &self.pairs {
-            if let (Some(pl), Some(pr)) = (placement.get(l), placement.get(r)) {
-                let (clx2, _) = pl.rect.center_x2();
-                let (crx2, _) = pr.rect.center_x2();
+            if let (Some((clx2, _)), Some((crx2, _))) = (center_x2_of(l), center_x2_of(r)) {
                 axis_candidates.push((clx2 + crx2) as f64 / 2.0);
             }
         }
         for &m in &self.self_symmetric {
-            if let Some(pm) = placement.get(m) {
-                axis_candidates.push(pm.rect.center_x2().0 as f64);
+            if let Some((cx2, _)) = center_x2_of(m) {
+                axis_candidates.push(cx2 as f64);
             }
         }
         if axis_candidates.is_empty() {
@@ -189,16 +200,14 @@ impl SymmetryGroup {
 
         let mut error = 0.0f64;
         for &(l, r) in &self.pairs {
-            if let (Some(pl), Some(pr)) = (placement.get(l), placement.get(r)) {
-                let (clx2, cly2) = pl.rect.center_x2();
-                let (crx2, cry2) = pr.rect.center_x2();
+            if let (Some((clx2, cly2)), Some((crx2, cry2))) = (center_x2_of(l), center_x2_of(r)) {
                 error = error.max(((clx2 + crx2) as f64 / 2.0 - axis).abs());
                 error = error.max((cly2 - cry2).abs() as f64);
             }
         }
         for &m in &self.self_symmetric {
-            if let Some(pm) = placement.get(m) {
-                error = error.max((pm.rect.center_x2().0 as f64 - axis).abs());
+            if let Some((cx2, _)) = center_x2_of(m) {
+                error = error.max((cx2 as f64 - axis).abs());
             }
         }
         error.ceil() as Coord

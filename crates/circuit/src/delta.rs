@@ -1,0 +1,483 @@
+//! Incremental (delta) wirelength evaluation over a CSR adjacency.
+//!
+//! The annealing hot loops previously recomputed every net's HPWL from
+//! scratch on every move even though a swap touches only a handful of
+//! modules. [`DeltaCost`] caches the doubled centre of every module and the
+//! weighted HPWL term of every net; [`DeltaCost::update`] diffs a module's
+//! rectangle against the cache and marks only the incident nets dirty, and
+//! [`DeltaCost::total`] recomputes just those nets before folding the cached
+//! per-net terms **in net order** — the same `0.0 + w₀·h₀ + w₁·h₁ + …` fold
+//! as [`crate::Placement::wirelength_with`], so the result is bit-identical
+//! to a from-scratch sweep.
+//!
+//! Rejected moves are rolled back with [`DeltaCost::undo`], which restores
+//! the centre and term caches from an internal journal in O(touched nets).
+
+use crate::{ModuleId, NetAdjacency};
+use apls_geometry::{Coord, Rect};
+
+/// Incremental weighted-HPWL evaluator: per-module centre cache, per-net
+/// cached cost terms, and an undo journal for rejected moves.
+///
+/// # Protocol
+///
+/// One proposal is evaluated as:
+///
+/// 1. [`DeltaCost::begin`] — opens a proposal (and implicitly commits the
+///    previous one by clearing the journal);
+/// 2. [`DeltaCost::update`] (or [`DeltaCost::refresh_all`]) — feeds the new
+///    rectangle of each (possibly) moved module; unchanged modules are
+///    diffed against the cache and skipped;
+/// 3. [`DeltaCost::total`] — recomputes the dirty nets and returns the full
+///    weighted wirelength;
+/// 4. on rejection, [`DeltaCost::undo`] restores the caches; on acceptance,
+///    [`DeltaCost::commit`] (or simply the next `begin`) finalises them.
+///
+/// # Example
+///
+/// ```
+/// use apls_circuit::{DeltaCost, Module, Netlist, Placement};
+/// use apls_geometry::{Dims, Orientation, Rect};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_module(Module::new("A", Dims::new(10, 10)));
+/// let b = nl.add_module(Module::new("B", Dims::new(10, 10)));
+/// nl.add_net("n", [a, b]);
+///
+/// let mut p = Placement::new(&nl);
+/// p.place(a, Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+/// p.place(b, Rect::new(20, 0, 30, 10), Orientation::R0, 0);
+///
+/// let mut delta = DeltaCost::new(nl.adjacency(), nl.module_count());
+/// delta.begin();
+/// let full = delta.refresh_all(|m| p.get(m).map(|pm| pm.rect));
+/// assert_eq!(full, p.wirelength_with(&nl.adjacency()));
+/// delta.commit();
+///
+/// // Move B and evaluate only the touched net.
+/// delta.begin();
+/// let moved = delta.delta_hpwl(&[b], |_| Some(Rect::new(40, 0, 50, 10)));
+/// assert_eq!(moved, 40.0);
+/// // Reject: the cache rolls back to the committed state.
+/// delta.undo();
+/// assert_eq!(delta.total(), full);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaCost {
+    adjacency: NetAdjacency,
+    /// Reverse CSR: `module_nets[module_offsets[m]..module_offsets[m + 1]]`
+    /// are the nets with a pin on module `m`.
+    module_offsets: Vec<u32>,
+    module_nets: Vec<u32>,
+    /// Cached doubled centres (`Rect::center_x2`) per module, SoA layout.
+    cx2: Vec<Coord>,
+    cy2: Vec<Coord>,
+    placed: Vec<bool>,
+    /// Cached `weight(net) * hpwl(net) as f64` per net.
+    terms: Vec<f64>,
+    /// Nets whose cached term is stale for the open proposal.
+    dirty: Vec<u32>,
+    /// Proposal stamp per net, so a net is journaled at most once per
+    /// proposal no matter how many of its pins moved.
+    net_stamp: Vec<u64>,
+    stamp: u64,
+    /// Undo journal: previous centre of every updated module (duplicates are
+    /// fine — reverse replay restores the oldest value last).
+    center_journal: Vec<(u32, Coord, Coord, bool)>,
+    /// Undo journal: previous term of every dirtied net.
+    term_journal: Vec<(u32, f64)>,
+}
+
+impl DeltaCost {
+    /// Builds the evaluator for `module_count` modules over the given
+    /// adjacency snapshot. All modules start unplaced (every net term is 0).
+    #[must_use]
+    pub fn new(adjacency: NetAdjacency, module_count: usize) -> Self {
+        // Counting sort of (module, net) incidences into a reverse CSR.
+        let mut counts = vec![0u32; module_count + 1];
+        for net in 0..adjacency.net_count() {
+            for &pin in adjacency.pins(net) {
+                counts[pin.index() + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let module_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut module_nets = vec![0u32; adjacency.pin_count()];
+        for net in 0..adjacency.net_count() {
+            for &pin in adjacency.pins(net) {
+                let slot = &mut cursor[pin.index()];
+                module_nets[*slot as usize] = net as u32;
+                *slot += 1;
+            }
+        }
+        let net_count = adjacency.net_count();
+        DeltaCost {
+            adjacency,
+            module_offsets,
+            module_nets,
+            cx2: vec![0; module_count],
+            cy2: vec![0; module_count],
+            placed: vec![false; module_count],
+            terms: vec![0.0; net_count],
+            dirty: Vec::new(),
+            net_stamp: vec![0; net_count],
+            stamp: 0,
+            center_journal: Vec::new(),
+            term_journal: Vec::new(),
+        }
+    }
+
+    /// The adjacency snapshot this evaluator runs over.
+    #[must_use]
+    pub fn adjacency(&self) -> &NetAdjacency {
+        &self.adjacency
+    }
+
+    /// Number of modules the centre cache covers.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Opens a new proposal. Implicitly commits the previous one: the undo
+    /// journal of the last proposal is discarded.
+    #[inline]
+    pub fn begin(&mut self) {
+        self.stamp += 1;
+        self.dirty.clear();
+        self.center_journal.clear();
+        self.term_journal.clear();
+    }
+
+    /// Feeds the (possibly new) rectangle of one module. Diffs against the
+    /// centre cache; if nothing changed the call is O(1), otherwise the
+    /// incident nets are marked dirty and journaled.
+    #[inline]
+    pub fn update(&mut self, m: ModuleId, rect: Option<Rect>) {
+        let i = m.index();
+        let (cx2, cy2, placed) = match rect {
+            Some(r) => {
+                let (x, y) = r.center_x2();
+                (x, y, true)
+            }
+            None => (0, 0, false),
+        };
+        if self.placed[i] == placed && (!placed || (self.cx2[i] == cx2 && self.cy2[i] == cy2)) {
+            return;
+        }
+        self.center_journal.push((i as u32, self.cx2[i], self.cy2[i], self.placed[i]));
+        self.cx2[i] = cx2;
+        self.cy2[i] = cy2;
+        self.placed[i] = placed;
+        let nets =
+            &self.module_nets[self.module_offsets[i] as usize..self.module_offsets[i + 1] as usize];
+        for &net in nets {
+            if self.net_stamp[net as usize] != self.stamp {
+                self.net_stamp[net as usize] = self.stamp;
+                self.term_journal.push((net, self.terms[net as usize]));
+                self.dirty.push(net);
+            }
+        }
+    }
+
+    /// Feeds every module's rectangle through [`DeltaCost::update`]. The
+    /// per-module diff keeps this cheap when few modules actually moved.
+    /// Returns [`DeltaCost::total`] for convenience.
+    pub fn refresh_all(&mut self, mut rect_of: impl FnMut(ModuleId) -> Option<Rect>) -> f64 {
+        for i in 0..self.placed.len() {
+            let m = ModuleId::from_index(i);
+            self.update(m, rect_of(m));
+        }
+        self.total()
+    }
+
+    /// [`DeltaCost::refresh_all`] without the undo journal: the new totals
+    /// are committed immediately and [`DeltaCost::undo`] cannot restore the
+    /// previous geometry.
+    ///
+    /// This is the right call for evaluators that re-feed the **full**
+    /// geometry on every evaluation (the B*-tree packers recompute all
+    /// coordinates per move): the per-module diff still skips clean nets, the
+    /// caches self-correct against whatever geometry comes next, and the
+    /// journaling overhead — one entry per moved module plus one per dirtied
+    /// net, pure waste when proposals are never rolled back cache-side — is
+    /// gone. The returned total is bit-identical to [`DeltaCost::refresh_all`]
+    /// on the same geometry (each term is a pure function of the centres and
+    /// the fold is unchanged).
+    pub fn resync(&mut self, mut rect_of: impl FnMut(ModuleId) -> Option<Rect>) -> f64 {
+        self.stamp += 1;
+        self.dirty.clear();
+        self.center_journal.clear();
+        self.term_journal.clear();
+        for i in 0..self.placed.len() {
+            let m = ModuleId::from_index(i);
+            let (cx2, cy2, placed) = match rect_of(m) {
+                Some(r) => {
+                    let (x, y) = r.center_x2();
+                    (x, y, true)
+                }
+                None => (0, 0, false),
+            };
+            if self.placed[i] == placed && (!placed || (self.cx2[i] == cx2 && self.cy2[i] == cy2)) {
+                continue;
+            }
+            self.cx2[i] = cx2;
+            self.cy2[i] = cy2;
+            self.placed[i] = placed;
+            let nets = &self.module_nets
+                [self.module_offsets[i] as usize..self.module_offsets[i + 1] as usize];
+            for &net in nets {
+                if self.net_stamp[net as usize] != self.stamp {
+                    self.net_stamp[net as usize] = self.stamp;
+                    self.dirty.push(net);
+                }
+            }
+        }
+        self.total()
+    }
+
+    /// Full from-scratch weighted sweep over the adjacency, bypassing the
+    /// centre and term caches entirely: every net's HPWL is recomputed from
+    /// `rect_of` and folded in net order with a `0.0` seed, so the result is
+    /// bit-identical to [`DeltaCost::total`] on the same geometry.
+    ///
+    /// This is the fastest evaluation when **nearly every** module moves per
+    /// proposal — the B*-tree annealers repack from scratch on each move,
+    /// shifting most downstream coordinates, and there the per-module diff
+    /// of [`DeltaCost::resync`] costs more than it saves (measured ~1.43 ms
+    /// vs ~1.09 ms per 2000 moves on the 10-module comparator and 7.2 ms vs
+    /// 6.0 ms at 50 modules). Use [`DeltaCost::delta_hpwl`] when only a few
+    /// modules move and [`DeltaCost::resync`] when full geometry is re-fed
+    /// but changes are localised.
+    #[must_use]
+    pub fn sweep_hpwl(&self, mut rect_of: impl FnMut(ModuleId) -> Option<Rect>) -> f64 {
+        let mut wirelength = 0.0;
+        for net in 0..self.adjacency.net_count() {
+            let hpwl =
+                apls_geometry::hpwl_filtered(self.adjacency.pins(net).iter().map(|&m| rect_of(m)));
+            wirelength += self.adjacency.weight(net) * hpwl as f64;
+        }
+        wirelength
+    }
+
+    /// Updates only the listed moved modules, then returns the full weighted
+    /// wirelength (recomputing just the nets incident to them).
+    pub fn delta_hpwl(
+        &mut self,
+        moved_modules: &[ModuleId],
+        mut rect_of: impl FnMut(ModuleId) -> Option<Rect>,
+    ) -> f64 {
+        for &m in moved_modules {
+            self.update(m, rect_of(m));
+        }
+        self.total()
+    }
+
+    /// Recomputes the dirty nets from the centre cache, then folds the
+    /// cached per-net terms in net order. Bit-identical to
+    /// [`crate::Placement::wirelength_with`] on the same geometry: each term
+    /// is the exact product `weight * hpwl as f64` and the fold runs in the
+    /// same order with the same `0.0` seed.
+    #[inline]
+    pub fn total(&mut self) -> f64 {
+        for k in 0..self.dirty.len() {
+            let net = self.dirty[k] as usize;
+            let pins = self.adjacency.pins(net);
+            let mut resolved = 0usize;
+            let mut min_cx2 = Coord::MAX;
+            let mut max_cx2 = Coord::MIN;
+            let mut min_cy2 = Coord::MAX;
+            let mut max_cy2 = Coord::MIN;
+            for &pin in pins {
+                let i = pin.index();
+                if self.placed[i] {
+                    min_cx2 = min_cx2.min(self.cx2[i]);
+                    max_cx2 = max_cx2.max(self.cx2[i]);
+                    min_cy2 = min_cy2.min(self.cy2[i]);
+                    max_cy2 = max_cy2.max(self.cy2[i]);
+                    resolved += 1;
+                }
+            }
+            let hpwl =
+                if resolved < 2 { 0 } else { ((max_cx2 - min_cx2) + (max_cy2 - min_cy2)) / 2 };
+            self.terms[net] = self.adjacency.weight(net) * hpwl as f64;
+        }
+        self.dirty.clear();
+        let mut wirelength = 0.0;
+        for &term in &self.terms {
+            wirelength += term;
+        }
+        wirelength
+    }
+
+    /// Rolls back the open proposal: restores the centre and term caches
+    /// from the journal (reverse replay) in O(touched nets + moved modules).
+    #[inline]
+    pub fn undo(&mut self) {
+        while let Some((net, term)) = self.term_journal.pop() {
+            self.terms[net as usize] = term;
+        }
+        while let Some((i, cx2, cy2, placed)) = self.center_journal.pop() {
+            self.cx2[i as usize] = cx2;
+            self.cy2[i as usize] = cy2;
+            self.placed[i as usize] = placed;
+        }
+        self.dirty.clear();
+    }
+
+    /// Accepts the open proposal, discarding the undo journal.
+    #[inline]
+    pub fn commit(&mut self) {
+        self.dirty.clear();
+        self.center_journal.clear();
+        self.term_journal.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Module, Netlist, Placement};
+    use apls_geometry::{Dims, Orientation};
+
+    fn fixture() -> (Netlist, Vec<ModuleId>) {
+        let mut nl = Netlist::new("t");
+        let ids = vec![
+            nl.add_module(Module::new("A", Dims::new(10, 10))),
+            nl.add_module(Module::new("B", Dims::new(20, 10))),
+            nl.add_module(Module::new("C", Dims::new(10, 30))),
+            nl.add_module(Module::new("D", Dims::new(8, 6))),
+        ];
+        nl.add_net("n0", [ids[0], ids[1]]);
+        nl.add_net("n1", [ids[0], ids[1], ids[2]]);
+        nl.add_net("n2", [ids[2], ids[3]]);
+        (nl, ids)
+    }
+
+    fn place_all(nl: &Netlist, ids: &[ModuleId]) -> Placement {
+        let mut p = Placement::new(nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        p.place(ids[1], Rect::new(10, 0, 30, 10), Orientation::R0, 0);
+        p.place(ids[2], Rect::new(30, 0, 40, 30), Orientation::R0, 0);
+        p.place(ids[3], Rect::new(0, 10, 8, 16), Orientation::R0, 0);
+        p
+    }
+
+    #[test]
+    fn refresh_matches_full_sweep() {
+        let (nl, ids) = fixture();
+        let p = place_all(&nl, &ids);
+        let adj = nl.adjacency();
+        let mut delta = DeltaCost::new(adj.clone(), nl.module_count());
+        delta.begin();
+        let wl = delta.refresh_all(|m| p.get(m).map(|pm| pm.rect));
+        assert_eq!(wl, p.wirelength_with(&adj));
+    }
+
+    #[test]
+    fn moved_module_retotals_only_incident_nets_and_matches() {
+        let (nl, ids) = fixture();
+        let mut p = place_all(&nl, &ids);
+        let adj = nl.adjacency();
+        let mut delta = DeltaCost::new(adj.clone(), nl.module_count());
+        delta.begin();
+        delta.refresh_all(|m| p.get(m).map(|pm| pm.rect));
+        delta.commit();
+
+        p.place(ids[3], Rect::new(100, 100, 108, 106), Orientation::R0, 0);
+        delta.begin();
+        let wl = delta.delta_hpwl(&[ids[3]], |m| p.get(m).map(|pm| pm.rect));
+        assert_eq!(wl, p.wirelength_with(&adj));
+        delta.commit();
+    }
+
+    #[test]
+    fn undo_restores_committed_state_exactly() {
+        let (nl, ids) = fixture();
+        let p = place_all(&nl, &ids);
+        let adj = nl.adjacency();
+        let mut delta = DeltaCost::new(adj.clone(), nl.module_count());
+        delta.begin();
+        let committed = delta.refresh_all(|m| p.get(m).map(|pm| pm.rect));
+        delta.commit();
+
+        delta.begin();
+        delta.update(ids[0], Some(Rect::new(500, 500, 510, 510)));
+        delta.update(ids[2], None);
+        let _ = delta.total();
+        delta.undo();
+        assert_eq!(delta.total(), committed);
+
+        // And the caches still track future updates correctly after an undo.
+        delta.begin();
+        let wl = delta.refresh_all(|m| p.get(m).map(|pm| pm.rect));
+        assert_eq!(wl, committed);
+    }
+
+    #[test]
+    fn unplaced_pins_are_skipped_like_hpwl_filtered() {
+        let (nl, ids) = fixture();
+        let adj = nl.adjacency();
+        let mut p = Placement::new(&nl);
+        p.place(ids[0], Rect::new(0, 0, 10, 10), Orientation::R0, 0);
+        // Only one placed pin per net: everything is zero.
+        let mut delta = DeltaCost::new(adj.clone(), nl.module_count());
+        delta.begin();
+        assert_eq!(delta.refresh_all(|m| p.get(m).map(|pm| pm.rect)), 0.0);
+        assert_eq!(p.wirelength_with(&adj), 0.0);
+    }
+
+    #[test]
+    fn resync_and_sweep_match_refresh_all_bit_for_bit() {
+        let (nl, ids) = fixture();
+        let p = place_all(&nl, &ids);
+        let adj = nl.adjacency();
+        let mut journaled = DeltaCost::new(adj.clone(), nl.module_count());
+        let mut journal_free = DeltaCost::new(adj, nl.module_count());
+
+        // Drive both evaluators through the same geometry sequence (moves,
+        // an unplace, a replace); resync and the stateless sweep must agree
+        // exactly with refresh_all even though they share no journal state.
+        let mut rects: Vec<Option<Rect>> =
+            ids.iter().map(|&m| p.get(m).map(|pm| pm.rect)).collect();
+        for step in 0..4 {
+            match step {
+                1 => rects[1] = Some(Rect::new(200, 0, 220, 10)),
+                2 => rects[2] = None,
+                3 => rects[2] = Some(Rect::new(5, 90, 15, 120)),
+                _ => {}
+            }
+            journaled.begin();
+            let reference = journaled.refresh_all(|m| rects[m.index()]);
+            journaled.commit();
+            assert_eq!(journal_free.resync(|m| rects[m.index()]), reference);
+            assert_eq!(journal_free.sweep_hpwl(|m| rects[m.index()]), reference);
+        }
+    }
+
+    #[test]
+    fn repeated_updates_of_one_module_journal_once_per_net() {
+        let (nl, ids) = fixture();
+        let p = place_all(&nl, &ids);
+        let adj = nl.adjacency();
+        let mut delta = DeltaCost::new(adj, nl.module_count());
+        delta.begin();
+        delta.refresh_all(|m| p.get(m).map(|pm| pm.rect));
+        delta.commit();
+
+        delta.begin();
+        delta.update(ids[0], Some(Rect::new(1, 1, 11, 11)));
+        delta.update(ids[0], Some(Rect::new(2, 2, 12, 12)));
+        delta.update(ids[1], Some(Rect::new(50, 0, 70, 10)));
+        // Nets n0 and n1 are each journaled exactly once.
+        assert_eq!(delta.term_journal.len(), 2);
+        delta.undo();
+        let base = place_all(&nl, &ids);
+        delta.begin();
+        let wl = delta.refresh_all(|m| base.get(m).map(|pm| pm.rect));
+        assert_eq!(wl, base.wirelength_with(&nl.adjacency()));
+    }
+}

@@ -36,6 +36,7 @@
 mod adjacency;
 pub mod benchmarks;
 pub mod constraint;
+mod delta;
 pub mod hierarchy;
 mod module;
 mod net;
@@ -47,6 +48,7 @@ pub use adjacency::NetAdjacency;
 pub use constraint::{
     CommonCentroidGroup, ConstraintKind, ConstraintSet, ProximityGroup, SymmetryGroup, SymmetryRole,
 };
+pub use delta::DeltaCost;
 pub use hierarchy::{HierarchyNode, HierarchyNodeId, HierarchyTree};
 pub use module::{Module, ModuleId, ShapeVariant};
 pub use net::{Net, NetId};

@@ -1,0 +1,141 @@
+//! Property-based equivalence of the incremental wirelength evaluator.
+//!
+//! [`DeltaCost`] promises bit-identity with the from-scratch sweep of
+//! [`Placement::wirelength_with`] — not approximate agreement — because the
+//! annealing hot paths compare its totals against costs produced by the
+//! non-incremental evaluators. These tests drive the evaluator with arbitrary
+//! accepted/rejected move sequences over **all seven bundled benchmark
+//! circuits** and assert exact equality (`==` on `f64`, no epsilon) against a
+//! shadow placement that is re-swept from scratch at every step.
+
+use apls_circuit::{benchmarks, DeltaCost, ModuleId, Placement};
+use apls_geometry::{Orientation, Rect};
+use proptest::prelude::*;
+
+/// One scripted proposal: place `module` (selected modulo the circuit's
+/// module count) at an absolute position, then accept or reject it.
+#[derive(Debug, Clone)]
+struct ScriptedMove {
+    module: usize,
+    x: i64,
+    y: i64,
+    accept: bool,
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<ScriptedMove>> {
+    proptest::collection::vec(
+        (0usize..1024, 0i64..5000, 0i64..5000, 0u8..2)
+            .prop_map(|(module, x, y, accept)| ScriptedMove { module, x, y, accept: accept == 1 }),
+        1..40,
+    )
+}
+
+proptest! {
+    /// After any sequence of accepted and rejected moves, `delta_hpwl` equals
+    /// the full sweep of the proposed geometry, and an `undo` restores the
+    /// committed total exactly — on every bundled circuit. Circuits start
+    /// unplaced, so early moves also exercise the `resolved < 2` net paths.
+    #[test]
+    fn delta_hpwl_matches_full_sweep_after_any_move_sequence(script in arb_script()) {
+        for name in benchmarks::names() {
+            let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+            let netlist = &circuit.netlist;
+            let adjacency = netlist.adjacency();
+            let dims = netlist.default_dims();
+
+            let mut placement = Placement::new(netlist);
+            let mut delta = DeltaCost::new(adjacency.clone(), netlist.module_count());
+            delta.begin();
+            let mut committed = delta.refresh_all(|m| placement.get(m).map(|pm| pm.rect));
+            delta.commit();
+            prop_assert_eq!(committed, placement.wirelength_with(&adjacency), "{}", name);
+
+            for mv in &script {
+                let m = ModuleId::from_index(mv.module % netlist.module_count());
+                let d = dims[m.index()];
+                let rect = Rect::new(mv.x, mv.y, mv.x + d.w, mv.y + d.h);
+
+                // Incremental proposal: only the moved module is fed in.
+                delta.begin();
+                let proposed = delta.delta_hpwl(&[m], |q| {
+                    if q == m { Some(rect) } else { placement.get(q).map(|pm| pm.rect) }
+                });
+
+                // Reference: a from-scratch sweep of the proposed geometry.
+                let mut shadow = placement.clone();
+                shadow.place(m, rect, Orientation::R0, 0);
+                prop_assert_eq!(proposed, shadow.wirelength_with(&adjacency), "{}", name);
+
+                if mv.accept {
+                    delta.commit();
+                    placement = shadow;
+                    committed = proposed;
+                } else {
+                    delta.undo();
+                    prop_assert_eq!(delta.total(), committed, "{}", name);
+                }
+            }
+
+            // The final caches describe exactly the accepted geometry.
+            delta.begin();
+            let refreshed = delta.refresh_all(|m| placement.get(m).map(|pm| pm.rect));
+            prop_assert_eq!(refreshed, committed, "{}", name);
+            prop_assert_eq!(refreshed, placement.wirelength_with(&adjacency), "{}", name);
+        }
+    }
+
+    /// Unplacing modules mid-sequence (rect `None`) keeps the caches exact:
+    /// the evaluator must agree with a full sweep when pins drop below two.
+    #[test]
+    fn delta_stays_exact_under_unplace_and_replace(script in arb_script()) {
+        for name in benchmarks::names() {
+            let circuit = benchmarks::by_name(name).expect("bundled name resolves");
+            let netlist = &circuit.netlist;
+            let adjacency = netlist.adjacency();
+            let dims = netlist.default_dims();
+
+            // Start fully placed on a diagonal so unplacing has visible effect.
+            let mut placement = Placement::new(netlist);
+            for (i, m) in netlist.module_ids().enumerate() {
+                let d = dims[i];
+                let x = 100 * i as i64;
+                placement.place(m, Rect::new(x, x, x + d.w, x + d.h), Orientation::R0, 0);
+            }
+            let mut delta = DeltaCost::new(adjacency.clone(), netlist.module_count());
+            delta.begin();
+            delta.refresh_all(|m| placement.get(m).map(|pm| pm.rect));
+            delta.commit();
+
+            let mut rects: Vec<Option<Rect>> =
+                netlist.module_ids().map(|m| placement.get(m).map(|pm| pm.rect)).collect();
+            for (step, mv) in script.iter().enumerate() {
+                let m = ModuleId::from_index(mv.module % netlist.module_count());
+                // Alternate unplace / replace so both transitions are hit.
+                let next = if step % 2 == 0 {
+                    None
+                } else {
+                    let d = dims[m.index()];
+                    Some(Rect::new(mv.x, mv.y, mv.x + d.w, mv.y + d.h))
+                };
+                delta.begin();
+                let total = delta.delta_hpwl(&[m], |q| {
+                    if q == m { next } else { rects[q.index()] }
+                });
+                let mut shadow = Placement::new(netlist);
+                for (i, q) in netlist.module_ids().enumerate() {
+                    let r = if q == m { next } else { rects[i] };
+                    if let Some(r) = r {
+                        shadow.place(q, r, Orientation::R0, 0);
+                    }
+                }
+                prop_assert_eq!(total, shadow.wirelength_with(&adjacency), "{}", name);
+                if mv.accept {
+                    delta.commit();
+                    rects[m.index()] = next;
+                } else {
+                    delta.undo();
+                }
+            }
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`Engine::Hier`] — the hierarchical cross-engine pipeline
 //!   ([`shapefn::hier`]): enumeration for small basic sets, pinned-seed
 //!   annealing sub-solvers for larger hierarchy nodes, rayon-parallel
-//!   shape-function composition.
+//!   shape-function composition;
+//! * [`Engine::Tempering`] — parallel-tempering sequence-pair annealing
+//!   ([`seqpair::tempering`]): temperature replicas exchanging
+//!   configurations on a deterministic pinned-seed swap schedule.
 //!
 //! Layout-aware sizing (Section V) lives in [`layoutaware`] and is exercised
 //! through the example binaries and the `fig10` bench.
@@ -25,7 +28,7 @@
 //! TCP with caching and a worker pool (see `apls serve` / `apls submit`).
 //!
 //! Beyond single-engine runs, [`AnalogPlacer::place_portfolio`] races all
-//! four engines across seeded annealing restarts in parallel (the
+//! five engines across seeded annealing restarts in parallel (the
 //! [`portfolio`] crate) and returns the best-of-portfolio result.
 //!
 //! # Example
@@ -94,6 +97,10 @@ pub enum Engine {
     /// bottom-up as enhanced shape functions (see [`shapefn::hier`]). Never
     /// loses to [`Engine::Deterministic`] by construction.
     Hier,
+    /// Parallel-tempering sequence-pair annealing (see
+    /// [`seqpair::tempering`]): replicas at a geometric temperature ladder
+    /// exchange configurations on a deterministic pinned-seed swap schedule.
+    Tempering,
 }
 
 /// The unified placement entry point.
@@ -141,7 +148,7 @@ impl AnalogPlacer {
         self.engine
     }
 
-    /// This placer's settings as a portfolio configuration racing all four
+    /// This placer's settings as a portfolio configuration racing all five
     /// engines with `restarts` restarts each: the seed becomes the root seed
     /// and the schedule/wirelength settings carry over.
     #[must_use]
@@ -174,7 +181,7 @@ impl AnalogPlacer {
         PlacementReport::new(self.engine, circuit, outcome.placement, start.elapsed())
     }
 
-    /// Races all four engines across `restarts` seeded annealing restarts in
+    /// Races all five engines across `restarts` seeded annealing restarts in
     /// parallel and returns the aggregated [`PortfolioReport`].
     ///
     /// Seeds derive from this placer's seed via
@@ -202,6 +209,7 @@ impl From<Engine> for PortfolioEngine {
             Engine::HbTree => PortfolioEngine::HbTree,
             Engine::Deterministic => PortfolioEngine::Deterministic,
             Engine::Hier => PortfolioEngine::Hier,
+            Engine::Tempering => PortfolioEngine::Tempering,
         }
     }
 }
@@ -213,6 +221,7 @@ impl From<PortfolioEngine> for Engine {
             PortfolioEngine::HbTree => Engine::HbTree,
             PortfolioEngine::Deterministic => Engine::Deterministic,
             PortfolioEngine::Hier => Engine::Hier,
+            PortfolioEngine::Tempering => Engine::Tempering,
         }
     }
 }
@@ -225,7 +234,14 @@ mod tests {
     #[test]
     fn every_engine_produces_a_legal_placement_report() {
         let circuit = benchmarks::miller_opamp_fig6();
-        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic, Engine::Hier] {
+        let all = [
+            Engine::SequencePair,
+            Engine::HbTree,
+            Engine::Deterministic,
+            Engine::Hier,
+            Engine::Tempering,
+        ];
+        for engine in all {
             let report =
                 AnalogPlacer::new(engine).with_seed(3).with_fast_schedule(true).place(&circuit);
             assert!(report.placement.is_complete(), "{engine:?}");
@@ -254,7 +270,14 @@ mod tests {
             .with_seed(7)
             .with_fast_schedule(true)
             .place_portfolio(&circuit, 2);
-        for engine in [Engine::SequencePair, Engine::HbTree, Engine::Deterministic, Engine::Hier] {
+        let all = [
+            Engine::SequencePair,
+            Engine::HbTree,
+            Engine::Deterministic,
+            Engine::Hier,
+            Engine::Tempering,
+        ];
+        for engine in all {
             let single =
                 AnalogPlacer::new(engine).with_seed(7).with_fast_schedule(true).place(&circuit);
             assert!(

@@ -218,16 +218,16 @@ mod tests {
         let a = config.generations();
         let b = config.generations();
         assert_eq!(a, b);
-        // generation 0 has all four engines, later ones only the stochastic three
-        assert_eq!(a[0].len(), 4);
-        assert!(a[1..].iter().all(|g| g.len() == 3));
+        // generation 0 has all five engines, later ones only the stochastic four
+        assert_eq!(a[0].len(), 5);
+        assert!(a[1..].iter().all(|g| g.len() == 4));
         // restart 0 replays the root seed for every engine
         assert!(a[0].iter().all(|t| t.seed == 77));
         // later restarts get distinct seeds across engines and indices
         let mut seeds: Vec<u64> = a[1..].iter().flatten().map(|t| t.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
-        assert_eq!(seeds.len(), 9);
+        assert_eq!(seeds.len(), 12);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Uniform adapters over the four placement engines.
+//! Uniform adapters over the five placement engines.
 //!
 //! [`run_engine_once`] is the single restart primitive of the portfolio: it
 //! builds the engine's native configuration exactly the way the facade's
@@ -11,12 +11,16 @@ use apls_anneal::Schedule;
 use apls_btree::{HbTreePlacer, HbTreePlacerConfig};
 use apls_circuit::benchmarks::BenchmarkCircuit;
 use apls_circuit::{Placement, PlacementMetrics};
-use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
+use apls_seqpair::tempering::TEMPERING_LANE;
+use apls_seqpair::{
+    SeqPairPlacer, SeqPairPlacerConfig, TemperingPlacerConfig, TemperingSeqPairPlacer,
+};
 use apls_shapefn::{DeterministicPlacer, HierOptions, HierPlacer, ShapeModel};
 use std::fmt;
 
-/// One of the four placement approaches the portfolio races: the three
-/// engines of the DATE 2009 survey plus the hierarchical cross-engine hybrid.
+/// One of the five placement approaches the portfolio races: the three
+/// engines of the DATE 2009 survey, the hierarchical cross-engine hybrid,
+/// and the parallel-tempering sequence-pair lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortfolioEngine {
     /// Symmetric-feasible sequence-pair annealing (Section II).
@@ -30,15 +34,20 @@ pub enum PortfolioEngine {
     /// bottom-up as enhanced shape functions (never loses to
     /// [`PortfolioEngine::Deterministic`] by construction).
     Hier,
+    /// Parallel-tempering sequence-pair annealing: K temperature replicas
+    /// exchanging configurations on a deterministic pinned-seed swap
+    /// schedule, bit-identical at any worker thread count.
+    Tempering,
 }
 
 impl PortfolioEngine {
     /// All engines, in canonical portfolio order.
-    pub const ALL: [PortfolioEngine; 4] = [
+    pub const ALL: [PortfolioEngine; 5] = [
         PortfolioEngine::SequencePair,
         PortfolioEngine::HbTree,
         PortfolioEngine::Deterministic,
         PortfolioEngine::Hier,
+        PortfolioEngine::Tempering,
     ];
 
     /// The seed-stream lane of this engine (see
@@ -50,6 +59,7 @@ impl PortfolioEngine {
             PortfolioEngine::HbTree => 2,
             PortfolioEngine::Deterministic => 3,
             PortfolioEngine::Hier => 4,
+            PortfolioEngine::Tempering => TEMPERING_LANE,
         }
     }
 
@@ -68,7 +78,10 @@ impl PortfolioEngine {
     /// it reports no loop statistics.
     #[must_use]
     pub fn reports_annealing_stats(self) -> bool {
-        matches!(self, PortfolioEngine::SequencePair | PortfolioEngine::HbTree)
+        matches!(
+            self,
+            PortfolioEngine::SequencePair | PortfolioEngine::HbTree | PortfolioEngine::Tempering
+        )
     }
 
     /// Stable lowercase name used in reports, JSON and the CLI.
@@ -79,6 +92,7 @@ impl PortfolioEngine {
             PortfolioEngine::HbTree => "hbtree",
             PortfolioEngine::Deterministic => "deterministic",
             PortfolioEngine::Hier => "hier",
+            PortfolioEngine::Tempering => "tempering",
         }
     }
 
@@ -90,6 +104,7 @@ impl PortfolioEngine {
             "hbtree" => Some(PortfolioEngine::HbTree),
             "deterministic" => Some(PortfolioEngine::Deterministic),
             "hier" => Some(PortfolioEngine::Hier),
+            "tempering" => Some(PortfolioEngine::Tempering),
             _ => None,
         }
     }
@@ -207,6 +222,27 @@ pub fn run_engine_once(
                 acceptance_ratio: None,
                 moves_attempted: 0,
                 moves_per_second: None,
+                enumeration_won: None,
+            }
+        }
+        PortfolioEngine::Tempering => {
+            let mut config = TemperingPlacerConfig {
+                seed,
+                wirelength_weight: settings.wirelength_weight,
+                ..TemperingPlacerConfig::for_netlist(&circuit.netlist)
+            };
+            if settings.fast_schedule {
+                config.schedule = Schedule::fast();
+            }
+            let result =
+                TemperingSeqPairPlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+            RestartOutcome {
+                placement: result.placement,
+                metrics: result.metrics,
+                symmetry_error: result.symmetry_error,
+                acceptance_ratio: Some(result.stats.acceptance_ratio()),
+                moves_attempted: result.stats.moves_attempted,
+                moves_per_second: result.stats.moves_per_second(),
                 enumeration_won: None,
             }
         }

@@ -442,6 +442,23 @@ mod tests {
     }
 
     #[test]
+    fn tempering_lane_json_is_byte_identical_across_thread_counts() {
+        // The tempering engine parallelises *within* a restart (one rayon
+        // task per replica), so pin the portfolio to that lane alone and
+        // compare the full deterministic report at 1 vs 4 worker threads.
+        use crate::engine::PortfolioEngine;
+        let circuit = benchmarks::comparator_v2();
+        let config = PortfolioConfig::new(17)
+            .with_restarts(2)
+            .with_fast_schedule(true)
+            .with_engines([PortfolioEngine::Tempering]);
+        let one = run_portfolio(&circuit, &config.clone().with_threads(1)).to_json_deterministic();
+        let four = run_portfolio(&circuit, &config.with_threads(4)).to_json_deterministic();
+        assert_eq!(one, four);
+        assert!(one.contains("\"tempering\""));
+    }
+
+    #[test]
     fn summary_names_the_circuit_and_winner() {
         let report = small_report();
         let text = report.summary();

@@ -12,12 +12,13 @@
 //!   with the symmetry error added to the cost function, the classical
 //!   alternative the paper argues against.
 
+use crate::hot::{HotMode, HotSpEval};
 use crate::place::SymmetricPlacer;
 use crate::seq::SpUndoLog;
 use crate::symmetry::{canonical_symmetric_feasible, SymmetricMoveSet};
 use crate::SequencePair;
 use apls_anneal::{AnnealState, AnnealStats, Annealer, Schedule};
-use apls_circuit::{ConstraintSet, ModuleId, NetAdjacency, Netlist, Placement, PlacementMetrics};
+use apls_circuit::{ConstraintSet, ModuleId, Netlist, Placement, PlacementMetrics};
 use rand::{Rng, RngCore};
 
 /// How symmetry constraints are handled during annealing.
@@ -116,24 +117,43 @@ impl<'a> SeqPairPlacer<'a> {
         SeqPairPlacer { netlist, constraints }
     }
 
-    /// Runs the annealing placement.
-    #[must_use]
-    pub fn run(&self, config: &SeqPairPlacerConfig) -> SeqPairResult {
+    /// Builds a fresh annealing state (canonical initial encoding, hot
+    /// evaluator, move set) for `config`. Shared with the parallel-tempering
+    /// lane, which runs several of these states as temperature replicas.
+    pub(crate) fn make_state(&self, config: &SeqPairPlacerConfig) -> SpState<'a> {
         let modules: Vec<ModuleId> = self.netlist.module_ids().collect();
         let initial = canonical_symmetric_feasible(&modules, self.constraints);
         let placer = SymmetricPlacer::new(self.netlist, self.constraints);
-        let mut state = SpState {
+        let mode = match config.symmetry_mode {
+            SymmetryMode::Exact => HotMode::Exact,
+            SymmetryMode::Penalty { weight } => HotMode::Penalty { weight },
+        };
+        let hot = HotSpEval::new(
+            self.constraints,
+            placer.dims().to_vec(),
+            self.netlist.adjacency(),
+            &initial,
+            mode,
+            config.wirelength_weight,
+        );
+        SpState {
             sp: initial,
             undo: SpUndoLog::default(),
             #[cfg(debug_assertions)]
             check: None,
             best: None,
             placer,
-            adjacency: self.netlist.adjacency(),
-            constraints: self.constraints,
+            hot,
+            touched: Vec::new(),
             moves: SymmetricMoveSet::new(self.constraints.clone()),
             config: config.clone(),
-        };
+        }
+    }
+
+    /// Runs the annealing placement.
+    #[must_use]
+    pub fn run(&self, config: &SeqPairPlacerConfig) -> SeqPairResult {
+        let mut state = self.make_state(config);
         let stats = Annealer::with_seed(config.seed).run(&mut state, &config.schedule);
 
         // Prefer the best snapshot over the final accepted state.
@@ -148,45 +168,41 @@ impl<'a> SeqPairPlacer<'a> {
 /// The sequence-pair annealing state on the single-evaluation hot path: each
 /// proposal is legalised and scored exactly once (the driver hands the
 /// accepted cost back to `commit`), the cost skips the O(n²) overlap scan
-/// (sequence-pair packings are overlap-free by construction), and rejected
-/// moves are undone by replaying the undo log instead of restoring a clone of
-/// the whole encoding.
-struct SpState<'a> {
-    sp: SequencePair,
+/// (sequence-pair packings are overlap-free by construction), rejected moves
+/// are undone by replaying the undo log instead of restoring a clone of the
+/// whole encoding, and scoring goes through the incremental [`HotSpEval`]
+/// evaluator (suffix-resweep packing + delta-HPWL) instead of building a full
+/// [`Placement`] per move. The cold [`SymmetricPlacer`] is kept only to build
+/// the final reported placement; [`HotSpEval`] reproduces its coordinates
+/// bit-for-bit (see `tests/hotpath_equivalence.rs`).
+pub(crate) struct SpState<'a> {
+    pub(crate) sp: SequencePair,
     undo: SpUndoLog,
     /// Clone-based reference for the undo log, kept only in debug builds.
     #[cfg(debug_assertions)]
     check: Option<SequencePair>,
     /// Best (sequence-pair, cost) seen so far.
-    best: Option<(SequencePair, f64)>,
+    pub(crate) best: Option<(SequencePair, f64)>,
     placer: SymmetricPlacer<'a>,
-    adjacency: NetAdjacency,
-    constraints: &'a ConstraintSet,
+    hot: HotSpEval<'a>,
+    /// Modules whose α/β positions the open proposal may have changed.
+    touched: Vec<ModuleId>,
     moves: SymmetricMoveSet,
     config: SeqPairPlacerConfig,
 }
 
 impl SpState<'_> {
-    fn build_placement(&self, sp: &SequencePair) -> Placement {
+    pub(crate) fn build_placement(&self, sp: &SequencePair) -> Placement {
         match self.config.symmetry_mode {
             SymmetryMode::Exact => self.placer.place(sp),
             SymmetryMode::Penalty { .. } => self.placer.place_unconstrained(sp),
         }
     }
-
-    fn evaluate(&self, sp: &SequencePair) -> f64 {
-        let placement = self.build_placement(sp);
-        let mut cost = placement.hot_cost(&self.adjacency, self.config.wirelength_weight);
-        if let SymmetryMode::Penalty { weight } = self.config.symmetry_mode {
-            cost += weight * placement.symmetry_error(self.constraints) as f64;
-        }
-        cost
-    }
 }
 
 impl AnnealState for SpState<'_> {
     fn cost(&mut self) -> f64 {
-        self.evaluate(&self.sp)
+        self.hot.evaluate(&self.sp, Some(&self.touched))
     }
 
     fn propose(&mut self, rng: &mut dyn RngCore) {
@@ -209,6 +225,7 @@ impl AnnealState for SpState<'_> {
                 self.undo.clear();
                 let n = self.sp.len();
                 if n < 2 {
+                    self.touched.clear();
                     return;
                 }
                 let i = rng.gen_range(0..n);
@@ -226,10 +243,13 @@ impl AnnealState for SpState<'_> {
                 }
             }
         }
+        self.touched.clear();
+        self.undo.touched_modules(&self.sp, &mut self.touched);
     }
 
     fn rollback(&mut self) {
         self.sp.undo(&mut self.undo);
+        self.hot.rollback();
         #[cfg(debug_assertions)]
         if let Some(prev) = self.check.take() {
             debug_assert!(
@@ -240,6 +260,7 @@ impl AnnealState for SpState<'_> {
     }
 
     fn commit(&mut self, accepted_cost: f64) {
+        self.hot.commit();
         let better = match &self.best {
             Some((_, best_cost)) => accepted_cost < *best_cost,
             None => true,

@@ -33,6 +33,10 @@ pub enum PackAlgorithm {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedFloorplan {
     rects: Vec<(ModuleId, Rect)>,
+    /// Slot of each module id in `rects` (`u32::MAX` = not in the floorplan),
+    /// so [`PackedFloorplan::rect_of`] is an O(1) table lookup instead of a
+    /// linear scan.
+    slots: Vec<u32>,
     width: Coord,
     height: Coord,
 }
@@ -44,10 +48,13 @@ impl PackedFloorplan {
         &self.rects
     }
 
-    /// Rectangle of one module.
+    /// Rectangle of one module (O(1), indexed by [`ModuleId::index`]).
     #[must_use]
     pub fn rect_of(&self, module: ModuleId) -> Option<Rect> {
-        self.rects.iter().find(|(m, _)| *m == module).map(|(_, r)| *r)
+        match self.slots.get(module.index()) {
+            Some(&s) if s != u32::MAX => Some(self.rects[s as usize].1),
+            _ => None,
+        }
     }
 
     /// Floorplan width.
@@ -101,7 +108,7 @@ pub fn pack_constraint_graph(sp: &SequencePair, dims: &[Dims]) -> PackedFloorpla
 pub fn pack_lcs(sp: &SequencePair, dims: &[Dims]) -> PackedFloorplan {
     let n = sp.len();
     if n == 0 {
-        return PackedFloorplan { rects: Vec::new(), width: 0, height: 0 };
+        return PackedFloorplan { rects: Vec::new(), slots: Vec::new(), width: 0, height: 0 };
     }
     // X coordinates: process modules in alpha order. x(m) = prefix maximum of
     // (x(a) + w(a)) over already-processed modules a with beta_pos(a) <
@@ -170,7 +177,7 @@ pub fn pack_with_bounds_constraint_graph(
 ) -> PackedFloorplan {
     let n = sp.len();
     if n == 0 {
-        return PackedFloorplan { rects: Vec::new(), width: 0, height: 0 };
+        return PackedFloorplan { rects: Vec::new(), slots: Vec::new(), width: 0, height: 0 };
     }
     let mut x = vec![0 as Coord; dims.len()];
     let mut y = vec![0 as Coord; dims.len()];
@@ -201,8 +208,48 @@ pub fn pack_with_bounds_constraint_graph(
     build_floorplan(sp, dims, &x, &y)
 }
 
+/// Weighted-LCS packing with per-module lower bounds.
+///
+/// Identical recurrence to [`pack_with_bounds_constraint_graph`]: the Fenwick
+/// prefix maximum equals the maximum of `x(a) + w(a)` over all left-of
+/// predecessors (modules earlier in both α and β), and the lower bound enters
+/// the same `max`. Coordinates are therefore equal module-by-module; the
+/// property tests assert it.
+#[must_use]
+pub fn pack_with_bounds_lcs(
+    sp: &SequencePair,
+    dims: &[Dims],
+    bounds: &LowerBounds,
+) -> PackedFloorplan {
+    let n = sp.len();
+    if n == 0 {
+        return PackedFloorplan { rects: Vec::new(), slots: Vec::new(), width: 0, height: 0 };
+    }
+    let mut x = vec![0 as Coord; dims.len()];
+    let mut fenwick = MaxFenwick::new(n);
+    for &m in sp.alpha() {
+        let bp = sp.beta_position(m);
+        let bound = bounds.min_x.get(m.index()).copied().unwrap_or(0);
+        let start = bound.max(fenwick.prefix_max(bp));
+        x[m.index()] = start;
+        fenwick.update(bp, start + dims_of(dims, m).w);
+    }
+    let mut y = vec![0 as Coord; dims.len()];
+    let mut fenwick_y = MaxFenwick::new(n);
+    for &m in sp.alpha().iter().rev() {
+        let bp = sp.beta_position(m);
+        let bound = bounds.min_y.get(m.index()).copied().unwrap_or(0);
+        let start = bound.max(fenwick_y.prefix_max(bp));
+        y[m.index()] = start;
+        fenwick_y.update(bp, start + dims_of(dims, m).h);
+    }
+
+    build_floorplan(sp, dims, &x, &y)
+}
+
 fn build_floorplan(sp: &SequencePair, dims: &[Dims], x: &[Coord], y: &[Coord]) -> PackedFloorplan {
     let mut rects = Vec::with_capacity(sp.len());
+    let mut slots = vec![u32::MAX; dims.len()];
     let mut width = 0;
     let mut height = 0;
     for &m in sp.alpha() {
@@ -210,26 +257,28 @@ fn build_floorplan(sp: &SequencePair, dims: &[Dims], x: &[Coord], y: &[Coord]) -
         let r = Rect::new(x[m.index()], y[m.index()], x[m.index()] + d.w, y[m.index()] + d.h);
         width = width.max(r.x_max);
         height = height.max(r.y_max);
+        slots[m.index()] = u32::try_from(rects.len()).expect("module count fits in u32");
         rects.push((m, r));
     }
-    PackedFloorplan { rects, width, height }
+    PackedFloorplan { rects, slots, width, height }
 }
 
 /// Fenwick (binary indexed) tree over sequence positions storing prefix
 /// maxima. Supports "maximum over positions strictly smaller than p" queries
 /// and point updates that only ever increase values, which is exactly what the
 /// weighted-LCS packing needs.
-struct MaxFenwick {
+#[derive(Debug, Clone)]
+pub(crate) struct MaxFenwick {
     tree: Vec<Coord>,
 }
 
 impl MaxFenwick {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         MaxFenwick { tree: vec![0; n + 1] }
     }
 
     /// Maximum over positions `0..p` (strictly before `p`), 0 when empty.
-    fn prefix_max(&self, p: usize) -> Coord {
+    pub(crate) fn prefix_max(&self, p: usize) -> Coord {
         let mut i = p; // 1-based internal indexing: positions 1..=p map to prefix of length p
         let mut best = 0;
         while i > 0 {
@@ -240,13 +289,33 @@ impl MaxFenwick {
     }
 
     /// Raises the value stored at position `p` (0-based) to at least `value`.
-    fn update(&mut self, p: usize, value: Coord) {
+    pub(crate) fn update(&mut self, p: usize, value: Coord) {
         let mut i = p + 1;
         while i < self.tree.len() {
             if self.tree[i] < value {
                 self.tree[i] = value;
             }
             i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Rebuilds the tree from one value per 0-based position (0 = no entry)
+    /// in O(n), reusing the allocation. Equivalent to `new(n)` followed by
+    /// `update(p, values[p])` for every position.
+    pub(crate) fn rebuild_from(&mut self, values: &[Coord]) {
+        let n = values.len();
+        self.tree.clear();
+        self.tree.resize(n + 1, 0);
+        for (p, &v) in values.iter().enumerate() {
+            if self.tree[p + 1] < v {
+                self.tree[p + 1] = v;
+            }
+        }
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n && self.tree[parent] < self.tree[i] {
+                self.tree[parent] = self.tree[i];
+            }
         }
     }
 }
@@ -365,6 +434,51 @@ mod tests {
         let dims = square_dims(4, 25);
         let fp = pack_lcs(&sp, &dims);
         assert_eq!(fp.area(), i128::from(fp.width()) * i128::from(fp.height()));
+    }
+
+    #[test]
+    fn bounded_lcs_matches_bounded_constraint_graph() {
+        let perms: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            (vec![0, 1, 2, 3, 4], vec![4, 3, 2, 1, 0]),
+            (vec![2, 0, 4, 1, 3], vec![0, 1, 2, 3, 4]),
+            (vec![3, 1, 4, 0, 2], vec![1, 3, 0, 2, 4]),
+        ];
+        let dims = vec![
+            Dims::new(12, 7),
+            Dims::new(5, 20),
+            Dims::new(9, 9),
+            Dims::new(16, 4),
+            Dims::new(3, 14),
+        ];
+        let mut bounds = LowerBounds::empty(5);
+        bounds.min_x[1] = 40;
+        bounds.min_x[3] = 7;
+        bounds.min_y[0] = 13;
+        bounds.min_y[4] = 22;
+        for (a, b) in perms {
+            let sp = SequencePair::from_sequences(
+                a.into_iter().map(id).collect(),
+                b.into_iter().map(id).collect(),
+            )
+            .unwrap();
+            let cg = pack_with_bounds_constraint_graph(&sp, &dims, &bounds);
+            let lcs = pack_with_bounds_lcs(&sp, &dims, &bounds);
+            assert_eq!(cg, lcs, "{sp}");
+        }
+    }
+
+    #[test]
+    fn fenwick_rebuild_matches_incremental_updates() {
+        let values = [0, 5, 0, 12, 3, 0, 7, 9];
+        let mut incremental = MaxFenwick::new(values.len());
+        for (p, &v) in values.iter().enumerate() {
+            incremental.update(p, v);
+        }
+        let mut rebuilt = MaxFenwick::new(0);
+        rebuilt.rebuild_from(&values);
+        for p in 0..=values.len() {
+            assert_eq!(rebuilt.prefix_max(p), incremental.prefix_max(p), "prefix {p}");
+        }
     }
 
     #[test]

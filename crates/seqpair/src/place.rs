@@ -21,8 +21,8 @@
 
 use crate::pack::{pack_with_bounds_constraint_graph, LowerBounds, PackedFloorplan};
 use crate::SequencePair;
-use apls_circuit::{ConstraintSet, Netlist, Placement, SymmetryGroup};
-use apls_geometry::{Coord, Dims, Orientation};
+use apls_circuit::{ConstraintSet, ModuleId, Netlist, Placement, SymmetryGroup};
+use apls_geometry::{Coord, Dims, Orientation, Point, Rect};
 
 /// Builds exactly symmetric placements from sequence-pairs.
 #[derive(Debug, Clone)]
@@ -133,105 +133,31 @@ impl<'a> SymmetricPlacer<'a> {
 
         // --- build each island's internal geometry --------------------------
         // island key = index of the symmetry group in the constraint set
-        struct Island {
-            representative: ModuleIdLocal,
-            dims: Dims,
-            /// module-relative rectangles inside the island
-            rects: Vec<(ModuleIdLocal, apls_geometry::Rect)>,
-        }
-        type ModuleIdLocal = apls_circuit::ModuleId;
-
         let groups = self.constraints.symmetry_groups();
-        let mut islands: Vec<Island> = Vec::new();
-        let mut module_to_island: BTreeMap<ModuleIdLocal, usize> = BTreeMap::new();
+        let mut islands: Vec<(ModuleId, IslandGeometry)> = Vec::new();
+        let mut module_to_island: BTreeMap<ModuleId, usize> = BTreeMap::new();
 
         for group in groups {
-            let members: Vec<_> = group.members().into_iter().filter(|m| sp.contains(*m)).collect();
-            if members.is_empty() {
+            let Some(geometry) = island_geometry(group, &self.dims, |m| sp.contains(m)) else {
                 continue;
-            }
-            let max_pair_width = group
-                .pairs()
-                .iter()
-                .flat_map(|&(l, r)| [l, r])
-                .filter(|m| sp.contains(*m))
-                .map(|m| self.dims[m.index()].w)
-                .max()
-                .unwrap_or(0);
-            let self_widths: Vec<Coord> = group
-                .self_symmetric()
-                .iter()
-                .filter(|m| sp.contains(**m))
-                .map(|m| self.dims[m.index()].w)
-                .collect();
-            let max_self_width = self_widths.iter().copied().max().unwrap_or(0);
-
-            // island width: two pair columns or the widest self-symmetric
-            // cell, with the parity chosen so self-symmetric cells centre
-            // exactly on the axis
-            let mut width = (2 * max_pair_width).max(max_self_width).max(1);
-            if let Some(&w0) = self_widths.first() {
-                if (width - w0).rem_euclid(2) != 0 {
-                    width += 1;
-                }
-            }
-            let axis_x2 = width; // doubled axis coordinate
-            let right_start = width / 2 + width % 2; // ceil(width / 2)
-
-            let mut rects: Vec<(ModuleIdLocal, apls_geometry::Rect)> = Vec::new();
-            let mut pair_y: Coord = 0;
-            for &(l, r) in group.pairs() {
-                if !sp.contains(l) || !sp.contains(r) {
-                    continue;
-                }
-                let dl = self.dims[l.index()];
-                let dr = self.dims[r.index()];
-                let row_h = dl.h.max(dr.h);
-                // right member left-aligned at the axis, left member its mirror
-                let ry = pair_y + (row_h - dr.h) / 2;
-                let right_rect =
-                    apls_geometry::Rect::from_dims(apls_geometry::Point::new(right_start, ry), dr);
-                let ly = pair_y + (row_h - dl.h) / 2;
-                let left_rect = apls_geometry::Rect::from_dims(
-                    apls_geometry::Point::new(axis_x2 - right_start - dl.w, ly),
-                    dl,
-                );
-                rects.push((r, right_rect));
-                rects.push((l, left_rect));
-                pair_y += row_h;
-            }
-            // self-symmetric cells stacked above the pair rows, centred on the
-            // axis
-            let mut self_y: Coord = pair_y;
-            for &s in group.self_symmetric() {
-                if !sp.contains(s) {
-                    continue;
-                }
-                let ds = self.dims[s.index()];
-                let sx = (width - ds.w) / 2;
-                rects.push((
-                    s,
-                    apls_geometry::Rect::from_dims(apls_geometry::Point::new(sx, self_y), ds),
-                ));
-                self_y += ds.h;
-            }
-            let height = self_y.max(pair_y);
+            };
             // The representative is the member that appears first in alpha.
-            let representative = members
+            let representative = geometry
+                .members
                 .iter()
                 .copied()
                 .min_by_key(|m| sp.alpha_position(*m))
                 .expect("non-empty island");
             let island_index = islands.len();
-            for &m in &members {
+            for &m in &geometry.members {
                 module_to_island.insert(m, island_index);
             }
-            islands.push(Island { representative, dims: Dims::new(width, height.max(1)), rects });
+            islands.push((representative, geometry));
         }
 
         // --- outer sequence-pair over islands (keyed by their representative)
         // and free modules ---------------------------------------------------
-        let reduce = |seq: &[ModuleIdLocal]| -> Vec<ModuleIdLocal> {
+        let reduce = |seq: &[ModuleId]| -> Vec<ModuleId> {
             let mut out = Vec::new();
             let mut seen_island = vec![false; islands.len()];
             for &m in seq {
@@ -239,7 +165,7 @@ impl<'a> SymmetricPlacer<'a> {
                     Some(&gi) => {
                         if !seen_island[gi] {
                             seen_island[gi] = true;
-                            out.push(islands[gi].representative);
+                            out.push(islands[gi].0);
                         }
                     }
                     None => out.push(m),
@@ -252,8 +178,8 @@ impl<'a> SymmetricPlacer<'a> {
         let outer_sp = SequencePair::from_sequences(outer_alpha, outer_beta)
             .expect("reduction keeps both sequences over the same set");
         let mut outer_dims = self.dims.clone();
-        for island in &islands {
-            outer_dims[island.representative.index()] = island.dims;
+        for (representative, geometry) in &islands {
+            outer_dims[representative.index()] = geometry.dims;
         }
         let outer_fp = pack_with_bounds_constraint_graph(
             &outer_sp,
@@ -266,9 +192,9 @@ impl<'a> SymmetricPlacer<'a> {
         for &(m, r) in outer_fp.rects() {
             match module_to_island.get(&m) {
                 Some(&gi) => {
-                    let island = &islands[gi];
+                    let (_, geometry) = &islands[gi];
                     let origin = r.origin();
-                    for &(member, local) in &island.rects {
+                    for &(member, local) in &geometry.rects {
                         let orientation = self.orientation_for(member);
                         placement.place(member, local.translated(origin), orientation, 0);
                     }
@@ -305,73 +231,7 @@ impl<'a> SymmetricPlacer<'a> {
         fp: &PackedFloorplan,
         bounds: &mut LowerBounds,
     ) -> bool {
-        let mut changed = false;
-
-        // --- vertical alignment of pair partners -------------------------
-        for &(a, b) in group.pairs() {
-            let (Some(ra), Some(rb)) = (fp.rect_of(a), fp.rect_of(b)) else { continue };
-            let target_c2y = ra.center_x2().1.max(rb.center_x2().1);
-            for (m, r) in [(a, ra), (b, rb)] {
-                let h = r.height();
-                // smallest y with 2y + h >= target, i.e. mirror-aligned centres
-                let required_y = div_ceil(target_c2y - h, 2);
-                if required_y > r.y_min {
-                    bounds.min_y[m.index()] = bounds.min_y[m.index()].max(required_y);
-                    changed = true;
-                }
-            }
-        }
-
-        // --- horizontal mirroring about a common axis --------------------
-        // A is the doubled axis coordinate: pairs need c2x(p) + c2x(q) = 2A,
-        // self-symmetric cells need c2x(s) = A.
-        let mut required_a: Coord = 0;
-        let mut have_any = false;
-        for &(a, b) in group.pairs() {
-            let (Some(ra), Some(rb)) = (fp.rect_of(a), fp.rect_of(b)) else { continue };
-            required_a = required_a.max(div_ceil(ra.center_x2().0 + rb.center_x2().0, 2));
-            have_any = true;
-        }
-        for &s in group.self_symmetric() {
-            let Some(rs) = fp.rect_of(s) else { continue };
-            required_a = required_a.max(rs.center_x2().0);
-            have_any = true;
-        }
-        if !have_any {
-            return changed;
-        }
-        // Parity adjustment: self-symmetric cells need A ≡ w_s (mod 2); take
-        // the first self-symmetric cell as the reference (mixed parities
-        // cannot be exact on an integer grid and fall back to rounding).
-        if let Some(&s) = group.self_symmetric().first() {
-            let w = self.dims[s.index()].w;
-            if (required_a - w).rem_euclid(2) != 0 {
-                required_a += 1;
-            }
-        }
-
-        for &(a, b) in group.pairs() {
-            let (Some(ra), Some(rb)) = (fp.rect_of(a), fp.rect_of(b)) else { continue };
-            // p is the left partner, q the right partner.
-            let (p, rp, q, rq) =
-                if ra.center_x2().0 <= rb.center_x2().0 { (a, ra, b, rb) } else { (b, rb, a, ra) };
-            let _ = p;
-            let wq = rq.width();
-            let required_xq = div_ceil(2 * required_a - rp.center_x2().0 - wq, 2);
-            if required_xq > rq.x_min {
-                bounds.min_x[q.index()] = bounds.min_x[q.index()].max(required_xq);
-                changed = true;
-            }
-        }
-        for &s in group.self_symmetric() {
-            let Some(rs) = fp.rect_of(s) else { continue };
-            let required_xs = div_ceil(required_a - rs.width(), 2);
-            if required_xs > rs.x_min {
-                bounds.min_x[s.index()] = bounds.min_x[s.index()].max(required_xs);
-                changed = true;
-            }
-        }
-        changed
+        tighten_group_with(group, &self.dims, |m| fp.rect_of(m), bounds)
     }
 
     fn floorplan_to_placement(&self, fp: &PackedFloorplan) -> Placement {
@@ -396,8 +256,172 @@ impl<'a> SymmetricPlacer<'a> {
     }
 }
 
+/// The internal geometry of one symmetry island: a rigid, exactly mirrored
+/// sub-floorplan shared by the cold placer and the incremental hot evaluator
+/// (which caches it per run — it depends only on the group, the dimension
+/// table, and which members are present, never on the sequence-pair order).
+#[derive(Debug, Clone)]
+pub(crate) struct IslandGeometry {
+    /// Present members, pairs first (left then right), then self-symmetric.
+    pub(crate) members: Vec<ModuleId>,
+    /// Footprint of the island in the outer packing.
+    pub(crate) dims: Dims,
+    /// Island-relative rectangles of the members.
+    pub(crate) rects: Vec<(ModuleId, Rect)>,
+}
+
+/// Builds the mirrored internal geometry of one symmetry group, or `None`
+/// when no member is present under `contains`.
+pub(crate) fn island_geometry(
+    group: &SymmetryGroup,
+    dims: &[Dims],
+    contains: impl Fn(ModuleId) -> bool,
+) -> Option<IslandGeometry> {
+    let members: Vec<_> = group.members().into_iter().filter(|m| contains(*m)).collect();
+    if members.is_empty() {
+        return None;
+    }
+    let max_pair_width = group
+        .pairs()
+        .iter()
+        .flat_map(|&(l, r)| [l, r])
+        .filter(|m| contains(*m))
+        .map(|m| dims[m.index()].w)
+        .max()
+        .unwrap_or(0);
+    let self_widths: Vec<Coord> = group
+        .self_symmetric()
+        .iter()
+        .filter(|m| contains(**m))
+        .map(|m| dims[m.index()].w)
+        .collect();
+    let max_self_width = self_widths.iter().copied().max().unwrap_or(0);
+
+    // island width: two pair columns or the widest self-symmetric cell, with
+    // the parity chosen so self-symmetric cells centre exactly on the axis
+    let mut width = (2 * max_pair_width).max(max_self_width).max(1);
+    if let Some(&w0) = self_widths.first() {
+        if (width - w0).rem_euclid(2) != 0 {
+            width += 1;
+        }
+    }
+    let axis_x2 = width; // doubled axis coordinate
+    let right_start = width / 2 + width % 2; // ceil(width / 2)
+
+    let mut rects: Vec<(ModuleId, Rect)> = Vec::new();
+    let mut pair_y: Coord = 0;
+    for &(l, r) in group.pairs() {
+        if !contains(l) || !contains(r) {
+            continue;
+        }
+        let dl = dims[l.index()];
+        let dr = dims[r.index()];
+        let row_h = dl.h.max(dr.h);
+        // right member left-aligned at the axis, left member its mirror
+        let ry = pair_y + (row_h - dr.h) / 2;
+        let right_rect = Rect::from_dims(Point::new(right_start, ry), dr);
+        let ly = pair_y + (row_h - dl.h) / 2;
+        let left_rect = Rect::from_dims(Point::new(axis_x2 - right_start - dl.w, ly), dl);
+        rects.push((r, right_rect));
+        rects.push((l, left_rect));
+        pair_y += row_h;
+    }
+    // self-symmetric cells stacked above the pair rows, centred on the axis
+    let mut self_y: Coord = pair_y;
+    for &s in group.self_symmetric() {
+        if !contains(s) {
+            continue;
+        }
+        let ds = dims[s.index()];
+        let sx = (width - ds.w) / 2;
+        rects.push((s, Rect::from_dims(Point::new(sx, self_y), ds)));
+        self_y += ds.h;
+    }
+    let height = self_y.max(pair_y);
+    Some(IslandGeometry { members, dims: Dims::new(width, height.max(1)), rects })
+}
+
+/// Raises the lower bounds one symmetry group needs to become exactly
+/// mirrored, reading current coordinates through `rect_of`. Shared by the
+/// clone-free cold path ([`SymmetricPlacer`]) and the SoA hot evaluator so
+/// the two legalisations cannot diverge.
+pub(crate) fn tighten_group_with(
+    group: &SymmetryGroup,
+    dims: &[Dims],
+    rect_of: impl Fn(ModuleId) -> Option<Rect>,
+    bounds: &mut LowerBounds,
+) -> bool {
+    let mut changed = false;
+
+    // --- vertical alignment of pair partners -------------------------
+    for &(a, b) in group.pairs() {
+        let (Some(ra), Some(rb)) = (rect_of(a), rect_of(b)) else { continue };
+        let target_c2y = ra.center_x2().1.max(rb.center_x2().1);
+        for (m, r) in [(a, ra), (b, rb)] {
+            let h = r.height();
+            // smallest y with 2y + h >= target, i.e. mirror-aligned centres
+            let required_y = div_ceil(target_c2y - h, 2);
+            if required_y > r.y_min {
+                bounds.min_y[m.index()] = bounds.min_y[m.index()].max(required_y);
+                changed = true;
+            }
+        }
+    }
+
+    // --- horizontal mirroring about a common axis --------------------
+    // A is the doubled axis coordinate: pairs need c2x(p) + c2x(q) = 2A,
+    // self-symmetric cells need c2x(s) = A.
+    let mut required_a: Coord = 0;
+    let mut have_any = false;
+    for &(a, b) in group.pairs() {
+        let (Some(ra), Some(rb)) = (rect_of(a), rect_of(b)) else { continue };
+        required_a = required_a.max(div_ceil(ra.center_x2().0 + rb.center_x2().0, 2));
+        have_any = true;
+    }
+    for &s in group.self_symmetric() {
+        let Some(rs) = rect_of(s) else { continue };
+        required_a = required_a.max(rs.center_x2().0);
+        have_any = true;
+    }
+    if !have_any {
+        return changed;
+    }
+    // Parity adjustment: self-symmetric cells need A ≡ w_s (mod 2); take
+    // the first self-symmetric cell as the reference (mixed parities
+    // cannot be exact on an integer grid and fall back to rounding).
+    if let Some(&s) = group.self_symmetric().first() {
+        let w = dims[s.index()].w;
+        if (required_a - w).rem_euclid(2) != 0 {
+            required_a += 1;
+        }
+    }
+
+    for &(a, b) in group.pairs() {
+        let (Some(ra), Some(rb)) = (rect_of(a), rect_of(b)) else { continue };
+        // p is the left partner, q the right partner.
+        let (p, rp, q, rq) =
+            if ra.center_x2().0 <= rb.center_x2().0 { (a, ra, b, rb) } else { (b, rb, a, ra) };
+        let _ = p;
+        let wq = rq.width();
+        let required_xq = div_ceil(2 * required_a - rp.center_x2().0 - wq, 2);
+        if required_xq > rq.x_min {
+            bounds.min_x[q.index()] = bounds.min_x[q.index()].max(required_xq);
+            changed = true;
+        }
+    }
+    for &s in group.self_symmetric() {
+        let Some(rs) = rect_of(s) else { continue };
+        let required_xs = div_ceil(required_a - rs.width(), 2);
+        if required_xs > rs.x_min {
+            bounds.min_x[s.index()] = bounds.min_x[s.index()].max(required_xs);
+            changed = true;
+        }
+    }
+    changed
+}
+
 /// Ceiling division for possibly-negative numerators with positive divisors.
-fn div_ceil(value: Coord, divisor: Coord) -> Coord {
+pub(crate) fn div_ceil(value: Coord, divisor: Coord) -> Coord {
     debug_assert!(divisor > 0);
     value.div_euclid(divisor) + if value.rem_euclid(divisor) != 0 { 1 } else { 0 }
 }

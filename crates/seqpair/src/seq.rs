@@ -62,6 +62,31 @@ impl SpUndoLog {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Appends the modules whose α or β position may have changed under the
+    /// recorded ops to `out` (duplicates possible; `out` is not cleared).
+    ///
+    /// Positional swaps resolve through the *current* sequences — the set of
+    /// occupied positions is invariant under a swap, so post-move resolution
+    /// names exactly the modules that moved.
+    pub(crate) fn touched_modules(&self, sp: &SequencePair, out: &mut Vec<ModuleId>) {
+        for op in &self.ops {
+            match *op {
+                SpOp::AlphaPos(i, j) => {
+                    out.push(sp.alpha[i]);
+                    out.push(sp.alpha[j]);
+                }
+                SpOp::BetaPos(i, j) => {
+                    out.push(sp.beta[i]);
+                    out.push(sp.beta[j]);
+                }
+                SpOp::AlphaModules(a, b) | SpOp::BetaModules(a, b) => {
+                    out.push(a);
+                    out.push(b);
+                }
+            }
+        }
+    }
 }
 
 /// Error returned when the two sequences are not permutations of the same set.

@@ -219,7 +219,9 @@ impl JobSpec {
             for item in items {
                 let name = item.as_str().ok_or("'engines' entries must be strings")?;
                 let engine = PortfolioEngine::from_name(name).ok_or_else(|| {
-                    format!("unknown engine '{name}' (seqpair, hbtree, deterministic, hier)")
+                    format!(
+                        "unknown engine '{name}' (seqpair, hbtree, deterministic, hier, tempering)"
+                    )
                 })?;
                 if engines.contains(&engine) {
                     return Err(format!("duplicate engine '{name}'"));

@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The seed-stream lane job seeds derive from (engines use lanes 1–4 of
+/// The seed-stream lane job seeds derive from (engines use lanes 1–5 of
 /// their per-job streams; this lane lives in the *service's* stream, rooted
 /// at [`ServiceConfig::seed`]).
 pub const JOB_SEED_LANE: u64 = 0x10B;

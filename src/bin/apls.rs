@@ -48,7 +48,7 @@ fn cli() -> Command {
                 .short('e')
                 .value_name("ENGINE")
                 .default_value("portfolio")
-                .help("portfolio, seqpair, hbtree, deterministic, or hier"),
+                .help("portfolio, seqpair, hbtree, deterministic, hier, or tempering"),
         )
         .arg(
             Arg::new("restarts")
@@ -224,7 +224,7 @@ fn submit_command() -> Command {
                 .short('e')
                 .value_name("ENGINE")
                 .default_value("portfolio")
-                .help("portfolio, seqpair, hbtree, deterministic, or hier"),
+                .help("portfolio, seqpair, hbtree, deterministic, hier, or tempering"),
         )
         .arg(
             Arg::new("wirelength-weight")
@@ -405,7 +405,7 @@ fn engines_for(engine_name: &str) -> Result<Vec<PortfolioEngine>, String> {
     match engine_name {
         "portfolio" => Ok(PortfolioEngine::ALL.to_vec()),
         other => Ok(vec![PortfolioEngine::from_name(other).ok_or_else(|| {
-            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic, hier)")
+            format!("unknown engine '{other}' (portfolio, seqpair, hbtree, deterministic, hier, tempering)")
         })?]),
     }
 }

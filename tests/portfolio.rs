@@ -70,8 +70,8 @@ fn facade_portfolio_report_carries_builder_settings() {
     assert_eq!(report.root_seed, 99);
     assert_eq!(report.restarts_scheduled, 3);
     assert_eq!(report.circuit_name, "comparator_v2");
-    // 3 restarts for each of the three stochastic engines + 1 deterministic
-    assert_eq!(report.restarts.len(), 10);
+    // 3 restarts for each of the four stochastic engines + 1 deterministic
+    assert_eq!(report.restarts.len(), 13);
     // restart 0 of each engine reuses the root seed verbatim
     assert!(report.restarts.iter().filter(|r| r.restart == 0).all(|r| r.seed == 99));
 }

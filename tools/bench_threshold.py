@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fail if the seqpair hot-path bench regressed vs the recorded trajectory.
+
+Reads the latest run in BENCH_hotpath.json (the file every evaluation-pipeline
+PR appends a run to), re-reads a fresh `cargo bench` log, and exits non-zero
+if `engine_moves/seqpair_2000/10` is more than THRESHOLD slower than the
+checked-in number. Criterion noise on shared CI runners is real (±15% is
+common), so the gate is deliberately loose: it catches "someone re-introduced
+a clone per move", not single-digit drift.
+
+Usage: bench_threshold.py <bench-log-file> [bench-json] [threshold]
+"""
+
+import json
+import re
+import sys
+
+BENCH_NAME = "engine_moves/seqpair_2000/10"
+SCALE = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def main() -> int:
+    log_path = sys.argv[1]
+    json_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_hotpath.json"
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
+
+    runs = json.load(open(json_path))["runs"]
+    recorded = runs[-1]["results"][BENCH_NAME]
+
+    text = open(log_path, encoding="utf-8").read()
+    m = re.search(
+        re.escape(BENCH_NAME) + r":\s*([0-9.]+)\s*(ns|µs|us|ms|s)/iter", text
+    )
+    if not m:
+        print(f"error: no '{BENCH_NAME}' line in {log_path}", file=sys.stderr)
+        return 2
+    measured = float(m.group(1)) * SCALE[m.group(2)]
+
+    limit = recorded * threshold
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(
+        f"{BENCH_NAME}: measured {measured:.0f} ns/iter, "
+        f"recorded {recorded} ns/iter, limit {limit:.0f} ({threshold:.2f}x) -> {verdict}"
+    )
+    return 0 if measured <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
