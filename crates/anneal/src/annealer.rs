@@ -1,18 +1,16 @@
 //! The simulated-annealing driver.
 
+use crate::timing::MoveStats;
 use crate::{rng::SeededRng, AnnealState, Schedule};
+use apls_telemetry::{event, Telemetry};
 use rand::Rng;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Statistics of one annealing run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AnnealStats {
-    /// Total proposals evaluated.
-    pub moves_attempted: u64,
-    /// Proposals accepted (including uphill moves).
-    pub moves_accepted: u64,
-    /// Uphill proposals accepted thanks to the Metropolis criterion.
-    pub uphill_accepted: u64,
+    /// Proposal counters and wall time (shared with the tempering driver).
+    pub moves: MoveStats,
     /// Cost of the initial state.
     pub initial_cost: f64,
     /// Best cost observed during the run.
@@ -23,19 +21,13 @@ pub struct AnnealStats {
     pub final_cost: f64,
     /// Number of temperature steps executed.
     pub temperature_steps: u64,
-    /// Wall-clock time of the annealing loop (evaluation included).
-    pub wall_time: Duration,
 }
 
 impl AnnealStats {
     /// Acceptance ratio over the whole run.
     #[must_use]
     pub fn acceptance_ratio(&self) -> f64 {
-        if self.moves_attempted == 0 {
-            0.0
-        } else {
-            self.moves_accepted as f64 / self.moves_attempted as f64
-        }
+        self.moves.acceptance_ratio()
     }
 
     /// Relative cost improvement from the initial to the final state.
@@ -52,12 +44,7 @@ impl AnnealStats {
     /// (`None` when no move ran or the clock resolution swallowed the run).
     #[must_use]
     pub fn moves_per_second(&self) -> Option<f64> {
-        let secs = self.wall_time.as_secs_f64();
-        if self.moves_attempted == 0 || secs <= 0.0 {
-            None
-        } else {
-            Some(self.moves_attempted as f64 / secs)
-        }
+        self.moves.moves_per_second()
     }
 }
 
@@ -92,7 +79,28 @@ impl Annealer {
     /// state is left in its last *accepted* configuration; callers that must
     /// recover the global best configuration should snapshot it in `commit`.
     pub fn run<S: AnnealState>(&self, state: &mut S, schedule: &Schedule) -> AnnealStats {
+        self.run_traced(state, schedule, &Telemetry::disabled())
+    }
+
+    /// [`Annealer::run`] with telemetry: emits an `anneal/anneal` span over
+    /// the run, one `anneal/temp_step` event per temperature step (the cost
+    /// trajectory and per-step acceptance rate) and a final
+    /// `anneal/move_mix` event tallying [`AnnealState::move_kind`] labels.
+    ///
+    /// Telemetry is observe-only: the RNG stream, the visit order and the
+    /// returned statistics are bit-identical to [`Annealer::run`] whatever
+    /// collector is installed.
+    pub fn run_traced<S: AnnealState>(
+        &self,
+        state: &mut S,
+        schedule: &Schedule,
+        telemetry: &Telemetry,
+    ) -> AnnealStats {
         let started = Instant::now();
+        let enabled = telemetry.is_enabled();
+        let mut span = telemetry.span("anneal", "anneal");
+        span.arg("seed", self.seed);
+        let mut mix: Vec<(&'static str, u64)> = Vec::new();
         let mut rng = SeededRng::new(self.seed);
         let initial_cost = state.cost();
         let mut stats = AnnealStats {
@@ -106,14 +114,19 @@ impl Annealer {
 
         'outer: while temperature >= schedule.t_end() {
             stats.temperature_steps += 1;
+            let attempted_before = stats.moves.attempted;
+            let accepted_before = stats.moves.accepted;
             for _ in 0..schedule.moves_per_step() {
                 if let Some(cap) = schedule.max_moves() {
-                    if stats.moves_attempted >= cap {
+                    if stats.moves.attempted >= cap {
                         break 'outer;
                     }
                 }
-                stats.moves_attempted += 1;
+                stats.moves.attempted += 1;
                 state.propose(&mut rng);
+                if enabled {
+                    tally(&mut mix, state.move_kind());
+                }
                 let new_cost = state.cost();
                 let delta = new_cost - current_cost;
                 let accept = if delta <= 0.0 {
@@ -123,9 +136,9 @@ impl Annealer {
                     rng.gen::<f64>() < p
                 };
                 if accept {
-                    stats.moves_accepted += 1;
+                    stats.moves.accepted += 1;
                     if delta > 0.0 {
-                        stats.uphill_accepted += 1;
+                        stats.moves.uphill += 1;
                     }
                     current_cost = new_cost;
                     state.commit(new_cost);
@@ -136,12 +149,48 @@ impl Annealer {
                     state.rollback();
                 }
             }
+            if enabled {
+                event!(
+                    telemetry,
+                    "anneal",
+                    "temp_step",
+                    step = stats.temperature_steps - 1,
+                    temperature = temperature,
+                    attempted = stats.moves.attempted - attempted_before,
+                    accepted = stats.moves.accepted - accepted_before,
+                    current_cost = current_cost,
+                    best_cost = stats.best_cost,
+                );
+            }
             temperature *= schedule.alpha();
         }
         stats.final_cost = current_cost;
-        stats.wall_time = started.elapsed();
+        stats.moves.wall_time = started.elapsed();
+        if enabled {
+            let args = mix
+                .iter()
+                .map(|&(kind, count)| (kind.to_string(), apls_telemetry::Value::U64(count)))
+                .collect();
+            telemetry.instant("anneal", "move_mix", args);
+            span.arg("initial_cost", stats.initial_cost);
+            span.arg("best_cost", stats.best_cost);
+            span.arg("attempted", stats.moves.attempted);
+            span.arg("accepted", stats.moves.accepted);
+            span.arg("temperature_steps", stats.temperature_steps);
+        }
         stats
     }
+}
+
+/// Increments `kind`'s slot in the (tiny) move-mix tally.
+fn tally(mix: &mut Vec<(&'static str, u64)>, kind: &'static str) {
+    for entry in mix.iter_mut() {
+        if entry.0 == kind {
+            entry.1 += 1;
+            return;
+        }
+    }
+    mix.push((kind, 1));
 }
 
 impl Default for Annealer {
@@ -153,7 +202,9 @@ impl Default for Annealer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apls_telemetry::RecordingCollector;
     use rand::RngCore;
+    use std::sync::Arc;
 
     /// Minimises |x - 37| over integers.
     struct Target {
@@ -173,6 +224,13 @@ mod tests {
         fn rollback(&mut self) {
             self.x = self.backup;
         }
+        fn move_kind(&self) -> &'static str {
+            if self.x >= self.backup {
+                "step_up"
+            } else {
+                "step_down"
+            }
+        }
     }
 
     #[test]
@@ -182,7 +240,7 @@ mod tests {
         let stats = Annealer::with_seed(1).run(&mut state, &schedule);
         assert!(stats.final_cost <= stats.initial_cost);
         assert!(stats.final_cost < 20.0, "final cost {}", stats.final_cost);
-        assert!(stats.moves_accepted > 0);
+        assert!(stats.moves.accepted > 0);
     }
 
     #[test]
@@ -193,7 +251,7 @@ mod tests {
         let sa = Annealer::with_seed(99).run(&mut a, &schedule);
         let sb = Annealer::with_seed(99).run(&mut b, &schedule);
         assert_eq!(a.x, b.x);
-        assert_eq!(sa.moves_accepted, sb.moves_accepted);
+        assert_eq!(sa.moves.accepted, sb.moves.accepted);
         assert_eq!(sa.final_cost, sb.final_cost);
     }
 
@@ -213,7 +271,7 @@ mod tests {
         let mut state = Target { x: 1000, backup: 0 };
         let schedule = Schedule::geometric(50.0, 0.01, 0.99, 1000).with_max_moves(10);
         let stats = Annealer::with_seed(3).run(&mut state, &schedule);
-        assert_eq!(stats.moves_attempted, 10);
+        assert_eq!(stats.moves.attempted, 10);
     }
 
     /// The single-evaluation contract: every committed cost equals the cost
@@ -243,7 +301,7 @@ mod tests {
     fn commit_receives_the_evaluated_cost() {
         let mut state = Auditing { inner: Target { x: 300, backup: 0 }, committed: Vec::new() };
         let stats = Annealer::with_seed(8).run(&mut state, &Schedule::fast());
-        assert_eq!(state.committed.len() as u64, stats.moves_accepted);
+        assert_eq!(state.committed.len() as u64, stats.moves.accepted);
         let min_committed = state.committed.iter().copied().fold(f64::INFINITY, f64::min);
         assert_eq!(min_committed, stats.best_cost);
     }
@@ -252,7 +310,7 @@ mod tests {
     fn throughput_is_reported() {
         let mut state = Target { x: 250, backup: 0 };
         let stats = Annealer::with_seed(6).run(&mut state, &Schedule::fast());
-        assert!(stats.moves_attempted > 0);
+        assert!(stats.moves.attempted > 0);
         if let Some(mps) = stats.moves_per_second() {
             assert!(mps > 0.0);
         }
@@ -265,6 +323,41 @@ mod tests {
         let stats = Annealer::with_seed(5).run(&mut state, &Schedule::fast());
         let ratio = stats.acceptance_ratio();
         assert!((0.0..=1.0).contains(&ratio));
-        assert!(stats.uphill_accepted <= stats.moves_accepted);
+        assert!(stats.moves.uphill <= stats.moves.accepted);
+    }
+
+    /// Telemetry is observe-only: the traced run returns bit-identical stats
+    /// and state, and records the cost trajectory plus the move mix.
+    #[test]
+    fn traced_run_is_bit_identical_and_records_trajectory() {
+        let schedule = Schedule::fast();
+        let mut plain = Target { x: 400, backup: 0 };
+        let plain_stats = Annealer::with_seed(42).run(&mut plain, &schedule);
+
+        let collector = Arc::new(RecordingCollector::new());
+        let telemetry = Telemetry::with_collector(collector.clone());
+        let mut traced = Target { x: 400, backup: 0 };
+        let traced_stats = Annealer::with_seed(42).run_traced(&mut traced, &schedule, &telemetry);
+
+        assert_eq!(plain.x, traced.x);
+        assert_eq!(plain_stats.moves.attempted, traced_stats.moves.attempted);
+        assert_eq!(plain_stats.moves.accepted, traced_stats.moves.accepted);
+        assert_eq!(plain_stats.best_cost, traced_stats.best_cost);
+        assert_eq!(plain_stats.final_cost, traced_stats.final_cost);
+
+        let events = collector.events();
+        let steps = events.iter().filter(|e| e.name == "temp_step").count() as u64;
+        assert_eq!(steps, traced_stats.temperature_steps);
+        let mix = events.iter().find(|e| e.name == "move_mix").expect("move_mix event");
+        let tallied: u64 = mix
+            .args
+            .iter()
+            .map(|(_, v)| match v {
+                apls_telemetry::Value::U64(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(tallied, traced_stats.moves.attempted);
+        assert!(events.iter().any(|e| e.ph == 'X' && e.name == "anneal"));
     }
 }

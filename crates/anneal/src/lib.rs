@@ -38,7 +38,7 @@
 //! let schedule = Schedule::geometric(10.0, 0.01, 0.9, 50);
 //! let stats = Annealer::with_seed(7).run(&mut state, &schedule);
 //! assert!(state.value.abs() <= 100);
-//! assert!(stats.moves_attempted > 0);
+//! assert!(stats.moves.attempted > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,10 +48,12 @@ mod annealer;
 pub mod rng;
 mod schedule;
 pub mod tempering;
+mod timing;
 
 pub use annealer::{AnnealStats, Annealer};
 pub use schedule::Schedule;
-pub use tempering::{run_tempering, TemperingConfig, TemperingStats};
+pub use tempering::{run_tempering, run_tempering_traced, TemperingConfig, TemperingStats};
+pub use timing::MoveStats;
 
 use rand::RngCore;
 
@@ -89,4 +91,14 @@ pub trait AnnealState {
     /// for it. The default does nothing; states that track a best-so-far
     /// snapshot use this hook without re-evaluating anything.
     fn commit(&mut self, _accepted_cost: f64) {}
+
+    /// Short static label of the *most recent* proposal's move type, used by
+    /// telemetry to report the move-type mix of a run. Only queried between
+    /// [`AnnealState::propose`] and the accept/reject decision, and only when
+    /// a trace collector is installed — implementations just return a label
+    /// recorded during `propose`. The default lumps everything under
+    /// `"move"`.
+    fn move_kind(&self) -> &'static str {
+        "move"
+    }
 }

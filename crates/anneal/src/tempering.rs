@@ -19,12 +19,17 @@
 //!   dedicated swap RNG (`SeedStream::seed_for(lane, u64::MAX)`) with exactly
 //!   one draw per attempted swap, so the swap schedule is a pure function of
 //!   the seed and the replica costs.
+//!
+//! Telemetry ([`run_tempering_traced`]) observes the swap schedule without
+//! participating in it: no collector ever touches a seed-stream lane.
 
 use crate::rng::{SeedStream, SeededRng};
+use crate::timing::MoveStats;
 use crate::{AnnealState, Schedule};
+use apls_telemetry::{event, Telemetry};
 use rand::Rng;
 use rayon::prelude::*;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Configuration of a parallel-tempering run.
 #[derive(Debug, Clone)]
@@ -62,14 +67,11 @@ impl TemperingConfig {
 /// Statistics of one parallel-tempering run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TemperingStats {
+    /// Proposal counters (summed over all replicas) and wall time of the
+    /// tempering loop — shared with the plain annealer's stats.
+    pub moves: MoveStats,
     /// Tempering rounds executed (= temperature steps of the base schedule).
     pub rounds: u64,
-    /// Metropolis proposals evaluated, summed over all replicas.
-    pub moves_attempted: u64,
-    /// Proposals accepted, summed over all replicas.
-    pub moves_accepted: u64,
-    /// Uphill proposals accepted, summed over all replicas.
-    pub uphill_accepted: u64,
     /// Replica exchanges attempted between adjacent ladder slots.
     pub swaps_attempted: u64,
     /// Replica exchanges accepted.
@@ -82,19 +84,13 @@ pub struct TemperingStats {
     /// Index of the replica that observed [`TemperingStats::best_cost`]
     /// first (lowest index on ties).
     pub best_replica: usize,
-    /// Wall-clock time of the tempering loop.
-    pub wall_time: Duration,
 }
 
 impl TemperingStats {
     /// Move acceptance ratio over all replicas.
     #[must_use]
     pub fn acceptance_ratio(&self) -> f64 {
-        if self.moves_attempted == 0 {
-            0.0
-        } else {
-            self.moves_accepted as f64 / self.moves_attempted as f64
-        }
+        self.moves.acceptance_ratio()
     }
 
     /// Swap acceptance ratio over all rounds.
@@ -111,12 +107,7 @@ impl TemperingStats {
     /// (`None` when no move ran or the clock swallowed the run).
     #[must_use]
     pub fn moves_per_second(&self) -> Option<f64> {
-        let secs = self.wall_time.as_secs_f64();
-        if self.moves_attempted == 0 || secs <= 0.0 {
-            None
-        } else {
-            Some(self.moves_attempted as f64 / secs)
-        }
+        self.moves.moves_per_second()
     }
 }
 
@@ -148,9 +139,33 @@ pub fn run_tempering<S: AnnealState + Send>(
     states: Vec<S>,
     config: &TemperingConfig,
 ) -> (Vec<S>, TemperingStats) {
+    run_tempering_traced(states, config, &Telemetry::disabled())
+}
+
+/// [`run_tempering`] with telemetry: emits a `tempering/tempering` span over
+/// the run and one `tempering/swap_round` event per exchange phase (round
+/// index, slot-0 temperature, swaps attempted/accepted in the round).
+///
+/// Telemetry is observe-only: the replica streams, the swap schedule and the
+/// returned statistics are bit-identical to [`run_tempering`] whatever
+/// collector is installed.
+///
+/// # Panics
+///
+/// Panics when `states.len() != config.replicas` or the configuration is
+/// invalid (see [`TemperingConfig::validate`]).
+pub fn run_tempering_traced<S: AnnealState + Send>(
+    states: Vec<S>,
+    config: &TemperingConfig,
+    telemetry: &Telemetry,
+) -> (Vec<S>, TemperingStats) {
     config.validate();
     assert_eq!(states.len(), config.replicas, "one state per replica required");
     let started = Instant::now();
+    let enabled = telemetry.is_enabled();
+    let mut span = telemetry.span("tempering", "tempering");
+    span.arg("seed", config.seed);
+    span.arg("replicas", config.replicas);
     let stream = SeedStream::new(config.seed);
     let schedule = &config.schedule;
     let k = config.replicas;
@@ -206,6 +221,8 @@ pub fn run_tempering<S: AnnealState + Send>(
             .collect();
 
         // --- exchange phase: adjacent slots, alternating parity per round
+        let swaps_attempted_before = stats.swaps_attempted;
+        let swaps_accepted_before = stats.swaps_accepted;
         let parity = (round % 2) as usize;
         let mut s = parity;
         while s + 1 < k {
@@ -224,21 +241,39 @@ pub fn run_tempering<S: AnnealState + Send>(
             }
             s += 2;
         }
+        if enabled {
+            event!(
+                telemetry,
+                "tempering",
+                "swap_round",
+                round = round,
+                temperature = t_round,
+                swaps_attempted = stats.swaps_attempted - swaps_attempted_before,
+                swaps_accepted = stats.swaps_accepted - swaps_accepted_before,
+            );
+        }
 
         t_round *= schedule.alpha();
         round += 1;
     }
 
     for (i, r) in replicas.iter().enumerate() {
-        stats.moves_attempted += r.attempted;
-        stats.moves_accepted += r.accepted;
-        stats.uphill_accepted += r.uphill;
+        stats.moves.attempted += r.attempted;
+        stats.moves.accepted += r.accepted;
+        stats.moves.uphill += r.uphill;
         if r.best_cost < stats.best_cost {
             stats.best_cost = r.best_cost;
             stats.best_replica = i;
         }
     }
-    stats.wall_time = started.elapsed();
+    stats.moves.wall_time = started.elapsed();
+    if enabled {
+        span.arg("rounds", stats.rounds);
+        span.arg("swaps_attempted", stats.swaps_attempted);
+        span.arg("swaps_accepted", stats.swaps_accepted);
+        span.arg("best_cost", stats.best_cost);
+        span.arg("best_replica", stats.best_replica);
+    }
     (replicas.into_iter().map(|r| r.state).collect(), stats)
 }
 
@@ -295,7 +330,9 @@ fn metropolis_round<S: AnnealState>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apls_telemetry::RecordingCollector;
     use rand::RngCore;
+    use std::sync::Arc;
 
     /// Minimises |x - target| over integers; snapshots its best in `commit`.
     #[derive(Debug, Clone)]
@@ -345,8 +382,8 @@ mod tests {
         let (finals, stats) = run_tempering(states, &config(4));
         assert_eq!(finals.len(), 4);
         assert!(stats.best_cost <= stats.initial_cost);
-        assert!(stats.moves_attempted > 0);
-        assert!(stats.moves_accepted <= stats.moves_attempted);
+        assert!(stats.moves.attempted > 0);
+        assert!(stats.moves.accepted <= stats.moves.attempted);
         assert!(stats.swaps_accepted <= stats.swaps_attempted);
         assert!(stats.rounds > 0);
         assert!(stats.best_replica < 4);
@@ -358,7 +395,7 @@ mod tests {
         let (a_states, a) = run();
         let (b_states, b) = run();
         assert_eq!(a.best_cost, b.best_cost);
-        assert_eq!(a.moves_accepted, b.moves_accepted);
+        assert_eq!(a.moves.accepted, b.moves.accepted);
         assert_eq!(a.swaps_accepted, b.swaps_accepted);
         for (x, y) in a_states.iter().zip(&b_states) {
             assert_eq!(x.x, y.x);
@@ -367,7 +404,7 @@ mod tests {
         let mut other = config(3);
         other.seed = 6;
         let (_, c) = run_tempering(vec![Toy::new(200); 3], &other);
-        assert!((a.best_cost, a.moves_accepted) != (c.best_cost, c.moves_accepted));
+        assert!((a.best_cost, a.moves.accepted) != (c.best_cost, c.moves.accepted));
     }
 
     #[test]
@@ -379,7 +416,7 @@ mod tests {
         let (s1, a) = run_with(1);
         let (s4, b) = run_with(4);
         assert_eq!(a.best_cost, b.best_cost);
-        assert_eq!(a.moves_accepted, b.moves_accepted);
+        assert_eq!(a.moves.accepted, b.moves.accepted);
         assert_eq!(a.swaps_accepted, b.swaps_accepted);
         for (x, y) in s1.iter().zip(&s4) {
             assert_eq!(x.x, y.x);
@@ -390,5 +427,25 @@ mod tests {
     #[should_panic(expected = "one state per replica")]
     fn replica_count_mismatch_panics() {
         let _ = run_tempering(vec![Toy::new(0); 2], &config(3));
+    }
+
+    /// Telemetry observes the swap schedule without perturbing it.
+    #[test]
+    fn traced_tempering_is_bit_identical_and_records_rounds() {
+        let (plain_states, plain) = run_tempering(vec![Toy::new(250); 3], &config(3));
+        let collector = Arc::new(RecordingCollector::new());
+        let telemetry = Telemetry::with_collector(collector.clone());
+        let (traced_states, traced) =
+            run_tempering_traced(vec![Toy::new(250); 3], &config(3), &telemetry);
+        assert_eq!(plain.best_cost, traced.best_cost);
+        assert_eq!(plain.moves.attempted, traced.moves.attempted);
+        assert_eq!(plain.swaps_accepted, traced.swaps_accepted);
+        for (x, y) in plain_states.iter().zip(&traced_states) {
+            assert_eq!(x.x, y.x);
+        }
+        let events = collector.events();
+        let rounds = events.iter().filter(|e| e.name == "swap_round").count() as u64;
+        assert_eq!(rounds, traced.rounds);
+        assert!(events.iter().any(|e| e.ph == 'X' && e.name == "tempering"));
     }
 }

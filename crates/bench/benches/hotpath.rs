@@ -15,7 +15,9 @@ use apls_circuit::benchmarks::{self, GeneratorConfig};
 use apls_circuit::{DeltaCost, ModuleId, Placement};
 use apls_geometry::{Contour, Orientation, Rect};
 use apls_seqpair::{SeqPairPlacer, SeqPairPlacerConfig};
+use apls_telemetry::{RecordingCollector, Telemetry};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 
 /// Moves budget of the end-to-end engine benches; moves/sec = MOVES / time.
 const MOVES: u64 = 2000;
@@ -162,6 +164,22 @@ fn bench_engine_moves(c: &mut Criterion) {
         let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
         b.iter(|| placer.run(&config));
     });
+    // Same run with a live recording collector: the gap to `seqpair_2000` is
+    // the *enabled* telemetry overhead (the disabled overhead is the default
+    // `run` path above, which every other datapoint already measures).
+    group.bench_with_input(
+        BenchmarkId::new("seqpair_2000_traced", circuit.module_count()),
+        &0,
+        |b, _| {
+            let config =
+                SeqPairPlacerConfig { seed: 3, schedule, ..SeqPairPlacerConfig::default() };
+            let placer = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints);
+            b.iter(|| {
+                let telemetry = Telemetry::with_collector(Arc::new(RecordingCollector::new()));
+                placer.run_traced(&config, &telemetry)
+            });
+        },
+    );
     group.finish();
 }
 

@@ -18,6 +18,7 @@ use apls_anneal::{AnnealState, AnnealStats, Annealer, Schedule};
 use apls_circuit::benchmarks::BenchmarkCircuit;
 use apls_circuit::{ConstraintSet, DeltaCost, ModuleId, Netlist, Placement, PlacementMetrics};
 use apls_geometry::{BoundingBox, Orientation};
+use apls_telemetry::Telemetry;
 use rand::RngCore;
 
 /// Configuration shared by the B*-tree placers.
@@ -93,6 +94,13 @@ impl<'a> HbTreePlacer<'a> {
     /// Runs the annealing placement.
     #[must_use]
     pub fn run(&self, config: &HbTreePlacerConfig) -> HbTreeResult {
+        self.run_traced(config, &Telemetry::disabled())
+    }
+
+    /// [`HbTreePlacer::run`] with telemetry (observe-only; results are
+    /// bit-identical whatever collector is installed).
+    #[must_use]
+    pub fn run_traced(&self, config: &HbTreePlacerConfig, telemetry: &Telemetry) -> HbTreeResult {
         let initial =
             HbTree::new(&self.circuit.netlist, &self.circuit.hierarchy, &self.circuit.constraints);
         let module_count = initial.module_count();
@@ -107,7 +115,8 @@ impl<'a> HbTreePlacer<'a> {
             placement: Placement::with_capacity(module_count),
             wirelength_weight: config.wirelength_weight,
         };
-        let stats = Annealer::with_seed(config.seed).run(&mut state, &config.schedule);
+        let stats =
+            Annealer::with_seed(config.seed).run_traced(&mut state, &config.schedule, telemetry);
         let best_tree = state.best.map(|(t, _)| t).unwrap_or(state.tree);
         let placement = best_tree.pack();
         let metrics = placement.metrics(&self.circuit.netlist);
@@ -191,6 +200,10 @@ impl AnnealState for HbState {
             self.best = Some((self.tree.clone(), accepted_cost));
         }
     }
+
+    fn move_kind(&self) -> &'static str {
+        self.undo.move_kind()
+    }
 }
 
 /// Flat (non-hierarchical) B*-tree placer used as the ablation baseline.
@@ -215,6 +228,13 @@ impl<'a> BTreePlacer<'a> {
     /// Runs the annealing placement.
     #[must_use]
     pub fn run(&self, config: &BTreePlacerConfig) -> HbTreeResult {
+        self.run_traced(config, &Telemetry::disabled())
+    }
+
+    /// [`BTreePlacer::run`] with telemetry (observe-only; results are
+    /// bit-identical whatever collector is installed).
+    #[must_use]
+    pub fn run_traced(&self, config: &BTreePlacerConfig, telemetry: &Telemetry) -> HbTreeResult {
         let modules: Vec<ModuleId> = self.netlist.module_ids().collect();
         let rotatable: Vec<bool> =
             self.netlist.modules().map(|(_, m)| m.rotation_allowed()).collect();
@@ -231,7 +251,8 @@ impl<'a> BTreePlacer<'a> {
             packed: PackedBTree::new(),
             wirelength_weight: config.wirelength_weight,
         };
-        let stats = Annealer::with_seed(config.seed).run(&mut state, &config.schedule);
+        let stats =
+            Annealer::with_seed(config.seed).run_traced(&mut state, &config.schedule, telemetry);
         let best_tree = state.best.map(|(t, _)| t).unwrap_or(state.tree);
         let placement = flat_placement(self.netlist, &best_tree);
         let metrics = placement.metrics(self.netlist);
@@ -315,6 +336,10 @@ impl AnnealState for FlatState {
             self.best = Some((self.tree.clone(), accepted_cost));
         }
     }
+
+    fn move_kind(&self) -> &'static str {
+        self.undo.move_kind()
+    }
 }
 
 #[cfg(test)]
@@ -329,7 +354,7 @@ mod tests {
         assert!(result.placement.is_complete());
         assert_eq!(result.metrics.overlap_area, 0);
         assert_eq!(result.symmetry_error, 0);
-        assert!(result.stats.moves_attempted > 0);
+        assert!(result.stats.moves.attempted > 0);
     }
 
     #[test]

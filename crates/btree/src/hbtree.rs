@@ -93,6 +93,18 @@ pub struct HbUndoLog {
     tree: TreeUndoLog,
 }
 
+impl HbUndoLog {
+    /// Telemetry label of the recorded perturbation's move type.
+    #[must_use]
+    pub fn move_kind(&self) -> &'static str {
+        if self.node.is_none() {
+            "noop"
+        } else {
+            self.tree.move_kind()
+        }
+    }
+}
+
 /// Reusable working storage for [`HbTree::pack_into`]: per-node sub-placement
 /// buffers, the shared token-dimension table, contour/packing scratch, and a
 /// cache of the static (leaf and common-centroid) sub-placements, which never

@@ -70,6 +70,17 @@ impl TreeUndoLog {
         self.kind == UndoKind::None
     }
 
+    /// Telemetry label of the recorded perturbation's move type.
+    #[must_use]
+    pub fn move_kind(&self) -> &'static str {
+        match self.kind {
+            UndoKind::None => "noop",
+            UndoKind::Rotate(_) => "rotate",
+            UndoKind::Swap(..) => "swap",
+            UndoKind::Move { .. } => "move_node",
+        }
+    }
+
     pub(crate) fn reset(&mut self) {
         self.kind = UndoKind::None;
         self.swaps.clear();

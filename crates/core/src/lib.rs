@@ -73,6 +73,7 @@ pub use apls_portfolio as portfolio;
 pub use apls_seqpair as seqpair;
 pub use apls_service as service;
 pub use apls_shapefn as shapefn;
+pub use apls_telemetry as telemetry;
 
 mod report;
 

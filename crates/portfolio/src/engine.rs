@@ -16,6 +16,7 @@ use apls_seqpair::{
     SeqPairPlacer, SeqPairPlacerConfig, TemperingPlacerConfig, TemperingSeqPairPlacer,
 };
 use apls_shapefn::{DeterministicPlacer, HierOptions, HierPlacer, ShapeModel};
+use apls_telemetry::Telemetry;
 use std::fmt;
 
 /// One of the five placement approaches the portfolio races: the three
@@ -168,6 +169,25 @@ pub fn run_engine_once(
     seed: u64,
     settings: &RestartSettings,
 ) -> RestartOutcome {
+    run_engine_once_traced(circuit, engine, seed, settings, &Telemetry::disabled())
+}
+
+/// [`run_engine_once`] with telemetry threaded into the engine's annealing
+/// loop / sub-solver dispatch (observe-only; the outcome is bit-identical
+/// whatever collector is installed).
+///
+/// # Panics
+///
+/// Panics if the circuit's hierarchy or constraints are inconsistent with its
+/// netlist (the same contract as the facade's single-engine path).
+#[must_use]
+pub fn run_engine_once_traced(
+    circuit: &BenchmarkCircuit,
+    engine: PortfolioEngine,
+    seed: u64,
+    settings: &RestartSettings,
+    telemetry: &Telemetry,
+) -> RestartOutcome {
     match engine {
         PortfolioEngine::SequencePair => {
             let mut config = SeqPairPlacerConfig {
@@ -178,13 +198,14 @@ pub fn run_engine_once(
             if settings.fast_schedule {
                 config.schedule = Schedule::fast();
             }
-            let result = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+            let result = SeqPairPlacer::new(&circuit.netlist, &circuit.constraints)
+                .run_traced(&config, telemetry);
             RestartOutcome {
                 placement: result.placement,
                 metrics: result.metrics,
                 symmetry_error: result.symmetry_error,
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
-                moves_attempted: result.stats.moves_attempted,
+                moves_attempted: result.stats.moves.attempted,
                 moves_per_second: result.stats.moves_per_second(),
                 enumeration_won: None,
             }
@@ -198,13 +219,13 @@ pub fn run_engine_once(
             if settings.fast_schedule {
                 config.schedule = Schedule::fast();
             }
-            let result = HbTreePlacer::new(circuit).run(&config);
+            let result = HbTreePlacer::new(circuit).run_traced(&config, telemetry);
             RestartOutcome {
                 placement: result.placement,
                 metrics: result.metrics,
                 symmetry_error: result.symmetry_error,
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
-                moves_attempted: result.stats.moves_attempted,
+                moves_attempted: result.stats.moves.attempted,
                 moves_per_second: result.stats.moves_per_second(),
                 enumeration_won: None,
             }
@@ -234,14 +255,14 @@ pub fn run_engine_once(
             if settings.fast_schedule {
                 config.schedule = Schedule::fast();
             }
-            let result =
-                TemperingSeqPairPlacer::new(&circuit.netlist, &circuit.constraints).run(&config);
+            let result = TemperingSeqPairPlacer::new(&circuit.netlist, &circuit.constraints)
+                .run_traced(&config, telemetry);
             RestartOutcome {
                 placement: result.placement,
                 metrics: result.metrics,
                 symmetry_error: result.symmetry_error,
                 acceptance_ratio: Some(result.stats.acceptance_ratio()),
-                moves_attempted: result.stats.moves_attempted,
+                moves_attempted: result.stats.moves.attempted,
                 moves_per_second: result.stats.moves_per_second(),
                 enumeration_won: None,
             }
@@ -254,6 +275,7 @@ pub fn run_engine_once(
             let result = HierPlacer::new(circuit)
                 .with_options(options)
                 .with_sub_solver(Box::new(apls_shapefn::BTreeAnnealSolver))
+                .with_telemetry(telemetry.clone())
                 .run();
             let metrics = result.placement.metrics(&circuit.netlist);
             let symmetry_error = result.placement.symmetry_error(&circuit.constraints);

@@ -2,10 +2,11 @@
 
 use crate::config::{PortfolioConfig, RestartTask};
 use crate::earlystop::PlateauDetector;
-use crate::engine::run_engine_once;
+use crate::engine::run_engine_once_traced;
 use crate::report::{PortfolioReport, RestartRecord};
 use crate::stats::placement_cost;
 use apls_circuit::benchmarks::BenchmarkCircuit;
+use apls_telemetry::Telemetry;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use std::time::Instant;
@@ -25,8 +26,34 @@ use std::time::Instant;
 /// [`PortfolioConfig::validate`]) or the circuit is inconsistent.
 #[must_use]
 pub fn run_portfolio(circuit: &BenchmarkCircuit, config: &PortfolioConfig) -> PortfolioReport {
+    run_portfolio_traced(circuit, config, &Telemetry::disabled())
+}
+
+/// [`run_portfolio`] with telemetry threaded through every restart lane
+/// (observe-only; the report is bit-identical whatever collector is
+/// installed — telemetry never touches a seed stream).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`PortfolioConfig::validate`]) or the circuit is inconsistent.
+#[must_use]
+pub fn run_portfolio_traced(
+    circuit: &BenchmarkCircuit,
+    config: &PortfolioConfig,
+    telemetry: &Telemetry,
+) -> PortfolioReport {
     config.validate();
     let start = Instant::now();
+    let mut run_span = apls_telemetry::span!(
+        telemetry,
+        "portfolio",
+        "portfolio_run",
+        circuit = circuit.name.as_str(),
+        seed = config.root_seed,
+        restarts = config.restarts,
+        threads = config.threads
+    );
     let pool = ThreadPoolBuilder::new()
         .num_threads(config.threads)
         .build()
@@ -46,8 +73,9 @@ pub fn run_portfolio(circuit: &BenchmarkCircuit, config: &PortfolioConfig) -> Po
     };
 
     for batch in batches {
-        let batch_records: Vec<RestartRecord> = pool
-            .install(|| batch.into_par_iter().map(|task| execute(circuit, task, config)).collect());
+        let batch_records: Vec<RestartRecord> = pool.install(|| {
+            batch.into_par_iter().map(|task| execute(circuit, task, config, telemetry)).collect()
+        });
         records.extend(batch_records);
         if let Some(detector) = detector.as_mut() {
             let best_so_far = records.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
@@ -58,6 +86,11 @@ pub fn run_portfolio(circuit: &BenchmarkCircuit, config: &PortfolioConfig) -> Po
         }
     }
 
+    if run_span.is_recording() {
+        run_span.arg("restarts_executed", records.len() as u64);
+        run_span.arg("early_stopped", early_stopped);
+    }
+    drop(run_span);
     PortfolioReport::assemble(circuit.name.clone(), config, records, early_stopped, start.elapsed())
 }
 
@@ -66,14 +99,34 @@ fn execute(
     circuit: &BenchmarkCircuit,
     task: RestartTask,
     config: &PortfolioConfig,
+    telemetry: &Telemetry,
 ) -> RestartRecord {
     let start = Instant::now();
-    let outcome = run_engine_once(circuit, task.engine, task.seed, &config.restart_settings());
+    let mut span = apls_telemetry::span!(
+        telemetry,
+        "portfolio",
+        "restart",
+        engine = task.engine.name(),
+        restart = task.restart,
+        seed = task.seed
+    );
+    let outcome = run_engine_once_traced(
+        circuit,
+        task.engine,
+        task.seed,
+        &config.restart_settings(),
+        telemetry,
+    );
+    let cost = placement_cost(&outcome.metrics, config.wirelength_weight);
+    if span.is_recording() {
+        span.arg("cost", cost);
+        span.arg("moves_attempted", outcome.moves_attempted);
+    }
     RestartRecord {
         engine: task.engine,
         restart: task.restart,
         seed: task.seed,
-        cost: placement_cost(&outcome.metrics, config.wirelength_weight),
+        cost,
         runtime: start.elapsed(),
         acceptance_ratio: outcome.acceptance_ratio,
         moves_attempted: outcome.moves_attempted,

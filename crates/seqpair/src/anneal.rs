@@ -19,6 +19,7 @@ use crate::symmetry::{canonical_symmetric_feasible, SymmetricMoveSet};
 use crate::SequencePair;
 use apls_anneal::{AnnealState, AnnealStats, Annealer, Schedule};
 use apls_circuit::{ConstraintSet, ModuleId, Netlist, Placement, PlacementMetrics};
+use apls_telemetry::Telemetry;
 use rand::{Rng, RngCore};
 
 /// How symmetry constraints are handled during annealing.
@@ -147,14 +148,23 @@ impl<'a> SeqPairPlacer<'a> {
             touched: Vec::new(),
             moves: SymmetricMoveSet::new(self.constraints.clone()),
             config: config.clone(),
+            last_kind: "none",
         }
     }
 
     /// Runs the annealing placement.
     #[must_use]
     pub fn run(&self, config: &SeqPairPlacerConfig) -> SeqPairResult {
+        self.run_traced(config, &Telemetry::disabled())
+    }
+
+    /// [`SeqPairPlacer::run`] with telemetry (observe-only; results are
+    /// bit-identical whatever collector is installed).
+    #[must_use]
+    pub fn run_traced(&self, config: &SeqPairPlacerConfig, telemetry: &Telemetry) -> SeqPairResult {
         let mut state = self.make_state(config);
-        let stats = Annealer::with_seed(config.seed).run(&mut state, &config.schedule);
+        let stats =
+            Annealer::with_seed(config.seed).run_traced(&mut state, &config.schedule, telemetry);
 
         // Prefer the best snapshot over the final accepted state.
         let (best_sp, _) = state.best.clone().unwrap_or((state.sp.clone(), f64::MAX));
@@ -189,6 +199,8 @@ pub(crate) struct SpState<'a> {
     touched: Vec<ModuleId>,
     moves: SymmetricMoveSet,
     config: SeqPairPlacerConfig,
+    /// Telemetry label of the most recent proposal's move type.
+    last_kind: &'static str,
 }
 
 impl SpState<'_> {
@@ -215,8 +227,12 @@ impl AnnealState for SpState<'_> {
                 // the S-F move set may occasionally reject a structural move
                 // (already undone internally via the log); retry a few times
                 // so proposals almost always change the state
+                self.last_kind = "rejected";
                 for _ in 0..8 {
-                    if self.moves.perturb_logged(&mut self.sp, rng, &mut self.undo) {
+                    if let Some(kind) =
+                        self.moves.perturb_logged_kind(&mut self.sp, rng, &mut self.undo)
+                    {
+                        self.last_kind = kind;
                         break;
                     }
                 }
@@ -226,6 +242,7 @@ impl AnnealState for SpState<'_> {
                 let n = self.sp.len();
                 if n < 2 {
                     self.touched.clear();
+                    self.last_kind = "rejected";
                     return;
                 }
                 let i = rng.gen_range(0..n);
@@ -233,14 +250,21 @@ impl AnnealState for SpState<'_> {
                 if i == j {
                     j = (j + 1) % n;
                 }
-                match rng.gen_range(0..3u32) {
-                    0 => self.sp.swap_in_alpha_logged(i, j, &mut self.undo),
-                    1 => self.sp.swap_in_beta_logged(i, j, &mut self.undo),
+                self.last_kind = match rng.gen_range(0..3u32) {
+                    0 => {
+                        self.sp.swap_in_alpha_logged(i, j, &mut self.undo);
+                        "swap_alpha"
+                    }
+                    1 => {
+                        self.sp.swap_in_beta_logged(i, j, &mut self.undo);
+                        "swap_beta"
+                    }
                     _ => {
                         self.sp.swap_in_alpha_logged(i, j, &mut self.undo);
                         self.sp.swap_in_beta_logged(i, j, &mut self.undo);
+                        "swap_both"
                     }
-                }
+                };
             }
         }
         self.touched.clear();
@@ -269,6 +293,10 @@ impl AnnealState for SpState<'_> {
             self.best = Some((self.sp.clone(), accepted_cost));
         }
     }
+
+    fn move_kind(&self) -> &'static str {
+        self.last_kind
+    }
 }
 
 #[cfg(test)]
@@ -284,7 +312,7 @@ mod tests {
         assert!(result.placement.is_complete());
         assert_eq!(result.metrics.overlap_area, 0);
         assert_eq!(result.symmetry_error, 0);
-        assert!(result.stats.moves_attempted > 0);
+        assert!(result.stats.moves.attempted > 0);
     }
 
     #[test]

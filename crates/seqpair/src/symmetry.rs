@@ -173,9 +173,22 @@ impl SymmetricMoveSet {
         rng: &mut dyn RngCore,
         log: &mut SpUndoLog,
     ) -> bool {
+        self.perturb_logged_kind(sp, rng, log).is_some()
+    }
+
+    /// [`SymmetricMoveSet::perturb_logged`] that additionally names the
+    /// applied move (`"swap_alpha"`, `"swap_beta"` or `"swap_both"`) so
+    /// telemetry can report the move-type mix; `None` when the move was
+    /// rolled back. RNG consumption is identical to `perturb_logged`.
+    pub fn perturb_logged_kind(
+        &self,
+        sp: &mut SequencePair,
+        rng: &mut dyn RngCore,
+        log: &mut SpUndoLog,
+    ) -> Option<&'static str> {
         log.clear();
         if sp.len() < 2 {
-            return false;
+            return None;
         }
         let kind = rng.gen_range(0..3u32);
         let n = sp.len();
@@ -184,7 +197,7 @@ impl SymmetricMoveSet {
         if i == j {
             j = (j + 1) % n;
         }
-        match kind {
+        let kind_name = match kind {
             0 => {
                 // swap in alpha, mirror partners in beta
                 let a = sp.alpha()[i];
@@ -195,6 +208,7 @@ impl SymmetricMoveSet {
                 if sym_a != sym_b {
                     sp.swap_modules_in_beta_logged(sym_a, sym_b, log);
                 }
+                "swap_alpha"
             }
             1 => {
                 // swap in beta, mirror partners in alpha
@@ -206,6 +220,7 @@ impl SymmetricMoveSet {
                 if sym_a != sym_b {
                     sp.swap_modules_in_alpha_logged(sym_a, sym_b, log);
                 }
+                "swap_beta"
             }
             _ => {
                 // full swap in both sequences (by module), mirrored for partners
@@ -219,13 +234,14 @@ impl SymmetricMoveSet {
                     sp.swap_modules_in_alpha_logged(sym_a, sym_b, log);
                     sp.swap_modules_in_beta_logged(sym_a, sym_b, log);
                 }
+                "swap_both"
             }
-        }
+        };
         if is_symmetric_feasible_for_all(sp, &self.constraints) {
-            true
+            Some(kind_name)
         } else {
             sp.undo(log);
-            false
+            None
         }
     }
 

@@ -13,9 +13,10 @@
 
 use crate::anneal::{SeqPairPlacer, SeqPairPlacerConfig, SymmetryMode};
 use crate::SequencePair;
-use apls_anneal::tempering::{run_tempering, TemperingConfig, TemperingStats};
+use apls_anneal::tempering::{run_tempering_traced, TemperingConfig, TemperingStats};
 use apls_anneal::Schedule;
 use apls_circuit::{ConstraintSet, Netlist, Placement, PlacementMetrics};
+use apls_telemetry::Telemetry;
 
 /// The seed-stream lane of the tempering engine (lanes 1–4 belong to the
 /// portfolio's other engines; see `apls-portfolio`'s `PortfolioEngine::lane`).
@@ -122,6 +123,22 @@ impl<'a> TemperingSeqPairPlacer<'a> {
     /// ratio below 1).
     #[must_use]
     pub fn run(&self, config: &TemperingPlacerConfig) -> TemperingResult {
+        self.run_traced(config, &Telemetry::disabled())
+    }
+
+    /// [`TemperingSeqPairPlacer::run`] with telemetry (observe-only; results
+    /// are bit-identical whatever collector is installed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (no replicas or a ladder
+    /// ratio below 1).
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        config: &TemperingPlacerConfig,
+        telemetry: &Telemetry,
+    ) -> TemperingResult {
         let base = SeqPairPlacerConfig {
             seed: config.seed,
             schedule: config.schedule,
@@ -139,7 +156,7 @@ impl<'a> TemperingSeqPairPlacer<'a> {
             ladder_ratio: config.ladder_ratio,
             schedule: config.schedule,
         };
-        let (states, stats) = run_tempering(states, &tempering);
+        let (states, stats) = run_tempering_traced(states, &tempering, telemetry);
 
         let winner = &states[stats.best_replica];
         let best_sp = winner.best.clone().map(|(sp, _)| sp).unwrap_or_else(|| winner.sp.clone());
@@ -163,7 +180,7 @@ mod tests {
         assert!(result.placement.is_complete());
         assert_eq!(result.metrics.overlap_area, 0);
         assert_eq!(result.symmetry_error, 0);
-        assert!(result.stats.moves_attempted > 0);
+        assert!(result.stats.moves.attempted > 0);
         assert!(result.stats.rounds > 0);
     }
 
@@ -183,7 +200,7 @@ mod tests {
         let b = placer.run(&TemperingPlacerConfig::fast(9));
         assert_eq!(a.sequence_pair, b.sequence_pair);
         assert_eq!(a.placement, b.placement);
-        assert_eq!(a.stats.moves_accepted, b.stats.moves_accepted);
+        assert_eq!(a.stats.moves.accepted, b.stats.moves.accepted);
         assert_eq!(a.stats.swaps_accepted, b.stats.swaps_accepted);
     }
 

@@ -11,6 +11,21 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+/// Lifetime counters of one cache instance, reported by the daemon's
+/// `stats` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed (including every lookup of a zero-capacity cache).
+    pub misses: u64,
+    /// Entries stored (new keys and refreshes; the no-op inserts of a
+    /// zero-capacity cache are not counted).
+    pub insertions: u64,
+    /// Entries evicted to make room for a new key.
+    pub evictions: u64,
+}
+
 /// A least-recently-used cache with a fixed entry capacity.
 ///
 /// A capacity of 0 disables the cache (every `get` misses, `insert` is a
@@ -19,6 +34,7 @@ use std::hash::Hash;
 pub struct LruCache<K, V> {
     capacity: usize,
     tick: u64,
+    stats: CacheStats,
     map: HashMap<K, (u64, V)>,
 }
 
@@ -26,17 +42,29 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Creates a cache that holds at most `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        LruCache { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1024)) }
+        LruCache {
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
     }
 
     /// Looks a key up, marking it most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|(stamp, value)| {
-            *stamp = tick;
-            &*value
-        })
+        match self.map.get_mut(key) {
+            Some((stamp, value)) => {
+                *stamp = tick;
+                self.stats.hits += 1;
+                Some(&*value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
     }
 
     /// Inserts (or refreshes) an entry, evicting the least-recently-used one
@@ -51,8 +79,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                self.stats.evictions += 1;
             }
         }
+        self.stats.insertions += 1;
         self.map.insert(key, (self.tick, value));
     }
 
@@ -66,6 +96,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// The configured entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit/miss/insertion/eviction counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 }
 
@@ -112,5 +154,18 @@ mod tests {
         cache.insert(1, "a");
         assert_eq!(cache.get(&1), None);
         assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1, insertions: 0, evictions: 0 });
+    }
+
+    #[test]
+    fn stats_count_hits_misses_insertions_and_evictions() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        assert_eq!(cache.get(&1), Some(&"a")); // hit
+        assert_eq!(cache.get(&3), None); // miss
+        cache.insert(3, "c"); // evicts 2
+        assert_eq!(cache.get(&2), None); // miss
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2, insertions: 3, evictions: 1 });
     }
 }

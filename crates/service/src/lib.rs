@@ -56,9 +56,11 @@
 pub mod cache;
 mod client;
 pub mod json;
+mod metrics;
 mod protocol;
 mod server;
 
+pub use cache::CacheStats;
 pub use client::ServiceClient;
 pub use protocol::{CircuitSource, JobSpec, PlaceResponse};
 pub use server::{PlacementService, ServiceConfig, JOB_SEED_LANE, PROTOCOL_VERSION};

@@ -1,0 +1,52 @@
+//! Service-level metrics: counters, gauges and latency histograms behind
+//! the daemon's enriched `stats` command.
+//!
+//! Everything lives in one [`MetricsRegistry`] so the `stats` response can
+//! embed a single deterministic-order snapshot. The handles below are
+//! pre-resolved at service start so the hot request path never takes the
+//! registry lock.
+
+use apls_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_MS_BOUNDS};
+
+/// Pre-resolved metric handles of one service instance.
+#[derive(Debug)]
+pub(crate) struct ServiceMetrics {
+    /// The backing registry (snapshot source of the `stats` response).
+    pub registry: MetricsRegistry,
+    /// Requests parsed off a connection, by any op.
+    pub requests_total: Counter,
+    /// Requests refused with `retry` because the job queue was full.
+    pub retries_total: Counter,
+    /// Requests answered with an error envelope.
+    pub errors_total: Counter,
+    /// Jobs currently waiting in the bounded queue.
+    pub queue_depth: Gauge,
+    /// Jobs currently being solved by a worker.
+    pub in_flight: Gauge,
+    /// Live client connections.
+    pub connections_active: Gauge,
+    /// Time a job spent queued before a worker picked it up (ms).
+    pub queue_ms: Histogram,
+    /// Time a worker spent solving (or fetching from cache) a job (ms).
+    pub solve_ms: Histogram,
+    /// End-to-end `place` latency as the handler saw it (ms).
+    pub total_ms: Histogram,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new() -> ServiceMetrics {
+        let registry = MetricsRegistry::new();
+        ServiceMetrics {
+            requests_total: registry.counter("requests_total"),
+            retries_total: registry.counter("retries_total"),
+            errors_total: registry.counter("errors_total"),
+            queue_depth: registry.gauge("queue_depth"),
+            in_flight: registry.gauge("in_flight_jobs"),
+            connections_active: registry.gauge("connections_active"),
+            queue_ms: registry.histogram("queue_ms", LATENCY_MS_BOUNDS),
+            solve_ms: registry.histogram("solve_ms", LATENCY_MS_BOUNDS),
+            total_ms: registry.histogram("total_ms", LATENCY_MS_BOUNDS),
+            registry,
+        }
+    }
+}

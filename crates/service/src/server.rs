@@ -21,11 +21,13 @@
 
 use crate::cache::LruCache;
 use crate::json::{quote, Json};
+use crate::metrics::ServiceMetrics;
 use crate::protocol::{CircuitSource, JobSpec};
 use apls_anneal::rng::SeedStream;
 use apls_circuit::benchmarks::{self, BenchmarkCircuit};
 use apls_io::serialize_circuit;
-use apls_portfolio::{run_portfolio, PortfolioConfig};
+use apls_portfolio::{run_portfolio_traced, PortfolioConfig};
+use apls_telemetry::Telemetry;
 use std::io::Read;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
@@ -144,6 +146,8 @@ struct Shared {
     cache_hits: AtomicU64,
     cache: Mutex<LruCache<CacheKey, String>>,
     enqueue: Mutex<Option<EnqueueSlot>>,
+    telemetry: Telemetry,
+    metrics: ServiceMetrics,
 }
 
 /// A running placement service.
@@ -179,6 +183,24 @@ impl PlacementService {
     ///
     /// Panics when `workers` or `queue_capacity` is zero.
     pub fn start(config: ServiceConfig) -> std::io::Result<PlacementService> {
+        PlacementService::start_with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// [`PlacementService::start`] with a telemetry handle threaded through
+    /// the request lifecycle and into every placement job. Observe-only:
+    /// report bodies are byte-identical whatever collector is installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `queue_capacity` is zero.
+    pub fn start_with_telemetry(
+        config: ServiceConfig,
+        telemetry: Telemetry,
+    ) -> std::io::Result<PlacementService> {
         assert!(config.workers >= 1, "service needs at least one worker");
         assert!(config.queue_capacity >= 1, "service needs a queue depth of at least 1");
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
@@ -194,6 +216,8 @@ impl PlacementService {
             cache_hits: AtomicU64::new(0),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             enqueue: Mutex::new(Some(EnqueueSlot { next_index: 0, tx })),
+            telemetry,
+            metrics: ServiceMetrics::new(),
             config,
         });
 
@@ -320,7 +344,10 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
             Ok(job) => job,
             Err(_) => break, // queue closed and drained: shutdown
         };
+        shared.metrics.queue_depth.sub(1);
+        shared.metrics.in_flight.add(1);
         let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        shared.metrics.queue_ms.observe(queue_ms);
         let solve_start = Instant::now();
 
         let cached = shared.cache.lock().expect("cache lock").get(&job.cache_key).cloned();
@@ -333,18 +360,28 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
                 if let Some(delay) = shared.config.job_delay {
                     std::thread::sleep(delay);
                 }
-                let report = run_portfolio(&job.circuit, &job.config).to_json_deterministic();
+                let mut span = apls_telemetry::span!(
+                    shared.telemetry,
+                    "service",
+                    "solve",
+                    circuit = job.circuit.name.as_str(),
+                    seed = job.config.root_seed
+                );
+                let report = run_portfolio_traced(&job.circuit, &job.config, &shared.telemetry)
+                    .to_json_deterministic();
+                if span.is_recording() {
+                    span.arg("queue_ms", queue_ms);
+                }
+                drop(span);
                 shared.cache.lock().expect("cache lock").insert(job.cache_key, report.clone());
                 (report, false)
             }
         };
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-        let done = JobDone {
-            report,
-            cache_hit,
-            queue_ms,
-            solve_ms: solve_start.elapsed().as_secs_f64() * 1e3,
-        };
+        shared.metrics.in_flight.sub(1);
+        let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+        shared.metrics.solve_ms.observe(solve_ms);
+        let done = JobDone { report, cache_hit, queue_ms, solve_ms };
         // The handler may have hung up (client gone); nothing to do then.
         let _ = job.respond.send(done);
     }
@@ -357,6 +394,13 @@ enum Flow {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    shared.metrics.connections_active.add(1);
+    apls_telemetry::event!(shared.telemetry, "service", "accept");
+    handle_connection_inner(stream, shared);
+    shared.metrics.connections_active.sub(1);
+}
+
+fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     // accepted sockets can inherit the listener's nonblocking flag on some
     // platforms; the handler wants blocking reads with a timeout
     let _ = stream.set_nonblocking(false);
@@ -428,11 +472,31 @@ fn error_response(message: &str) -> String {
 }
 
 fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (String, Flow) {
+    shared.metrics.requests_total.inc();
+    let (response, flow) = dispatch_request(line, shared, writer);
+    // Centralised outcome accounting: every error/retry path funnels through
+    // the envelope status, so the counters cannot drift from the protocol.
+    if response.starts_with("{\"status\":\"error\"") {
+        shared.metrics.errors_total.inc();
+    } else if response.starts_with("{\"status\":\"retry\"") {
+        shared.metrics.retries_total.inc();
+    }
+    (response, flow)
+}
+
+fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (String, Flow) {
     let json = match Json::parse(line) {
         Ok(json) => json,
         Err(e) => return (error_response(&format!("invalid JSON: {e}")), Flow::Continue),
     };
-    match json.get("op").and_then(Json::as_str) {
+    let op = json.get("op").and_then(Json::as_str);
+    apls_telemetry::event!(
+        shared.telemetry,
+        "service",
+        "request",
+        op = op.unwrap_or("(missing)").to_string()
+    );
+    match op {
         Some("ping") => (
             format!("{{\"status\":\"ok\",\"service\":\"apls\",\"protocol\":{PROTOCOL_VERSION}}}"),
             Flow::Continue,
@@ -454,15 +518,30 @@ fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (Str
 }
 
 fn stats_response(shared: &Shared) -> String {
+    let (cache_stats, cache_entries) = {
+        let cache = shared.cache.lock().expect("cache lock");
+        (cache.stats(), cache.len())
+    };
     format!(
-        "{{\"status\":\"ok\",\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0}}}",
+        "{{\"status\":\"ok\",\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
         shared.config.workers,
         shared.config.queue_capacity,
         shared.config.cache_capacity,
         shared.jobs_completed.load(Ordering::Relaxed),
         shared.cache_hits.load(Ordering::Relaxed),
-        shared.cache.lock().expect("cache lock").len(),
+        cache_entries,
         shared.started.elapsed().as_secs_f64() * 1e3,
+        shared.metrics.queue_depth.get(),
+        shared.metrics.in_flight.get(),
+        shared.metrics.connections_active.get(),
+        shared.telemetry.is_enabled(),
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.insertions,
+        cache_stats.evictions,
+        cache_entries,
+        shared.config.cache_capacity,
+        shared.metrics.registry.snapshot_json(),
     )
 }
 
@@ -480,6 +559,12 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
     let config_canonical = spec.config_canonical();
 
     let total_start = Instant::now();
+    let mut request_span = apls_telemetry::span!(
+        shared.telemetry,
+        "service",
+        "place",
+        circuit = circuit_name.as_str()
+    );
     let (done_rx, id, seed) = {
         let mut guard = shared.enqueue.lock().expect("enqueue lock");
         let Some(slot) = guard.as_mut() else {
@@ -500,6 +585,12 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             let elapsed_ms = total_start.elapsed().as_secs_f64() * 1e3;
+            shared.metrics.total_ms.observe(elapsed_ms);
+            if request_span.is_recording() {
+                request_span.arg("id", index);
+                request_span.arg("seed", seed);
+                request_span.arg("cache_hit", true);
+            }
             return ok_envelope(
                 index,
                 &circuit_name,
@@ -516,6 +607,14 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
         match slot.tx.try_send(job) {
             Ok(()) => {
                 slot.next_index += 1;
+                shared.metrics.queue_depth.add(1);
+                apls_telemetry::event!(
+                    shared.telemetry,
+                    "service",
+                    "enqueue",
+                    id = index,
+                    seed = seed
+                );
                 (done_rx, index, seed)
             }
             Err(TrySendError::Full(_)) => {
@@ -531,6 +630,13 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
     let Ok(done) = done_rx.recv() else {
         return error_response("worker terminated before completing the job");
     };
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    shared.metrics.total_ms.observe(total_ms);
+    if request_span.is_recording() {
+        request_span.arg("id", id);
+        request_span.arg("seed", seed);
+        request_span.arg("cache_hit", done.cache_hit);
+    }
     ok_envelope(
         id,
         &circuit_name,
@@ -538,7 +644,7 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
         done.cache_hit,
         done.queue_ms,
         done.solve_ms,
-        total_start.elapsed().as_secs_f64() * 1e3,
+        total_ms,
         &done.report,
     )
 }

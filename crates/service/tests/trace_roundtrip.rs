@@ -1,0 +1,124 @@
+//! Cross-crate format check: every JSON line emitted by the telemetry layer
+//! must parse back through the service's own JSON reader with all fields
+//! intact. The trace file format and the wire protocol share one JSON
+//! dialect, so `apls trace` can summarise whatever `--trace` wrote.
+
+use apls_service::json::Json;
+use apls_telemetry::{Collector, RecordingCollector, TraceEvent, Value};
+use proptest::prelude::*;
+
+/// Hostile-but-legal characters for names, categories and argument strings:
+/// quotes, backslashes, control characters and non-ASCII.
+const CHARS: [char; 14] =
+    ['a', 'Z', '0', '_', '-', ' ', '"', '\\', '\n', '\t', '\r', '\u{1}', 'µ', '好'];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..CHARS.len(), 0..12)
+        .prop_map(|picks| picks.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// All five `Value` variants, plus the non-finite float that must render as
+/// JSON `null`. (The vendored proptest shim has no union/float strategies,
+/// so variants are chosen by an integer selector.)
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0usize..6, 0u64..u64::MAX, arb_string()).prop_map(|(kind, raw, s)| match kind {
+        0 => Value::U64(raw),
+        1 => Value::I64((raw as i64).wrapping_sub(1 << 40)),
+        2 => {
+            let sign = if raw % 2 == 0 { 1.0 } else { -1.0 };
+            Value::F64(sign * (raw as f64) / 997.0)
+        }
+        3 => Value::F64(f64::NAN),
+        4 => Value::Bool(raw % 2 == 0),
+        _ => Value::Str(s),
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        arb_string(),
+        arb_string(),
+        0usize..3,
+        0u64..1_000_000_000_000,
+        1u64..64,
+        proptest::collection::vec((arb_string(), arb_value()), 0..4),
+    )
+        .prop_map(|(name, cat, ph_sel, ts_us, tid, args)| {
+            let ph = ['X', 'i', 'C'][ph_sel];
+            let dur_us = if ph == 'X' { Some(ts_us % 9_999) } else { None };
+            TraceEvent { name, cat, ph, ts_us, dur_us, tid, args }
+        })
+}
+
+/// Asserts one argument value survived the JSON round trip.
+fn check_value(original: &Value, parsed: &Json) {
+    match original {
+        Value::U64(v) => assert_eq!(parsed.as_u64(), Some(*v)),
+        Value::I64(v) => match parsed {
+            Json::Num(raw) => assert_eq!(raw.parse::<i64>().ok(), Some(*v)),
+            other => panic!("expected number for I64, got {other:?}"),
+        },
+        Value::F64(v) if v.is_finite() => assert_eq!(parsed.as_f64(), Some(*v)),
+        Value::F64(_) => assert!(parsed.is_null(), "non-finite floats must render as null"),
+        Value::Bool(v) => assert_eq!(parsed.as_bool(), Some(*v)),
+        Value::Str(s) => assert_eq!(parsed.as_str(), Some(s.as_str())),
+    }
+}
+
+proptest! {
+    /// Any event — hostile strings, every value variant, with or without a
+    /// duration — renders to a single line the service JSON parser reads
+    /// back field-for-field.
+    #[test]
+    fn trace_json_lines_parse_back_through_the_service_parser(event in arb_event()) {
+        let line = event.to_json_line();
+        prop_assert!(!line.contains('\n'), "a JSON line must stay on one line: {line:?}");
+
+        let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        prop_assert_eq!(parsed.get("name").and_then(Json::as_str), Some(event.name.as_str()));
+        prop_assert_eq!(parsed.get("cat").and_then(Json::as_str), Some(event.cat.as_str()));
+        let ph = event.ph.to_string();
+        prop_assert_eq!(parsed.get("ph").and_then(Json::as_str), Some(ph.as_str()));
+        prop_assert_eq!(parsed.get("ts").and_then(Json::as_u64), Some(event.ts_us));
+        prop_assert_eq!(parsed.get("pid").and_then(Json::as_u64), Some(1));
+        prop_assert_eq!(parsed.get("tid").and_then(Json::as_u64), Some(event.tid));
+        prop_assert_eq!(parsed.get("dur").and_then(Json::as_u64), event.dur_us);
+
+        match parsed.get("args") {
+            None => prop_assert!(event.args.is_empty(), "args object missing"),
+            Some(Json::Obj(fields)) => {
+                // source order is preserved, so fields align index-wise even
+                // under duplicate keys
+                prop_assert_eq!(fields.len(), event.args.len());
+                for ((key, value), (k, v)) in fields.iter().zip(&event.args) {
+                    prop_assert_eq!(key, k);
+                    check_value(v, value);
+                }
+            }
+            Some(other) => panic!("args must be an object, got {other:?}"),
+        }
+    }
+}
+
+/// A recorded Chrome trace document is one valid JSON object whose
+/// `traceEvents` array holds every recorded event.
+#[test]
+fn chrome_trace_document_parses_as_one_json_object() {
+    let collector = RecordingCollector::new();
+    for i in 0..5u64 {
+        collector.record(TraceEvent {
+            name: format!("phase\"{i}\""),
+            cat: "test".to_string(),
+            ph: if i % 2 == 0 { 'X' } else { 'i' },
+            ts_us: i * 10,
+            dur_us: (i % 2 == 0).then_some(7),
+            tid: 1,
+            args: vec![("i".to_string(), Value::U64(i))],
+        });
+    }
+    let doc = Json::parse(&collector.to_chrome_trace()).expect("valid JSON document");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert_eq!(events.len(), 5);
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    assert_eq!(events[0].get("name").and_then(Json::as_str), Some("phase\"0\""));
+}

@@ -34,6 +34,7 @@ use apls_circuit::benchmarks::BenchmarkCircuit;
 use apls_circuit::{HierarchyNode, HierarchyNodeId, ModuleId, Placement, SubCircuit};
 use apls_geometry::{Dims, Orientation, Rect};
 use apls_seqpair::{place_subcircuit, SeqPairPlacerConfig};
+use apls_telemetry::Telemetry;
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -323,6 +324,7 @@ pub struct HierPlacer<'a> {
     circuit: &'a BenchmarkCircuit,
     options: HierOptions,
     solver: Option<Box<dyn SubSolver>>,
+    telemetry: Telemetry,
 }
 
 impl<'a> HierPlacer<'a> {
@@ -330,7 +332,12 @@ impl<'a> HierPlacer<'a> {
     /// behind [`crate::DeterministicPlacer`].
     #[must_use]
     pub fn new(circuit: &'a BenchmarkCircuit) -> Self {
-        HierPlacer { circuit, options: HierOptions::default(), solver: None }
+        HierPlacer {
+            circuit,
+            options: HierOptions::default(),
+            solver: None,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Creates the default hybrid placer: B*-tree annealing sub-solver with
@@ -357,6 +364,14 @@ impl<'a> HierPlacer<'a> {
         self
     }
 
+    /// Installs a telemetry handle (builder style). Observe-only: the result
+    /// is bit-identical whatever collector is installed.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Panics
@@ -365,6 +380,13 @@ impl<'a> HierPlacer<'a> {
     #[must_use]
     pub fn run(&self) -> HierResult {
         let start = Instant::now();
+        let mut run_span = apls_telemetry::span!(
+            self.telemetry,
+            "hier",
+            "hier_run",
+            seed = self.options.seed,
+            modules = self.circuit.netlist.module_count()
+        );
         let root = self.circuit.hierarchy.root().expect("hierarchy has a root");
         // hoisted once per run; the old deterministic placer rebuilt the
         // dimension table on every recursive node visit
@@ -376,6 +398,7 @@ impl<'a> HierPlacer<'a> {
             rotatable: &rotatable,
             options: &self.options,
             solver: self.solver.as_deref(),
+            telemetry: &self.telemetry,
         };
         let solution = solve_node(&ctx, root);
         let annealed_nodes = solution.annealed;
@@ -402,6 +425,11 @@ impl<'a> HierPlacer<'a> {
         let best = esf.min_area_shape().expect("root shape function is non-empty");
         let placement = placement_from_tree(self.circuit, best.tree(), &dims);
         let dims = best.dims();
+        if run_span.is_recording() {
+            run_span.arg("annealed_nodes", annealed_nodes as u64);
+            run_span.arg("root_shapes", esf.len() as u64);
+            run_span.arg("enumeration_won", enumeration_won);
+        }
         HierResult {
             dims,
             area_usage: dims.area() as f64 / self.circuit.netlist.total_module_area() as f64,
@@ -424,6 +452,7 @@ struct Ctx<'a> {
     rotatable: &'a [bool],
     options: &'a HierOptions,
     solver: Option<&'a dyn SubSolver>,
+    telemetry: &'a Telemetry,
 }
 
 /// The result of solving one hierarchy node.
@@ -466,6 +495,13 @@ fn solve_node(ctx: &Ctx<'_>, node: HierarchyNodeId) -> NodeSolution {
             let enumerated = is_basic && modules.len() <= ctx.options.max_enumerated_set;
             if enumerated {
                 // exact — annealing could only rediscover a subset
+                let _span = apls_telemetry::span!(
+                    ctx.telemetry,
+                    "hier",
+                    "enumerate_basic_set",
+                    node = node.index() as u64,
+                    modules = modules.len()
+                );
                 let mut esf = enumerate_basic_set(ctx, &modules);
                 esf.truncate(ctx.options.max_shapes);
                 return NodeSolution::shared(esf);
@@ -530,7 +566,16 @@ fn solve_node(ctx: &Ctx<'_>, node: HierarchyNodeId) -> NodeSolution {
                     fast_schedule: ctx.options.fast_schedule,
                     aspect_targets: &ctx.options.aspect_targets,
                 };
-                hybrid.merge_from(ctx.solver.expect("anneals_here").solve(&problem));
+                let solver = ctx.solver.expect("anneals_here");
+                let _span = apls_telemetry::span!(
+                    ctx.telemetry,
+                    "hier",
+                    "sub_solve",
+                    node = node.index() as u64,
+                    modules = modules.len(),
+                    solver = solver.name()
+                );
+                hybrid.merge_from(solver.solve(&problem));
                 annealed += 1;
             }
             hybrid.truncate(ctx.options.max_shapes);

@@ -1,0 +1,305 @@
+//! A small metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is independent of the tracing side of the crate — a service
+//! keeps metrics even when no trace collector is installed. Handles returned
+//! by the registry ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones updating lock-free atomics; the registry lock is only taken at
+//! registration and snapshot time. Snapshots render in `BTreeMap` name order,
+//! so metric JSON is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency histogram bucket upper bounds, in milliseconds.
+pub const LATENCY_MS_BOUNDS: &[f64] = &[
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Bucket upper bounds (inclusive); an implicit `+inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations (typically latencies in
+/// milliseconds, see [`LATENCY_MS_BOUNDS`]).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        let idx = core.bounds.iter().position(|&b| v <= b).unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.total.fetch_add(1, Ordering::Relaxed);
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket cumulative snapshot: `(upper_bound, count ≤ bound)` pairs,
+    /// the final entry with `None` bound covering everything.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(Option<f64>, u64)> {
+        let core = &self.0;
+        let mut cumulative = 0u64;
+        let mut out = Vec::with_capacity(core.counts.len());
+        for (i, count) in core.counts.iter().enumerate() {
+            cumulative += count.load(Ordering::Relaxed);
+            out.push((core.bounds.get(i).copied(), cumulative));
+        }
+        out
+    }
+
+    fn render_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"count\":{},\"sum\":{}", self.count(), json_f64(self.sum()));
+        out.push_str(",\"buckets\":[");
+        for (i, (bound, count)) in self.buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match bound {
+                Some(b) => {
+                    let _ = write!(out, "{{\"le\":{},\"count\":{count}}}", json_f64(b));
+                }
+                None => {
+                    let _ = write!(out, "{{\"le\":null,\"count\":{count}}}");
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it with the
+    /// given bucket bounds on first use (later calls keep the first bounds).
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+                Histogram(Arc::new(HistogramCore {
+                    bounds: bounds.to_vec(),
+                    counts,
+                    total: AtomicU64::new(0),
+                    sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                }))
+            })
+            .clone()
+    }
+
+    /// Renders the whole registry as one deterministic JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..}}`, keys in name
+    /// order.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in
+            self.counters.lock().expect("metrics registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::event::quote_into(&mut out, name);
+            let _ = write!(out, ":{}", c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in
+            self.gauges.lock().expect("metrics registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::event::quote_into(&mut out, name);
+            let _ = write!(out, ":{}", g.get());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in
+            self.histograms.lock().expect("metrics registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::event::quote_into(&mut out, name);
+            out.push(':');
+            h.render_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("jobs");
+        c.inc();
+        c.add(2);
+        assert_eq!(registry.counter("jobs").get(), 3);
+        let g = registry.gauge("depth");
+        g.set(5);
+        g.sub(2);
+        g.add(1);
+        assert_eq!(registry.gauge("depth").get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-9);
+        assert_eq!(h.buckets(), vec![(Some(1.0), 1), (Some(10.0), 2), (None, 3)]);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_ordered() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b").inc();
+        registry.counter("a").add(2);
+        registry.gauge("g").set(-1);
+        registry.histogram("h", &[1.0]).observe(2.0);
+        let json = registry.snapshot_json();
+        assert_eq!(json, registry.snapshot_json());
+        let a = json.find("\"a\":2").unwrap();
+        let b = json.find("\"b\":1").unwrap();
+        assert!(a < b, "counters must render in name order: {json}");
+        assert!(json.contains("\"g\":-1"));
+        assert!(json.contains("{\"le\":null,\"count\":1}"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Aggregation of a recorded trace into a per-phase summary table, backing
+//! the `apls trace` subcommand.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate of one phase (one `(category, name)` pair of complete events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of complete events.
+    pub count: u64,
+    /// Summed duration in microseconds.
+    pub total_us: u64,
+    /// Shortest event.
+    pub min_us: u64,
+    /// Longest event.
+    pub max_us: u64,
+}
+
+impl PhaseStats {
+    /// Mean duration in microseconds.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Accumulates trace events into per-phase statistics.
+///
+/// The caller parses the trace file (any JSON parser works — events are one
+/// object per line) and feeds complete events through
+/// [`TraceSummary::record_complete`] and instant/counter events through
+/// [`TraceSummary::record_instant`].
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    phases: BTreeMap<(String, String), PhaseStats>,
+    instants: BTreeMap<(String, String), u64>,
+}
+
+impl TraceSummary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceSummary::default()
+    }
+
+    /// Records one complete (`'X'`) event.
+    pub fn record_complete(&mut self, cat: &str, name: &str, dur_us: u64) {
+        let entry = self.phases.entry((cat.to_string(), name.to_string())).or_insert(PhaseStats {
+            count: 0,
+            total_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        });
+        entry.count += 1;
+        entry.total_us += dur_us;
+        entry.min_us = entry.min_us.min(dur_us);
+        entry.max_us = entry.max_us.max(dur_us);
+    }
+
+    /// Records one instant (`'i'`) or counter (`'C'`) event.
+    pub fn record_instant(&mut self, cat: &str, name: &str) {
+        *self.instants.entry((cat.to_string(), name.to_string())).or_insert(0) += 1;
+    }
+
+    /// Number of distinct phases seen.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether nothing was recorded at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty() && self.instants.is_empty()
+    }
+
+    /// Renders the summary as an aligned text table: one row per phase
+    /// (sorted by total time, descending) followed by instant-event counts.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.phases.is_empty() {
+            let mut rows: Vec<(&(String, String), &PhaseStats)> = self.phases.iter().collect();
+            rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then_with(|| a.0.cmp(b.0)));
+            let label_width = rows
+                .iter()
+                .map(|((cat, name), _)| cat.len() + name.len() + 1)
+                .chain(std::iter::once("phase".len()))
+                .max()
+                .unwrap_or(5);
+            let _ = writeln!(
+                out,
+                "{:<label_width$}  {:>8}  {:>12}  {:>10}  {:>10}  {:>10}",
+                "phase", "count", "total ms", "mean µs", "min µs", "max µs"
+            );
+            for ((cat, name), stats) in rows {
+                let _ = writeln!(
+                    out,
+                    "{:<label_width$}  {:>8}  {:>12.3}  {:>10.1}  {:>10}  {:>10}",
+                    format!("{cat}/{name}"),
+                    stats.count,
+                    stats.total_us as f64 / 1000.0,
+                    stats.mean_us(),
+                    stats.min_us,
+                    stats.max_us,
+                );
+            }
+        }
+        if !self.instants.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "instant events:");
+            for ((cat, name), count) in &self.instants {
+                let _ = writeln!(out, "  {cat}/{name}: {count}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty trace)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_renders() {
+        let mut summary = TraceSummary::new();
+        summary.record_complete("engine", "anneal", 100);
+        summary.record_complete("engine", "anneal", 300);
+        summary.record_complete("service", "parse", 10);
+        summary.record_instant("service", "accept");
+        summary.record_instant("service", "accept");
+        let stats = summary.phases[&("engine".to_string(), "anneal".to_string())];
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total_us, 400);
+        assert_eq!(stats.min_us, 100);
+        assert_eq!(stats.max_us, 300);
+        assert!((stats.mean_us() - 200.0).abs() < 1e-9);
+        let table = summary.render();
+        let anneal_pos = table.find("engine/anneal").unwrap();
+        let parse_pos = table.find("service/parse").unwrap();
+        assert!(anneal_pos < parse_pos, "rows sort by total time:\n{table}");
+        assert!(table.contains("service/accept: 2"));
+    }
+
+    #[test]
+    fn empty_summary_renders_placeholder() {
+        assert_eq!(TraceSummary::new().render(), "(empty trace)\n");
+    }
+}

@@ -24,11 +24,16 @@
 use analog_layout_synthesis::circuit::benchmarks::{self, GeneratorConfig};
 use analog_layout_synthesis::io::{parse_circuit, serialize_circuit};
 use analog_layout_synthesis::portfolio::{
-    run_portfolio, EarlyStop, PortfolioConfig, PortfolioEngine,
+    run_portfolio_traced, EarlyStop, PortfolioConfig, PortfolioEngine,
 };
+use analog_layout_synthesis::service::json::Json;
 use analog_layout_synthesis::service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+use analog_layout_synthesis::telemetry::{
+    RecordingCollector, StreamCollector, Telemetry, TraceSummary,
+};
 use clap::{Arg, ArgAction, ArgMatches, Command};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn cli() -> Command {
     Command::new("apls")
@@ -114,6 +119,12 @@ fn cli() -> Command {
                 .help("Write the winning placement as SVG"),
         )
         .arg(
+            Arg::new("trace")
+                .long("trace")
+                .value_name("FILE")
+                .help("Record a Chrome trace of the run (.json = trace document, else JSON lines)"),
+        )
+        .arg(
             Arg::new("list")
                 .long("list")
                 .action(ArgAction::SetTrue)
@@ -123,6 +134,7 @@ fn cli() -> Command {
         .subcommand(submit_command())
         .subcommand(convert_command())
         .subcommand(gen_command())
+        .subcommand(trace_command())
 }
 
 fn serve_command() -> Command {
@@ -171,6 +183,12 @@ fn serve_command() -> Command {
                 .value_name("SEED")
                 .default_value("1")
                 .help("Root of the service seed stream for jobs without a pinned seed"),
+        )
+        .arg(
+            Arg::new("trace")
+                .long("trace")
+                .value_name("FILE")
+                .help("Stream request-lifecycle trace events to FILE as JSON lines"),
         )
 }
 
@@ -290,6 +308,18 @@ fn convert_command() -> Command {
                 .value_name("FILE")
                 .default_value("-")
                 .help("Output file ('-' for stdout)"),
+        )
+}
+
+fn trace_command() -> Command {
+    Command::new("trace")
+        .about("Summarise a recorded trace file (JSON lines or Chrome trace document)")
+        .arg(
+            Arg::new("file")
+                .long("file")
+                .short('f')
+                .value_name("FILE")
+                .help("Trace file written by --trace or serve --trace"),
         )
 }
 
@@ -433,8 +463,17 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
     let workers = config.workers;
     let queue = config.queue_capacity;
     let cache = config.cache_capacity;
-    let service =
-        PlacementService::start(config).map_err(|e| format!("cannot start service: {e}"))?;
+    let telemetry = match matches.get_one::<String>("trace") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            println!("streaming trace events to {path}");
+            Telemetry::with_collector(Arc::new(StreamCollector::new(Box::new(file))))
+        }
+        None => Telemetry::disabled(),
+    };
+    let service = PlacementService::start_with_telemetry(config, telemetry)
+        .map_err(|e| format!("cannot start service: {e}"))?;
     println!(
         "apls service listening on {} ({workers} worker(s), queue {queue}, cache {cache})",
         service.local_addr()
@@ -634,7 +673,14 @@ fn run_default(matches: &ArgMatches) -> Result<(), String> {
         config = config.with_early_stop(EarlyStop::after(window));
     }
 
-    let report = run_portfolio(&circuit, &config);
+    let trace_path = matches.get_one::<String>("trace");
+    let recorder = trace_path.map(|_| Arc::new(RecordingCollector::new()));
+    let telemetry = match &recorder {
+        Some(recorder) => Telemetry::with_collector(Arc::clone(recorder) as _),
+        None => Telemetry::disabled(),
+    };
+
+    let report = run_portfolio_traced(&circuit, &config, &telemetry);
     println!("{}", report.summary());
     for engine in &report.engines {
         println!(
@@ -674,6 +720,71 @@ fn run_default(matches: &ArgMatches) -> Result<(), String> {
         std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("winning placement written to {path}");
     }
+    if let (Some(path), Some(recorder)) = (trace_path, recorder) {
+        // `.json` gets the one-object Chrome trace document (drag-and-drop
+        // into a trace viewer); anything else gets one event per line.
+        let body = if path.ends_with(".json") {
+            recorder.to_chrome_trace()
+        } else {
+            recorder.to_json_lines()
+        };
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace ({} event(s)) written to {path}", recorder.len());
+    }
+    Ok(())
+}
+
+fn run_trace(matches: &ArgMatches) -> Result<(), String> {
+    let path = matches
+        .get_one::<String>("file")
+        .ok_or("trace needs a file: apls trace --file out.jsonl")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut summary = TraceSummary::new();
+    let mut events = 0usize;
+
+    let mut feed = |event: &Json| -> Result<(), String> {
+        let name = event.get("name").and_then(Json::as_str).unwrap_or("?");
+        let cat = event.get("cat").and_then(Json::as_str).unwrap_or("?");
+        match event.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                let dur = event.get("dur").and_then(Json::as_u64).unwrap_or(0);
+                summary.record_complete(cat, name, dur);
+            }
+            Some("i" | "C") => summary.record_instant(cat, name),
+            Some(other) => return Err(format!("unsupported event phase '{other}'")),
+            None => return Err("event without a 'ph' field".to_string()),
+        }
+        events += 1;
+        Ok(())
+    };
+
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('{') && !trimmed.contains('\n')
+        || trimmed.starts_with("{\"traceEvents\"")
+    {
+        // One-object form: either a Chrome trace document or a single event.
+        let doc = Json::parse(trimmed.trim_end()).map_err(|e| format!("{path}: {e}"))?;
+        match doc.get("traceEvents").and_then(Json::as_arr) {
+            Some(list) => {
+                for event in list {
+                    feed(event).map_err(|e| format!("{path}: {e}"))?;
+                }
+            }
+            None => feed(&doc).map_err(|e| format!("{path}: {e}"))?,
+        }
+    } else {
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let event = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            feed(&event).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        }
+    }
+
+    println!("{path}: {events} event(s)");
+    print!("{}", summary.render());
     Ok(())
 }
 
@@ -684,6 +795,7 @@ fn run() -> Result<(), String> {
         Some(("submit", sub)) => run_submit(sub),
         Some(("convert", sub)) => run_convert(sub),
         Some(("gen", sub)) => run_gen(sub),
+        Some(("trace", sub)) => run_trace(sub),
         _ => run_default(&matches),
     }
 }

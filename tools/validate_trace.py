@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a trace file written by `apls --trace` / `apls serve --trace`.
+
+Accepts both formats the telemetry layer emits:
+
+* JSON-lines (`.jsonl`): one Chrome `trace_event` object per line;
+* a Chrome trace document (`.json`): `{"traceEvents": [...], ...}`.
+
+Each event must carry the fields the Chrome trace viewer and `apls trace`
+rely on: `name`/`cat` strings, a known `ph` phase, integer `ts`/`pid`/`tid`,
+`dur` exactly on complete (`X`) events, and an object `args` when present.
+Exits non-zero (with one message per defect) on any violation, so CI can gate
+on "the instrumented run produced a well-formed trace".
+
+Usage: validate_trace.py <trace-file> [--min-events N]
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "C"}
+
+
+def check_event(event, where, errors):
+    if not isinstance(event, dict):
+        errors.append(f"{where}: event is not a JSON object")
+        return
+    for key in ("name", "cat"):
+        if not isinstance(event.get(key), str):
+            errors.append(f"{where}: missing or non-string '{key}'")
+    ph = event.get("ph")
+    if ph not in KNOWN_PHASES:
+        errors.append(f"{where}: unknown phase {ph!r} (expected one of {sorted(KNOWN_PHASES)})")
+    for key in ("ts", "pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: missing or invalid '{key}' ({value!r})")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+            errors.append(f"{where}: complete event needs an integer 'dur' ({dur!r})")
+    elif "dur" in event:
+        errors.append(f"{where}: only complete events may carry 'dur'")
+    if "args" in event and not isinstance(event["args"], dict):
+        errors.append(f"{where}: 'args' must be an object")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_events = 1
+    if "--min-events" in sys.argv:
+        min_events = int(sys.argv[sys.argv.index("--min-events") + 1])
+
+    text = open(path, encoding="utf-8").read()
+    errors = []
+    events = 0
+
+    stripped = text.strip()
+    if stripped.startswith("{") and "\n" not in stripped:
+        # one line: either a Chrome document or a single-event JSONL file
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError as err:
+            print(f"{path}: not valid JSON: {err}", file=sys.stderr)
+            return 1
+        if "traceEvents" in doc:
+            trace_events = doc["traceEvents"]
+            if not isinstance(trace_events, list):
+                print(f"{path}: 'traceEvents' is not an array", file=sys.stderr)
+                return 1
+            for i, event in enumerate(trace_events):
+                check_event(event, f"{path}: traceEvents[{i}]", errors)
+                events += 1
+        else:
+            check_event(doc, f"{path}:1", errors)
+            events += 1
+    else:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                errors.append(f"{path}:{lineno}: not valid JSON: {err}")
+                continue
+            check_event(event, f"{path}:{lineno}", errors)
+            events += 1
+
+    for message in errors:
+        print(message, file=sys.stderr)
+    if events < min_events:
+        print(f"{path}: {events} event(s), expected at least {min_events}", file=sys.stderr)
+        return 1
+    if errors:
+        return 1
+    print(f"{path}: {events} well-formed trace event(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
