@@ -5,10 +5,11 @@
 //! for the per-job cost; jobs/sec is its inverse.
 
 use apls_portfolio::PortfolioEngine;
-use apls_service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+use apls_service::{JobSpec, JournalConfig, PlacementService, ServiceClient, ServiceConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 const BATCH: usize = 16;
 
@@ -68,22 +69,48 @@ fn bench_service_throughput(c: &mut Criterion) {
 }
 
 fn bench_cache_hit_path(c: &mut Criterion) {
+    // The durability tax on the fastest path: a journaled cache hit appends
+    // (and fsyncs, per policy) an enqueue + complete record pair before
+    // answering. `round_trip` is the journal-off baseline; the journal
+    // variants price per-record fsync against 5ms group commit.
+    let journal_dir =
+        std::env::temp_dir().join(format!("apls-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&journal_dir).expect("temp dir");
+    let variants: [(&str, Option<JournalConfig>); 3] = [
+        ("round_trip", None),
+        (
+            "round_trip_journal_fsync_each",
+            Some(JournalConfig::new(journal_dir.join("fsync_each.jsonl"))),
+        ),
+        (
+            "round_trip_journal_batched_5ms",
+            Some(
+                JournalConfig::new(journal_dir.join("batched.jsonl"))
+                    .with_batched_sync(Duration::from_millis(5)),
+            ),
+        ),
+    ];
     let mut group = c.benchmark_group("service_cache_hit");
     group.sample_size(8);
-    let service = PlacementService::start(ServiceConfig::default()).expect("service starts");
-    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
-    let spec = spec_with_seed(0xCAFE);
-    // prime the cache once; every timed request is then a pure cache hit
-    assert!(!client.place(&spec).expect("round-trips").cache_hit);
-    group.bench_function("round_trip", |b| {
-        b.iter(|| {
-            let response = client.place(&spec).expect("round-trips");
-            assert!(response.cache_hit);
+    for (name, journal) in variants {
+        let service =
+            PlacementService::start(ServiceConfig { journal, ..ServiceConfig::default() })
+                .expect("service starts");
+        let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+        let spec = spec_with_seed(0xCAFE);
+        // prime the cache once; every timed request is then a pure cache hit
+        assert!(!client.place(&spec).expect("round-trips").cache_hit);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let response = client.place(&spec).expect("round-trips");
+                assert!(response.cache_hit);
+            });
         });
-    });
+        service.shutdown();
+        service.join();
+    }
     group.finish();
-    service.shutdown();
-    service.join();
+    let _ = std::fs::remove_dir_all(&journal_dir);
 }
 
 criterion_group!(benches, bench_service_throughput, bench_cache_hit_path);

@@ -51,4 +51,6 @@ pub use engine::{
     run_engine_once, run_engine_once_traced, PortfolioEngine, RestartOutcome, RestartSettings,
 };
 pub use report::{EngineSummary, PortfolioReport, RestartRecord};
-pub use runner::{run_portfolio, run_portfolio_traced};
+pub use runner::{
+    run_portfolio, run_portfolio_cancellable, run_portfolio_traced, CancelToken, Cancelled,
+};

@@ -9,7 +9,79 @@ use apls_circuit::benchmarks::BenchmarkCircuit;
 use apls_telemetry::Telemetry;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A cooperative cancellation signal for a portfolio run.
+///
+/// The runner polls the token *between restart generations* — a restart that
+/// has started always finishes, so cancellation never tears a solver down
+/// mid-move and the records produced before the cut are exactly the records a
+/// completed run would have produced for those generations. An unarmed token
+/// ([`CancelToken::none`], the default) costs one branch per generation and
+/// keeps the runner's flattened single-batch fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    /// Wall-clock deadline after which the run is considered cancelled.
+    deadline: Option<Instant>,
+    /// Manual cancellation flag (shared with whoever wants to pull the plug).
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for plain runs).
+    #[must_use]
+    pub fn none() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that cancels once `deadline` has passed.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken { deadline: Some(deadline), flag: None }
+    }
+
+    /// A manually triggered token; call [`CancelToken::cancel`] to fire it.
+    #[must_use]
+    pub fn manual() -> CancelToken {
+        CancelToken { deadline: None, flag: Some(Arc::new(AtomicBool::new(false))) }
+    }
+
+    /// Fires a manual token. No-op for deadline-only or unarmed tokens.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the run should stop at the next checkpoint.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.flag.as_ref().is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Whether this token can ever cancel. Armed tokens force the runner into
+    /// per-generation batches so checkpoints actually exist.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some() || self.flag.is_some()
+    }
+}
+
+/// The error of a cancelled portfolio run: the deadline passed or the token
+/// fired before every generation completed. No partial report is returned —
+/// a cancelled run produces nothing, so it can never leak a
+/// non-deterministic prefix as if it were a full result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("portfolio run cancelled before completion")
+    }
+}
 
 /// Runs the full portfolio on `circuit`.
 ///
@@ -43,6 +115,33 @@ pub fn run_portfolio_traced(
     config: &PortfolioConfig,
     telemetry: &Telemetry,
 ) -> PortfolioReport {
+    run_portfolio_cancellable(circuit, config, telemetry, &CancelToken::none())
+        .expect("an unarmed token never cancels")
+}
+
+/// [`run_portfolio_traced`] with a cooperative [`CancelToken`] checked
+/// between restart generations.
+///
+/// Cancellation is all-or-nothing: a run that completes returns a report
+/// bit-identical to one executed without a token (armed tokens only change
+/// *batching*, never task seeds or aggregation order), and a run that is cut
+/// returns [`Cancelled`] with no partial report.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the last generation
+/// completes.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`PortfolioConfig::validate`]) or the circuit is inconsistent.
+pub fn run_portfolio_cancellable(
+    circuit: &BenchmarkCircuit,
+    config: &PortfolioConfig,
+    telemetry: &Telemetry,
+    cancel: &CancelToken,
+) -> Result<PortfolioReport, Cancelled> {
     config.validate();
     let start = Instant::now();
     let mut run_span = apls_telemetry::span!(
@@ -63,16 +162,23 @@ pub fn run_portfolio_traced(
     let mut early_stopped = false;
 
     let generations = config.generations();
-    // Without early stopping there is no reason to synchronise between
+    // Without early stopping (or an armed cancel token, which needs
+    // per-generation checkpoints) there is no reason to synchronise between
     // generations: flatten the plan into one fan-out so every worker stays
     // busy until the queue drains.
-    let batches: Vec<Vec<RestartTask>> = if detector.is_some() {
+    let batches: Vec<Vec<RestartTask>> = if detector.is_some() || cancel.is_armed() {
         generations
     } else {
         vec![generations.into_iter().flatten().collect()]
     };
 
     for batch in batches {
+        if cancel.is_cancelled() {
+            if run_span.is_recording() {
+                run_span.arg("cancelled", true);
+            }
+            return Err(Cancelled);
+        }
         let batch_records: Vec<RestartRecord> = pool.install(|| {
             batch.into_par_iter().map(|task| execute(circuit, task, config, telemetry)).collect()
         });
@@ -91,7 +197,13 @@ pub fn run_portfolio_traced(
         run_span.arg("early_stopped", early_stopped);
     }
     drop(run_span);
-    PortfolioReport::assemble(circuit.name.clone(), config, records, early_stopped, start.elapsed())
+    Ok(PortfolioReport::assemble(
+        circuit.name.clone(),
+        config,
+        records,
+        early_stopped,
+        start.elapsed(),
+    ))
 }
 
 /// Runs one scheduled restart and scores it with the uniform cost.
@@ -177,6 +289,52 @@ mod tests {
                 .expect("restart 0 present");
             assert_eq!(first.seed, 2);
         }
+    }
+
+    #[test]
+    fn armed_token_never_changes_a_completed_report() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(3).with_restarts(3).with_fast_schedule(true);
+        let plain = run_portfolio(&circuit, &config);
+        // a far-future deadline arms the token (per-generation batches)
+        // without ever firing
+        let deadline = Instant::now() + std::time::Duration::from_secs(3600);
+        let armed = run_portfolio_cancellable(
+            &circuit,
+            &config,
+            &Telemetry::disabled(),
+            &CancelToken::with_deadline(deadline),
+        )
+        .expect("far-future deadline never fires");
+        assert_eq!(costs(&plain), costs(&armed));
+        assert_eq!(plain.best().placement, armed.best().placement);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_the_first_generation() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(3).with_restarts(2).with_fast_schedule(true);
+        let token =
+            CancelToken::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let result = run_portfolio_cancellable(&circuit, &config, &Telemetry::disabled(), &token);
+        assert_eq!(result.unwrap_err(), Cancelled);
+    }
+
+    #[test]
+    fn manual_token_cancels_and_unarmed_never_does() {
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(3).with_restarts(1).with_fast_schedule(true);
+        let token = CancelToken::manual();
+        assert!(token.is_armed() && !token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        let result = run_portfolio_cancellable(&circuit, &config, &Telemetry::disabled(), &token);
+        assert_eq!(result.unwrap_err(), Cancelled);
+
+        let none = CancelToken::none();
+        assert!(!none.is_armed());
+        none.cancel(); // no-op
+        assert!(!none.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Deterministic fault injection for the placement daemon.
+//!
+//! A [`FaultPlan`] names the exact points where the service misbehaves —
+//! job indices whose solve panics or runs slow, journal record sequence
+//! numbers whose write fails, accepted-connection sequence numbers that are
+//! dropped on the floor. Every trigger is a deterministic counter the service
+//! already maintains (job index, journal record number, connection number),
+//! never wall-clock time or randomness, so a fault-injection test reproduces
+//! the same degradation on every run.
+//!
+//! Plans are inert by default: the daemon only honours `serve --fault-plan`
+//! when the `APLS_FAULT_INJECTION=1` environment guard is set (embedding
+//! [`FaultPlan`] programmatically via `ServiceConfig` is always allowed —
+//! that is what the test suite does).
+//!
+//! File format (JSON, one object):
+//!
+//! ```json
+//! {
+//!   "panic_jobs": [1],
+//!   "slow_solves": [{"job": 2, "ms": 500}],
+//!   "journal_fail_records": [3],
+//!   "drop_connections": [0]
+//! }
+//! ```
+
+use crate::json::Json;
+
+/// One forced-slow solve: job `job` sleeps `ms` milliseconds before solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowSolve {
+    /// Job index (arrival order, the same index the envelope reports as `id`).
+    pub job: u64,
+    /// Injected extra latency in milliseconds.
+    pub ms: u64,
+}
+
+/// A deterministic set of injected faults (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    panic_jobs: Vec<u64>,
+    slow_solves: Vec<SlowSolve>,
+    journal_fail_records: Vec<u64>,
+    drop_connections: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a worker panic when solving job `index` (builder style).
+    #[must_use]
+    pub fn with_panic_job(mut self, index: u64) -> FaultPlan {
+        self.panic_jobs.push(index);
+        self
+    }
+
+    /// Adds `ms` milliseconds of forced latency to job `index` (builder
+    /// style).
+    #[must_use]
+    pub fn with_slow_solve(mut self, index: u64, ms: u64) -> FaultPlan {
+        self.slow_solves.push(SlowSolve { job: index, ms });
+        self
+    }
+
+    /// Fails the journal append of record sequence number `seq` (builder
+    /// style).
+    #[must_use]
+    pub fn with_journal_fail(mut self, seq: u64) -> FaultPlan {
+        self.journal_fail_records.push(seq);
+        self
+    }
+
+    /// Drops accepted connection number `n` immediately (builder style).
+    #[must_use]
+    pub fn with_drop_connection(mut self, n: u64) -> FaultPlan {
+        self.drop_connections.push(n);
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.panic_jobs.is_empty()
+            && self.slow_solves.is_empty()
+            && self.journal_fail_records.is_empty()
+            && self.drop_connections.is_empty()
+    }
+
+    /// Should the worker panic when solving job `index`?
+    #[must_use]
+    pub fn panic_on_job(&self, index: u64) -> bool {
+        self.panic_jobs.contains(&index)
+    }
+
+    /// Forced extra solve latency for job `index`, if any.
+    #[must_use]
+    pub fn slow_solve_ms(&self, index: u64) -> Option<u64> {
+        self.slow_solves.iter().find(|s| s.job == index).map(|s| s.ms)
+    }
+
+    /// Should journal record `seq` fail to append?
+    #[must_use]
+    pub fn fail_journal_record(&self, seq: u64) -> bool {
+        self.journal_fail_records.contains(&seq)
+    }
+
+    /// Should accepted connection `n` be dropped on the floor?
+    #[must_use]
+    pub fn drop_connection(&self, n: u64) -> bool {
+        self.drop_connections.contains(&n)
+    }
+
+    /// Parses a plan from its JSON text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, unknown fields (typos must not
+    /// silently disable a fault) or wrong-typed entries.
+    pub fn from_json_text(text: &str) -> Result<FaultPlan, String> {
+        let json = Json::parse(text.trim()).map_err(|e| format!("invalid fault plan: {e}"))?;
+        let Json::Obj(fields) = &json else {
+            return Err("fault plan must be a JSON object".to_string());
+        };
+        const KNOWN: [&str; 4] =
+            ["panic_jobs", "slow_solves", "journal_fail_records", "drop_connections"];
+        for (key, _) in fields {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown fault plan field '{key}' (known: {})",
+                    KNOWN.join(", ")
+                ));
+            }
+        }
+        let mut plan = FaultPlan::new();
+        plan.panic_jobs = index_list(&json, "panic_jobs")?;
+        plan.journal_fail_records = index_list(&json, "journal_fail_records")?;
+        plan.drop_connections = index_list(&json, "drop_connections")?;
+        if let Some(v) = json.get("slow_solves") {
+            let items = v.as_arr().ok_or("'slow_solves' must be an array of {job, ms} objects")?;
+            for item in items {
+                let job = item
+                    .get("job")
+                    .and_then(Json::as_u64)
+                    .ok_or("'slow_solves' entries need an unsigned 'job' index")?;
+                let ms = item
+                    .get("ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("'slow_solves' entries need unsigned 'ms' latency")?;
+                plan.slow_solves.push(SlowSolve { job, ms });
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Loads a plan from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O and parse failures.
+    pub fn load(path: &std::path::Path) -> Result<FaultPlan, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan {}: {e}", path.display()))?;
+        FaultPlan::from_json_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn index_list(json: &Json, field: &str) -> Result<Vec<u64>, String> {
+    match json.get(field) {
+        None => Ok(Vec::new()),
+        Some(v) => {
+            let items = v.as_arr().ok_or(format!("'{field}' must be an array of indices"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_u64().ok_or(format!("'{field}' entries must be unsigned integers"))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_plan() {
+        let plan = FaultPlan::from_json_text(
+            r#"{"panic_jobs":[1,4],"slow_solves":[{"job":2,"ms":500}],
+                "journal_fail_records":[3],"drop_connections":[0]}"#,
+        )
+        .expect("parses");
+        assert!(plan.panic_on_job(1) && plan.panic_on_job(4) && !plan.panic_on_job(2));
+        assert_eq!(plan.slow_solve_ms(2), Some(500));
+        assert_eq!(plan.slow_solve_ms(1), None);
+        assert!(plan.fail_journal_record(3) && !plan.fail_journal_record(2));
+        assert!(plan.drop_connection(0) && !plan.drop_connection(1));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn builder_matches_parsed_form() {
+        let built = FaultPlan::new().with_panic_job(1).with_slow_solve(2, 500);
+        let parsed =
+            FaultPlan::from_json_text(r#"{"panic_jobs":[1],"slow_solves":[{"job":2,"ms":500}]}"#)
+                .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_types_are_rejected() {
+        for (text, needle) in [
+            (r#"{"panic_job":[1]}"#, "unknown fault plan field"),
+            (r#"{"panic_jobs":"1"}"#, "array of indices"),
+            (r#"{"slow_solves":[{"job":2}]}"#, "'ms'"),
+            (r#"[1,2]"#, "JSON object"),
+            ("not json", "invalid fault plan"),
+        ] {
+            let err = FaultPlan::from_json_text(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::from_json_text("{}").unwrap().is_empty());
+    }
+}

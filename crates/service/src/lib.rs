@@ -26,7 +26,14 @@
 //!   byte-for-byte regardless of worker count;
 //! * **graceful shutdown** — a `{"op":"shutdown"}` control request (or
 //!   [`PlacementService::shutdown`]) stops the acceptor, drains the queue
-//!   and joins every thread.
+//!   and joins every thread;
+//! * **fault tolerance** ([`journal`], [`fault`], [`sync`]) — an optional
+//!   durable job journal restores completed reports and replays incomplete
+//!   jobs byte-identically after a crash; workers are panic-isolated
+//!   (`catch_unwind` per job) and respawned; per-job deadlines cancel
+//!   cooperatively and answer `{"status":"timeout"}`; a deterministic
+//!   [`FaultPlan`] injects panics, slow solves, journal write failures and
+//!   connection drops at pinned points (DESIGN.md §12).
 //!
 //! The `apls` CLI exposes all of this as `apls serve` and `apls submit`; the
 //! wire protocol and guarantees are documented in DESIGN.md §10.
@@ -55,12 +62,18 @@
 
 pub mod cache;
 mod client;
+pub mod fault;
+pub mod journal;
 pub mod json;
 mod metrics;
 mod protocol;
 mod server;
+pub mod sync;
 
 pub use cache::CacheStats;
-pub use client::ServiceClient;
+pub use client::{RetryPolicy, ServiceClient};
+pub use fault::FaultPlan;
+pub use journal::{JournalConfig, SyncPolicy};
 pub use protocol::{CircuitSource, JobSpec, PlaceResponse};
 pub use server::{PlacementService, ServiceConfig, JOB_SEED_LANE, PROTOCOL_VERSION};
+pub use sync::{lock_or_recover, poison_recoveries};

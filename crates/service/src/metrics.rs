@@ -25,6 +25,22 @@ pub(crate) struct ServiceMetrics {
     pub in_flight: Gauge,
     /// Live client connections.
     pub connections_active: Gauge,
+    /// Worker panics caught and converted to `internal` error responses.
+    pub worker_panics_total: Counter,
+    /// Worker threads respawned after a panic escaped the job boundary.
+    pub worker_respawns_total: Counter,
+    /// Jobs that expired their deadline and were answered `timeout`.
+    pub timeouts_total: Counter,
+    /// Journal records durably appended.
+    pub journal_records_total: Counter,
+    /// Journal appends that failed (service degraded to non-durable).
+    pub journal_write_failures_total: Counter,
+    /// Completed pre-crash reports restored into the cache at startup.
+    pub jobs_recovered_total: Counter,
+    /// Incomplete journaled jobs replayed through the workers at startup.
+    pub jobs_replayed_total: Counter,
+    /// Accepted connections dropped by fault injection.
+    pub connections_dropped_total: Counter,
     /// Time a job spent queued before a worker picked it up (ms).
     pub queue_ms: Histogram,
     /// Time a worker spent solving (or fetching from cache) a job (ms).
@@ -43,6 +59,14 @@ impl ServiceMetrics {
             queue_depth: registry.gauge("queue_depth"),
             in_flight: registry.gauge("in_flight_jobs"),
             connections_active: registry.gauge("connections_active"),
+            worker_panics_total: registry.counter("worker_panics_total"),
+            worker_respawns_total: registry.counter("worker_respawns_total"),
+            timeouts_total: registry.counter("timeouts_total"),
+            journal_records_total: registry.counter("journal_records_total"),
+            journal_write_failures_total: registry.counter("journal_write_failures_total"),
+            jobs_recovered_total: registry.counter("jobs_recovered_total"),
+            jobs_replayed_total: registry.counter("jobs_replayed_total"),
+            connections_dropped_total: registry.counter("connections_dropped_total"),
             queue_ms: registry.histogram("queue_ms", LATENCY_MS_BOUNDS),
             solve_ms: registry.histogram("solve_ms", LATENCY_MS_BOUNDS),
             total_ms: registry.histogram("total_ms", LATENCY_MS_BOUNDS),

@@ -53,6 +53,12 @@ pub struct JobSpec {
     pub plateau: Option<usize>,
     /// Rayon threads *within* the job (default 1).
     pub threads: Option<usize>,
+    /// Per-job deadline in milliseconds, measured from enqueue. Checked
+    /// cooperatively between restarts; an expired job answers
+    /// `{"status":"timeout"}` and frees its worker. Timing-only: never part
+    /// of the cache key, and stripped before journaling so recovery replays
+    /// the job with its full time budget.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -79,6 +85,7 @@ impl JobSpec {
             hier_anneal_threshold: None,
             plateau: None,
             threads: None,
+            deadline_ms: None,
         }
     }
 
@@ -107,6 +114,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_fast(mut self, fast: bool) -> Self {
         self.fast = Some(fast);
+        self
+    }
+
+    /// Sets the per-job deadline in milliseconds (builder style).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 
@@ -147,6 +161,9 @@ impl JobSpec {
         if let Some(t) = self.threads {
             out.push_str(&format!(",\"threads\":{t}"));
         }
+        if let Some(d) = self.deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
         out.push('}');
         out
     }
@@ -162,7 +179,7 @@ impl JobSpec {
     pub fn from_json(json: &Json) -> Result<JobSpec, String> {
         // strict field set: a typo'd option must error, not silently run the
         // job with defaults
-        const KNOWN: [&str; 11] = [
+        const KNOWN: [&str; 12] = [
             "op",
             "circuit",
             "apls",
@@ -174,6 +191,7 @@ impl JobSpec {
             "hier_anneal_threshold",
             "plateau",
             "threads",
+            "deadline_ms",
         ];
         if let Json::Obj(fields) = json {
             for (key, _) in fields {
@@ -260,6 +278,13 @@ impl JobSpec {
         if let Some(v) = json.get("threads") {
             spec.threads = Some(v.as_usize().ok_or("'threads' must be an integer")?);
         }
+        if let Some(v) = json.get("deadline_ms") {
+            let d = v.as_u64().ok_or("'deadline_ms' must be an unsigned integer")?;
+            if d == 0 {
+                return Err("'deadline_ms' must be at least 1".to_string());
+            }
+            spec.deadline_ms = Some(d);
+        }
         Ok(spec)
     }
 
@@ -294,9 +319,10 @@ impl JobSpec {
     /// Canonical string of every *result-relevant* configuration field.
     ///
     /// Built over the resolved configuration, so explicit defaults and
-    /// omitted fields produce identical strings. `threads` is deliberately
-    /// excluded — thread count never changes portfolio results — and the seed
-    /// is a separate cache-key component. The service uses this string (with
+    /// omitted fields produce identical strings. `threads` and `deadline_ms`
+    /// are deliberately excluded — thread count and time budget never change
+    /// a *completed* report — and the seed is a separate cache-key
+    /// component. The service uses this string (with
     /// the canonical circuit text and the seed) as its cache key, comparing
     /// content rather than hashes so collisions cannot cross-serve reports.
     #[must_use]
@@ -329,8 +355,16 @@ pub struct PlaceResponse {
     /// Job id assigned by the service (arrival order), when the job was
     /// accepted.
     pub id: Option<u64>,
-    /// `"ok"`, `"retry"` or `"error"`.
+    /// `"ok"`, `"retry"`, `"timeout"` or `"error"`.
     pub status: String,
+    /// Machine-readable error category (`"request_too_large"`,
+    /// `"internal"`, `"deadline"`, `"bad_request"`, `"unavailable"`), when
+    /// the service attached one.
+    pub kind: Option<String>,
+    /// How many attempts [`crate::ServiceClient::place_with_retry`] spent to
+    /// obtain this response. Always 1 for a plain decode — the field is
+    /// client-side bookkeeping, not part of the wire envelope.
+    pub attempts: u32,
     /// Circuit name, echoed back.
     pub circuit: Option<String>,
     /// The root seed the job ran with (pinned or derived).
@@ -363,6 +397,8 @@ impl PlaceResponse {
         Ok(PlaceResponse {
             id: json.get("id").and_then(Json::as_u64),
             status: json.get("status").and_then(Json::as_str).unwrap_or("error").to_string(),
+            kind: json.get("kind").and_then(Json::as_str).map(str::to_string),
+            attempts: 1,
             circuit: json.get("circuit").and_then(Json::as_str).map(str::to_string),
             seed: json.get("seed").and_then(Json::as_u64),
             cache_hit: json.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
@@ -384,6 +420,12 @@ impl PlaceResponse {
     #[must_use]
     pub fn is_retry(&self) -> bool {
         self.status == "retry"
+    }
+
+    /// `true` when the job expired its deadline before completing.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        self.status == "timeout"
     }
 }
 
@@ -445,6 +487,41 @@ mod tests {
 
         let different = base.clone().with_restarts(3);
         assert_ne!(base.config_fingerprint(), different.config_fingerprint());
+    }
+
+    #[test]
+    fn deadline_round_trips_but_never_touches_the_cache_key() {
+        let base = JobSpec::bundled("miller_v2").with_seed(7);
+        let deadlined = base.clone().with_deadline_ms(250);
+        let line = deadlined.to_json_line();
+        let decoded = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(decoded.deadline_ms, Some(250));
+        assert_eq!(decoded, deadlined);
+        // a deadline changes when a job may be cut, never what it computes
+        assert_eq!(base.config_fingerprint(), deadlined.config_fingerprint());
+
+        let err = JobSpec::from_json(
+            &Json::parse(r#"{"op":"place","circuit":"x","deadline_ms":0}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn timeout_and_kind_decode() {
+        let timeout = PlaceResponse::from_json_line(
+            r#"{"id":4,"status":"timeout","kind":"deadline","error":"deadline exceeded"}"#,
+        )
+        .unwrap();
+        assert!(timeout.is_timeout() && !timeout.is_ok());
+        assert_eq!(timeout.kind.as_deref(), Some("deadline"));
+        assert_eq!(timeout.attempts, 1);
+
+        let internal = PlaceResponse::from_json_line(
+            r#"{"status":"error","kind":"internal","error":"worker panicked"}"#,
+        )
+        .unwrap();
+        assert_eq!(internal.kind.as_deref(), Some("internal"));
     }
 
     #[test]

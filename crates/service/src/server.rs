@@ -8,6 +8,8 @@
 //!            └────────────┘     (per-job channel)      └────┬─────┘
 //!                 ▲                                         │
 //!                 └──────────── LRU result cache ◄──────────┘
+//!                                     ▲
+//!                    durable job journal (enqueue/complete)
 //! ```
 //!
 //! Determinism contract: a job's report body is
@@ -18,19 +20,35 @@
 //! [`SeedStream::seed_for`]`(JOB_SEED_LANE, job_index)` where `job_index`
 //! counts accepted jobs from 0, so replaying a job log against a fresh
 //! service reproduces every report bit for bit.
+//!
+//! Fault tolerance (see DESIGN.md §12): the optional [`crate::journal`]
+//! extends the replay guarantee across a crash — completed reports are
+//! restored into the cache at startup and incomplete jobs are re-solved with
+//! their recorded seeds. Worker panics are caught per job
+//! (`catch_unwind`), answered as `{"status":"error","kind":"internal"}`,
+//! and never poison shared state ([`crate::sync::lock_or_recover`]); a
+//! panic that escapes the job boundary respawns the worker loop in place.
+//! Per-job deadlines cancel cooperatively between restarts and answer
+//! `{"status":"timeout"}`. A deterministic [`FaultPlan`] can inject worker
+//! panics, forced-slow solves, journal write failures and connection drops
+//! at pinned points for testing.
 
 use crate::cache::LruCache;
+use crate::fault::FaultPlan;
+use crate::journal::{Journal, JournalConfig, JournalRecord, Recovery};
 use crate::json::{quote, Json};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{CircuitSource, JobSpec};
+use crate::sync::{lock_or_recover, poison_recoveries};
 use apls_anneal::rng::SeedStream;
 use apls_circuit::benchmarks::{self, BenchmarkCircuit};
-use apls_io::serialize_circuit;
-use apls_portfolio::{run_portfolio_traced, PortfolioConfig};
+use apls_io::{canonical_hash, serialize_circuit};
+use apls_portfolio::{run_portfolio_cancellable, CancelToken, PortfolioConfig};
 use apls_telemetry::Telemetry;
 use std::io::Read;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -49,15 +67,16 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// shutdown flag. Bounds shutdown latency for idle connections.
 const READ_TICK: Duration = Duration::from_millis(200);
 
-/// Largest accepted request line. Inline `.apls` circuits are the big case
-/// (~30 bytes per module line); 16 MiB fits circuits three orders of
-/// magnitude beyond the largest bundled benchmark while bounding what one
-/// peer can make the daemon buffer.
-const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+/// Default for [`ServiceConfig::max_request_bytes`]. Inline `.apls` circuits
+/// are the big case (~30 bytes per module line); 16 MiB fits circuits three
+/// orders of magnitude beyond the largest bundled benchmark while bounding
+/// what one peer can make the daemon buffer.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 
-/// Concurrent connections served at once; beyond this, new connections are
-/// refused with an error line so a connection flood cannot exhaust threads.
-const MAX_CONNECTIONS: usize = 1024;
+/// Default for [`ServiceConfig::max_connections`]; beyond the limit, new
+/// connections are refused with an error line so a connection flood cannot
+/// exhaust threads.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 
 /// How long the (nonblocking) acceptor sleeps between polls. Bounds both
 /// idle CPU and shutdown latency.
@@ -82,6 +101,20 @@ pub struct ServiceConfig {
     /// Test/bench hook: artificial extra latency per computed (non-cached)
     /// job, simulating heavier circuits than the suite can afford to run.
     pub job_delay: Option<Duration>,
+    /// Concurrent connections served at once (default
+    /// [`DEFAULT_MAX_CONNECTIONS`]).
+    pub max_connections: usize,
+    /// Largest accepted request line (default
+    /// [`DEFAULT_MAX_REQUEST_BYTES`]); an oversized line is answered with
+    /// `{"status":"error","kind":"request_too_large"}` and the connection
+    /// closed.
+    pub max_request_bytes: usize,
+    /// Optional durable job journal; see [`crate::journal`]. `None` keeps
+    /// the pre-journal in-memory behaviour.
+    pub journal: Option<JournalConfig>,
+    /// Deterministic fault injection (tests/CI only; the CLI additionally
+    /// requires the `APLS_FAULT_INJECTION=1` environment guard).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +127,10 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             seed: 1,
             job_delay: None,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            journal: None,
+            fault_plan: None,
         }
     }
 }
@@ -113,24 +150,39 @@ struct CacheKey {
 
 /// One queued placement job.
 struct Job {
+    /// Arrival-order job index (the envelope's `id`, the journal's `index`).
+    index: u64,
     circuit: BenchmarkCircuit,
     config: PortfolioConfig,
     cache_key: CacheKey,
+    /// Cooperative deadline; an expired job answers `timeout`.
+    deadline: Option<Instant>,
     enqueued: Instant,
     respond: mpsc::Sender<JobDone>,
 }
 
+/// Why a job produced no report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobFailure {
+    /// The solve panicked; the worker caught it and kept running.
+    Panic,
+    /// The job expired its deadline before completing.
+    Timeout,
+}
+
 /// What a worker hands back to the connection handler.
 struct JobDone {
-    report: String,
-    cache_hit: bool,
+    /// The deterministic report (with its cache-hit flag), or why there is
+    /// none.
+    outcome: Result<(String, bool), JobFailure>,
     queue_ms: f64,
     solve_ms: f64,
 }
 
 /// The sending half of the job queue plus the arrival-order job counter,
-/// behind one mutex so that (index assignment, enqueue) is atomic: a
-/// rejected job never consumes an index, which keeps derived seeds replayable.
+/// behind one mutex so that (index assignment, enqueue, journal append) is
+/// atomic: a rejected job never consumes an index and journal records appear
+/// in index order, which keeps derived seeds replayable.
 struct EnqueueSlot {
     next_index: u64,
     tx: SyncSender<Job>,
@@ -146,8 +198,30 @@ struct Shared {
     cache_hits: AtomicU64,
     cache: Mutex<LruCache<CacheKey, String>>,
     enqueue: Mutex<Option<EnqueueSlot>>,
+    journal: Option<Journal>,
+    fault: Option<Arc<FaultPlan>>,
     telemetry: Telemetry,
     metrics: ServiceMetrics,
+}
+
+impl Shared {
+    /// Appends a journal record, degrading to non-durable on failure: the
+    /// job is answered either way, the failure is counted and traced.
+    fn journal_append(&self, record: &JournalRecord<'_>) {
+        let Some(journal) = &self.journal else { return };
+        match journal.append(record) {
+            Ok(()) => self.metrics.journal_records_total.inc(),
+            Err(e) => {
+                self.metrics.journal_write_failures_total.inc();
+                apls_telemetry::event!(
+                    self.telemetry,
+                    "service",
+                    "journal_write_failure",
+                    error = e.to_string()
+                );
+            }
+        }
+    }
 }
 
 /// A running placement service.
@@ -169,6 +243,7 @@ pub struct PlacementService {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    recovery: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -177,7 +252,8 @@ impl PlacementService {
     ///
     /// # Errors
     ///
-    /// Returns the bind error when the address is unavailable.
+    /// Returns the bind error when the address is unavailable, or the
+    /// journal open/replay error when a configured journal cannot be used.
     ///
     /// # Panics
     ///
@@ -192,7 +268,8 @@ impl PlacementService {
     ///
     /// # Errors
     ///
-    /// Returns the bind error when the address is unavailable.
+    /// Returns the bind error when the address is unavailable, or the
+    /// journal open/replay error when a configured journal cannot be used.
     ///
     /// # Panics
     ///
@@ -206,7 +283,18 @@ impl PlacementService {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let local_addr = listener.local_addr()?;
 
+        let fault = config.fault_plan.clone().filter(|p| !p.is_empty()).map(Arc::new);
+        let (journal, recovered) = match &config.journal {
+            Some(journal_config) => {
+                let (journal, recovery) = Journal::open(journal_config, fault.clone())?;
+                (Some(journal), Some(recovery))
+            }
+            None => (None, None),
+        };
+
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let recovery_tx = tx.clone();
+        let next_index = recovered.as_ref().map_or(0, |r| r.next_index);
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
             seeds: SeedStream::new(config.seed),
@@ -215,7 +303,9 @@ impl PlacementService {
             jobs_completed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            enqueue: Mutex::new(Some(EnqueueSlot { next_index: 0, tx })),
+            enqueue: Mutex::new(Some(EnqueueSlot { next_index, tx })),
+            journal,
+            fault,
             telemetry,
             metrics: ServiceMetrics::new(),
             config,
@@ -225,14 +315,32 @@ impl PlacementService {
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&rx, &shared))
+                std::thread::spawn(move || {
+                    // In-place respawn supervisor: per-job panics are caught
+                    // inside worker_loop; if one nonetheless escapes (a bug
+                    // in the loop itself), the worker re-enters the loop
+                    // instead of dying and silently shrinking the pool.
+                    loop {
+                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&rx, &shared))) {
+                            Ok(()) => break, // queue closed and drained: shutdown
+                            Err(_) => {
+                                shared.metrics.worker_respawns_total.inc();
+                                if shared.shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
             })
             .collect();
+        let recovery =
+            recovered.and_then(|recovery| replay_recovered_jobs(recovery, &shared, recovery_tx));
         let acceptor = {
             let shared = Arc::clone(&shared);
             Some(std::thread::spawn(move || accept_loop(&listener, &shared)))
         };
-        Ok(PlacementService { local_addr, shared, acceptor, workers })
+        Ok(PlacementService { local_addr, shared, acceptor, recovery, workers })
     }
 
     /// The bound address (with the actual port when an ephemeral one was
@@ -260,8 +368,14 @@ impl PlacementService {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        if let Some(recovery) = self.recovery.take() {
+            let _ = recovery.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(journal) = &self.shared.journal {
+            journal.sync();
         }
     }
 }
@@ -273,12 +387,91 @@ impl Drop for PlacementService {
     }
 }
 
+/// Restores completed journaled jobs into the cache and re-enqueues
+/// incomplete ones (in index order, with their recorded seeds) on a
+/// background thread, so startup does not block behind a queue-capacity's
+/// worth of replayed solves.
+fn replay_recovered_jobs(
+    recovery: Recovery,
+    shared: &Arc<Shared>,
+    tx: SyncSender<Job>,
+) -> Option<JoinHandle<()>> {
+    if recovery.torn_lines > 0 {
+        // a torn tail is expected after a mid-write crash; the partial
+        // record's job simply counts as incomplete and is replayed
+        apls_telemetry::event!(
+            shared.telemetry,
+            "service",
+            "journal_torn_tail",
+            lines = recovery.torn_lines as u64
+        );
+    }
+    let mut pending: Vec<Job> = Vec::new();
+    for job in recovery.jobs {
+        let Ok(circuit) = resolve_circuit(&job.spec.circuit) else {
+            apls_telemetry::event!(shared.telemetry, "service", "recovery_skip", id = job.index);
+            continue;
+        };
+        let circuit_canonical = serialize_circuit(&circuit);
+        // Integrity gate: a record whose fingerprints no longer match its
+        // spec (bit rot, foreign journal) must not poison the cache.
+        if canonical_hash(&circuit_canonical) != job.circuit_hash
+            || job.spec.config_fingerprint() != job.config_fp
+        {
+            apls_telemetry::event!(shared.telemetry, "service", "recovery_skip", id = job.index);
+            continue;
+        }
+        let cache_key = CacheKey {
+            circuit: circuit_canonical,
+            config: job.spec.config_canonical(),
+            seed: job.seed,
+        };
+        match job.report {
+            Some(report) => {
+                lock_or_recover(&shared.cache).insert(cache_key, report);
+                shared.metrics.jobs_recovered_total.inc();
+            }
+            None => {
+                // The receiving half is dropped immediately: nobody waits
+                // for a replayed job's response, its purpose is the journal
+                // completion record and the cache entry it leaves behind.
+                let (done_tx, _) = mpsc::channel();
+                pending.push(Job {
+                    index: job.index,
+                    config: job.spec.resolved_config(job.seed),
+                    circuit,
+                    cache_key,
+                    deadline: None,
+                    enqueued: Instant::now(),
+                    respond: done_tx,
+                });
+                shared.metrics.jobs_replayed_total.inc();
+            }
+        }
+    }
+    if pending.is_empty() {
+        return None;
+    }
+    let shared = Arc::clone(shared);
+    Some(std::thread::spawn(move || {
+        for job in pending {
+            shared.metrics.queue_depth.add(1);
+            if tx.send(job).is_err() {
+                // shutdown before the replay drained; the journal still
+                // holds the enqueue records, the next start finishes the job
+                shared.metrics.queue_depth.sub(1);
+                break;
+            }
+        }
+    }))
+}
+
 fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
     // Dropping the only SyncSender lets the workers drain the queue and exit.
-    shared.enqueue.lock().expect("enqueue lock").take();
+    lock_or_recover(&shared.enqueue).take();
     // Best-effort accelerator: a throwaway connection makes a (blocking)
     // acceptor observe the flag immediately. The nonblocking acceptor's poll
     // tick bounds shutdown latency even when this connect cannot succeed.
@@ -298,21 +491,28 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     // e.g. for 0.0.0.0 binds on platforms that don't route them to loopback).
     let nonblocking = listener.set_nonblocking(true).is_ok();
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted: u64 = 0;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                let connection = accepted;
+                accepted += 1;
+                if shared.fault.as_ref().is_some_and(|plan| plan.drop_connection(connection)) {
+                    shared.metrics.connections_dropped_total.inc();
+                    continue; // dropping the stream closes it mid-handshake
+                }
                 // reap finished handlers so a long-running daemon holds
                 // handles (and memory) only for *live* connections, not
                 // every connection ever seen
                 handlers.retain(|h| !h.is_finished());
-                if handlers.len() >= MAX_CONNECTIONS {
+                if handlers.len() >= shared.config.max_connections {
                     let mut stream = stream;
                     let _ = stream.set_nonblocking(false);
                     let _ = stream.write_all(
-                        b"{\"status\":\"error\",\"error\":\"connection limit reached, retry later\"}\n",
+                        b"{\"status\":\"error\",\"kind\":\"overloaded\",\"error\":\"connection limit reached, retry later\"}\n",
                     );
                     continue; // dropping the stream closes it
                 }
@@ -340,7 +540,7 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
         // Holding the lock while waiting is fine: the holder takes the next
         // job and releases before solving, so dequeueing is serialised but
         // solving is parallel.
-        let job = match rx.lock().expect("queue lock").recv() {
+        let job = match lock_or_recover(rx).recv() {
             Ok(job) => job,
             Err(_) => break, // queue closed and drained: shutdown
         };
@@ -350,40 +550,76 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
         shared.metrics.queue_ms.observe(queue_ms);
         let solve_start = Instant::now();
 
-        let cached = shared.cache.lock().expect("cache lock").get(&job.cache_key).cloned();
-        let (report, cache_hit) = match cached {
-            Some(report) => {
-                shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                (report, true)
+        let outcome = execute_job(&job, shared, queue_ms);
+        match &outcome {
+            Ok((report, _)) => {
+                shared.journal_append(&JournalRecord::Complete {
+                    index: job.index,
+                    report_fp: canonical_hash(report),
+                    report,
+                });
+                shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             }
-            None => {
-                if let Some(delay) = shared.config.job_delay {
-                    std::thread::sleep(delay);
-                }
-                let mut span = apls_telemetry::span!(
-                    shared.telemetry,
-                    "service",
-                    "solve",
-                    circuit = job.circuit.name.as_str(),
-                    seed = job.config.root_seed
-                );
-                let report = run_portfolio_traced(&job.circuit, &job.config, &shared.telemetry)
-                    .to_json_deterministic();
-                if span.is_recording() {
-                    span.arg("queue_ms", queue_ms);
-                }
-                drop(span);
-                shared.cache.lock().expect("cache lock").insert(job.cache_key, report.clone());
-                (report, false)
-            }
-        };
-        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            Err(JobFailure::Timeout) => shared.metrics.timeouts_total.inc(),
+            Err(JobFailure::Panic) => shared.metrics.worker_panics_total.inc(),
+        }
         shared.metrics.in_flight.sub(1);
         let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
         shared.metrics.solve_ms.observe(solve_ms);
-        let done = JobDone { report, cache_hit, queue_ms, solve_ms };
+        let done = JobDone { outcome, queue_ms, solve_ms };
         // The handler may have hung up (client gone); nothing to do then.
         let _ = job.respond.send(done);
+    }
+}
+
+/// Runs one dequeued job to a report, a cache hit, or a failure — never a
+/// panic: the solve is wrapped in `catch_unwind` so an engine crash (or an
+/// injected one) is confined to this job.
+fn execute_job(job: &Job, shared: &Shared, queue_ms: f64) -> Result<(String, bool), JobFailure> {
+    // Re-check the cache after dequeue: back-to-back identical misses dedupe.
+    let cached = lock_or_recover(&shared.cache).get(&job.cache_key).cloned();
+    if let Some(report) = cached {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((report, true));
+    }
+    // A job that expired while queued is not worth starting.
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(JobFailure::Timeout);
+    }
+    if let Some(ms) = shared.fault.as_ref().and_then(|plan| plan.slow_solve_ms(job.index)) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    if let Some(delay) = shared.config.job_delay {
+        std::thread::sleep(delay);
+    }
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        if shared.fault.as_ref().is_some_and(|plan| plan.panic_on_job(job.index)) {
+            panic!("fault injection: worker panic on job {}", job.index);
+        }
+        let mut span = apls_telemetry::span!(
+            shared.telemetry,
+            "service",
+            "solve",
+            circuit = job.circuit.name.as_str(),
+            seed = job.config.root_seed
+        );
+        let cancel = job.deadline.map_or_else(CancelToken::none, CancelToken::with_deadline);
+        let result =
+            run_portfolio_cancellable(&job.circuit, &job.config, &shared.telemetry, &cancel);
+        if span.is_recording() {
+            span.arg("queue_ms", queue_ms);
+            span.arg("timed_out", result.is_err());
+        }
+        result
+    }));
+    match solved {
+        Err(_) => Err(JobFailure::Panic),
+        Ok(Err(_cancelled)) => Err(JobFailure::Timeout),
+        Ok(Ok(report)) => {
+            let report = report.to_json_deterministic();
+            lock_or_recover(&shared.cache).insert(job.cache_key.clone(), report.clone());
+            Ok((report, false))
+        }
     }
 }
 
@@ -396,7 +632,8 @@ enum Flow {
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     shared.metrics.connections_active.add(1);
     apls_telemetry::event!(shared.telemetry, "service", "accept");
-    handle_connection_inner(stream, shared);
+    // A handler panic must not leak the active-connections slot.
+    let _ = catch_unwind(AssertUnwindSafe(|| handle_connection_inner(stream, shared)));
     shared.metrics.connections_active.sub(1);
 }
 
@@ -412,27 +649,32 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut buf: Vec<u8> = Vec::new();
+    let max_request = shared.config.max_request_bytes;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         // The `Take` adapter enforces the request cap *during* the read, so a
         // peer streaming bytes without newlines can never make the daemon
-        // buffer more than MAX_REQUEST_BYTES + 1 bytes. Partial data stays in
+        // buffer more than max_request_bytes + 1 bytes. Partial data stays in
         // `buf` across read-timeout ticks.
-        let limit = (MAX_REQUEST_BYTES + 1 - buf.len()) as u64;
+        let limit = (max_request + 1 - buf.len()) as u64;
         match reader.by_ref().take(limit).read_until(b'\n', &mut buf) {
             Ok(0) => break, // EOF
             Ok(_) => {
-                if buf.len() > MAX_REQUEST_BYTES {
-                    let _ = writer.write_all(oversized_response().as_bytes());
+                if buf.len() > max_request {
+                    let _ = writer.write_all(oversized_response(max_request).as_bytes());
                     break;
                 }
                 // under the cap and no newline means EOF arrived mid-line:
                 // process what we have, the next read reports the EOF
                 let Ok(text) = std::str::from_utf8(&buf) else {
                     let _ = writer.write_all(
-                        format!("{}\n", error_response("request is not valid UTF-8")).as_bytes(),
+                        format!(
+                            "{}\n",
+                            error_response("bad_request", "request is not valid UTF-8")
+                        )
+                        .as_bytes(),
                     );
                     break;
                 };
@@ -461,14 +703,21 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn oversized_response() -> String {
+fn oversized_response(max_request: usize) -> String {
     format!(
-        "{{\"status\":\"error\",\"error\":\"request exceeds {MAX_REQUEST_BYTES} bytes, closing connection\"}}\n"
+        "{{\"status\":\"error\",\"kind\":\"request_too_large\",\"error\":\"request exceeds {max_request} bytes, closing connection\"}}\n"
     )
 }
 
-fn error_response(message: &str) -> String {
-    format!("{{\"status\":\"error\",\"error\":{}}}", quote(message))
+fn error_response(kind: &str, message: &str) -> String {
+    format!("{{\"status\":\"error\",\"kind\":{},\"error\":{}}}", quote(kind), quote(message))
+}
+
+fn timeout_response(id: u64, circuit: &str, seed: u64, deadline_ms: u64) -> String {
+    format!(
+        "{{\"status\":\"timeout\",\"kind\":\"deadline\",\"id\":{id},\"circuit\":{},\"seed\":{seed},\"error\":\"deadline of {deadline_ms} ms exceeded\"}}",
+        quote(circuit),
+    )
 }
 
 fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (String, Flow) {
@@ -476,6 +725,7 @@ fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (Str
     let (response, flow) = dispatch_request(line, shared, writer);
     // Centralised outcome accounting: every error/retry path funnels through
     // the envelope status, so the counters cannot drift from the protocol.
+    // (Timeouts are counted at the worker, where expiry is detected.)
     if response.starts_with("{\"status\":\"error\"") {
         shared.metrics.errors_total.inc();
     } else if response.starts_with("{\"status\":\"retry\"") {
@@ -487,7 +737,9 @@ fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (Str
 fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (String, Flow) {
     let json = match Json::parse(line) {
         Ok(json) => json,
-        Err(e) => return (error_response(&format!("invalid JSON: {e}")), Flow::Continue),
+        Err(e) => {
+            return (error_response("bad_request", &format!("invalid JSON: {e}")), Flow::Continue)
+        }
     };
     let op = json.get("op").and_then(Json::as_str);
     apls_telemetry::event!(
@@ -510,20 +762,23 @@ fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (St
         }
         Some("place") => (place(&json, shared), Flow::Continue),
         Some(other) => (
-            error_response(&format!("unknown op '{other}' (place, ping, stats, shutdown)")),
+            error_response(
+                "bad_request",
+                &format!("unknown op '{other}' (place, ping, stats, shutdown)"),
+            ),
             Flow::Continue,
         ),
-        None => (error_response("request needs an 'op' field"), Flow::Continue),
+        None => (error_response("bad_request", "request needs an 'op' field"), Flow::Continue),
     }
 }
 
 fn stats_response(shared: &Shared) -> String {
     let (cache_stats, cache_entries) = {
-        let cache = shared.cache.lock().expect("cache lock");
+        let cache = lock_or_recover(&shared.cache);
         (cache.stats(), cache.len())
     };
     format!(
-        "{{\"status\":\"ok\",\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
+        "{{\"status\":\"ok\",\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"journal_enabled\":{},\"poison_recoveries\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
         shared.config.workers,
         shared.config.queue_capacity,
         shared.config.cache_capacity,
@@ -535,6 +790,8 @@ fn stats_response(shared: &Shared) -> String {
         shared.metrics.in_flight.get(),
         shared.metrics.connections_active.get(),
         shared.telemetry.is_enabled(),
+        shared.journal.is_some(),
+        poison_recoveries(),
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.insertions,
@@ -548,15 +805,17 @@ fn stats_response(shared: &Shared) -> String {
 fn place(json: &Json, shared: &Arc<Shared>) -> String {
     let spec = match JobSpec::from_json(json) {
         Ok(spec) => spec,
-        Err(e) => return error_response(&e),
+        Err(e) => return error_response("bad_request", &e),
     };
     let circuit = match resolve_circuit(&spec.circuit) {
         Ok(circuit) => circuit,
-        Err(e) => return error_response(&e),
+        Err(e) => return error_response("bad_request", &e),
     };
     let circuit_name = circuit.name.clone();
     let circuit_canonical = serialize_circuit(&circuit);
+    let circuit_hash = canonical_hash(&circuit_canonical);
     let config_canonical = spec.config_canonical();
+    let deadline_ms = spec.deadline_ms;
 
     let total_start = Instant::now();
     let mut request_span = apls_telemetry::span!(
@@ -566,21 +825,46 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
         circuit = circuit_name.as_str()
     );
     let (done_rx, id, seed) = {
-        let mut guard = shared.enqueue.lock().expect("enqueue lock");
+        let mut guard = lock_or_recover(&shared.enqueue);
         let Some(slot) = guard.as_mut() else {
-            return error_response("service is shutting down");
+            return error_response("unavailable", "service is shutting down");
         };
         let index = slot.next_index;
         let seed = spec.seed.unwrap_or_else(|| shared.seeds.seed_for(JOB_SEED_LANE, index));
         let config = spec.resolved_config(seed);
         let cache_key = CacheKey { circuit: circuit_canonical, config: config_canonical, seed };
+        // The journaled spec is self-contained for replay: seed pinned to
+        // the resolved value, deadline stripped (a replayed job deserves its
+        // full time budget — the deadline bounded the original request's
+        // latency, not the result).
+        let journal_spec = shared.journal.as_ref().map(|_| {
+            let mut journal_spec = spec.clone();
+            journal_spec.seed = Some(seed);
+            journal_spec.deadline_ms = None;
+            journal_spec.to_json_line()
+        });
+        let config_fp = spec.config_fingerprint();
         // Probe the cache here, before spending a queue slot: a hit is
         // answered even when the queue is full of multi-second solves.
         // Hits still consume a job index, exactly as enqueued jobs do, so
         // derived seeds stay replay-stable either way.
-        let cached = shared.cache.lock().expect("cache lock").get(&cache_key).cloned();
+        let cached = lock_or_recover(&shared.cache).get(&cache_key).cloned();
         if let Some(report) = cached {
             slot.next_index += 1;
+            if let Some(spec_line) = &journal_spec {
+                shared.journal_append(&JournalRecord::Enqueue {
+                    index,
+                    seed,
+                    circuit_hash,
+                    config_fp,
+                    spec: spec_line,
+                });
+                shared.journal_append(&JournalRecord::Complete {
+                    index,
+                    report_fp: canonical_hash(&report),
+                    report: &report,
+                });
+            }
             drop(guard);
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -603,10 +887,28 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
             );
         }
         let (done_tx, done_rx) = mpsc::channel();
-        let job = Job { circuit, config, cache_key, enqueued: Instant::now(), respond: done_tx };
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let job = Job {
+            index,
+            circuit,
+            config,
+            cache_key,
+            deadline,
+            enqueued: Instant::now(),
+            respond: done_tx,
+        };
         match slot.tx.try_send(job) {
             Ok(()) => {
                 slot.next_index += 1;
+                if let Some(spec_line) = &journal_spec {
+                    shared.journal_append(&JournalRecord::Enqueue {
+                        index,
+                        seed,
+                        circuit_hash,
+                        config_fp,
+                        spec: spec_line,
+                    });
+                }
                 shared.metrics.queue_depth.add(1);
                 apls_telemetry::event!(
                     shared.telemetry,
@@ -622,31 +924,46 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
                     .to_string()
             }
             Err(TrySendError::Disconnected(_)) => {
-                return error_response("service is shutting down")
+                return error_response("unavailable", "service is shutting down")
             }
         }
     };
 
     let Ok(done) = done_rx.recv() else {
-        return error_response("worker terminated before completing the job");
+        return error_response("internal", "worker terminated before completing the job");
     };
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     shared.metrics.total_ms.observe(total_ms);
-    if request_span.is_recording() {
-        request_span.arg("id", id);
-        request_span.arg("seed", seed);
-        request_span.arg("cache_hit", done.cache_hit);
+    match done.outcome {
+        Ok((report, cache_hit)) => {
+            if request_span.is_recording() {
+                request_span.arg("id", id);
+                request_span.arg("seed", seed);
+                request_span.arg("cache_hit", cache_hit);
+            }
+            ok_envelope(
+                id,
+                &circuit_name,
+                seed,
+                cache_hit,
+                done.queue_ms,
+                done.solve_ms,
+                total_ms,
+                &report,
+            )
+        }
+        Err(JobFailure::Timeout) => {
+            if request_span.is_recording() {
+                request_span.arg("id", id);
+                request_span.arg("timed_out", true);
+            }
+            timeout_response(id, &circuit_name, seed, deadline_ms.unwrap_or(0))
+        }
+        Err(JobFailure::Panic) => error_response(
+            "internal",
+            "placement worker panicked while solving this job; the service is still up",
+        ),
     }
-    ok_envelope(
-        id,
-        &circuit_name,
-        seed,
-        done.cache_hit,
-        done.queue_ms,
-        done.solve_ms,
-        total_ms,
-        &done.report,
-    )
 }
 
 #[allow(clippy::too_many_arguments)]

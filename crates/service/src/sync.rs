@@ -1,0 +1,60 @@
+//! Poison-recovering lock acquisition.
+//!
+//! `std::sync::Mutex` poisons itself when a holder panics, and every later
+//! `lock().expect(..)` then panics too — one crashed worker cascades into
+//! whole-service death. All the state the daemon guards this way (the LRU
+//! cache, the enqueue slot, the queue receiver, the journal file) stays
+//! structurally valid across a panic: each critical section either completes
+//! its mutation or leaves a value that is merely stale, never torn. So the
+//! right recovery is to take the poisoned guard and keep going, counting the
+//! event so `stats` can report that a panic happened.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// How many poisoned locks have been recovered process-wide (reported by the
+/// daemon's `stats` command; a non-zero value means a worker panicked while
+/// holding service state and the service kept going).
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Locks `mutex`, recovering (and counting) a poisoned guard instead of
+/// propagating the panic of whoever poisoned it.
+pub fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Lifetime count of poisoned-lock recoveries in this process.
+#[must_use]
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_a_poisoned_lock_and_counts_it() {
+        let mutex = Arc::new(Mutex::new(7u64));
+        let before = poison_recoveries();
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(mutex.lock().is_err(), "lock is poisoned");
+        assert_eq!(*lock_or_recover(&mutex), 7, "value survives the poisoning");
+        assert!(poison_recoveries() > before);
+        // the guard works normally after recovery
+        *lock_or_recover(&mutex) = 8;
+        assert_eq!(*lock_or_recover(&mutex), 8);
+    }
+}

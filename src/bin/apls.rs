@@ -27,7 +27,9 @@ use analog_layout_synthesis::portfolio::{
     run_portfolio_traced, EarlyStop, PortfolioConfig, PortfolioEngine,
 };
 use analog_layout_synthesis::service::json::Json;
-use analog_layout_synthesis::service::{JobSpec, PlacementService, ServiceClient, ServiceConfig};
+use analog_layout_synthesis::service::{
+    FaultPlan, JobSpec, JournalConfig, PlacementService, RetryPolicy, ServiceClient, ServiceConfig,
+};
 use analog_layout_synthesis::telemetry::{
     RecordingCollector, StreamCollector, Telemetry, TraceSummary,
 };
@@ -190,6 +192,36 @@ fn serve_command() -> Command {
                 .value_name("FILE")
                 .help("Stream request-lifecycle trace events to FILE as JSON lines"),
         )
+        .arg(
+            Arg::new("journal")
+                .long("journal")
+                .value_name("FILE")
+                .help("Durable job journal: after a crash, a restart on the same file restores completed reports and replays incomplete jobs byte-identically"),
+        )
+        .arg(
+            Arg::new("journal-sync-ms")
+                .long("journal-sync-ms")
+                .value_name("MS")
+                .help("Batch journal fsyncs every MS milliseconds instead of per record (cheaper, may lose the last MS of records on power loss)"),
+        )
+        .arg(
+            Arg::new("max-connections")
+                .long("max-connections")
+                .value_name("N")
+                .help("Concurrent connections served at once; beyond this, new connections get an error line (default 1024)"),
+        )
+        .arg(
+            Arg::new("job-delay-ms")
+                .long("job-delay-ms")
+                .value_name("MS")
+                .help("Testing: add MS milliseconds of artificial latency to every computed (non-cached) job"),
+        )
+        .arg(
+            Arg::new("fault-plan")
+                .long("fault-plan")
+                .value_name("FILE")
+                .help("Deterministic fault-injection plan (tests/CI only; requires APLS_FAULT_INJECTION=1)"),
+        )
 }
 
 fn submit_command() -> Command {
@@ -275,6 +307,18 @@ fn submit_command() -> Command {
                 .long("fast")
                 .action(ArgAction::SetTrue)
                 .help("Use the short smoke-test annealing schedule"),
+        )
+        .arg(
+            Arg::new("deadline-ms")
+                .long("deadline-ms")
+                .value_name("MS")
+                .help("Per-job deadline; a job that exceeds it answers status=timeout"),
+        )
+        .arg(
+            Arg::new("retries")
+                .long("retries")
+                .value_name("N")
+                .help("Retry transient failures and 'retry' answers up to N total attempts (bounded exponential backoff with deterministic jitter)"),
         )
         .arg(
             Arg::new("json")
@@ -451,6 +495,39 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
     if queue_capacity == 0 {
         return Err("--queue must be at least 1".to_string());
     }
+    let journal = match matches.get_one::<String>("journal") {
+        Some(path) => {
+            let mut journal = JournalConfig::new(path);
+            if let Some(ms) = parse_optional::<u64>(
+                matches.get_one::<String>("journal-sync-ms"),
+                "--journal-sync-ms",
+            )? {
+                journal = journal.with_batched_sync(std::time::Duration::from_millis(ms));
+            }
+            Some(journal)
+        }
+        None => {
+            if matches.get_one::<String>("journal-sync-ms").is_some() {
+                return Err("--journal-sync-ms requires --journal FILE".to_string());
+            }
+            None
+        }
+    };
+    let fault_plan = match matches.get_one::<String>("fault-plan") {
+        Some(path) => {
+            // fault injection degrades the service on purpose; the env guard
+            // keeps a copy-pasted test command line from hurting production
+            if std::env::var("APLS_FAULT_INJECTION").as_deref() != Ok("1") {
+                return Err(
+                    "--fault-plan is a test harness; set APLS_FAULT_INJECTION=1 to confirm"
+                        .to_string(),
+                );
+            }
+            Some(FaultPlan::load(std::path::Path::new(path))?)
+        }
+        None => None,
+    };
+    let defaults = ServiceConfig::default();
     let config = ServiceConfig {
         host: matches.get_one::<String>("host").expect("defaulted").clone(),
         port: parse_number(matches.get_one::<String>("port"), "--port")?,
@@ -458,11 +535,32 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
         queue_capacity,
         cache_capacity: parse_number(matches.get_one::<String>("cache"), "--cache")?,
         seed: parse_number(matches.get_one::<String>("seed"), "--seed")?,
-        job_delay: None,
+        job_delay: parse_optional::<u64>(
+            matches.get_one::<String>("job-delay-ms"),
+            "--job-delay-ms",
+        )?
+        .map(std::time::Duration::from_millis),
+        max_connections: parse_optional(
+            matches.get_one::<String>("max-connections"),
+            "--max-connections",
+        )?
+        .unwrap_or(defaults.max_connections),
+        max_request_bytes: defaults.max_request_bytes,
+        journal,
+        fault_plan,
     };
+    if config.max_connections == 0 {
+        return Err("--max-connections must be at least 1".to_string());
+    }
     let workers = config.workers;
     let queue = config.queue_capacity;
     let cache = config.cache_capacity;
+    let journal_note = config
+        .journal
+        .as_ref()
+        .map(|j| format!(", journal {}", j.path.display()))
+        .unwrap_or_default();
+    let fault_note = if config.fault_plan.is_some() { ", FAULT INJECTION ACTIVE" } else { "" };
     let telemetry = match matches.get_one::<String>("trace") {
         Some(path) => {
             let file = std::fs::File::create(path)
@@ -475,7 +573,7 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
     let service = PlacementService::start_with_telemetry(config, telemetry)
         .map_err(|e| format!("cannot start service: {e}"))?;
     println!(
-        "apls service listening on {} ({workers} worker(s), queue {queue}, cache {cache})",
+        "apls service listening on {} ({workers} worker(s), queue {queue}, cache {cache}{journal_note}{fault_note})",
         service.local_addr()
     );
     println!("stop with: apls submit --addr {} --op shutdown", service.local_addr());
@@ -528,6 +626,10 @@ fn run_submit(matches: &ArgMatches) -> Result<(), String> {
     )?;
     spec.plateau = parse_optional(matches.get_one::<String>("plateau"), "--plateau")?;
     spec.threads = parse_optional(matches.get_one::<String>("threads"), "--threads")?;
+    spec.deadline_ms = parse_optional(matches.get_one::<String>("deadline-ms"), "--deadline-ms")?;
+    if spec.deadline_ms == Some(0) {
+        return Err("--deadline-ms must be at least 1".to_string());
+    }
     if matches.get_flag("fast") {
         spec.fast = Some(true);
     }
@@ -536,11 +638,25 @@ fn run_submit(matches: &ArgMatches) -> Result<(), String> {
         spec.engines = Some(engines_for(engine_name)?);
     }
 
-    let response = client.place(&spec).map_err(|e| format!("request failed: {e}"))?;
+    let retries: Option<u32> = parse_optional(matches.get_one::<String>("retries"), "--retries")?;
+    let response = match retries {
+        Some(0) => return Err("--retries must be at least 1".to_string()),
+        Some(attempts) if attempts > 1 => {
+            let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() };
+            ServiceClient::place_with_retry(addr.as_str(), &spec, &policy)
+        }
+        _ => client.place(&spec),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
     match response.status.as_str() {
         "ok" => {
+            let attempts_note = if response.attempts > 1 {
+                format!(" attempts={}", response.attempts)
+            } else {
+                String::new()
+            };
             println!(
-                "job {}: status=ok circuit={} seed={} cache_hit={} queue {:.1} ms, solve {:.1} ms, total {:.1} ms",
+                "job {}: status=ok circuit={} seed={} cache_hit={} queue {:.1} ms, solve {:.1} ms, total {:.1} ms{attempts_note}",
                 response.id.unwrap_or(0),
                 response.circuit.as_deref().unwrap_or("?"),
                 response.seed.unwrap_or(0),
@@ -558,6 +674,10 @@ fn run_submit(matches: &ArgMatches) -> Result<(), String> {
         "retry" => Err(format!(
             "service busy: {} (resubmit later)",
             response.error.as_deref().unwrap_or("queue full")
+        )),
+        "timeout" => Err(format!(
+            "job timed out: {}",
+            response.error.as_deref().unwrap_or("deadline exceeded")
         )),
         _ => {
             Err(format!("service error: {}", response.error.as_deref().unwrap_or("unknown error")))

@@ -1,0 +1,272 @@
+//! Fault-injection matrix for the placement service: deterministic
+//! [`FaultPlan`]s degrade the daemon at pinned points — worker panics,
+//! forced-slow solves, dropped connections — and the service must keep
+//! serving, answer the affected jobs with typed envelopes, count every
+//! fault, and preserve the determinism contract for everything else.
+
+use analog_layout_synthesis::service::{
+    FaultPlan, JobSpec, PlacementService, RetryPolicy, ServiceClient, ServiceConfig,
+};
+use std::time::Duration;
+
+fn fast_spec(circuit: &str, seed: u64) -> JobSpec {
+    JobSpec::bundled(circuit).with_seed(seed).with_restarts(1).with_fast(true)
+}
+
+/// The report a healthy, fault-free service produces for `spec` — the
+/// reference every degraded run is compared against.
+fn reference_report(spec: &JobSpec) -> String {
+    let service = PlacementService::start(ServiceConfig::default()).expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let response = client.place(spec).expect("round-trips");
+    assert!(response.is_ok());
+    service.shutdown();
+    service.join();
+    response.report.expect("report")
+}
+
+#[test]
+fn a_worker_panic_is_isolated_answered_and_counted() {
+    // Job index 0 panics mid-solve; the same worker must go on to solve the
+    // next job, and the resubmitted spec (now index 1+) must match a clean
+    // service byte for byte.
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        fault_plan: Some(FaultPlan::new().with_panic_job(0)),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+
+    let spec = fast_spec("miller_opamp_fig6", 11);
+    let failed = client.place(&spec).expect("the envelope still round-trips");
+    assert_eq!(failed.status, "error", "{failed:?}");
+    assert_eq!(failed.kind.as_deref(), Some("internal"), "{failed:?}");
+    assert!(failed.report.is_none());
+
+    let healed = client.place(&spec).expect("round-trips");
+    assert!(healed.is_ok(), "the worker must survive the panic: {healed:?}");
+    assert_eq!(healed.report.as_deref(), Some(reference_report(&spec).as_str()));
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"worker_panics_total\":1"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn deadlines_time_out_slow_jobs_and_never_touch_the_cache_key() {
+    // An injected 30s solve against a 50ms deadline must answer `timeout`
+    // (cooperative cancellation, not 30s later), and a generous deadline on
+    // an identical spec must still share the no-deadline cache entry.
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        fault_plan: Some(FaultPlan::new().with_slow_solve(0, 200)),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+
+    let spec = fast_spec("folded_cascode", 5);
+    let timed_out =
+        client.place(&spec.clone().with_deadline_ms(50)).expect("the envelope round-trips");
+    assert!(timed_out.is_timeout(), "{timed_out:?}");
+    assert_eq!(timed_out.kind.as_deref(), Some("deadline"), "{timed_out:?}");
+
+    // job 1 has no injected latency: solves normally, no deadline
+    let computed = client.place(&spec).expect("round-trips");
+    assert!(computed.is_ok() && !computed.cache_hit, "{computed:?}");
+
+    // deadline_ms is excluded from the cache key: the deadlined resubmission
+    // must be a cache hit with the byte-identical report
+    let cached = client.place(&spec.clone().with_deadline_ms(60_000)).expect("round-trips");
+    assert!(cached.is_ok() && cached.cache_hit, "{cached:?}");
+    assert_eq!(cached.report, computed.report);
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"timeouts_total\":1"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn dropped_connections_are_counted_and_the_next_one_serves() {
+    let service = PlacementService::start(ServiceConfig {
+        fault_plan: Some(FaultPlan::new().with_drop_connection(0)),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+
+    // accepted connection #0 is dropped on the floor: the client sees EOF
+    // (or a reset) instead of a ping response
+    let mut doomed = ServiceClient::connect(service.local_addr()).expect("tcp connects");
+    assert!(doomed.ping().is_err(), "connection 0 must be dropped");
+
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    assert!(client.ping().expect("connection 1 serves").contains("\"status\":\"ok\""));
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"connections_dropped_total\":1"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn a_saturated_queue_answers_retry_and_place_with_retry_rides_it_out() {
+    // One worker pinned down by a 400ms injected solve, a queue of depth 1:
+    // the first job occupies the worker, the second fills the queue, the
+    // third must be refused with `retry` — and a retrying client must
+    // eventually land it.
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        fault_plan: Some(FaultPlan::new().with_slow_solve(0, 400)),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let addr = service.local_addr();
+
+    let slow = fast_spec("miller_opamp_fig6", 1);
+    let queued = fast_spec("miller_v2", 2);
+    let refused_spec = fast_spec("comparator_v2", 3);
+
+    let slow_handle = {
+        let slow = slow.clone();
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connects");
+            client.place(&slow).expect("round-trips")
+        })
+    };
+    // let the slow job reach the worker before filling the queue behind it
+    std::thread::sleep(Duration::from_millis(100));
+    let queued_handle = {
+        let queued = queued.clone();
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connects");
+            client.place(&queued).expect("round-trips")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = ServiceClient::connect(addr).expect("connects");
+    let refused = client.place(&refused_spec).expect("the envelope round-trips");
+    assert!(refused.is_retry(), "a full queue must answer retry: {refused:?}");
+
+    // bounded backoff with deterministic jitter outlasts the 400ms clog
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base: Duration::from_millis(100),
+        cap: Duration::from_millis(400),
+        jitter_seed: 7,
+    };
+    let landed = ServiceClient::place_with_retry(addr, &refused_spec, &policy)
+        .expect("retries must eventually land");
+    assert!(landed.is_ok(), "{landed:?}");
+    assert!(landed.attempts >= 1);
+
+    assert!(slow_handle.join().expect("no panic").is_ok());
+    assert!(queued_handle.join().expect("no panic").is_ok());
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"retries_total\":"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn the_connection_limit_refuses_with_an_error_line() {
+    let service =
+        PlacementService::start(ServiceConfig { max_connections: 1, ..ServiceConfig::default() })
+            .expect("service starts");
+
+    let mut first = ServiceClient::connect(service.local_addr()).expect("connects");
+    // ensure the first handler is registered before probing the limit
+    assert!(first.ping().expect("serves").contains("\"status\":\"ok\""));
+
+    let mut refused = ServiceClient::connect(service.local_addr()).expect("tcp connects");
+    // the service writes the refusal line without reading a request, then
+    // closes; request_line surfaces either the line or the hangup
+    match refused.request_line("{\"op\":\"ping\"}") {
+        Ok(line) => {
+            assert!(line.contains("connection limit"), "{line}");
+            assert!(line.starts_with("{\"status\":\"error\""), "{line}");
+        }
+        Err(e) => panic!("expected the refusal line, got {e}"),
+    }
+
+    // the slot frees once the first connection closes
+    drop(first);
+    for _ in 0..50 {
+        let mut again = ServiceClient::connect(service.local_addr()).expect("tcp connects");
+        if again.ping().is_ok_and(|line| line.contains("\"status\":\"ok\"")) {
+            service.shutdown();
+            service.join();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("connection slot never freed after the first client disconnected");
+}
+
+#[test]
+fn oversized_requests_are_refused_and_the_connection_closed() {
+    let service = PlacementService::start(ServiceConfig {
+        max_request_bytes: 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+
+    // a small request still round-trips under the tiny cap
+    assert!(client.ping().expect("serves").contains("\"status\":\"ok\""));
+
+    let huge = format!("{{\"op\":\"place\",\"circuit\":\"{}\"}}", "x".repeat(4096));
+    let line = client.request_line(&huge).expect("the refusal line arrives");
+    assert!(line.starts_with("{\"status\":\"error\""), "{line}");
+    assert!(line.contains("\"kind\":\"request_too_large\""), "{line}");
+
+    // the contract says the connection closes after the refusal
+    assert!(client.ping().is_err(), "connection must be closed after an oversized request");
+
+    // a fresh connection is unaffected
+    let mut fresh = ServiceClient::connect(service.local_addr()).expect("connects");
+    assert!(fresh.ping().expect("serves").contains("\"status\":\"ok\""));
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn fault_runs_preserve_determinism_for_unaffected_jobs() {
+    // A degraded service (panic on job 0, slow job 1, dropped connection 2)
+    // must still answer every *unaffected* job byte-identically to a clean
+    // service.
+    let specs = [fast_spec("miller_opamp_fig6", 21), fast_spec("folded_cascode", 22)];
+    let references: Vec<String> = specs.iter().map(reference_report).collect();
+
+    let service = PlacementService::start(ServiceConfig {
+        workers: 2,
+        fault_plan: Some(
+            FaultPlan::new().with_panic_job(0).with_slow_solve(1, 50).with_drop_connection(2),
+        ),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+
+    // job 0: sacrificial panic
+    let sacrificial = client.place(&fast_spec("miller_v2", 20)).expect("envelope round-trips");
+    assert_eq!(sacrificial.kind.as_deref(), Some("internal"));
+
+    // job 1 runs slow but completes; job 2 is untouched
+    for (spec, reference) in specs.iter().zip(&references) {
+        let response = client.place(spec).expect("round-trips");
+        assert!(response.is_ok(), "{response:?}");
+        assert_eq!(response.report.as_deref(), Some(reference.as_str()), "{spec:?}");
+    }
+
+    service.shutdown();
+    service.join();
+}
