@@ -52,5 +52,6 @@ pub use engine::{
 };
 pub use report::{EngineSummary, PortfolioReport, RestartRecord};
 pub use runner::{
-    run_portfolio, run_portfolio_cancellable, run_portfolio_traced, CancelToken, Cancelled,
+    run_portfolio, run_portfolio_cancellable, run_portfolio_observed, run_portfolio_traced,
+    CancelToken, Cancelled, RestartObserver,
 };

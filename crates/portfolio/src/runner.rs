@@ -70,6 +70,21 @@ impl CancelToken {
     }
 }
 
+/// A per-restart completion callback for a portfolio run.
+///
+/// The runner invokes [`RestartObserver::restart_complete`] from its driver
+/// thread, in *plan order*, after each restart generation finishes — never
+/// from inside the rayon pool, so implementations need not be `Sync`.
+/// Observe-only: an installed observer forces per-generation batching
+/// (exactly like an armed [`CancelToken`], which is pinned to never change a
+/// completed report) but can never touch a seed stream or a record.
+pub trait RestartObserver {
+    /// Called once per completed restart with the finished record, the
+    /// number of restarts completed so far (1-based, in plan order) and the
+    /// planned total.
+    fn restart_complete(&self, record: &RestartRecord, completed: usize, total: usize);
+}
+
 /// The error of a cancelled portfolio run: the deadline passed or the token
 /// fired before every generation completed. No partial report is returned —
 /// a cancelled run produces nothing, so it can never leak a
@@ -142,6 +157,29 @@ pub fn run_portfolio_cancellable(
     telemetry: &Telemetry,
     cancel: &CancelToken,
 ) -> Result<PortfolioReport, Cancelled> {
+    run_portfolio_observed(circuit, config, telemetry, cancel, None)
+}
+
+/// [`run_portfolio_cancellable`] with an optional [`RestartObserver`]
+/// notified after every completed restart (the service's streaming
+/// `progress` frames hang off this hook).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the last generation
+/// completes.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`PortfolioConfig::validate`]) or the circuit is inconsistent.
+pub fn run_portfolio_observed(
+    circuit: &BenchmarkCircuit,
+    config: &PortfolioConfig,
+    telemetry: &Telemetry,
+    cancel: &CancelToken,
+    observer: Option<&dyn RestartObserver>,
+) -> Result<PortfolioReport, Cancelled> {
     config.validate();
     let start = Instant::now();
     let mut run_span = apls_telemetry::span!(
@@ -162,15 +200,17 @@ pub fn run_portfolio_cancellable(
     let mut early_stopped = false;
 
     let generations = config.generations();
-    // Without early stopping (or an armed cancel token, which needs
-    // per-generation checkpoints) there is no reason to synchronise between
-    // generations: flatten the plan into one fan-out so every worker stays
-    // busy until the queue drains.
-    let batches: Vec<Vec<RestartTask>> = if detector.is_some() || cancel.is_armed() {
-        generations
-    } else {
-        vec![generations.into_iter().flatten().collect()]
-    };
+    let planned: usize = generations.iter().map(Vec::len).sum();
+    // Without early stopping (or an armed cancel token or an observer, which
+    // need per-generation checkpoints) there is no reason to synchronise
+    // between generations: flatten the plan into one fan-out so every worker
+    // stays busy until the queue drains.
+    let batches: Vec<Vec<RestartTask>> =
+        if detector.is_some() || cancel.is_armed() || observer.is_some() {
+            generations
+        } else {
+            vec![generations.into_iter().flatten().collect()]
+        };
 
     for batch in batches {
         if cancel.is_cancelled() {
@@ -182,6 +222,11 @@ pub fn run_portfolio_cancellable(
         let batch_records: Vec<RestartRecord> = pool.install(|| {
             batch.into_par_iter().map(|task| execute(circuit, task, config, telemetry)).collect()
         });
+        if let Some(observer) = observer {
+            for (offset, record) in batch_records.iter().enumerate() {
+                observer.restart_complete(record, records.len() + offset + 1, planned);
+            }
+        }
         records.extend(batch_records);
         if let Some(detector) = detector.as_mut() {
             let best_so_far = records.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
@@ -335,6 +380,48 @@ mod tests {
         assert!(!none.is_armed());
         none.cancel(); // no-op
         assert!(!none.is_cancelled());
+    }
+
+    #[test]
+    fn observer_sees_every_restart_in_plan_order_without_changing_the_report() {
+        use std::cell::RefCell;
+
+        struct Recorder(RefCell<Vec<(String, usize, usize, usize)>>);
+        impl RestartObserver for Recorder {
+            fn restart_complete(&self, record: &RestartRecord, completed: usize, total: usize) {
+                self.0.borrow_mut().push((
+                    record.engine.name().to_string(),
+                    record.restart,
+                    completed,
+                    total,
+                ));
+            }
+        }
+
+        let circuit = benchmarks::miller_opamp_fig6();
+        let config = PortfolioConfig::new(4).with_restarts(2).with_fast_schedule(true);
+        let plain = run_portfolio(&circuit, &config);
+        let recorder = Recorder(RefCell::new(Vec::new()));
+        let observed = run_portfolio_observed(
+            &circuit,
+            &config,
+            &Telemetry::disabled(),
+            &CancelToken::none(),
+            Some(&recorder),
+        )
+        .expect("an unarmed token never cancels");
+        // an observer changes batching, never results
+        assert_eq!(costs(&plain), costs(&observed));
+        assert_eq!(plain.best().placement, observed.best().placement);
+
+        let seen = recorder.0.into_inner();
+        assert_eq!(seen.len(), observed.restarts.len(), "one callback per restart");
+        for (i, (engine, restart, completed, total)) in seen.iter().enumerate() {
+            let record = &observed.restarts[i];
+            assert_eq!((engine.as_str(), *restart), (record.engine.name(), record.restart));
+            assert_eq!(*completed, i + 1, "completed counts up in plan order");
+            assert_eq!(*total, observed.restarts.len());
+        }
     }
 
     #[test]

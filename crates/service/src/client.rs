@@ -10,7 +10,7 @@
 //! and honouring the service's explicit `{"status":"retry"}` backpressure
 //! signal.
 
-use crate::protocol::{JobSpec, PlaceResponse};
+use crate::protocol::{JobSpec, PlaceResponse, StreamFrame};
 use apls_anneal::rng::SeedStream;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -85,6 +85,8 @@ fn is_transient(kind: io::ErrorKind) -> bool {
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Next auto-assigned correlation id for streamed jobs.
+    next_stream_id: u64,
 }
 
 impl ServiceClient {
@@ -99,7 +101,7 @@ impl ServiceClient {
         // small writes with the peer's delayed ACK
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(ServiceClient { reader, writer })
+        Ok(ServiceClient { reader, writer, next_stream_id: 1 })
     }
 
     /// Sends one raw request line and reads one response line.
@@ -135,6 +137,89 @@ impl ServiceClient {
         let line = self.request_line(&spec.to_json_line())?;
         PlaceResponse::from_json_line(&line)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one raw request line without waiting for a response (used to
+    /// multiplex several streamed jobs over the connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        let mut request = String::with_capacity(line.len() + 1);
+        request.push_str(line);
+        request.push('\n');
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads and decodes one stream frame off the connection.
+    ///
+    /// Only valid on a connection where every in-flight job was submitted
+    /// with `stream: true` — a plain response line is reported as
+    /// [`io::ErrorKind::InvalidData`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a closed connection reads as
+    /// [`io::ErrorKind::UnexpectedEof`]; an undecodable line becomes
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_frame(&mut self) -> io::Result<StreamFrame> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            ));
+        }
+        StreamFrame::from_json_line(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Submits a streamed placement job and returns its correlation id
+    /// without waiting for any frame. Use [`ServiceClient::read_frame`] to
+    /// collect frames, matching them to jobs by [`StreamFrame::id`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn submit_streaming(&mut self, spec: &JobSpec) -> io::Result<u64> {
+        let id = self.next_stream_id;
+        self.next_stream_id += 1;
+        let spec = spec.clone().with_stream(id);
+        self.send_line(&spec.to_json_line())?;
+        Ok(id)
+    }
+
+    /// Submits a streamed placement job and blocks until its report frame,
+    /// handing every intermediate frame (`accepted`, `queued`, `progress`)
+    /// to `on_frame`. The returned envelope's report body is byte-identical
+    /// to a non-streaming [`ServiceClient::place`] of the same job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an undecodable or foreign-id frame becomes
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn place_streaming(
+        &mut self,
+        spec: &JobSpec,
+        mut on_frame: impl FnMut(&StreamFrame),
+    ) -> io::Result<PlaceResponse> {
+        let id = self.submit_streaming(spec)?;
+        loop {
+            let frame = self.read_frame()?;
+            if frame.id() != id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame for unexpected stream id {} (want {id})", frame.id()),
+                ));
+            }
+            match frame {
+                StreamFrame::Report { response, .. } => return Ok(*response),
+                other => on_frame(&other),
+            }
+        }
     }
 
     /// Health check; returns the raw response line.

@@ -270,7 +270,7 @@ fn replay(text: &str) -> Recovery {
         };
         match record {
             ParsedRecord::Enqueue(job) => {
-                jobs.insert(job.index, job);
+                jobs.insert(job.index, *job);
             }
             ParsedRecord::Complete { index, report } => {
                 if let Some(job) = jobs.get_mut(&index) {
@@ -284,7 +284,7 @@ fn replay(text: &str) -> Recovery {
 }
 
 enum ParsedRecord {
-    Enqueue(RecoveredJob),
+    Enqueue(Box<RecoveredJob>),
     Complete { index: u64, report: String },
 }
 
@@ -301,14 +301,14 @@ fn parse_record(line: &str) -> Option<ParsedRecord> {
             let config_fp = json.get("config_fp").and_then(Json::as_u64)?;
             let spec_text = json.get("spec").and_then(Json::as_str)?;
             let spec = JobSpec::from_json(&Json::parse(spec_text).ok()?).ok()?;
-            Some(ParsedRecord::Enqueue(RecoveredJob {
+            Some(ParsedRecord::Enqueue(Box::new(RecoveredJob {
                 index,
                 seed,
                 circuit_hash,
                 config_fp,
                 spec,
                 report: None,
-            }))
+            })))
         }
         "complete" => {
             let report = json.get("report").and_then(Json::as_str)?.to_string();

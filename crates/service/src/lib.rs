@@ -57,7 +57,9 @@
 //! service.join();
 //! ```
 
-#![forbid(unsafe_code)]
+// The readiness poller binds epoll/poll(2) directly (std exposes no
+// selector); every other module stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -66,7 +68,10 @@ pub mod fault;
 pub mod journal;
 pub mod json;
 mod metrics;
+mod poller;
 mod protocol;
+#[cfg(unix)]
+mod reactor;
 mod server;
 pub mod sync;
 
@@ -74,6 +79,6 @@ pub use cache::CacheStats;
 pub use client::{RetryPolicy, ServiceClient};
 pub use fault::FaultPlan;
 pub use journal::{JournalConfig, SyncPolicy};
-pub use protocol::{CircuitSource, JobSpec, PlaceResponse};
-pub use server::{PlacementService, ServiceConfig, JOB_SEED_LANE, PROTOCOL_VERSION};
+pub use protocol::{CircuitSource, JobSpec, PlaceResponse, StreamFrame};
+pub use server::{PlacementService, ServeMode, ServiceConfig, JOB_SEED_LANE, PROTOCOL_VERSION};
 pub use sync::{lock_or_recover, poison_recoveries};

@@ -41,6 +41,17 @@ pub(crate) struct ServiceMetrics {
     pub jobs_replayed_total: Counter,
     /// Accepted connections dropped by fault injection.
     pub connections_dropped_total: Counter,
+    /// Fds currently registered in the readiness poller (event-loop mode:
+    /// listener + wake pipe + one per connection).
+    pub poller_registered_fds: Gauge,
+    /// Times the reactor (or the legacy acceptor) woke from its readiness
+    /// poll with at least one event.
+    pub readiness_wakeups_total: Counter,
+    /// Streaming frames written (accepted/queued/progress/report).
+    pub frames_sent_total: Counter,
+    /// Live handler threads in legacy-threads mode (reaped opportunistically
+    /// on accept; the regression bound for 10k short-lived connections).
+    pub handler_threads: Gauge,
     /// Time a job spent queued before a worker picked it up (ms).
     pub queue_ms: Histogram,
     /// Time a worker spent solving (or fetching from cache) a job (ms).
@@ -67,6 +78,10 @@ impl ServiceMetrics {
             jobs_recovered_total: registry.counter("jobs_recovered_total"),
             jobs_replayed_total: registry.counter("jobs_replayed_total"),
             connections_dropped_total: registry.counter("connections_dropped_total"),
+            poller_registered_fds: registry.gauge("poller_registered_fds"),
+            readiness_wakeups_total: registry.counter("readiness_wakeups_total"),
+            frames_sent_total: registry.counter("frames_sent_total"),
+            handler_threads: registry.gauge("handler_threads"),
             queue_ms: registry.histogram("queue_ms", LATENCY_MS_BOUNDS),
             solve_ms: registry.histogram("solve_ms", LATENCY_MS_BOUNDS),
             total_ms: registry.histogram("total_ms", LATENCY_MS_BOUNDS),

@@ -59,6 +59,17 @@ pub struct JobSpec {
     /// of the cache key, and stripped before journaling so recovery replays
     /// the job with its full time budget.
     pub deadline_ms: Option<u64>,
+    /// Requests a streamed response: tagged frames
+    /// (`accepted → queued → progress* → report`) instead of one envelope
+    /// line, so one connection can interleave many in-flight jobs. Requires
+    /// [`JobSpec::stream_id`]. Transport-only: like `deadline_ms`, never part
+    /// of the cache key and stripped before journaling — the final report
+    /// body is byte-identical to the non-streaming path.
+    pub stream: Option<bool>,
+    /// Client-chosen correlation id echoed in every frame of a streamed
+    /// job. Scoped to the connection: two ids may not be in flight on the
+    /// same connection at once. Only valid together with `stream: true`.
+    pub stream_id: Option<u64>,
 }
 
 impl JobSpec {
@@ -86,6 +97,8 @@ impl JobSpec {
             plateau: None,
             threads: None,
             deadline_ms: None,
+            stream: None,
+            stream_id: None,
         }
     }
 
@@ -121,6 +134,14 @@ impl JobSpec {
     #[must_use]
     pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Requests a streamed response correlated by `id` (builder style).
+    #[must_use]
+    pub fn with_stream(mut self, id: u64) -> Self {
+        self.stream = Some(true);
+        self.stream_id = Some(id);
         self
     }
 
@@ -164,6 +185,12 @@ impl JobSpec {
         if let Some(d) = self.deadline_ms {
             out.push_str(&format!(",\"deadline_ms\":{d}"));
         }
+        if let Some(s) = self.stream {
+            out.push_str(&format!(",\"stream\":{s}"));
+        }
+        if let Some(id) = self.stream_id {
+            out.push_str(&format!(",\"id\":{id}"));
+        }
         out.push('}');
         out
     }
@@ -179,7 +206,7 @@ impl JobSpec {
     pub fn from_json(json: &Json) -> Result<JobSpec, String> {
         // strict field set: a typo'd option must error, not silently run the
         // job with defaults
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 14] = [
             "op",
             "circuit",
             "apls",
@@ -192,6 +219,8 @@ impl JobSpec {
             "plateau",
             "threads",
             "deadline_ms",
+            "stream",
+            "id",
         ];
         if let Json::Obj(fields) = json {
             for (key, _) in fields {
@@ -284,6 +313,21 @@ impl JobSpec {
                 return Err("'deadline_ms' must be at least 1".to_string());
             }
             spec.deadline_ms = Some(d);
+        }
+        if let Some(v) = json.get("stream") {
+            spec.stream = Some(v.as_bool().ok_or("'stream' must be a boolean")?);
+        }
+        if let Some(v) = json.get("id") {
+            spec.stream_id = Some(v.as_u64().ok_or("'id' must be an unsigned 64-bit integer")?);
+        }
+        match (spec.stream, spec.stream_id) {
+            (Some(true), None) => {
+                return Err("'stream':true needs a client-chosen 'id' to tag frames".to_string())
+            }
+            (None | Some(false), Some(_)) => {
+                return Err("'id' is only valid with 'stream':true".to_string())
+            }
+            _ => {}
         }
         Ok(spec)
     }
@@ -429,6 +473,123 @@ impl PlaceResponse {
     }
 }
 
+/// One decoded frame of a streamed `place` response.
+///
+/// A streamed job answers with tagged single-line frames in the fixed order
+/// `accepted → queued → progress* → report`; a job the service could not
+/// accept (queue full, bad request, duplicate id) skips straight to a
+/// `report` frame carrying the error envelope. Frames of concurrent jobs on
+/// one connection interleave only at line granularity — never mid-line.
+#[derive(Debug, Clone)]
+pub enum StreamFrame {
+    /// The job was admitted: the service assigned `job` (the arrival-order
+    /// index non-streamed envelopes call `id`) and resolved the seed.
+    Accepted {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// Server-assigned arrival-order job index.
+        job: u64,
+        /// Circuit name, echoed back.
+        circuit: String,
+        /// The root seed the job will run with (pinned or derived).
+        seed: u64,
+    },
+    /// The job entered the bounded queue (`depth` jobs were queued after the
+    /// insert; a cache hit reports depth 0 — it never consumes a slot).
+    Queued {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// Queue depth right after the insert.
+        depth: u64,
+    },
+    /// One restart of the portfolio plan completed.
+    Progress {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// Engine that ran the restart.
+        engine: String,
+        /// Restart number within that engine.
+        restart: u64,
+        /// Restarts completed so far (1-based, plan order).
+        completed: u64,
+        /// Planned total restarts.
+        total: u64,
+        /// The restart's placement cost.
+        cost: f64,
+    },
+    /// The final envelope; `response.report` is byte-identical to the
+    /// non-streaming path for the same `(circuit, config, seed)`.
+    Report {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The decoded terminal envelope ([`PlaceResponse::id`] carries the
+        /// server job index from the frame's `job` field).
+        response: Box<PlaceResponse>,
+    },
+}
+
+impl StreamFrame {
+    /// Decodes one frame line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not a JSON object, is missing the
+    /// `frame`/`id` tags, or names an unknown frame type. A plain
+    /// (non-frame) response line is an error too — callers that multiplex
+    /// should only feed lines from streaming connections here.
+    pub fn from_json_line(line: &str) -> Result<StreamFrame, String> {
+        let json = Json::parse(line)?;
+        let frame = json
+            .get("frame")
+            .and_then(Json::as_str)
+            .ok_or("not a stream frame: no 'frame' tag")?
+            .to_string();
+        let id = json.get("id").and_then(Json::as_u64).ok_or("frame has no 'id'")?;
+        match frame.as_str() {
+            "accepted" => Ok(StreamFrame::Accepted {
+                id,
+                job: json.get("job").and_then(Json::as_u64).ok_or("accepted frame has no 'job'")?,
+                circuit: json.get("circuit").and_then(Json::as_str).unwrap_or_default().to_string(),
+                seed: json
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or("accepted frame has no 'seed'")?,
+            }),
+            "queued" => Ok(StreamFrame::Queued {
+                id,
+                depth: json.get("depth").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            "progress" => Ok(StreamFrame::Progress {
+                id,
+                engine: json.get("engine").and_then(Json::as_str).unwrap_or_default().to_string(),
+                restart: json.get("restart").and_then(Json::as_u64).unwrap_or(0),
+                completed: json.get("completed").and_then(Json::as_u64).unwrap_or(0),
+                total: json.get("total").and_then(Json::as_u64).unwrap_or(0),
+                cost: json.get("cost").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            }),
+            "report" => {
+                let mut response = PlaceResponse::from_json_line(line)?;
+                // in a report frame, `id` is the client correlation id and
+                // `job` the server index that plain envelopes call `id`
+                response.id = json.get("job").and_then(Json::as_u64);
+                Ok(StreamFrame::Report { id, response: Box::new(response) })
+            }
+            other => Err(format!("unknown frame type '{other}'")),
+        }
+    }
+
+    /// The client correlation id carried by every frame.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            StreamFrame::Accepted { id, .. }
+            | StreamFrame::Queued { id, .. }
+            | StreamFrame::Progress { id, .. }
+            | StreamFrame::Report { id, .. } => *id,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +666,80 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn stream_round_trips_validates_and_never_touches_the_cache_key() {
+        let base = JobSpec::bundled("miller_v2").with_seed(7);
+        let streamed = base.clone().with_stream(17);
+        let line = streamed.to_json_line();
+        let decoded = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(decoded.stream, Some(true));
+        assert_eq!(decoded.stream_id, Some(17));
+        assert_eq!(decoded, streamed);
+        // streaming changes how the answer is delivered, never what it is
+        assert_eq!(base.config_fingerprint(), streamed.config_fingerprint());
+        assert_eq!(base.config_canonical(), streamed.config_canonical());
+
+        for (line, needle) in [
+            (r#"{"op":"place","circuit":"x","stream":true}"#, "needs a client-chosen 'id'"),
+            (r#"{"op":"place","circuit":"x","id":3}"#, "only valid with 'stream':true"),
+            (r#"{"op":"place","circuit":"x","stream":false,"id":3}"#, "only valid with"),
+            (r#"{"op":"place","circuit":"x","stream":1,"id":3}"#, "'stream' must be a boolean"),
+            (r#"{"op":"place","circuit":"x","stream":true,"id":-1}"#, "'id'"),
+        ] {
+            let err = JobSpec::from_json(&Json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn stream_frames_decode_in_grammar_order() {
+        let frames = [
+            r#"{"frame":"accepted","id":17,"job":4,"circuit":"miller_v2","seed":9}"#,
+            r#"{"frame":"queued","id":17,"depth":2}"#,
+            r#"{"frame":"progress","id":17,"engine":"seqpair","restart":0,"completed":1,"total":8,"cost":123.5}"#,
+            r#"{"frame":"report","id":17,"job":4,"status":"ok","circuit":"miller_v2","seed":9,"cache_hit":false,"queue_ms":0.100,"solve_ms":5.000,"total_ms":5.100,"report":"{}"}"#,
+        ];
+        match StreamFrame::from_json_line(frames[0]).unwrap() {
+            StreamFrame::Accepted { id, job, circuit, seed } => {
+                assert_eq!((id, job, circuit.as_str(), seed), (17, 4, "miller_v2", 9));
+            }
+            other => panic!("{other:?}"),
+        }
+        match StreamFrame::from_json_line(frames[1]).unwrap() {
+            StreamFrame::Queued { id, depth } => assert_eq!((id, depth), (17, 2)),
+            other => panic!("{other:?}"),
+        }
+        match StreamFrame::from_json_line(frames[2]).unwrap() {
+            StreamFrame::Progress { id, engine, restart, completed, total, cost } => {
+                assert_eq!((id, engine.as_str(), restart), (17, "seqpair", 0));
+                assert_eq!((completed, total), (1, 8));
+                assert!((cost - 123.5).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+        match StreamFrame::from_json_line(frames[3]).unwrap() {
+            StreamFrame::Report { id, response } => {
+                assert_eq!(id, 17);
+                assert!(response.is_ok());
+                assert_eq!(response.id, Some(4), "report frames map 'job' to the envelope id");
+                assert_eq!(response.report.as_deref(), Some("{}"));
+            }
+            other => panic!("{other:?}"),
+        }
+        for frame in &frames {
+            let decoded = StreamFrame::from_json_line(frame).unwrap();
+            assert_eq!(decoded.id(), 17);
+        }
+
+        // a plain envelope is not a frame, and unknown frame types error
+        assert!(StreamFrame::from_json_line(r#"{"status":"ok"}"#)
+            .unwrap_err()
+            .contains("no 'frame' tag"));
+        assert!(StreamFrame::from_json_line(r#"{"frame":"surprise","id":1}"#)
+            .unwrap_err()
+            .contains("unknown frame type"));
     }
 
     #[test]

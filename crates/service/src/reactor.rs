@@ -1,0 +1,775 @@
+//! The event-loop service core: one reactor thread owns the listener and
+//! every connection behind a readiness poller (epoll on Linux, `poll(2)` on
+//! other Unixes — see [`crate::poller`]).
+//!
+//! ```text
+//!            ┌───────────────── reactor thread ─────────────────┐
+//!  TCP ──────► poller: listener + self-pipe + every connection  │
+//!  clients   │ nonblocking reads ─ line framing ─ dispatch      │
+//!            │ per-connection write buffers ─ interest-based    │
+//!            │ backpressure ─ completion queue drain            │
+//!            └───────▲──────────────────────────────┬───────────┘
+//!                    │ CompletionQueue + wake pipe  │ admit_place
+//!                    │ (JobMsg::Progress / Done)    ▼
+//!                  workers ◄───── bounded job queue ─┘
+//! ```
+//!
+//! Connections cost buffers, not threads: thousands of held-open peers sit
+//! as registered fds until bytes arrive. Workers never touch a socket — a
+//! finished (or progressing) job goes into the [`CompletionQueue`], the
+//! self-pipe pops the reactor out of its poll, and the reactor writes the
+//! response into the owning connection's buffer. Write interest is
+//! registered only while a buffer is non-empty; a slow reader stalls its own
+//! connection (reads pause past the high-water mark), never the reactor.
+//!
+//! Everything behind the protocol — admission under the enqueue lock,
+//! derived seeds, cache, journal, deadlines, fault injection — is the exact
+//! code the legacy thread-per-connection mode runs ([`admit_place`]), so
+//! response bytes are identical between modes.
+
+use crate::json::Json;
+use crate::poller::{Interest, PollEvent, Poller, WakePipe};
+use crate::protocol::JobSpec;
+use crate::server::{
+    accepted_frame, admit_place, count_response_outcome, error_response, initiate_shutdown,
+    ok_envelope, oversized_response, ping_response, progress_frame, queued_frame,
+    report_frame_error, report_frame_ok, report_frame_retry, report_frame_timeout, resolve_circuit,
+    stats_response, timeout_response, Admission, CompletionQueue, JobFailure, JobMsg, Responder,
+    Shared, OVERLOADED_LINE, PANIC_ERROR, RETRY_LINE,
+};
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Poller token of the listener socket.
+const LISTENER: usize = 0;
+/// Poller token of the wake pipe's read end.
+const WAKE: usize = 1;
+/// First connection token; connection at slot `s` gets token `CONN_BASE + s`.
+const CONN_BASE: usize = 2;
+
+/// Reads pause once a connection's outbound buffer exceeds this, resuming
+/// when the peer drains it: a slow reader stalls itself, not the service.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// Bytes read per `read` call on a readable connection.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One reactor-owned connection.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet framed into lines.
+    read_buf: Vec<u8>,
+    /// Bytes queued for the peer; `wpos` marks how much is already written.
+    write_buf: Vec<u8>,
+    wpos: usize,
+    /// A plain (non-streaming) `place` in flight: its job index. The
+    /// protocol is strictly request-response for plain jobs, so parsing
+    /// pauses until the response is queued.
+    blocked: Option<u64>,
+    /// Client-chosen ids of streamed jobs in flight on this connection.
+    streaming_ids: HashSet<u64>,
+    /// Jobs (plain or streamed) in flight on this connection.
+    pending_jobs: usize,
+    /// Peer closed its write half (or the socket errored).
+    peer_eof: bool,
+    /// Close once the write buffer drains (fatal protocol error, shutdown
+    /// acknowledgement).
+    close_after_flush: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    /// Queues one response line (newline appended) for the peer.
+    fn push_line(&mut self, line: &str) {
+        self.write_buf.reserve(line.len() + 1);
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos >= self.write_buf.len()
+    }
+
+    fn backpressured(&self) -> bool {
+        self.write_buf.len() - self.wpos > WRITE_HIGH_WATER
+    }
+}
+
+/// A job admitted by the reactor, awaiting worker messages. `slot`/`gen`
+/// identify the owning connection; a connection that died (and whose slot
+/// was possibly reused) fails the generation check and the response is
+/// dropped, exactly as a legacy handler hanging up drops its channel.
+struct PendingJob {
+    slot: usize,
+    gen: u64,
+    /// `Some` for streamed jobs: the client's correlation id.
+    client_id: Option<u64>,
+    circuit: String,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    start: Instant,
+}
+
+/// Everything the reactor mutates per iteration.
+struct Reactor {
+    shared: Arc<Shared>,
+    completions: Arc<CompletionQueue>,
+    poller: Box<dyn Poller>,
+    conns: Vec<Option<Conn>>,
+    /// Slot generations: bumped on every allocation so stale completions
+    /// can never reach a reused slot.
+    gens: Vec<u64>,
+    /// Reusable slots. Slots freed this iteration are parked in
+    /// `freed_this_round` until the event batch is fully processed, so a
+    /// stale readiness event later in the same batch cannot hit a brand-new
+    /// peer.
+    free: Vec<usize>,
+    freed_this_round: Vec<usize>,
+    /// Slots touched this iteration that need a flush/interest/close pass.
+    dirty: Vec<usize>,
+    /// In-flight jobs by job index.
+    pending: HashMap<u64, PendingJob>,
+    live: usize,
+    accepted: u64,
+    draining: bool,
+}
+
+/// Runs the event-loop service core on the current thread until shutdown.
+pub(crate) fn run(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    mut poller: Box<dyn Poller>,
+    pipe: WakePipe,
+) {
+    let Some(completions) = shared.completions() else {
+        // Start wiring guarantees a completion queue in event-loop mode;
+        // without one the reactor cannot receive worker messages.
+        crate::server::accept_loop_fallback(listener, shared);
+        return;
+    };
+    if listener.set_nonblocking(true).is_err()
+        || poller.register(listener.as_raw_fd(), LISTENER, Interest::READ).is_err()
+        || poller.register(pipe.fd(), WAKE, Interest::READ).is_err()
+    {
+        crate::server::accept_loop_fallback(listener, shared);
+        return;
+    }
+    shared.metrics.poller_registered_fds.set(2);
+    apls_telemetry::event!(
+        shared.telemetry,
+        "service",
+        "reactor_start",
+        poller = poller.name().to_string()
+    );
+
+    let mut reactor = Reactor {
+        shared: Arc::clone(shared),
+        completions,
+        poller,
+        conns: Vec::new(),
+        gens: Vec::new(),
+        free: Vec::new(),
+        freed_this_round: Vec::new(),
+        dirty: Vec::new(),
+        pending: HashMap::new(),
+        live: 0,
+        accepted: 0,
+        draining: false,
+    };
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut listener_registered = true;
+
+    loop {
+        if reactor.shared.shutdown.load(std::sync::atomic::Ordering::SeqCst) && !reactor.draining {
+            reactor.draining = true;
+            if listener_registered {
+                let _ = reactor.poller.deregister(listener.as_raw_fd());
+                listener_registered = false;
+            }
+            // every idle connection should flush and close now
+            for slot in 0..reactor.conns.len() {
+                if reactor.conns[slot].is_some() {
+                    reactor.mark_dirty(slot);
+                }
+            }
+            reactor.finalize_dirty();
+            reactor.recycle_freed();
+        }
+        if reactor.draining && reactor.live == 0 {
+            break;
+        }
+        match reactor.poller.poll(&mut events, None) {
+            Ok(n) => {
+                if n > 0 {
+                    reactor.shared.metrics.readiness_wakeups_total.inc();
+                }
+            }
+            Err(_) => break, // poller died: no way to serve anything further
+        }
+        for event in &events {
+            match event.token {
+                LISTENER => reactor.accept_burst(listener),
+                WAKE => pipe.drain(),
+                token => {
+                    let slot = token - CONN_BASE;
+                    if event.readable || event.hangup {
+                        reactor.handle_conn_event(slot, true);
+                    }
+                    if event.writable {
+                        // flushing happens in the finalize pass
+                        reactor.mark_dirty(slot);
+                    }
+                }
+            }
+        }
+        reactor.drain_completions();
+        reactor.finalize_dirty();
+        reactor.recycle_freed();
+        reactor.update_fd_gauge();
+    }
+    reactor.shared.metrics.poller_registered_fds.set(0);
+    // conns dropped here close their sockets; the gauge must follow
+    reactor.shared.metrics.connections_active.sub(reactor.live as i64);
+}
+
+impl Reactor {
+    fn mark_dirty(&mut self, slot: usize) {
+        if !self.dirty.contains(&slot) {
+            self.dirty.push(slot);
+        }
+    }
+
+    fn recycle_freed(&mut self) {
+        let freed: Vec<usize> = self.freed_this_round.drain(..).collect();
+        self.free.extend(freed);
+    }
+
+    fn update_fd_gauge(&self) {
+        let fixed = if self.draining { 1 } else { 2 }; // wake pipe (+ listener)
+        self.shared.metrics.poller_registered_fds.set(fixed + self.live as i64);
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_burst(&mut self, listener: &TcpListener) {
+        if self.draining {
+            return;
+        }
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => break, // WouldBlock, or a transient accept error
+            };
+            let connection = self.accepted;
+            self.accepted += 1;
+            if self.shared.fault.as_ref().is_some_and(|plan| plan.drop_connection(connection)) {
+                self.shared.metrics.connections_dropped_total.inc();
+                continue; // dropping the stream closes it mid-handshake
+            }
+            if self.live >= self.shared.config.max_connections {
+                let mut stream = stream;
+                // freshly accepted socket: the refusal fits the empty kernel
+                // buffer, so a nonblocking write is effectively reliable
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.write_all(OVERLOADED_LINE);
+                continue; // dropping the stream closes it
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let slot = match self.free.pop() {
+                Some(slot) => slot,
+                None => {
+                    self.conns.push(None);
+                    self.gens.push(0);
+                    self.conns.len() - 1
+                }
+            };
+            if self.poller.register(stream.as_raw_fd(), CONN_BASE + slot, Interest::READ).is_err() {
+                self.free.push(slot);
+                continue; // dropping the stream closes it
+            }
+            self.gens[slot] += 1;
+            self.conns[slot] = Some(Conn {
+                stream,
+                read_buf: Vec::new(),
+                write_buf: Vec::new(),
+                wpos: 0,
+                blocked: None,
+                streaming_ids: HashSet::new(),
+                pending_jobs: 0,
+                peer_eof: false,
+                close_after_flush: false,
+                interest: Interest::READ,
+            });
+            self.live += 1;
+            self.shared.metrics.connections_active.add(1);
+            apls_telemetry::event!(self.shared.telemetry, "service", "accept");
+        }
+    }
+
+    fn handle_conn_event(&mut self, slot: usize, readable: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return; // stale event for a slot freed earlier in this batch
+        };
+        if readable && !conn.peer_eof && !conn.close_after_flush {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                // stop pulling bytes while backpressured or blocked;
+                // level-triggered polling re-delivers readability once
+                // interest returns
+                if conn.blocked.is_some() || conn.backpressured() {
+                    break;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if conn.read_buf.len() > self.shared.config.max_request_bytes {
+                            break; // oversized: process_lines answers + closes
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                }
+            }
+            self.process_lines(slot);
+        }
+        self.mark_dirty(slot);
+    }
+
+    /// Frames and dispatches every complete line buffered on `slot`.
+    fn process_lines(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+            if conn.blocked.is_some() || conn.close_after_flush || self.draining {
+                return;
+            }
+            if conn.backpressured() {
+                return; // finish writing before parsing more requests
+            }
+            let max_request = self.shared.config.max_request_bytes;
+            let line = match conn.read_buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let mut line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+                    line.pop(); // the newline
+                    line
+                }
+                None => {
+                    if conn.read_buf.len() > max_request {
+                        // a peer streaming bytes without newlines can never
+                        // make the daemon buffer more than the request cap
+                        self.overlong_request(slot, max_request);
+                    }
+                    return;
+                }
+            };
+            if line.len() > max_request {
+                self.overlong_request(slot, max_request);
+                return;
+            }
+            let Ok(text) = std::str::from_utf8(&line) else {
+                self.shared.metrics.requests_total.inc();
+                let response = error_response("bad_request", "request is not valid UTF-8");
+                self.respond_plain(slot, response);
+                if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                    conn.close_after_flush = true;
+                }
+                return;
+            };
+            let request = text.trim().to_string();
+            if request.is_empty() {
+                continue;
+            }
+            self.dispatch_line(slot, &request);
+            self.mark_dirty(slot);
+        }
+    }
+
+    /// Answers an over-limit request line and schedules the close, exactly
+    /// like the legacy handler.
+    fn overlong_request(&mut self, slot: usize, max_request: usize) {
+        self.shared.metrics.requests_total.inc();
+        let response = oversized_response(max_request);
+        self.respond_plain(slot, response);
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.close_after_flush = true;
+        }
+    }
+
+    fn dispatch_line(&mut self, slot: usize, line: &str) {
+        self.shared.metrics.requests_total.inc();
+        let json = match Json::parse(line) {
+            Ok(json) => json,
+            Err(e) => {
+                let response = error_response("bad_request", &format!("invalid JSON: {e}"));
+                self.respond_plain(slot, response);
+                return;
+            }
+        };
+        let op = json.get("op").and_then(Json::as_str);
+        apls_telemetry::event!(
+            self.shared.telemetry,
+            "service",
+            "request",
+            op = op.unwrap_or("(missing)").to_string()
+        );
+        match op {
+            Some("ping") => self.respond_plain(slot, ping_response()),
+            Some("stats") => {
+                let response = stats_response(&self.shared);
+                self.respond_plain(slot, response);
+            }
+            Some("shutdown") => {
+                self.respond_plain(slot, "{\"status\":\"shutting_down\"}".to_string());
+                let addr = self.conns.get_mut(slot).and_then(Option::as_mut).and_then(|conn| {
+                    conn.close_after_flush = true;
+                    conn.stream.local_addr().ok()
+                });
+                if let Some(addr) = addr {
+                    initiate_shutdown(&self.shared, addr);
+                }
+            }
+            Some("place") => self.place(slot, &json),
+            Some(other) => {
+                let response = error_response(
+                    "bad_request",
+                    &format!("unknown op '{other}' (place, ping, stats, shutdown)"),
+                );
+                self.respond_plain(slot, response);
+            }
+            None => {
+                let response = error_response("bad_request", "request needs an 'op' field");
+                self.respond_plain(slot, response);
+            }
+        }
+    }
+
+    /// Queues one non-frame response line and counts its outcome.
+    fn respond_plain(&mut self, slot: usize, response: String) {
+        count_response_outcome(&self.shared, &response);
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.push_line(&response);
+        }
+    }
+
+    /// Queues one stream frame line (report frames also count error/retry
+    /// outcomes via their embedded status).
+    fn respond_frame(&mut self, slot: usize, frame: String) {
+        count_response_outcome(&self.shared, &frame);
+        self.shared.metrics.frames_sent_total.inc();
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.push_line(&frame);
+        }
+    }
+
+    fn place(&mut self, slot: usize, json: &Json) {
+        let start = Instant::now();
+        let spec = match JobSpec::from_json(json) {
+            Ok(spec) => spec,
+            Err(e) => {
+                let response = error_response("bad_request", &e);
+                self.respond_plain(slot, response);
+                return;
+            }
+        };
+        let stream_id = if spec.stream == Some(true) { spec.stream_id } else { None };
+        if let Some(cid) = stream_id {
+            let duplicate = self
+                .conns
+                .get(slot)
+                .and_then(Option::as_ref)
+                .is_some_and(|c| c.streaming_ids.contains(&cid));
+            if duplicate {
+                let frame = report_frame_error(
+                    cid,
+                    "bad_request",
+                    &format!("stream id {cid} is already in flight on this connection"),
+                );
+                self.respond_frame(slot, frame);
+                return;
+            }
+        }
+        let circuit = match resolve_circuit(&spec.circuit) {
+            Ok(circuit) => circuit,
+            Err(e) => {
+                self.fail(slot, stream_id, "bad_request", &e);
+                return;
+            }
+        };
+        let circuit_name = circuit.name.clone();
+        let deadline_ms = spec.deadline_ms;
+        // the span handle must not borrow self (respond_* methods take &mut
+        // self), so it hangs off an owned clone of the shared state
+        let shared = Arc::clone(&self.shared);
+        let mut request_span = apls_telemetry::span!(
+            shared.telemetry,
+            "service",
+            "place",
+            circuit = circuit_name.as_str()
+        );
+        let respond = Responder::Reactor(Arc::clone(&self.completions));
+        match admit_place(&spec, circuit, &shared, respond, stream_id.is_some()) {
+            Admission::ShuttingDown => {
+                self.fail(slot, stream_id, "unavailable", "service is shutting down");
+            }
+            Admission::QueueFull => match stream_id {
+                Some(cid) => self.respond_frame(slot, report_frame_retry(cid)),
+                None => self.respond_plain(slot, RETRY_LINE.to_string()),
+            },
+            Admission::Cached { index, seed, report } => {
+                let total_ms = start.elapsed().as_secs_f64() * 1e3;
+                self.shared.metrics.total_ms.observe(total_ms);
+                if request_span.is_recording() {
+                    request_span.arg("id", index);
+                    request_span.arg("seed", seed);
+                    request_span.arg("cache_hit", true);
+                }
+                match stream_id {
+                    Some(cid) => {
+                        self.respond_frame(slot, accepted_frame(cid, index, &circuit_name, seed));
+                        // a hit never consumed a queue slot: depth 0
+                        self.respond_frame(slot, queued_frame(cid, 0));
+                        let frame = report_frame_ok(
+                            cid,
+                            index,
+                            &circuit_name,
+                            seed,
+                            true,
+                            0.0,
+                            total_ms,
+                            total_ms,
+                            &report,
+                        );
+                        self.respond_frame(slot, frame);
+                    }
+                    None => {
+                        let response = ok_envelope(
+                            index,
+                            &circuit_name,
+                            seed,
+                            true,
+                            0.0,
+                            total_ms,
+                            total_ms,
+                            &report,
+                        );
+                        self.respond_plain(slot, response);
+                    }
+                }
+            }
+            Admission::Enqueued { index, seed } => {
+                if request_span.is_recording() {
+                    request_span.arg("id", index);
+                    request_span.arg("seed", seed);
+                }
+                self.pending.insert(
+                    index,
+                    PendingJob {
+                        slot,
+                        gen: self.gens[slot],
+                        client_id: stream_id,
+                        circuit: circuit_name.clone(),
+                        seed,
+                        deadline_ms,
+                        start,
+                    },
+                );
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                conn.pending_jobs += 1;
+                match stream_id {
+                    Some(cid) => {
+                        conn.streaming_ids.insert(cid);
+                        self.respond_frame(slot, accepted_frame(cid, index, &circuit_name, seed));
+                        let depth = self.shared.metrics.queue_depth.get().max(0) as u64;
+                        self.respond_frame(slot, queued_frame(cid, depth));
+                    }
+                    None => conn.blocked = Some(index),
+                }
+            }
+        }
+    }
+
+    /// Queues the failure response for a (possibly streamed) `place`.
+    fn fail(&mut self, slot: usize, stream_id: Option<u64>, kind: &str, message: &str) {
+        match stream_id {
+            Some(cid) => self.respond_frame(slot, report_frame_error(cid, kind, message)),
+            None => self.respond_plain(slot, error_response(kind, message)),
+        }
+    }
+
+    /// Routes every queued worker message to its owning connection.
+    fn drain_completions(&mut self) {
+        for (index, msg) in self.completions.drain() {
+            match msg {
+                JobMsg::Progress { engine, restart, completed, total, cost } => {
+                    let Some(p) = self.pending.get(&index) else { continue };
+                    let (slot, gen, client_id) = (p.slot, p.gen, p.client_id);
+                    if self.gens.get(slot).copied() != Some(gen) {
+                        continue; // connection died; nothing to stream to
+                    }
+                    if let Some(cid) = client_id {
+                        let frame = progress_frame(cid, engine, restart, completed, total, cost);
+                        self.respond_frame(slot, frame);
+                        self.mark_dirty(slot);
+                    }
+                }
+                JobMsg::Done(done) => {
+                    let Some(p) = self.pending.remove(&index) else { continue };
+                    let total_ms = p.start.elapsed().as_secs_f64() * 1e3;
+                    self.shared.metrics.total_ms.observe(total_ms);
+                    let alive = self.gens.get(p.slot).copied() == Some(p.gen)
+                        && self.conns.get(p.slot).and_then(Option::as_ref).is_some();
+                    if !alive {
+                        continue; // client hung up; the report is cached/journaled
+                    }
+                    let slot = p.slot;
+                    match p.client_id {
+                        Some(cid) => {
+                            let frame = match &done.outcome {
+                                Ok((report, cache_hit)) => report_frame_ok(
+                                    cid,
+                                    index,
+                                    &p.circuit,
+                                    p.seed,
+                                    *cache_hit,
+                                    done.queue_ms,
+                                    done.solve_ms,
+                                    total_ms,
+                                    report,
+                                ),
+                                Err(JobFailure::Timeout) => report_frame_timeout(
+                                    cid,
+                                    index,
+                                    &p.circuit,
+                                    p.seed,
+                                    p.deadline_ms.unwrap_or(0),
+                                ),
+                                Err(JobFailure::Panic) => {
+                                    report_frame_error(cid, "internal", PANIC_ERROR)
+                                }
+                            };
+                            self.respond_frame(slot, frame);
+                            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                                conn.streaming_ids.remove(&cid);
+                                conn.pending_jobs = conn.pending_jobs.saturating_sub(1);
+                            }
+                        }
+                        None => {
+                            let response = match &done.outcome {
+                                Ok((report, cache_hit)) => ok_envelope(
+                                    index,
+                                    &p.circuit,
+                                    p.seed,
+                                    *cache_hit,
+                                    done.queue_ms,
+                                    done.solve_ms,
+                                    total_ms,
+                                    report,
+                                ),
+                                Err(JobFailure::Timeout) => timeout_response(
+                                    index,
+                                    &p.circuit,
+                                    p.seed,
+                                    p.deadline_ms.unwrap_or(0),
+                                ),
+                                Err(JobFailure::Panic) => error_response("internal", PANIC_ERROR),
+                            };
+                            self.respond_plain(slot, response);
+                            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                                conn.pending_jobs = conn.pending_jobs.saturating_sub(1);
+                                if conn.blocked == Some(index) {
+                                    conn.blocked = None;
+                                }
+                            }
+                            // unblocked: serve any requests the peer pipelined
+                            self.process_lines(slot);
+                        }
+                    }
+                    self.mark_dirty(slot);
+                }
+            }
+        }
+    }
+
+    /// Flushes, closes and re-registers every connection touched this
+    /// iteration.
+    fn finalize_dirty(&mut self) {
+        let dirty: Vec<usize> = self.dirty.drain(..).collect();
+        for slot in dirty {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+            // eager flush: most responses fit the socket buffer, so the
+            // common case never registers write interest at all
+            let mut broken = false;
+            while conn.wpos < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.wpos..]) {
+                    Ok(0) => {
+                        broken = true;
+                        break;
+                    }
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+            if conn.flushed() {
+                conn.write_buf.clear();
+                conn.wpos = 0;
+            }
+            let idle = conn.pending_jobs == 0 && conn.flushed();
+            let close = broken
+                || (conn.close_after_flush && conn.flushed())
+                || (conn.peer_eof && idle)
+                || (self.draining && idle);
+            if close {
+                self.close_conn(slot);
+                continue;
+            }
+            let desired = Interest {
+                read: !conn.close_after_flush
+                    && !conn.peer_eof
+                    && conn.blocked.is_none()
+                    && !self.draining
+                    && !conn.backpressured(),
+                write: !conn.flushed(),
+            };
+            if desired != conn.interest {
+                let fd = conn.stream.as_raw_fd();
+                if self.poller.reregister(fd, CONN_BASE + slot, desired).is_ok() {
+                    if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                        conn.interest = desired;
+                    }
+                } else {
+                    self.close_conn(slot);
+                }
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.live -= 1;
+            self.shared.metrics.connections_active.sub(1);
+            self.freed_this_round.push(slot);
+        }
+    }
+}

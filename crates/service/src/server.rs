@@ -38,13 +38,18 @@ use crate::fault::FaultPlan;
 use crate::journal::{Journal, JournalConfig, JournalRecord, Recovery};
 use crate::json::{quote, Json};
 use crate::metrics::ServiceMetrics;
+#[cfg(unix)]
+use crate::poller::{new_poller, Interest, PollEvent, Poller, WakePipe, WakeSender};
 use crate::protocol::{CircuitSource, JobSpec};
 use crate::sync::{lock_or_recover, poison_recoveries};
 use apls_anneal::rng::SeedStream;
 use apls_circuit::benchmarks::{self, BenchmarkCircuit};
 use apls_io::{canonical_hash, serialize_circuit};
-use apls_portfolio::{run_portfolio_cancellable, CancelToken, PortfolioConfig};
+use apls_portfolio::{
+    run_portfolio_observed, CancelToken, PortfolioConfig, RestartObserver, RestartRecord,
+};
 use apls_telemetry::Telemetry;
+use std::collections::VecDeque;
 use std::io::Read;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
@@ -78,9 +83,39 @@ pub const DEFAULT_MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 /// exhaust threads.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 
-/// How long the (nonblocking) acceptor sleeps between polls. Bounds both
-/// idle CPU and shutdown latency.
+/// How long the (nonblocking) acceptor sleeps between polls when no
+/// readiness poller is available (non-Unix, or poller setup failed). With a
+/// poller, the acceptor blocks on readiness and a self-pipe wakeup replaces
+/// the tick entirely.
 const ACCEPT_TICK: Duration = Duration::from_millis(50);
+
+/// How the service maps connections to execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// One reactor thread owns the listener and every connection behind a
+    /// readiness poller (epoll on Linux, `poll(2)` elsewhere): nonblocking
+    /// reads/writes, per-connection buffers, backpressure via interest
+    /// re-registration. Thousands of held-open connections cost buffers, not
+    /// threads. The default; platforms without a poller (non-Unix) fall back
+    /// to [`ServeMode::LegacyThreads`] transparently.
+    #[default]
+    EventLoop,
+    /// The pre-reactor shape: one blocking handler thread per connection.
+    /// Kept as an escape hatch (`apls serve --legacy-threads`) and as the
+    /// portable fallback.
+    LegacyThreads,
+}
+
+impl ServeMode {
+    /// The `stats` wire name of the mode.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeMode::EventLoop => "event_loop",
+            ServeMode::LegacyThreads => "legacy_threads",
+        }
+    }
+}
 
 /// Configuration of one service instance.
 #[derive(Debug, Clone)]
@@ -115,6 +150,10 @@ pub struct ServiceConfig {
     /// Deterministic fault injection (tests/CI only; the CLI additionally
     /// requires the `APLS_FAULT_INJECTION=1` environment guard).
     pub fault_plan: Option<FaultPlan>,
+    /// Connection-handling architecture (default [`ServeMode::EventLoop`];
+    /// falls back to [`ServeMode::LegacyThreads`] where no readiness poller
+    /// exists).
+    pub mode: ServeMode,
 }
 
 impl Default for ServiceConfig {
@@ -131,6 +170,7 @@ impl Default for ServiceConfig {
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
             journal: None,
             fault_plan: None,
+            mode: ServeMode::default(),
         }
     }
 }
@@ -158,12 +198,15 @@ struct Job {
     /// Cooperative deadline; an expired job answers `timeout`.
     deadline: Option<Instant>,
     enqueued: Instant,
-    respond: mpsc::Sender<JobDone>,
+    respond: Responder,
+    /// Streamed jobs get per-restart `progress` messages; plain jobs only
+    /// the final [`JobMsg::Done`].
+    streaming: bool,
 }
 
 /// Why a job produced no report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JobFailure {
+pub(crate) enum JobFailure {
     /// The solve panicked; the worker caught it and kept running.
     Panic,
     /// The job expired its deadline before completing.
@@ -171,12 +214,83 @@ enum JobFailure {
 }
 
 /// What a worker hands back to the connection handler.
-struct JobDone {
+pub(crate) struct JobDone {
     /// The deterministic report (with its cache-hit flag), or why there is
     /// none.
-    outcome: Result<(String, bool), JobFailure>,
-    queue_ms: f64,
-    solve_ms: f64,
+    pub(crate) outcome: Result<(String, bool), JobFailure>,
+    pub(crate) queue_ms: f64,
+    pub(crate) solve_ms: f64,
+}
+
+/// A worker-to-responder message for one job.
+pub(crate) enum JobMsg {
+    /// One restart of a streamed job completed (plan order).
+    Progress {
+        /// Engine that ran the restart.
+        engine: &'static str,
+        /// Restart number within that engine.
+        restart: usize,
+        /// Restarts completed so far (1-based).
+        completed: usize,
+        /// Planned total restarts.
+        total: usize,
+        /// The restart's placement cost.
+        cost: f64,
+    },
+    /// The job finished (report, timeout or panic).
+    Done(JobDone),
+}
+
+/// Where a worker delivers a job's messages.
+pub(crate) enum Responder {
+    /// A blocking handler thread waiting on a per-job channel
+    /// (legacy-threads mode, and the recovery replay's throwaway channel).
+    Sync(mpsc::Sender<JobMsg>),
+    /// The reactor's completion queue plus its wakeup pipe (event-loop
+    /// mode): workers never touch connection sockets, they hand the message
+    /// to the reactor thread that owns them.
+    #[cfg(unix)]
+    Reactor(Arc<CompletionQueue>),
+}
+
+impl Responder {
+    /// Delivers one message for job `index`. Best-effort: a vanished
+    /// receiver (client hung up, reactor shut down) is not an error.
+    pub(crate) fn send(&self, index: u64, msg: JobMsg) {
+        match self {
+            Responder::Sync(tx) => {
+                let _ = index;
+                let _ = tx.send(msg);
+            }
+            #[cfg(unix)]
+            Responder::Reactor(completions) => completions.push(index, msg),
+        }
+    }
+}
+
+/// The reactor's inbound queue of job messages, shared with every worker.
+/// Pushing wakes the reactor out of its readiness poll via the self-pipe.
+#[cfg(unix)]
+pub(crate) struct CompletionQueue {
+    queue: Mutex<VecDeque<(u64, JobMsg)>>,
+    wake: WakeSender,
+}
+
+#[cfg(unix)]
+impl CompletionQueue {
+    pub(crate) fn new(wake: WakeSender) -> CompletionQueue {
+        CompletionQueue { queue: Mutex::new(VecDeque::new()), wake }
+    }
+
+    fn push(&self, index: u64, msg: JobMsg) {
+        lock_or_recover(&self.queue).push_back((index, msg));
+        self.wake.wake();
+    }
+
+    /// Takes everything queued so far (reactor thread only).
+    pub(crate) fn drain(&self) -> Vec<(u64, JobMsg)> {
+        lock_or_recover(&self.queue).drain(..).collect()
+    }
 }
 
 /// The sending half of the job queue plus the arrival-order job counter,
@@ -188,23 +302,37 @@ struct EnqueueSlot {
     tx: SyncSender<Job>,
 }
 
-/// State shared by the acceptor, handlers and workers.
-struct Shared {
-    config: ServiceConfig,
+/// State shared by the acceptor/reactor, handlers and workers.
+pub(crate) struct Shared {
+    pub(crate) config: ServiceConfig,
     seeds: SeedStream,
     started: Instant,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     jobs_completed: AtomicU64,
     cache_hits: AtomicU64,
     cache: Mutex<LruCache<CacheKey, String>>,
     enqueue: Mutex<Option<EnqueueSlot>>,
     journal: Option<Journal>,
-    fault: Option<Arc<FaultPlan>>,
-    telemetry: Telemetry,
-    metrics: ServiceMetrics,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) metrics: ServiceMetrics,
+    /// Self-pipe sender: wakes the reactor (or poller-backed acceptor) out
+    /// of its readiness wait on shutdown and on job completion.
+    #[cfg(unix)]
+    wake: Option<WakeSender>,
+    /// Event-loop mode only: the reactor's completion queue; workers push
+    /// job messages here instead of per-job channels.
+    #[cfg(unix)]
+    completions: Option<Arc<CompletionQueue>>,
 }
 
 impl Shared {
+    /// The reactor's completion queue (event-loop mode only).
+    #[cfg(unix)]
+    pub(crate) fn completions(&self) -> Option<Arc<CompletionQueue>> {
+        self.completions.clone()
+    }
+
     /// Appends a journal record, degrading to non-durable on failure: the
     /// job is answered either way, the failure is counted and traced.
     fn journal_append(&self, record: &JournalRecord<'_>) {
@@ -280,8 +408,37 @@ impl PlacementService {
     ) -> std::io::Result<PlacementService> {
         assert!(config.workers >= 1, "service needs at least one worker");
         assert!(config.queue_capacity >= 1, "service needs a queue depth of at least 1");
+        let mut config = config;
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let local_addr = listener.local_addr()?;
+
+        // Readiness infrastructure: poller + self-pipe. Event-loop mode needs
+        // both; legacy mode uses them (when available) only to replace the
+        // acceptor's sleep tick with a blocking readiness wait. A platform
+        // where either fails degrades to legacy threads transparently.
+        #[cfg(unix)]
+        let event_infra: Option<(Box<dyn Poller>, WakePipe)> = match (new_poller(), WakePipe::new())
+        {
+            (Ok(poller), Ok(pipe)) => Some((poller, pipe)),
+            _ => None,
+        };
+        #[cfg(unix)]
+        if event_infra.is_none() {
+            config.mode = ServeMode::LegacyThreads;
+        }
+        #[cfg(not(unix))]
+        {
+            config.mode = ServeMode::LegacyThreads;
+        }
+        #[cfg(unix)]
+        let wake = event_infra.as_ref().map(|(_, pipe)| pipe.sender());
+        #[cfg(unix)]
+        let completions = match (config.mode, &wake) {
+            (ServeMode::EventLoop, Some(wake)) => {
+                Some(Arc::new(CompletionQueue::new(wake.clone())))
+            }
+            _ => None,
+        };
 
         let fault = config.fault_plan.clone().filter(|p| !p.is_empty()).map(Arc::new);
         let (journal, recovered) = match &config.journal {
@@ -308,6 +465,10 @@ impl PlacementService {
             fault,
             telemetry,
             metrics: ServiceMetrics::new(),
+            #[cfg(unix)]
+            wake,
+            #[cfg(unix)]
+            completions,
             config,
         });
 
@@ -338,7 +499,20 @@ impl PlacementService {
             recovered.and_then(|recovery| replay_recovered_jobs(recovery, &shared, recovery_tx));
         let acceptor = {
             let shared = Arc::clone(&shared);
-            Some(std::thread::spawn(move || accept_loop(&listener, &shared)))
+            #[cfg(unix)]
+            {
+                let infra = event_infra;
+                Some(std::thread::spawn(move || match (shared.config.mode, infra) {
+                    (ServeMode::EventLoop, Some((poller, pipe))) => {
+                        crate::reactor::run(&listener, &shared, poller, pipe);
+                    }
+                    (_, infra) => accept_loop(&listener, &shared, infra),
+                }))
+            }
+            #[cfg(not(unix))]
+            {
+                Some(std::thread::spawn(move || accept_loop(&listener, &shared, None)))
+            }
         };
         Ok(PlacementService { local_addr, shared, acceptor, recovery, workers })
     }
@@ -443,7 +617,8 @@ fn replay_recovered_jobs(
                     cache_key,
                     deadline: None,
                     enqueued: Instant::now(),
-                    respond: done_tx,
+                    respond: Responder::Sync(done_tx),
+                    streaming: false,
                 });
                 shared.metrics.jobs_replayed_total.inc();
             }
@@ -466,12 +641,19 @@ fn replay_recovered_jobs(
     }))
 }
 
-fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
+pub(crate) fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
     // Dropping the only SyncSender lets the workers drain the queue and exit.
     lock_or_recover(&shared.enqueue).take();
+    // The self-pipe pops the reactor (or the poller-backed acceptor) out of
+    // its readiness wait immediately — no loopback round trip needed.
+    #[cfg(unix)]
+    if let Some(wake) = &shared.wake {
+        wake.wake();
+        return;
+    }
     // Best-effort accelerator: a throwaway connection makes a (blocking)
     // acceptor observe the flag immediately. The nonblocking acceptor's poll
     // tick bounds shutdown latency even when this connect cannot succeed.
@@ -485,11 +667,48 @@ fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
     let _ = TcpStream::connect(wake);
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    // Nonblocking accept with a sleep tick: observing the shutdown flag never
-    // depends on the wake-up self-connect reaching the listener (it may not,
-    // e.g. for 0.0.0.0 binds on platforms that don't route them to loopback).
+/// The legacy acceptor's optional readiness infrastructure: a poller watching
+/// the listener plus the self-pipe that replaces the sleep tick.
+#[cfg(unix)]
+type AcceptInfra = Option<(Box<dyn Poller>, WakePipe)>;
+#[cfg(not(unix))]
+type AcceptInfra = Option<()>;
+
+/// The refusal line written when [`ServiceConfig::max_connections`] live
+/// connections already exist.
+pub(crate) const OVERLOADED_LINE: &[u8] =
+    b"{\"status\":\"error\",\"kind\":\"overloaded\",\"error\":\"connection limit reached, retry later\"}\n";
+
+/// The reactor's escape hatch when its own setup fails after spawn: serve
+/// with blocking handler threads (and the sleep-tick acceptor) instead of
+/// not serving at all.
+#[cfg(unix)]
+pub(crate) fn accept_loop_fallback(listener: &TcpListener, shared: &Arc<Shared>) {
+    accept_loop(listener, shared, None);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, infra: AcceptInfra) {
+    // Nonblocking accept so observing the shutdown flag never depends on the
+    // wake-up self-connect reaching the listener (it may not, e.g. for
+    // 0.0.0.0 binds on platforms that don't route them to loopback). With a
+    // poller + self-pipe we block on readiness between bursts; without, we
+    // fall back to the ACCEPT_TICK sleep poll.
     let nonblocking = listener.set_nonblocking(true).is_ok();
+    #[cfg(unix)]
+    let mut infra = infra.and_then(|(mut poller, pipe)| {
+        use std::os::unix::io::AsRawFd;
+        let listener_ok = nonblocking
+            && poller.register(listener.as_raw_fd(), 0, Interest::READ).is_ok()
+            && poller.register(pipe.fd(), 1, Interest::READ).is_ok();
+        if listener_ok {
+            shared.metrics.poller_registered_fds.set(2);
+            Some((poller, pipe, Vec::<PollEvent>::new()))
+        } else {
+            None
+        }
+    });
+    #[cfg(not(unix))]
+    let _ = infra;
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     let mut accepted: u64 = 0;
     loop {
@@ -498,28 +717,26 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let connection = accepted;
-                accepted += 1;
-                if shared.fault.as_ref().is_some_and(|plan| plan.drop_connection(connection)) {
-                    shared.metrics.connections_dropped_total.inc();
-                    continue; // dropping the stream closes it mid-handshake
-                }
-                // reap finished handlers so a long-running daemon holds
-                // handles (and memory) only for *live* connections, not
-                // every connection ever seen
-                handlers.retain(|h| !h.is_finished());
-                if handlers.len() >= shared.config.max_connections {
-                    let mut stream = stream;
-                    let _ = stream.set_nonblocking(false);
-                    let _ = stream.write_all(
-                        b"{\"status\":\"error\",\"kind\":\"overloaded\",\"error\":\"connection limit reached, retry later\"}\n",
-                    );
-                    continue; // dropping the stream closes it
-                }
-                let shared = Arc::clone(shared);
-                handlers.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+                accept_one(stream, shared, &mut accepted, &mut handlers);
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                #[cfg(unix)]
+                if let Some((poller, pipe, events)) = infra.as_mut() {
+                    match poller.poll(events, None) {
+                        Ok(n) => {
+                            if n > 0 {
+                                shared.metrics.readiness_wakeups_total.inc();
+                            }
+                            pipe.drain();
+                            continue;
+                        }
+                        Err(_) => {
+                            // poller went bad mid-run: degrade to sleep ticks
+                            shared.metrics.poller_registered_fds.set(0);
+                            infra = None;
+                        }
+                    }
+                }
                 std::thread::sleep(ACCEPT_TICK);
             }
             Err(_) => {
@@ -530,9 +747,39 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             }
         }
     }
+    shared.metrics.poller_registered_fds.set(0);
     for handler in handlers {
         let _ = handler.join();
     }
+    shared.metrics.handler_threads.set(0);
+}
+
+/// Admits (or refuses) one accepted connection in legacy-threads mode.
+fn accept_one(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    accepted: &mut u64,
+    handlers: &mut Vec<JoinHandle<()>>,
+) {
+    let connection = *accepted;
+    *accepted += 1;
+    if shared.fault.as_ref().is_some_and(|plan| plan.drop_connection(connection)) {
+        shared.metrics.connections_dropped_total.inc();
+        return; // dropping the stream closes it mid-handshake
+    }
+    // reap finished handlers so a long-running daemon holds handles (and
+    // memory) only for *live* connections, not every connection ever seen
+    handlers.retain(|h| !h.is_finished());
+    if handlers.len() >= shared.config.max_connections {
+        let mut stream = stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.write_all(OVERLOADED_LINE);
+        shared.metrics.handler_threads.set(handlers.len() as i64);
+        return; // dropping the stream closes it
+    }
+    let handler_shared = Arc::clone(shared);
+    handlers.push(std::thread::spawn(move || handle_connection(stream, &handler_shared)));
+    shared.metrics.handler_threads.set(handlers.len() as i64);
 }
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
@@ -568,7 +815,29 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
         shared.metrics.solve_ms.observe(solve_ms);
         let done = JobDone { outcome, queue_ms, solve_ms };
         // The handler may have hung up (client gone); nothing to do then.
-        let _ = job.respond.send(done);
+        job.respond.send(job.index, JobMsg::Done(done));
+    }
+}
+
+/// Relays per-restart progress of a streamed job to its responder while the
+/// solve runs. Observe-only: the report body stays byte-identical.
+struct ProgressRelay<'a> {
+    respond: &'a Responder,
+    index: u64,
+}
+
+impl RestartObserver for ProgressRelay<'_> {
+    fn restart_complete(&self, record: &RestartRecord, completed: usize, total: usize) {
+        self.respond.send(
+            self.index,
+            JobMsg::Progress {
+                engine: record.engine.name(),
+                restart: record.restart,
+                completed,
+                total,
+                cost: record.cost,
+            },
+        );
     }
 }
 
@@ -604,8 +873,10 @@ fn execute_job(job: &Job, shared: &Shared, queue_ms: f64) -> Result<(String, boo
             seed = job.config.root_seed
         );
         let cancel = job.deadline.map_or_else(CancelToken::none, CancelToken::with_deadline);
+        let relay = ProgressRelay { respond: &job.respond, index: job.index };
+        let observer = job.streaming.then_some(&relay as &dyn RestartObserver);
         let result =
-            run_portfolio_cancellable(&job.circuit, &job.config, &shared.telemetry, &cancel);
+            run_portfolio_observed(&job.circuit, &job.config, &shared.telemetry, &cancel, observer);
         if span.is_recording() {
             span.arg("queue_ms", queue_ms);
             span.arg("timed_out", result.is_err());
@@ -663,7 +934,8 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(0) => break, // EOF
             Ok(_) => {
                 if buf.len() > max_request {
-                    let _ = writer.write_all(oversized_response(max_request).as_bytes());
+                    let _ = writer
+                        .write_all(format!("{}\n", oversized_response(max_request)).as_bytes());
                     break;
                 }
                 // under the cap and no newline means EOF arrived mid-line:
@@ -703,21 +975,126 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn oversized_response(max_request: usize) -> String {
+pub(crate) fn oversized_response(max_request: usize) -> String {
     format!(
-        "{{\"status\":\"error\",\"kind\":\"request_too_large\",\"error\":\"request exceeds {max_request} bytes, closing connection\"}}\n"
+        "{{\"status\":\"error\",\"kind\":\"request_too_large\",\"error\":\"request exceeds {max_request} bytes, closing connection\"}}"
     )
 }
 
-fn error_response(kind: &str, message: &str) -> String {
+pub(crate) fn error_response(kind: &str, message: &str) -> String {
     format!("{{\"status\":\"error\",\"kind\":{},\"error\":{}}}", quote(kind), quote(message))
 }
 
-fn timeout_response(id: u64, circuit: &str, seed: u64, deadline_ms: u64) -> String {
+pub(crate) fn timeout_response(id: u64, circuit: &str, seed: u64, deadline_ms: u64) -> String {
     format!(
         "{{\"status\":\"timeout\",\"kind\":\"deadline\",\"id\":{id},\"circuit\":{},\"seed\":{seed},\"error\":\"deadline of {deadline_ms} ms exceeded\"}}",
         quote(circuit),
     )
+}
+
+pub(crate) fn ping_response() -> String {
+    format!("{{\"status\":\"ok\",\"service\":\"apls\",\"protocol\":{PROTOCOL_VERSION}}}")
+}
+
+// --- streaming frame builders -------------------------------------------
+//
+// Every frame is one JSON line tagged `"frame"` plus the client-chosen
+// correlation `"id"`; the server job index travels as `"job"` (plain
+// envelopes call it `"id"`). Report-frame field order past the tags matches
+// the plain envelope exactly, so the report body (and its quoting) is
+// byte-identical between the two paths.
+
+pub(crate) fn accepted_frame(cid: u64, job: u64, circuit: &str, seed: u64) -> String {
+    format!(
+        "{{\"frame\":\"accepted\",\"id\":{cid},\"job\":{job},\"circuit\":{},\"seed\":{seed}}}",
+        quote(circuit),
+    )
+}
+
+pub(crate) fn queued_frame(cid: u64, depth: u64) -> String {
+    format!("{{\"frame\":\"queued\",\"id\":{cid},\"depth\":{depth}}}")
+}
+
+pub(crate) fn progress_frame(
+    cid: u64,
+    engine: &str,
+    restart: usize,
+    completed: usize,
+    total: usize,
+    cost: f64,
+) -> String {
+    format!(
+        "{{\"frame\":\"progress\",\"id\":{cid},\"engine\":{},\"restart\":{restart},\"completed\":{completed},\"total\":{total},\"cost\":{cost}}}",
+        quote(engine),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn report_frame_ok(
+    cid: u64,
+    job: u64,
+    circuit: &str,
+    seed: u64,
+    cache_hit: bool,
+    queue_ms: f64,
+    solve_ms: f64,
+    total_ms: f64,
+    report: &str,
+) -> String {
+    format!(
+        "{{\"frame\":\"report\",\"id\":{cid},\"job\":{job},{}}}",
+        ok_fields(circuit, seed, cache_hit, queue_ms, solve_ms, total_ms, report),
+    )
+}
+
+pub(crate) fn report_frame_timeout(
+    cid: u64,
+    job: u64,
+    circuit: &str,
+    seed: u64,
+    deadline_ms: u64,
+) -> String {
+    format!(
+        "{{\"frame\":\"report\",\"id\":{cid},\"job\":{job},\"status\":\"timeout\",\"kind\":\"deadline\",\"circuit\":{},\"seed\":{seed},\"error\":\"deadline of {deadline_ms} ms exceeded\"}}",
+        quote(circuit),
+    )
+}
+
+pub(crate) fn report_frame_error(cid: u64, kind: &str, message: &str) -> String {
+    format!(
+        "{{\"frame\":\"report\",\"id\":{cid},\"status\":\"error\",\"kind\":{},\"error\":{}}}",
+        quote(kind),
+        quote(message),
+    )
+}
+
+pub(crate) fn report_frame_retry(cid: u64) -> String {
+    format!(
+        "{{\"frame\":\"report\",\"id\":{cid},\"status\":\"retry\",\"error\":\"job queue full, retry later\"}}"
+    )
+}
+
+/// Counts an error/retry outcome off the response line itself, so the
+/// counters cannot drift from the protocol. Handles both plain envelopes and
+/// report frames (whose status sits behind the frame tags). Timeouts are
+/// counted at the worker, where expiry is detected.
+pub(crate) fn count_response_outcome(shared: &Shared, response: &str) {
+    let status_at = if response.starts_with("{\"status\":") {
+        Some(1)
+    } else if response.starts_with("{\"frame\":\"report\",") {
+        // the status tags precede the report body, and inside the quoted
+        // report every `"` is escaped, so the first match is the frame's own
+        response.find("\"status\":")
+    } else {
+        None
+    };
+    let Some(at) = status_at else { return };
+    let status = &response[at..];
+    if status.starts_with("\"status\":\"error\"") {
+        shared.metrics.errors_total.inc();
+    } else if status.starts_with("\"status\":\"retry\"") {
+        shared.metrics.retries_total.inc();
+    }
 }
 
 fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (String, Flow) {
@@ -725,12 +1102,7 @@ fn process_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (Str
     let (response, flow) = dispatch_request(line, shared, writer);
     // Centralised outcome accounting: every error/retry path funnels through
     // the envelope status, so the counters cannot drift from the protocol.
-    // (Timeouts are counted at the worker, where expiry is detected.)
-    if response.starts_with("{\"status\":\"error\"") {
-        shared.metrics.errors_total.inc();
-    } else if response.starts_with("{\"status\":\"retry\"") {
-        shared.metrics.retries_total.inc();
-    }
+    count_response_outcome(shared, &response);
     (response, flow)
 }
 
@@ -749,10 +1121,7 @@ fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (St
         op = op.unwrap_or("(missing)").to_string()
     );
     match op {
-        Some("ping") => (
-            format!("{{\"status\":\"ok\",\"service\":\"apls\",\"protocol\":{PROTOCOL_VERSION}}}"),
-            Flow::Continue,
-        ),
+        Some("ping") => (ping_response(), Flow::Continue),
         Some("stats") => (stats_response(shared), Flow::Continue),
         Some("shutdown") => {
             if let Ok(addr) = writer.local_addr() {
@@ -760,7 +1129,7 @@ fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (St
             }
             ("{\"status\":\"shutting_down\"}".to_string(), Flow::Close)
         }
-        Some("place") => (place(&json, shared), Flow::Continue),
+        Some("place") => (place(&json, shared, writer), Flow::Continue),
         Some(other) => (
             error_response(
                 "bad_request",
@@ -772,13 +1141,14 @@ fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (St
     }
 }
 
-fn stats_response(shared: &Shared) -> String {
+pub(crate) fn stats_response(shared: &Shared) -> String {
     let (cache_stats, cache_entries) = {
         let cache = lock_or_recover(&shared.cache);
         (cache.stats(), cache.len())
     };
     format!(
-        "{{\"status\":\"ok\",\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"journal_enabled\":{},\"poison_recoveries\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
+        "{{\"status\":\"ok\",\"mode\":{},\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"journal_enabled\":{},\"poison_recoveries\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
+        quote(shared.config.mode.as_str()),
         shared.config.workers,
         shared.config.queue_capacity,
         shared.config.cache_capacity,
@@ -802,54 +1172,109 @@ fn stats_response(shared: &Shared) -> String {
     )
 }
 
-fn place(json: &Json, shared: &Arc<Shared>) -> String {
-    let spec = match JobSpec::from_json(json) {
-        Ok(spec) => spec,
-        Err(e) => return error_response("bad_request", &e),
-    };
-    let circuit = match resolve_circuit(&spec.circuit) {
-        Ok(circuit) => circuit,
-        Err(e) => return error_response("bad_request", &e),
-    };
-    let circuit_name = circuit.name.clone();
+/// The outcome of admitting a `place` request under the enqueue lock.
+pub(crate) enum Admission {
+    /// The service is shutting down; nothing was admitted.
+    ShuttingDown,
+    /// The bounded queue is full; nothing was admitted (no index consumed).
+    QueueFull,
+    /// A cache hit: the job consumed an index and is already complete
+    /// (journaled Enqueue+Complete, counters bumped); no worker involved.
+    Cached {
+        /// The job's arrival-order index.
+        index: u64,
+        /// The resolved root seed.
+        seed: u64,
+        /// The cached deterministic report body.
+        report: String,
+    },
+    /// The job was enqueued; its messages arrive via the responder.
+    Enqueued {
+        /// The job's arrival-order index.
+        index: u64,
+        /// The resolved root seed.
+        seed: u64,
+    },
+}
+
+/// Admits one `place` job: assigns the arrival-order index, resolves the
+/// seed, probes the cache and journals — all atomically under the enqueue
+/// lock, so derived seeds stay replay-stable whatever the outcome. Shared by
+/// the legacy blocking handlers and the reactor; timing spans and `total_ms`
+/// accounting stay with the caller.
+pub(crate) fn admit_place(
+    spec: &JobSpec,
+    circuit: BenchmarkCircuit,
+    shared: &Arc<Shared>,
+    respond: Responder,
+    streaming: bool,
+) -> Admission {
     let circuit_canonical = serialize_circuit(&circuit);
     let circuit_hash = canonical_hash(&circuit_canonical);
     let config_canonical = spec.config_canonical();
     let deadline_ms = spec.deadline_ms;
 
-    let total_start = Instant::now();
-    let mut request_span = apls_telemetry::span!(
-        shared.telemetry,
-        "service",
-        "place",
-        circuit = circuit_name.as_str()
-    );
-    let (done_rx, id, seed) = {
-        let mut guard = lock_or_recover(&shared.enqueue);
-        let Some(slot) = guard.as_mut() else {
-            return error_response("unavailable", "service is shutting down");
-        };
-        let index = slot.next_index;
-        let seed = spec.seed.unwrap_or_else(|| shared.seeds.seed_for(JOB_SEED_LANE, index));
-        let config = spec.resolved_config(seed);
-        let cache_key = CacheKey { circuit: circuit_canonical, config: config_canonical, seed };
-        // The journaled spec is self-contained for replay: seed pinned to
-        // the resolved value, deadline stripped (a replayed job deserves its
-        // full time budget — the deadline bounded the original request's
-        // latency, not the result).
-        let journal_spec = shared.journal.as_ref().map(|_| {
-            let mut journal_spec = spec.clone();
-            journal_spec.seed = Some(seed);
-            journal_spec.deadline_ms = None;
-            journal_spec.to_json_line()
-        });
-        let config_fp = spec.config_fingerprint();
-        // Probe the cache here, before spending a queue slot: a hit is
-        // answered even when the queue is full of multi-second solves.
-        // Hits still consume a job index, exactly as enqueued jobs do, so
-        // derived seeds stay replay-stable either way.
-        let cached = lock_or_recover(&shared.cache).get(&cache_key).cloned();
-        if let Some(report) = cached {
+    let mut guard = lock_or_recover(&shared.enqueue);
+    let Some(slot) = guard.as_mut() else {
+        return Admission::ShuttingDown;
+    };
+    let index = slot.next_index;
+    let seed = spec.seed.unwrap_or_else(|| shared.seeds.seed_for(JOB_SEED_LANE, index));
+    let config = spec.resolved_config(seed);
+    let cache_key = CacheKey { circuit: circuit_canonical, config: config_canonical, seed };
+    // The journaled spec is self-contained for replay: seed pinned to the
+    // resolved value, deadline stripped (a replayed job deserves its full
+    // time budget — the deadline bounded the original request's latency, not
+    // the result), stream tags stripped (transport concerns, like the
+    // deadline, are not part of what the job computes).
+    let journal_spec = shared.journal.as_ref().map(|_| {
+        let mut journal_spec = spec.clone();
+        journal_spec.seed = Some(seed);
+        journal_spec.deadline_ms = None;
+        journal_spec.stream = None;
+        journal_spec.stream_id = None;
+        journal_spec.to_json_line()
+    });
+    let config_fp = spec.config_fingerprint();
+    // Probe the cache here, before spending a queue slot: a hit is answered
+    // even when the queue is full of multi-second solves. Hits still consume
+    // a job index, exactly as enqueued jobs do, so derived seeds stay
+    // replay-stable either way.
+    let cached = lock_or_recover(&shared.cache).get(&cache_key).cloned();
+    if let Some(report) = cached {
+        slot.next_index += 1;
+        if let Some(spec_line) = &journal_spec {
+            shared.journal_append(&JournalRecord::Enqueue {
+                index,
+                seed,
+                circuit_hash,
+                config_fp,
+                spec: spec_line,
+            });
+            shared.journal_append(&JournalRecord::Complete {
+                index,
+                report_fp: canonical_hash(&report),
+                report: &report,
+            });
+        }
+        drop(guard);
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        return Admission::Cached { index, seed, report };
+    }
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let job = Job {
+        index,
+        circuit,
+        config,
+        cache_key,
+        deadline,
+        enqueued: Instant::now(),
+        respond,
+        streaming,
+    };
+    match slot.tx.try_send(job) {
+        Ok(()) => {
             slot.next_index += 1;
             if let Some(spec_line) = &journal_spec {
                 shared.journal_append(&JournalRecord::Enqueue {
@@ -859,15 +1284,73 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
                     config_fp,
                     spec: spec_line,
                 });
-                shared.journal_append(&JournalRecord::Complete {
-                    index,
-                    report_fp: canonical_hash(&report),
-                    report: &report,
-                });
             }
-            drop(guard);
-            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.queue_depth.add(1);
+            apls_telemetry::event!(shared.telemetry, "service", "enqueue", id = index, seed = seed);
+            Admission::Enqueued { index, seed }
+        }
+        Err(TrySendError::Full(_)) => Admission::QueueFull,
+        Err(TrySendError::Disconnected(_)) => Admission::ShuttingDown,
+    }
+}
+
+pub(crate) const RETRY_LINE: &str =
+    "{\"status\":\"retry\",\"error\":\"job queue full, retry later\"}";
+pub(crate) const PANIC_ERROR: &str =
+    "placement worker panicked while solving this job; the service is still up";
+pub(crate) const WORKER_GONE_ERROR: &str = "worker terminated before completing the job";
+
+/// Writes one intermediate stream frame (plus newline) to the peer.
+/// Best-effort: a dead peer surfaces on the final write, not here.
+fn write_frame(shared: &Shared, mut writer: &TcpStream, line: &str) {
+    if writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+    {
+        shared.metrics.frames_sent_total.inc();
+    }
+}
+
+fn place(json: &Json, shared: &Arc<Shared>, writer: &TcpStream) -> String {
+    let spec = match JobSpec::from_json(json) {
+        Ok(spec) => spec,
+        Err(e) => return error_response("bad_request", &e),
+    };
+    // A streamed job answers with tagged frames even on failure, so a client
+    // multiplexing several jobs can attribute the failure to its id.
+    let stream_id = if spec.stream == Some(true) { spec.stream_id } else { None };
+    let fail = |kind: &str, message: &str| match stream_id {
+        Some(cid) => count_and_frame(shared, report_frame_error(cid, kind, message)),
+        None => error_response(kind, message),
+    };
+    let circuit = match resolve_circuit(&spec.circuit) {
+        Ok(circuit) => circuit,
+        Err(e) => return fail("bad_request", &e),
+    };
+    let circuit_name = circuit.name.clone();
+    let deadline_ms = spec.deadline_ms;
+
+    let total_start = Instant::now();
+    let mut request_span = apls_telemetry::span!(
+        shared.telemetry,
+        "service",
+        "place",
+        circuit = circuit_name.as_str()
+    );
+    let (done_tx, done_rx) = mpsc::channel();
+    let admission =
+        admit_place(&spec, circuit, shared, Responder::Sync(done_tx), stream_id.is_some());
+    let (id, seed) = match admission {
+        Admission::ShuttingDown => return fail("unavailable", "service is shutting down"),
+        Admission::QueueFull => {
+            return match stream_id {
+                Some(cid) => count_and_frame(shared, report_frame_retry(cid)),
+                None => RETRY_LINE.to_string(),
+            }
+        }
+        Admission::Cached { index, seed, report } => {
             let elapsed_ms = total_start.elapsed().as_secs_f64() * 1e3;
             shared.metrics.total_ms.observe(elapsed_ms);
             if request_span.is_recording() {
@@ -875,99 +1358,150 @@ fn place(json: &Json, shared: &Arc<Shared>) -> String {
                 request_span.arg("seed", seed);
                 request_span.arg("cache_hit", true);
             }
-            return ok_envelope(
-                index,
-                &circuit_name,
-                seed,
-                true,
-                0.0,
-                elapsed_ms,
-                elapsed_ms,
-                &report,
-            );
-        }
-        let (done_tx, done_rx) = mpsc::channel();
-        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-        let job = Job {
-            index,
-            circuit,
-            config,
-            cache_key,
-            deadline,
-            enqueued: Instant::now(),
-            respond: done_tx,
-        };
-        match slot.tx.try_send(job) {
-            Ok(()) => {
-                slot.next_index += 1;
-                if let Some(spec_line) = &journal_spec {
-                    shared.journal_append(&JournalRecord::Enqueue {
+            return match stream_id {
+                Some(cid) => {
+                    write_frame(shared, writer, &accepted_frame(cid, index, &circuit_name, seed));
+                    // a hit never consumed a queue slot: depth 0
+                    write_frame(shared, writer, &queued_frame(cid, 0));
+                    shared.metrics.frames_sent_total.inc();
+                    report_frame_ok(
+                        cid,
                         index,
+                        &circuit_name,
                         seed,
-                        circuit_hash,
-                        config_fp,
-                        spec: spec_line,
-                    });
+                        true,
+                        0.0,
+                        elapsed_ms,
+                        elapsed_ms,
+                        &report,
+                    )
                 }
-                shared.metrics.queue_depth.add(1);
-                apls_telemetry::event!(
-                    shared.telemetry,
-                    "service",
-                    "enqueue",
-                    id = index,
-                    seed = seed
-                );
-                (done_rx, index, seed)
-            }
-            Err(TrySendError::Full(_)) => {
-                return "{\"status\":\"retry\",\"error\":\"job queue full, retry later\"}"
-                    .to_string()
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                return error_response("unavailable", "service is shutting down")
-            }
+                None => ok_envelope(
+                    index,
+                    &circuit_name,
+                    seed,
+                    true,
+                    0.0,
+                    elapsed_ms,
+                    elapsed_ms,
+                    &report,
+                ),
+            };
         }
+        Admission::Enqueued { index, seed } => (index, seed),
     };
+    if let Some(cid) = stream_id {
+        write_frame(shared, writer, &accepted_frame(cid, id, &circuit_name, seed));
+        let depth = shared.metrics.queue_depth.get().max(0) as u64;
+        write_frame(shared, writer, &queued_frame(cid, depth));
+    }
 
-    let Ok(done) = done_rx.recv() else {
-        return error_response("internal", "worker terminated before completing the job");
-    };
-    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
-    shared.metrics.total_ms.observe(total_ms);
-    match done.outcome {
-        Ok((report, cache_hit)) => {
-            if request_span.is_recording() {
-                request_span.arg("id", id);
-                request_span.arg("seed", seed);
-                request_span.arg("cache_hit", cache_hit);
+    loop {
+        let msg = match done_rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return fail("internal", WORKER_GONE_ERROR),
+        };
+        match msg {
+            JobMsg::Progress { engine, restart, completed, total, cost } => {
+                if let Some(cid) = stream_id {
+                    write_frame(
+                        shared,
+                        writer,
+                        &progress_frame(cid, engine, restart, completed, total, cost),
+                    );
+                }
             }
-            ok_envelope(
-                id,
-                &circuit_name,
-                seed,
-                cache_hit,
-                done.queue_ms,
-                done.solve_ms,
-                total_ms,
-                &report,
-            )
-        }
-        Err(JobFailure::Timeout) => {
-            if request_span.is_recording() {
-                request_span.arg("id", id);
-                request_span.arg("timed_out", true);
+            JobMsg::Done(done) => {
+                let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+                shared.metrics.total_ms.observe(total_ms);
+                return match done.outcome {
+                    Ok((report, cache_hit)) => {
+                        if request_span.is_recording() {
+                            request_span.arg("id", id);
+                            request_span.arg("seed", seed);
+                            request_span.arg("cache_hit", cache_hit);
+                        }
+                        match stream_id {
+                            Some(cid) => {
+                                shared.metrics.frames_sent_total.inc();
+                                report_frame_ok(
+                                    cid,
+                                    id,
+                                    &circuit_name,
+                                    seed,
+                                    cache_hit,
+                                    done.queue_ms,
+                                    done.solve_ms,
+                                    total_ms,
+                                    &report,
+                                )
+                            }
+                            None => ok_envelope(
+                                id,
+                                &circuit_name,
+                                seed,
+                                cache_hit,
+                                done.queue_ms,
+                                done.solve_ms,
+                                total_ms,
+                                &report,
+                            ),
+                        }
+                    }
+                    Err(JobFailure::Timeout) => {
+                        if request_span.is_recording() {
+                            request_span.arg("id", id);
+                            request_span.arg("timed_out", true);
+                        }
+                        match stream_id {
+                            Some(cid) => {
+                                shared.metrics.frames_sent_total.inc();
+                                report_frame_timeout(
+                                    cid,
+                                    id,
+                                    &circuit_name,
+                                    seed,
+                                    deadline_ms.unwrap_or(0),
+                                )
+                            }
+                            None => {
+                                timeout_response(id, &circuit_name, seed, deadline_ms.unwrap_or(0))
+                            }
+                        }
+                    }
+                    Err(JobFailure::Panic) => fail("internal", PANIC_ERROR),
+                };
             }
-            timeout_response(id, &circuit_name, seed, deadline_ms.unwrap_or(0))
         }
-        Err(JobFailure::Panic) => error_response(
-            "internal",
-            "placement worker panicked while solving this job; the service is still up",
-        ),
     }
 }
 
+/// Counts a final report frame in the frame metric and returns the line;
+/// its error/retry outcome is counted by [`count_response_outcome`] at the
+/// response sink, exactly like plain envelopes.
+fn count_and_frame(shared: &Shared, frame: String) -> String {
+    shared.metrics.frames_sent_total.inc();
+    frame
+}
+
+fn ok_fields(
+    circuit: &str,
+    seed: u64,
+    cache_hit: bool,
+    queue_ms: f64,
+    solve_ms: f64,
+    total_ms: f64,
+    report: &str,
+) -> String {
+    format!(
+        "\"status\":\"ok\",\"circuit\":{},\"seed\":{seed},\"cache_hit\":{cache_hit},\"queue_ms\":{queue_ms:.3},\"solve_ms\":{solve_ms:.3},\"total_ms\":{total_ms:.3},\"report\":{}",
+        quote(circuit),
+        quote(report),
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
-fn ok_envelope(
+pub(crate) fn ok_envelope(
     id: u64,
     circuit: &str,
     seed: u64,
@@ -978,13 +1512,12 @@ fn ok_envelope(
     report: &str,
 ) -> String {
     format!(
-        "{{\"id\":{id},\"status\":\"ok\",\"circuit\":{},\"seed\":{seed},\"cache_hit\":{cache_hit},\"queue_ms\":{queue_ms:.3},\"solve_ms\":{solve_ms:.3},\"total_ms\":{total_ms:.3},\"report\":{}}}",
-        quote(circuit),
-        quote(report),
+        "{{\"id\":{id},{}}}",
+        ok_fields(circuit, seed, cache_hit, queue_ms, solve_ms, total_ms, report),
     )
 }
 
-fn resolve_circuit(source: &CircuitSource) -> Result<BenchmarkCircuit, String> {
+pub(crate) fn resolve_circuit(source: &CircuitSource) -> Result<BenchmarkCircuit, String> {
     match source {
         CircuitSource::Bundled(name) => benchmarks::by_name(name).ok_or_else(|| {
             format!("unknown circuit '{name}' (available: {})", benchmarks::names().join(", "))

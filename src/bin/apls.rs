@@ -28,7 +28,8 @@ use analog_layout_synthesis::portfolio::{
 };
 use analog_layout_synthesis::service::json::Json;
 use analog_layout_synthesis::service::{
-    FaultPlan, JobSpec, JournalConfig, PlacementService, RetryPolicy, ServiceClient, ServiceConfig,
+    FaultPlan, JobSpec, JournalConfig, PlacementService, RetryPolicy, ServeMode, ServiceClient,
+    ServiceConfig, StreamFrame,
 };
 use analog_layout_synthesis::telemetry::{
     RecordingCollector, StreamCollector, Telemetry, TraceSummary,
@@ -222,6 +223,18 @@ fn serve_command() -> Command {
                 .value_name("FILE")
                 .help("Deterministic fault-injection plan (tests/CI only; requires APLS_FAULT_INJECTION=1)"),
         )
+        .arg(
+            Arg::new("event-loop")
+                .long("event-loop")
+                .action(ArgAction::SetTrue)
+                .help("Serve connections from one readiness-driven reactor thread (the default)"),
+        )
+        .arg(
+            Arg::new("legacy-threads")
+                .long("legacy-threads")
+                .action(ArgAction::SetTrue)
+                .help("Escape hatch: one blocking handler thread per connection (the pre-reactor architecture)"),
+        )
 }
 
 fn submit_command() -> Command {
@@ -325,6 +338,12 @@ fn submit_command() -> Command {
                 .long("json")
                 .value_name("FILE")
                 .help("Write the job's report body as JSON ('-' for stdout)"),
+        )
+        .arg(
+            Arg::new("stream")
+                .long("stream")
+                .action(ArgAction::SetTrue)
+                .help("Stream tagged progress frames (accepted, queued, per-restart progress) while the job runs; the final report is byte-identical"),
         )
 }
 
@@ -548,6 +567,11 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
         max_request_bytes: defaults.max_request_bytes,
         journal,
         fault_plan,
+        mode: if matches.get_flag("legacy-threads") {
+            ServeMode::LegacyThreads
+        } else {
+            ServeMode::EventLoop
+        },
     };
     if config.max_connections == 0 {
         return Err("--max-connections must be at least 1".to_string());
@@ -570,10 +594,14 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
         }
         None => Telemetry::disabled(),
     };
+    let mode_note = match config.mode {
+        ServeMode::EventLoop => "event loop",
+        ServeMode::LegacyThreads => "legacy threads",
+    };
     let service = PlacementService::start_with_telemetry(config, telemetry)
         .map_err(|e| format!("cannot start service: {e}"))?;
     println!(
-        "apls service listening on {} ({workers} worker(s), queue {queue}, cache {cache}{journal_note}{fault_note})",
+        "apls service listening on {} ({mode_note}, {workers} worker(s), queue {queue}, cache {cache}{journal_note}{fault_note})",
         service.local_addr()
     );
     println!("stop with: apls submit --addr {} --op shutdown", service.local_addr());
@@ -639,13 +667,26 @@ fn run_submit(matches: &ArgMatches) -> Result<(), String> {
     }
 
     let retries: Option<u32> = parse_optional(matches.get_one::<String>("retries"), "--retries")?;
-    let response = match retries {
-        Some(0) => return Err("--retries must be at least 1".to_string()),
-        Some(attempts) if attempts > 1 => {
-            let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() };
-            ServiceClient::place_with_retry(addr.as_str(), &spec, &policy)
+    let response = if matches.get_flag("stream") {
+        client.place_streaming(&spec, |frame| match frame {
+            StreamFrame::Accepted { job, circuit, seed, .. } => {
+                println!("accepted: job {job} circuit={circuit} seed={seed}");
+            }
+            StreamFrame::Queued { depth, .. } => println!("queued: depth {depth}"),
+            StreamFrame::Progress { engine, restart, completed, total, cost, .. } => {
+                println!("progress: {completed}/{total} {engine}#{restart} cost={cost:.4}");
+            }
+            StreamFrame::Report { .. } => {}
+        })
+    } else {
+        match retries {
+            Some(0) => return Err("--retries must be at least 1".to_string()),
+            Some(attempts) if attempts > 1 => {
+                let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() };
+                ServiceClient::place_with_retry(addr.as_str(), &spec, &policy)
+            }
+            _ => client.place(&spec),
         }
-        _ => client.place(&spec),
     }
     .map_err(|e| format!("request failed: {e}"))?;
     match response.status.as_str() {

@@ -8,7 +8,11 @@ checked-in number. Criterion noise on shared CI runners is real (±15% is
 common), so the gate is deliberately loose: it catches "someone re-introduced
 a clone per move", not single-digit drift.
 
-Usage: bench_threshold.py <bench-log-file> [bench-json] [threshold]
+Usage: bench_threshold.py <bench-log-file> [bench-json] [threshold] [bench-name]
+
+`bench-name` defaults to the seqpair hot path; pass e.g.
+`service_cache_hit/round_trip` with BENCH_service.json to gate the service's
+cache-hit round trip instead.
 """
 
 import json
@@ -23,23 +27,24 @@ def main() -> int:
     log_path = sys.argv[1]
     json_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_hotpath.json"
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
+    bench_name = sys.argv[4] if len(sys.argv) > 4 else BENCH_NAME
 
     runs = json.load(open(json_path))["runs"]
-    recorded = runs[-1]["results"][BENCH_NAME]
+    recorded = runs[-1]["results"][bench_name]
 
     text = open(log_path, encoding="utf-8").read()
     m = re.search(
-        re.escape(BENCH_NAME) + r":\s*([0-9.]+)\s*(ns|µs|us|ms|s)/iter", text
+        re.escape(bench_name) + r":\s*([0-9.]+)\s*(ns|µs|us|ms|s)/iter", text
     )
     if not m:
-        print(f"error: no '{BENCH_NAME}' line in {log_path}", file=sys.stderr)
+        print(f"error: no '{bench_name}' line in {log_path}", file=sys.stderr)
         return 2
     measured = float(m.group(1)) * SCALE[m.group(2)]
 
     limit = recorded * threshold
     verdict = "OK" if measured <= limit else "REGRESSION"
     print(
-        f"{BENCH_NAME}: measured {measured:.0f} ns/iter, "
+        f"{bench_name}: measured {measured:.0f} ns/iter, "
         f"recorded {recorded} ns/iter, limit {limit:.0f} ({threshold:.2f}x) -> {verdict}"
     )
     return 0 if measured <= limit else 1
