@@ -77,16 +77,20 @@ fn bench_service_throughput(c: &mut Criterion) {
 fn bench_cache_hit_path(c: &mut Criterion) {
     // The durability tax on the fastest path: a journaled cache hit appends
     // (and fsyncs, per policy) an enqueue + complete record pair before
-    // answering. `round_trip` is the journal-off baseline; the journal
-    // variants price per-record fsync against 5ms group commit.
+    // answering. `round_trip` is the everything-off baseline; the journal
+    // variants price per-record fsync against 5ms group commit, and the
+    // flight-recorder variant prices the always-on telemetry ring that is
+    // the default in production (gated in CI alongside `round_trip`).
     let journal_dir =
         std::env::temp_dir().join(format!("apls-bench-journal-{}", std::process::id()));
     std::fs::create_dir_all(&journal_dir).expect("temp dir");
-    let variants: [(&str, Option<JournalConfig>); 3] = [
-        ("round_trip", None),
+    let variants: [(&str, Option<JournalConfig>, usize); 4] = [
+        ("round_trip", None, 0),
+        ("round_trip_flight_recorder", None, apls_service::DEFAULT_FLIGHT_RECORDER_CAPACITY),
         (
             "round_trip_journal_fsync_each",
             Some(JournalConfig::new(journal_dir.join("fsync_each.jsonl"))),
+            0,
         ),
         (
             "round_trip_journal_batched_5ms",
@@ -94,14 +98,18 @@ fn bench_cache_hit_path(c: &mut Criterion) {
                 JournalConfig::new(journal_dir.join("batched.jsonl"))
                     .with_batched_sync(Duration::from_millis(5)),
             ),
+            0,
         ),
     ];
     let mut group = c.benchmark_group("service_cache_hit");
     group.sample_size(8);
-    for (name, journal) in variants {
-        let service =
-            PlacementService::start(ServiceConfig { journal, ..ServiceConfig::default() })
-                .expect("service starts");
+    for (name, journal, flight_recorder) in variants {
+        let service = PlacementService::start(ServiceConfig {
+            journal,
+            flight_recorder,
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
         let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
         let spec = spec_with_seed(0xCAFE);
         // prime the cache once; every timed request is then a pure cache hit

@@ -1,0 +1,20 @@
+//! Embeds the git commit into the binary for the `build_info` metric.
+//! Falls back to "unknown" outside a git checkout (e.g. a source tarball).
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=APLS_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the hash stays honest in dev builds.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -240,6 +240,17 @@ impl ServiceClient {
         self.request_line("{\"op\":\"stats\"}")
     }
 
+    /// Asks the service to dump its flight recorder to disk; returns the raw
+    /// response line (the dump path and event count, or an `unavailable`
+    /// error when the recorder is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn dump(&mut self) -> io::Result<String> {
+        self.request_line("{\"op\":\"dump\"}")
+    }
+
     /// Asks the service to shut down gracefully; returns the raw response
     /// line (normally `{"status":"shutting_down"}`).
     ///

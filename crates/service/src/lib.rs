@@ -65,6 +65,7 @@
 pub mod cache;
 mod client;
 pub mod fault;
+mod http;
 pub mod journal;
 pub mod json;
 mod metrics;
@@ -80,5 +81,8 @@ pub use client::{RetryPolicy, ServiceClient};
 pub use fault::FaultPlan;
 pub use journal::{JournalConfig, SyncPolicy};
 pub use protocol::{CircuitSource, JobSpec, PlaceResponse, StreamFrame};
-pub use server::{PlacementService, ServeMode, ServiceConfig, JOB_SEED_LANE, PROTOCOL_VERSION};
+pub use server::{
+    PlacementService, ServeMode, ServiceConfig, DEFAULT_FLIGHT_RECORDER_CAPACITY, JOB_SEED_LANE,
+    PROTOCOL_VERSION,
+};
 pub use sync::{lock_or_recover, poison_recoveries};

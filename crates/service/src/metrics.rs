@@ -52,12 +52,35 @@ pub(crate) struct ServiceMetrics {
     /// Live handler threads in legacy-threads mode (reaped opportunistically
     /// on accept; the regression bound for 10k short-lived connections).
     pub handler_threads: Gauge,
+    /// Reactor iterations that exceeded the stall-watchdog threshold.
+    pub reactor_stalls_total: Counter,
+    /// Largest outstanding per-connection write buffer seen in the most
+    /// recent reactor flush pass (bytes).
+    pub write_buffer_bytes: Gauge,
+    /// High-water mark of [`Self::write_buffer_bytes`] over the process
+    /// lifetime.
+    pub write_buffer_high_water: Gauge,
+    /// Seconds since the service started (refreshed at snapshot/scrape time).
+    pub uptime_seconds: Gauge,
+    /// Flight-recorder dumps written to disk (panic, fault trip, or `dump`).
+    pub flight_dumps_total: Counter,
+    /// Time from request accept (line parsed) to the admission decision —
+    /// index/seed/cache/journal work under the enqueue lock (ms).
+    pub admit_ms: Histogram,
     /// Time a job spent queued before a worker picked it up (ms).
     pub queue_ms: Histogram,
     /// Time a worker spent solving (or fetching from cache) a job (ms).
     pub solve_ms: Histogram,
+    /// Time from a response/frame being queued to its bytes reaching the
+    /// socket (ms): the write-stall component of job latency.
+    pub flush_ms: Histogram,
     /// End-to-end `place` latency as the handler saw it (ms).
     pub total_ms: Histogram,
+    /// Time the reactor spent blocked in its readiness poll (ms).
+    pub poll_wait_ms: Histogram,
+    /// Time one reactor iteration spent processing after the poll
+    /// returned (ms).
+    pub loop_ms: Histogram,
 }
 
 impl ServiceMetrics {
@@ -82,9 +105,18 @@ impl ServiceMetrics {
             readiness_wakeups_total: registry.counter("readiness_wakeups_total"),
             frames_sent_total: registry.counter("frames_sent_total"),
             handler_threads: registry.gauge("handler_threads"),
+            reactor_stalls_total: registry.counter("reactor_stalls_total"),
+            write_buffer_bytes: registry.gauge("write_buffer_bytes"),
+            write_buffer_high_water: registry.gauge("write_buffer_high_water_bytes"),
+            uptime_seconds: registry.gauge("uptime_seconds"),
+            flight_dumps_total: registry.counter("flight_dumps_total"),
+            admit_ms: registry.histogram("admit_ms", LATENCY_MS_BOUNDS),
             queue_ms: registry.histogram("queue_ms", LATENCY_MS_BOUNDS),
             solve_ms: registry.histogram("solve_ms", LATENCY_MS_BOUNDS),
+            flush_ms: registry.histogram("flush_ms", LATENCY_MS_BOUNDS),
             total_ms: registry.histogram("total_ms", LATENCY_MS_BOUNDS),
+            poll_wait_ms: registry.histogram("poll_wait_ms", LATENCY_MS_BOUNDS),
+            loop_ms: registry.histogram("loop_ms", LATENCY_MS_BOUNDS),
             registry,
         }
     }

@@ -37,7 +37,7 @@ use crate::server::{
     stats_response, timeout_response, Admission, CompletionQueue, JobFailure, JobMsg, Responder,
     Shared, OVERLOADED_LINE, PANIC_ERROR, RETRY_LINE,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -57,6 +57,11 @@ const WRITE_HIGH_WATER: usize = 1 << 20;
 
 /// Bytes read per `read` call on a readable connection.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// Stall watchdog threshold: one reactor iteration (everything between two
+/// readiness polls) spending longer than this is counted and traced — it
+/// means every connection the reactor owns sat unserviced that long.
+const STALL_WARN_MS: f64 = 250.0;
 
 /// One reactor-owned connection.
 struct Conn {
@@ -81,6 +86,16 @@ struct Conn {
     close_after_flush: bool,
     /// Interest currently registered with the poller.
     interest: Interest,
+    /// Total bytes ever queued on this connection (monotonic, survives
+    /// write-buffer resets), pairing with `abs_flushed` to resolve flush
+    /// marks.
+    abs_queued: u64,
+    /// Total bytes ever written to the socket.
+    abs_flushed: u64,
+    /// Queue time of each pending response line, keyed by the `abs_queued`
+    /// offset its last byte occupies; drained into the `flush_ms` histogram
+    /// as writes catch up.
+    flush_marks: VecDeque<(u64, Instant)>,
 }
 
 impl Conn {
@@ -89,6 +104,8 @@ impl Conn {
         self.write_buf.reserve(line.len() + 1);
         self.write_buf.extend_from_slice(line.as_bytes());
         self.write_buf.push(b'\n');
+        self.abs_queued += line.len() as u64 + 1;
+        self.flush_marks.push_back((self.abs_queued, Instant::now()));
     }
 
     fn flushed(&self) -> bool {
@@ -203,6 +220,7 @@ pub(crate) fn run(
         if reactor.draining && reactor.live == 0 {
             break;
         }
+        let poll_start = Instant::now();
         match reactor.poller.poll(&mut events, None) {
             Ok(n) => {
                 if n > 0 {
@@ -211,6 +229,8 @@ pub(crate) fn run(
             }
             Err(_) => break, // poller died: no way to serve anything further
         }
+        let work_start = Instant::now();
+        reactor.shared.metrics.poll_wait_ms.observe((work_start - poll_start).as_secs_f64() * 1e3);
         for event in &events {
             match event.token {
                 LISTENER => reactor.accept_burst(listener),
@@ -231,6 +251,14 @@ pub(crate) fn run(
         reactor.finalize_dirty();
         reactor.recycle_freed();
         reactor.update_fd_gauge();
+        // Iteration-duration histogram + stall watchdog: time spent serving
+        // this batch is time every other connection waited.
+        let loop_ms = work_start.elapsed().as_secs_f64() * 1e3;
+        reactor.shared.metrics.loop_ms.observe(loop_ms);
+        if loop_ms > STALL_WARN_MS {
+            reactor.shared.metrics.reactor_stalls_total.inc();
+            apls_telemetry::event!(reactor.shared.telemetry, "reactor", "stall", ms = loop_ms);
+        }
     }
     reactor.shared.metrics.poller_registered_fds.set(0);
     // conns dropped here close their sockets; the gauge must follow
@@ -306,6 +334,9 @@ impl Reactor {
                 peer_eof: false,
                 close_after_flush: false,
                 interest: Interest::READ,
+                abs_queued: 0,
+                abs_flushed: 0,
+                flush_marks: VecDeque::new(),
             });
             self.live += 1;
             self.shared.metrics.connections_active.add(1);
@@ -443,10 +474,14 @@ impl Reactor {
                 }
             }
             Some("place") => self.place(slot, &json),
+            Some("dump") => {
+                let response = crate::server::dump_response(&self.shared);
+                self.respond_plain(slot, response);
+            }
             Some(other) => {
                 let response = error_response(
                     "bad_request",
-                    &format!("unknown op '{other}' (place, ping, stats, shutdown)"),
+                    &format!("unknown op '{other}' (place, ping, stats, dump, shutdown)"),
                 );
                 self.respond_plain(slot, response);
             }
@@ -470,6 +505,7 @@ impl Reactor {
     fn respond_frame(&mut self, slot: usize, frame: String) {
         count_response_outcome(&self.shared, &frame);
         self.shared.metrics.frames_sent_total.inc();
+        apls_telemetry::event!(self.shared.telemetry, "service", "frame");
         if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
             conn.push_line(&frame);
         }
@@ -521,7 +557,7 @@ impl Reactor {
             circuit = circuit_name.as_str()
         );
         let respond = Responder::Reactor(Arc::clone(&self.completions));
-        match admit_place(&spec, circuit, &shared, respond, stream_id.is_some()) {
+        match admit_place(&spec, circuit, &shared, respond, stream_id.is_some(), start) {
             Admission::ShuttingDown => {
                 self.fail(slot, stream_id, "unavailable", "service is shutting down");
             }
@@ -710,6 +746,7 @@ impl Reactor {
     /// iteration.
     fn finalize_dirty(&mut self) {
         let dirty: Vec<usize> = self.dirty.drain(..).collect();
+        let mut pass_high_water: u64 = 0;
         for slot in dirty {
             let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { continue };
             // eager flush: most responses fit the socket buffer, so the
@@ -721,7 +758,10 @@ impl Reactor {
                         broken = true;
                         break;
                     }
-                    Ok(n) => conn.wpos += n,
+                    Ok(n) => {
+                        conn.wpos += n;
+                        conn.abs_flushed += n as u64;
+                    }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -730,6 +770,13 @@ impl Reactor {
                     }
                 }
             }
+            // every response line whose last byte reached the socket resolves
+            // its queue-time mark into the flush-stage histogram
+            while conn.flush_marks.front().is_some_and(|&(end, _)| end <= conn.abs_flushed) {
+                let (_, queued_at) = conn.flush_marks.pop_front().expect("front checked");
+                self.shared.metrics.flush_ms.observe(queued_at.elapsed().as_secs_f64() * 1e3);
+            }
+            pass_high_water = pass_high_water.max((conn.write_buf.len() - conn.wpos) as u64);
             if conn.flushed() {
                 conn.write_buf.clear();
                 conn.wpos = 0;
@@ -761,6 +808,13 @@ impl Reactor {
                     self.close_conn(slot);
                 }
             }
+        }
+        // the reactor is single-threaded, so the get-then-set ratchet on the
+        // high-water gauge cannot race
+        let metrics = &self.shared.metrics;
+        metrics.write_buffer_bytes.set(pass_high_water as i64);
+        if pass_high_water as i64 > metrics.write_buffer_high_water.get() {
+            metrics.write_buffer_high_water.set(pass_high_water as i64);
         }
     }
 

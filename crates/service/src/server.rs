@@ -48,12 +48,13 @@ use apls_io::{canonical_hash, serialize_circuit};
 use apls_portfolio::{
     run_portfolio_observed, CancelToken, PortfolioConfig, RestartObserver, RestartRecord,
 };
-use apls_telemetry::Telemetry;
+use apls_telemetry::{FlightRecorder, Telemetry};
 use std::collections::VecDeque;
 use std::io::Read;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -154,7 +155,22 @@ pub struct ServiceConfig {
     /// falls back to [`ServeMode::LegacyThreads`] where no readiness poller
     /// exists).
     pub mode: ServeMode,
+    /// Optional HTTP sidecar address (`host:port`) exposing Prometheus
+    /// `/metrics`, `/healthz` and `/readyz`. `None` (the default) serves no
+    /// HTTP endpoint.
+    pub metrics_addr: Option<String>,
+    /// Flight-recorder ring capacity in events; `0` disables the recorder.
+    /// The default keeps a small always-on ring so every daemon can produce
+    /// a postmortem dump.
+    pub flight_recorder: usize,
+    /// Where flight-recorder dumps land (and, via `<path>.a`/`<path>.b`,
+    /// the crash-survivable spill ring). `None` dumps to a per-process file
+    /// in the system temp directory and keeps no spill.
+    pub flight_recorder_path: Option<PathBuf>,
 }
+
+/// Default flight-recorder ring capacity (events).
+pub const DEFAULT_FLIGHT_RECORDER_CAPACITY: usize = 2048;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -171,6 +187,9 @@ impl Default for ServiceConfig {
             journal: None,
             fault_plan: None,
             mode: ServeMode::default(),
+            metrics_addr: None,
+            flight_recorder: DEFAULT_FLIGHT_RECORDER_CAPACITY,
+            flight_recorder_path: None,
         }
     }
 }
@@ -316,6 +335,11 @@ pub(crate) struct Shared {
     pub(crate) fault: Option<Arc<FaultPlan>>,
     pub(crate) telemetry: Telemetry,
     pub(crate) metrics: ServiceMetrics,
+    /// The always-on flight recorder (absent when `flight_recorder == 0`).
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
+    /// True while the journal-recovery replay thread is still re-enqueueing
+    /// pre-crash jobs; `/readyz` answers 503 until this clears.
+    pub(crate) recovery_pending: AtomicBool,
     /// Self-pipe sender: wakes the reactor (or poller-backed acceptor) out
     /// of its readiness wait on shutdown and on job completion.
     #[cfg(unix)]
@@ -334,7 +358,8 @@ impl Shared {
     }
 
     /// Appends a journal record, degrading to non-durable on failure: the
-    /// job is answered either way, the failure is counted and traced.
+    /// job is answered either way, the failure is counted and traced, and
+    /// the flight recorder captures the moments leading up to it.
     fn journal_append(&self, record: &JournalRecord<'_>) {
         let Some(journal) = &self.journal else { return };
         match journal.append(record) {
@@ -347,8 +372,58 @@ impl Shared {
                     "journal_write_failure",
                     error = e.to_string()
                 );
+                self.dump_flight("journal_write_failure");
             }
         }
+    }
+
+    /// Where flight-recorder dumps land: the configured path, or a
+    /// per-process file under the system temp directory.
+    pub(crate) fn flight_dump_path(&self) -> PathBuf {
+        self.config.flight_recorder_path.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("apls-flight-{}.jsonl", std::process::id()))
+        })
+    }
+
+    /// Best-effort postmortem capture: writes the flight-recorder ring to
+    /// disk. Called on worker panics and fault-injection trips; failures are
+    /// swallowed (a crash path must not crash harder).
+    pub(crate) fn dump_flight(&self, reason: &str) {
+        let Some(recorder) = &self.recorder else { return };
+        let path = self.flight_dump_path();
+        if let Ok(events) = recorder.dump_to(&path) {
+            self.metrics.flight_dumps_total.inc();
+            apls_telemetry::event!(
+                self.telemetry,
+                "service",
+                "flight_dump",
+                reason = reason.to_string(),
+                events = events as u64
+            );
+        }
+    }
+
+    /// Readiness for `/readyz`: the journal-recovery replay has finished
+    /// re-enqueueing and the job queue sits below its high-water mark
+    /// (90% of capacity), i.e. the instance can absorb new work.
+    pub(crate) fn is_ready(&self) -> (bool, &'static str) {
+        if self.recovery_pending.load(Ordering::SeqCst) {
+            return (false, "recovery replay in progress");
+        }
+        let capacity = self.config.queue_capacity as i64;
+        let high_water = (capacity * 9 / 10).max(1);
+        if self.metrics.queue_depth.get() >= high_water {
+            return (false, "job queue above high-water");
+        }
+        (true, "ready")
+    }
+
+    /// Uptime in whole seconds, refreshing the gauge as a side effect so
+    /// both `stats` snapshots and `/metrics` scrapes see a current value.
+    pub(crate) fn refresh_uptime(&self) -> u64 {
+        let uptime = self.started.elapsed().as_secs();
+        self.metrics.uptime_seconds.set(uptime as i64);
+        uptime
     }
 }
 
@@ -369,9 +444,11 @@ impl Shared {
 /// ```
 pub struct PlacementService {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     recovery: Option<JoinHandle<()>>,
+    metrics_server: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -411,6 +488,36 @@ impl PlacementService {
         let mut config = config;
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let local_addr = listener.local_addr()?;
+        // Bind the observability sidecar before spawning anything so a bad
+        // --metrics-addr fails the whole start instead of leaking threads.
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr.as_str())?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
+
+        // The always-on flight recorder: a bounded ring of service/reactor
+        // events teed under whatever collector the caller installed, plus an
+        // optional crash-survivable disk spill.
+        let recorder = if config.flight_recorder > 0 {
+            let mut recorder = FlightRecorder::new(config.flight_recorder)
+                .with_categories(&["service", "reactor"]);
+            if let Some(path) = &config.flight_recorder_path {
+                recorder = recorder.with_spill(path)?;
+            }
+            Some(Arc::new(recorder))
+        } else {
+            None
+        };
+        let telemetry = match &recorder {
+            Some(recorder) => {
+                telemetry.tee(Arc::clone(recorder) as Arc<dyn apls_telemetry::Collector>)
+            }
+            None => telemetry,
+        };
 
         // Readiness infrastructure: poller + self-pipe. Event-loop mode needs
         // both; legacy mode uses them (when available) only to replace the
@@ -465,12 +572,26 @@ impl PlacementService {
             fault,
             telemetry,
             metrics: ServiceMetrics::new(),
+            recorder,
+            recovery_pending: AtomicBool::new(false),
             #[cfg(unix)]
             wake,
             #[cfg(unix)]
             completions,
             config,
         });
+        #[cfg(unix)]
+        let poller_backend = event_infra.as_ref().map_or("none", |(poller, _)| poller.name());
+        #[cfg(not(unix))]
+        let poller_backend = "none";
+        shared.metrics.registry.set_info(
+            "build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("git", env!("APLS_GIT_HASH")),
+                ("poller", poller_backend),
+            ],
+        );
 
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -514,7 +635,17 @@ impl PlacementService {
                 Some(std::thread::spawn(move || accept_loop(&listener, &shared, None)))
             }
         };
-        Ok(PlacementService { local_addr, shared, acceptor, recovery, workers })
+        let metrics_server =
+            metrics_listener.map(|listener| crate::http::spawn(listener, Arc::clone(&shared)));
+        Ok(PlacementService {
+            local_addr,
+            metrics_addr,
+            shared,
+            acceptor,
+            recovery,
+            metrics_server,
+            workers,
+        })
     }
 
     /// The bound address (with the actual port when an ephemeral one was
@@ -522,6 +653,13 @@ impl PlacementService {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound HTTP observability address, when
+    /// [`ServiceConfig::metrics_addr`] was set.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Initiates a graceful shutdown: stop accepting, drain the queue, let
@@ -544,6 +682,9 @@ impl PlacementService {
         }
         if let Some(recovery) = self.recovery.take() {
             let _ = recovery.join();
+        }
+        if let Some(metrics_server) = self.metrics_server.take() {
+            let _ = metrics_server.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -627,6 +768,8 @@ fn replay_recovered_jobs(
     if pending.is_empty() {
         return None;
     }
+    // `/readyz` answers 503 until the replay has re-enqueued everything.
+    shared.recovery_pending.store(true, Ordering::SeqCst);
     let shared = Arc::clone(shared);
     Some(std::thread::spawn(move || {
         for job in pending {
@@ -638,6 +781,7 @@ fn replay_recovered_jobs(
                 break;
             }
         }
+        shared.recovery_pending.store(false, Ordering::SeqCst);
     }))
 }
 
@@ -808,7 +952,12 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
                 shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             }
             Err(JobFailure::Timeout) => shared.metrics.timeouts_total.inc(),
-            Err(JobFailure::Panic) => shared.metrics.worker_panics_total.inc(),
+            Err(JobFailure::Panic) => {
+                shared.metrics.worker_panics_total.inc();
+                // Postmortem capture: persist the events leading up to the
+                // panic before the error envelope goes out.
+                shared.dump_flight("worker_panic");
+            }
         }
         shared.metrics.in_flight.sub(1);
         let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
@@ -956,10 +1105,14 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                 } else {
                     let (mut response, flow) = process_request(request, shared, &writer);
                     response.push('\n');
+                    let flush_start = Instant::now();
                     if writer.write_all(response.as_bytes()).and_then(|()| writer.flush()).is_err()
                     {
                         break;
                     }
+                    // Legacy mode writes synchronously, so queued→flushed
+                    // collapses to the write itself.
+                    shared.metrics.flush_ms.observe(flush_start.elapsed().as_secs_f64() * 1e3);
                     flow
                 };
                 buf.clear();
@@ -1123,6 +1276,7 @@ fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (St
     match op {
         Some("ping") => (ping_response(), Flow::Continue),
         Some("stats") => (stats_response(shared), Flow::Continue),
+        Some("dump") => (dump_response(shared), Flow::Continue),
         Some("shutdown") => {
             if let Ok(addr) = writer.local_addr() {
                 initiate_shutdown(shared, addr);
@@ -1133,11 +1287,39 @@ fn dispatch_request(line: &str, shared: &Arc<Shared>, writer: &TcpStream) -> (St
         Some(other) => (
             error_response(
                 "bad_request",
-                &format!("unknown op '{other}' (place, ping, stats, shutdown)"),
+                &format!("unknown op '{other}' (place, ping, stats, dump, shutdown)"),
             ),
             Flow::Continue,
         ),
         None => (error_response("bad_request", "request needs an 'op' field"), Flow::Continue),
+    }
+}
+
+/// Handles the `dump` op: writes the flight-recorder ring to disk and
+/// answers with where it landed and how much it held.
+pub(crate) fn dump_response(shared: &Shared) -> String {
+    let Some(recorder) = &shared.recorder else {
+        return error_response("unavailable", "flight recorder is disabled (capacity 0)");
+    };
+    let path = shared.flight_dump_path();
+    match recorder.dump_to(&path) {
+        Ok(events) => {
+            shared.metrics.flight_dumps_total.inc();
+            apls_telemetry::event!(
+                shared.telemetry,
+                "service",
+                "flight_dump",
+                reason = "dump_op".to_string(),
+                events = events as u64
+            );
+            format!(
+                "{{\"status\":\"ok\",\"events\":{events},\"overwritten\":{},\"capacity\":{},\"path\":{}}}",
+                recorder.overwritten(),
+                recorder.capacity(),
+                quote(&path.display().to_string()),
+            )
+        }
+        Err(e) => error_response("internal", &format!("flight recorder dump failed: {e}")),
     }
 }
 
@@ -1146,8 +1328,10 @@ pub(crate) fn stats_response(shared: &Shared) -> String {
         let cache = lock_or_recover(&shared.cache);
         (cache.stats(), cache.len())
     };
+    let uptime_seconds = shared.refresh_uptime();
+    let (ready, _) = shared.is_ready();
     format!(
-        "{{\"status\":\"ok\",\"mode\":{},\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"journal_enabled\":{},\"poison_recoveries\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
+        "{{\"status\":\"ok\",\"mode\":{},\"workers\":{},\"queue_capacity\":{},\"cache_capacity\":{},\"jobs_completed\":{},\"cache_hits\":{},\"cache_entries\":{},\"uptime_ms\":{:.0},\"uptime_seconds\":{},\"ready\":{},\"queue_depth\":{},\"in_flight\":{},\"connections\":{},\"telemetry_enabled\":{},\"journal_enabled\":{},\"poison_recoveries\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\"metrics\":{}}}",
         quote(shared.config.mode.as_str()),
         shared.config.workers,
         shared.config.queue_capacity,
@@ -1156,6 +1340,8 @@ pub(crate) fn stats_response(shared: &Shared) -> String {
         shared.cache_hits.load(Ordering::Relaxed),
         cache_entries,
         shared.started.elapsed().as_secs_f64() * 1e3,
+        uptime_seconds,
+        ready,
         shared.metrics.queue_depth.get(),
         shared.metrics.in_flight.get(),
         shared.metrics.connections_active.get(),
@@ -1208,6 +1394,7 @@ pub(crate) fn admit_place(
     shared: &Arc<Shared>,
     respond: Responder,
     streaming: bool,
+    accepted: Instant,
 ) -> Admission {
     let circuit_canonical = serialize_circuit(&circuit);
     let circuit_hash = canonical_hash(&circuit_canonical);
@@ -1258,6 +1445,7 @@ pub(crate) fn admit_place(
             });
         }
         drop(guard);
+        shared.metrics.admit_ms.observe(accepted.elapsed().as_secs_f64() * 1e3);
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
         return Admission::Cached { index, seed, report };
@@ -1286,6 +1474,7 @@ pub(crate) fn admit_place(
                 });
             }
             shared.metrics.queue_depth.add(1);
+            shared.metrics.admit_ms.observe(accepted.elapsed().as_secs_f64() * 1e3);
             apls_telemetry::event!(shared.telemetry, "service", "enqueue", id = index, seed = seed);
             Admission::Enqueued { index, seed }
         }
@@ -1310,6 +1499,7 @@ fn write_frame(shared: &Shared, mut writer: &TcpStream, line: &str) {
         .is_ok()
     {
         shared.metrics.frames_sent_total.inc();
+        apls_telemetry::event!(shared.telemetry, "service", "frame");
     }
 }
 
@@ -1340,8 +1530,14 @@ fn place(json: &Json, shared: &Arc<Shared>, writer: &TcpStream) -> String {
         circuit = circuit_name.as_str()
     );
     let (done_tx, done_rx) = mpsc::channel();
-    let admission =
-        admit_place(&spec, circuit, shared, Responder::Sync(done_tx), stream_id.is_some());
+    let admission = admit_place(
+        &spec,
+        circuit,
+        shared,
+        Responder::Sync(done_tx),
+        stream_id.is_some(),
+        total_start,
+    );
     let (id, seed) = match admission {
         Admission::ShuttingDown => return fail("unavailable", "service is shutting down"),
         Admission::QueueFull => {

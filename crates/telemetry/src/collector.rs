@@ -87,6 +87,41 @@ impl Collector for RecordingCollector {
     }
 }
 
+/// Collector that fans each event out to several sinks in order.
+///
+/// Built by [`crate::Telemetry::tee`] so a daemon can stream a trace to disk
+/// *and* feed the in-memory flight recorder from the same instrumentation
+/// points. Events are cloned for all sinks but the last.
+pub struct FanoutCollector {
+    sinks: Vec<std::sync::Arc<dyn Collector>>,
+}
+
+impl FanoutCollector {
+    /// Creates a fan-out over `sinks`; events are delivered in order.
+    #[must_use]
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Collector>>) -> Self {
+        FanoutCollector { sinks }
+    }
+}
+
+impl fmt::Debug for FanoutCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FanoutCollector({} sinks)", self.sinks.len())
+    }
+}
+
+impl Collector for FanoutCollector {
+    fn record(&self, event: TraceEvent) {
+        let Some((last, rest)) = self.sinks.split_last() else {
+            return;
+        };
+        for sink in rest {
+            sink.record(event.clone());
+        }
+        last.record(event);
+    }
+}
+
 /// Collector that writes each event eagerly as one JSON line.
 ///
 /// Used by `apls serve --trace FILE` so a long-lived daemon streams its trace

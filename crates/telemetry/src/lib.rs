@@ -45,11 +45,13 @@
 pub mod collector;
 pub mod event;
 pub mod metrics;
+pub mod recorder;
 pub mod summary;
 
-pub use collector::{Collector, RecordingCollector, StreamCollector};
+pub use collector::{Collector, FanoutCollector, RecordingCollector, StreamCollector};
 pub use event::{TraceEvent, Value};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_MS_BOUNDS};
+pub use recorder::FlightRecorder;
 pub use summary::{PhaseStats, TraceSummary};
 
 use std::fmt;
@@ -96,6 +98,27 @@ impl Telemetry {
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Returns a handle that records into `extra` *in addition to* whatever
+    /// this handle already records into.
+    ///
+    /// A disabled handle becomes an enabled one over `extra` alone; an enabled
+    /// handle keeps its epoch (so timestamps from both handles stay on one
+    /// timeline) and fans out through a [`FanoutCollector`]. This is how the
+    /// daemon layers the always-on flight recorder under an optional
+    /// `--trace` stream.
+    #[must_use]
+    pub fn tee(&self, extra: Arc<dyn Collector>) -> Telemetry {
+        match &self.inner {
+            None => Telemetry::with_collector(extra),
+            Some(inner) => Telemetry {
+                inner: Some(Arc::new(Inner {
+                    epoch: inner.epoch,
+                    collector: Arc::new(FanoutCollector::new(vec![inner.collector.clone(), extra])),
+                })),
+            },
+        }
     }
 
     /// Microseconds since this handle's epoch (0 when disabled).

@@ -85,7 +85,15 @@ pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     /// Records one observation.
+    ///
+    /// Non-finite values (NaN, ±∞) are ignored entirely — they carry no
+    /// latency information and would otherwise poison `sum` and the quantile
+    /// estimates. Negative values land in the first bucket (every bound is an
+    /// inclusive *upper* bound).
     pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         let core = &self.0;
         let idx = core.bounds.iter().position(|&b| v <= b).unwrap_or(core.bounds.len());
         core.counts[idx].fetch_add(1, Ordering::Relaxed);
@@ -131,8 +139,54 @@ impl Histogram {
         out
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts by
+    /// linear interpolation inside the matched bucket, the same estimator as
+    /// Prometheus's `histogram_quantile`.
+    ///
+    /// The estimate is a pure function of the bucket counts, so two
+    /// histograms with identical counts produce bit-identical quantiles.
+    /// Returns `None` for an empty histogram. The first bucket interpolates
+    /// from 0 (observations are assumed non-negative latencies); a rank that
+    /// falls in the overflow bucket is clamped to the largest finite bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let buckets = self.buckets();
+        let total = buckets.last().map_or(0, |&(_, c)| c);
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(f64::MIN_POSITIVE);
+        let mut prev_cum = 0u64;
+        let mut lower = 0.0f64;
+        for (bound, cum) in buckets {
+            if cum as f64 >= rank {
+                let Some(upper) = bound else {
+                    // Overflow bucket: no finite upper edge to interpolate
+                    // toward; report the largest finite bound (or `None` for
+                    // a bound-less histogram).
+                    return if lower > 0.0 || prev_cum > 0 { Some(lower) } else { None };
+                };
+                let in_bucket = (cum - prev_cum) as f64;
+                let fraction = (rank - prev_cum as f64) / in_bucket;
+                return Some(lower + (upper - lower) * fraction);
+            }
+            prev_cum = cum;
+            if let Some(b) = bound {
+                lower = b;
+            }
+        }
+        None
+    }
+
     fn render_json(&self, out: &mut String) {
         let _ = write!(out, "{{\"count\":{},\"sum\":{}", self.count(), json_f64(self.sum()));
+        for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let value = match self.quantile(q) {
+                Some(v) => json_f64(v),
+                None => "null".to_string(),
+            };
+            let _ = write!(out, ",\"{label}\":{value}");
+        }
         out.push_str(",\"buckets\":[");
         for (i, (bound, count)) in self.buckets().into_iter().enumerate() {
             if i > 0 {
@@ -159,12 +213,15 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// A registry of named counters, gauges and histograms.
+/// A registry of named counters, gauges, histograms and info metrics.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    /// Info metrics: constant label sets exposed as a gauge fixed at 1
+    /// (the Prometheus `build_info` idiom).
+    infos: Mutex<BTreeMap<String, BTreeMap<String, String>>>,
 }
 
 impl MetricsRegistry {
@@ -216,9 +273,18 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Registers (or replaces) an info metric: a set of constant string
+    /// labels published under `name` with a fixed value of 1, e.g.
+    /// `build_info{version="0.1.0",git="abc1234",poller="epoll"} 1`.
+    pub fn set_info(&self, name: &str, labels: &[(&str, &str)]) {
+        let labels: BTreeMap<String, String> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        self.infos.lock().expect("metrics registry poisoned").insert(name.to_string(), labels);
+    }
+
     /// Renders the whole registry as one deterministic JSON object:
-    /// `{"counters":{..},"gauges":{..},"histograms":{..}}`, keys in name
-    /// order.
+    /// `{"counters":{..},"gauges":{..},"histograms":{..},"infos":{..}}`,
+    /// keys in name order.
     #[must_use]
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -252,9 +318,105 @@ impl MetricsRegistry {
             out.push(':');
             h.render_json(&mut out);
         }
+        out.push_str("},\"infos\":{");
+        for (i, (name, labels)) in
+            self.infos.lock().expect("metrics registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::event::quote_into(&mut out, name);
+            out.push_str(":{");
+            for (j, (k, v)) in labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                crate::event::quote_into(&mut out, k);
+                out.push(':');
+                crate::event::quote_into(&mut out, v);
+            }
+            out.push('}');
+        }
         out.push_str("}}");
         out
     }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4), every metric name prefixed with `prefix`.
+    ///
+    /// Counters and gauges render as single samples, histograms as
+    /// `_bucket{le="..."}` / `_sum` / `_count` families with a trailing
+    /// `le="+Inf"` bucket, and info metrics as a labelled gauge fixed at 1.
+    /// Output is deterministic: sections in counter/gauge/histogram/info
+    /// order, names in `BTreeMap` order, label keys sorted.
+    #[must_use]
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().expect("metrics registry poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {prefix}{name} counter");
+            let _ = writeln!(out, "{prefix}{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.lock().expect("metrics registry poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {prefix}{name} gauge");
+            let _ = writeln!(out, "{prefix}{name} {}", g.get());
+        }
+        for (name, h) in self.histograms.lock().expect("metrics registry poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {prefix}{name} histogram");
+            for (bound, cum) in h.buckets() {
+                match bound {
+                    Some(b) => {
+                        let _ = writeln!(out, "{prefix}{name}_bucket{{le=\"{b}\"}} {cum}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{prefix}{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{prefix}{name}_sum {}", prom_f64(h.sum()));
+            let _ = writeln!(out, "{prefix}{name}_count {}", h.count());
+        }
+        for (name, labels) in self.infos.lock().expect("metrics registry poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {prefix}{name} gauge");
+            let _ = write!(out, "{prefix}{name}{{");
+            for (j, (k, v)) in labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}=\"{}\"", prom_label_escape(v));
+            }
+            out.push_str("} 1\n");
+        }
+        out
+    }
+}
+
+/// Prometheus sample value: non-finite values render per the exposition
+/// format (`NaN`, `+Inf`, `-Inf`).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double quote
+/// and newline.
+fn prom_label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -301,5 +463,108 @@ mod tests {
         assert!(a < b, "counters must render in name order: {json}");
         assert!(json.contains("\"g\":-1"));
         assert!(json.contains("{\"le\":null,\"count\":1}"));
+    }
+
+    #[test]
+    fn observation_exactly_on_a_bound_counts_in_that_bucket() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 10.0]);
+        h.observe(1.0);
+        h.observe(10.0);
+        // `le` semantics: v <= bound lands in the bound's own bucket.
+        assert_eq!(h.buckets(), vec![(Some(1.0), 1), (Some(10.0), 2), (None, 2)]);
+    }
+
+    #[test]
+    fn negative_observations_land_in_the_first_bucket() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 10.0]);
+        h.observe(-5.0);
+        assert_eq!(h.buckets(), vec![(Some(1.0), 1), (Some(10.0), 1), (None, 1)]);
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        h.observe(0.5);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum().is_finite());
+    }
+
+    #[test]
+    fn quantiles_interpolate_deterministically() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[10.0, 20.0, 40.0]);
+        // 10 observations in (0,10], 10 in (10,20]; none beyond.
+        for _ in 0..10 {
+            h.observe(5.0);
+            h.observe(15.0);
+        }
+        // rank(0.5) = 10 → exactly fills the first bucket → its upper bound.
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        // rank(0.95) = 19 → 9/10 through the second bucket: 10 + 10*0.9.
+        assert_eq!(h.quantile(0.95), Some(19.0));
+        // rank clamps just above zero → the bottom edge of the first bucket.
+        assert!(h.quantile(0.0).unwrap().abs() < 1e-300);
+        assert_eq!(h.quantile(1.0), Some(20.0));
+        // Determinism: identical counts → bit-identical estimates and JSON.
+        let h2 = registry.histogram("lat2", &[10.0, 20.0, 40.0]);
+        for _ in 0..10 {
+            h2.observe(5.0);
+            h2.observe(15.0);
+        }
+        assert_eq!(h.quantile(0.99), h2.quantile(0.99));
+        let json = registry.snapshot_json();
+        assert_eq!(json, registry.snapshot_json());
+        assert!(json.contains("\"p50\":10,\"p95\":19,\"p99\":19.8"), "quantiles in json: {json}");
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_clamps_to_last_bound() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(0.99), Some(2.0));
+    }
+
+    #[test]
+    fn info_metrics_round_trip_json_and_prometheus() {
+        let registry = MetricsRegistry::new();
+        registry.set_info("build_info", &[("version", "1.2.3"), ("git", "abc\"123")]);
+        let json = registry.snapshot_json();
+        assert!(json
+            .contains("\"infos\":{\"build_info\":{\"git\":\"abc\\\"123\",\"version\":\"1.2.3\"}}"));
+        let text = registry.render_prometheus("apls_");
+        assert!(text.contains("# TYPE apls_build_info gauge"));
+        assert!(text.contains("apls_build_info{git=\"abc\\\"123\",version=\"1.2.3\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_metric_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs_total").add(3);
+        registry.gauge("depth").set(-2);
+        let h = registry.histogram("lat_ms", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(50.0);
+        let text = registry.render_prometheus("apls_");
+        assert_eq!(text, registry.render_prometheus("apls_"));
+        assert!(text.contains("# TYPE apls_jobs_total counter\napls_jobs_total 3\n"));
+        assert!(text.contains("# TYPE apls_depth gauge\napls_depth -2\n"));
+        assert!(text.contains("apls_lat_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("apls_lat_ms_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("apls_lat_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("apls_lat_ms_sum 50.5\n"));
+        assert!(text.contains("apls_lat_ms_count 2\n"));
     }
 }

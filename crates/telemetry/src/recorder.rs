@@ -1,0 +1,309 @@
+//! The always-on flight recorder: a fixed-size ring of recent trace events
+//! with an optional crash-survivable disk spill.
+//!
+//! The recorder is a [`Collector`] designed to run *unconditionally* in a
+//! production daemon, so its hot path is deliberately cheap: one short
+//! mutex-protected `VecDeque` push (O(1), no allocation once the ring is
+//! warm) plus an optional category check. When the process panics, trips a
+//! fault, or receives a `dump` protocol command, the ring is snapshotted to a
+//! JSON-lines file for postmortem analysis — the last `capacity` interesting
+//! events leading up to the incident.
+//!
+//! Because an in-memory ring dies with SIGKILL, the recorder can also *spill*
+//! each admitted event to disk as it arrives. The spill is itself a ring:
+//! two files (`<base>.a` / `<base>.b`) written alternately, truncating the
+//! older one every `capacity` lines, so disk usage is bounded and at least
+//! the most recent `capacity` events survive a hard kill. Each line is
+//! written with a single `write_all` of a complete newline-terminated buffer,
+//! so a kill can tear at most the final line (readers skip a trailing line
+//! with no `\n`).
+
+use crate::collector::Collector;
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed-capacity ring buffer of recent [`TraceEvent`]s.
+///
+/// See the [module docs](self) for the design. Construct with
+/// [`FlightRecorder::new`], optionally narrow with
+/// [`with_categories`](FlightRecorder::with_categories) and add a
+/// crash-survivable spill with [`with_spill`](FlightRecorder::with_spill),
+/// then install via [`crate::Telemetry::tee`] or
+/// [`crate::Telemetry::with_collector`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    /// Events evicted from the ring because it was full.
+    overwritten: AtomicU64,
+    /// Events rejected by the category allowlist.
+    filtered: AtomicU64,
+    /// Category allowlist; `None` admits everything.
+    categories: Option<Vec<String>>,
+    spill: Option<Mutex<Spill>>,
+}
+
+/// Two-file disk ring: write `limit` lines to one file, truncate the other,
+/// switch. Invariant: the newest events are always on disk.
+#[derive(Debug)]
+struct Spill {
+    file: File,
+    lines: usize,
+    limit: usize,
+    paths: [PathBuf; 2],
+    active: usize,
+}
+
+impl Spill {
+    fn open(base: &Path, limit: usize) -> io::Result<Spill> {
+        let paths = [spill_path(base, "a"), spill_path(base, "b")];
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&paths[0])?;
+        // Truncate any stale second file from a previous run so readers never
+        // mix epochs.
+        let _ = OpenOptions::new().create(true).write(true).truncate(true).open(&paths[1]);
+        Ok(Spill { file, lines: 0, limit, paths, active: 0 })
+    }
+
+    fn write_line(&mut self, line: &[u8]) {
+        if self.lines >= self.limit {
+            self.active = 1 - self.active;
+            match OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&self.paths[self.active])
+            {
+                Ok(file) => {
+                    self.file = file;
+                    self.lines = 0;
+                }
+                // Rotation failure: keep appending to the current file rather
+                // than lose events. Telemetry must never fail the host.
+                Err(_) => self.lines = 0,
+            }
+        }
+        if self.file.write_all(line).is_ok() {
+            self.lines += 1;
+        }
+    }
+}
+
+fn spill_path(base: &Path, suffix: &str) -> PathBuf {
+    let mut name = base.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".");
+    name.push(suffix);
+    base.with_file_name(name)
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the most recent `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            overwritten: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+            categories: None,
+            spill: None,
+        }
+    }
+
+    /// Restricts the recorder to events whose category is in `allow`.
+    ///
+    /// This is the overhead lever: a daemon records only its own coarse
+    /// categories (e.g. `service`, `reactor`) and drops the engines'
+    /// per-temperature-step chatter before it touches the ring.
+    #[must_use]
+    pub fn with_categories(mut self, allow: &[&str]) -> Self {
+        self.categories = Some(allow.iter().map(|c| (*c).to_string()).collect());
+        self
+    }
+
+    /// Adds a crash-survivable disk spill rooted at `base` (writes
+    /// `<base>.a` / `<base>.b`). See the module docs for the file-ring
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the first spill file cannot be created; after construction
+    /// all spill I/O errors are swallowed.
+    pub fn with_spill(mut self, base: &Path) -> io::Result<Self> {
+        let limit = self.capacity.max(1);
+        self.spill = Some(Mutex::new(Spill::open(base, limit)?));
+        Ok(self)
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped by the category allowlist.
+    #[must_use]
+    pub fn filtered(&self) -> u64 {
+        self.filtered.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the held events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring.lock().expect("flight recorder poisoned").iter().cloned().collect()
+    }
+
+    /// Renders the ring as JSON-lines (one Chrome `trace_event` per line).
+    #[must_use]
+    pub fn dump_json_lines(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the ring to `path` as JSON-lines, returning the event count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/write errors; callers on crash paths should
+    /// treat a failed dump as best-effort.
+    pub fn dump_to(&self, path: &Path) -> io::Result<usize> {
+        let body = self.dump_json_lines();
+        let mut file = File::create(path)?;
+        file.write_all(body.as_bytes())?;
+        file.flush()?;
+        Ok(body.lines().count())
+    }
+}
+
+impl Collector for FlightRecorder {
+    fn record(&self, event: TraceEvent) {
+        if let Some(allow) = &self.categories {
+            if !allow.iter().any(|c| c == &event.cat) {
+                self.filtered.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if let Some(spill) = &self.spill {
+            let mut line = event.to_json_line();
+            line.push('\n');
+            if let Ok(mut spill) = spill.lock() {
+                spill.write_line(line.as_bytes());
+            }
+        }
+        if self.capacity == 0 {
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn sample(cat: &str, name: &str) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts_us: 1,
+            dur_us: None,
+            tid: 1,
+            args: vec![("k".to_string(), Value::U64(1))],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record(sample("service", &format!("e{i}")));
+        }
+        let names: Vec<String> = rec.snapshot().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"]);
+        assert_eq!(rec.overwritten(), 2);
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
+    fn category_allowlist_filters_before_the_ring() {
+        let rec = FlightRecorder::new(8).with_categories(&["service", "reactor"]);
+        rec.record(sample("service", "keep"));
+        rec.record(sample("anneal", "drop"));
+        rec.record(sample("reactor", "keep_too"));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.filtered(), 1);
+        assert!(rec.snapshot().iter().all(|e| e.cat != "anneal"));
+    }
+
+    #[test]
+    fn dump_json_lines_is_one_event_per_line() {
+        let rec = FlightRecorder::new(4);
+        rec.record(sample("service", "a"));
+        rec.record(sample("service", "b"));
+        let dump = rec.dump_json_lines();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn spill_rotates_between_two_bounded_files() {
+        let dir = std::env::temp_dir().join(format!("apls-recorder-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("flight.jsonl");
+        let rec = FlightRecorder::new(2).with_spill(&base).unwrap();
+        for i in 0..5 {
+            rec.record(sample("service", &format!("e{i}")));
+        }
+        let a = std::fs::read_to_string(spill_path(&base, "a")).unwrap();
+        let b = std::fs::read_to_string(spill_path(&base, "b")).unwrap();
+        let mut lines: Vec<&str> = a.lines().chain(b.lines()).collect();
+        assert!(lines.len() >= 2, "spill must retain at least `capacity` events");
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        lines.sort();
+        // e4 is the newest event and must be on disk.
+        assert!(lines.iter().any(|l| l.contains("\"name\":\"e4\"")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_but_keeps_nothing() {
+        let rec = FlightRecorder::new(0);
+        rec.record(sample("service", "x"));
+        assert!(rec.is_empty());
+        assert_eq!(rec.overwritten(), 1);
+    }
+}

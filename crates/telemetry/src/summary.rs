@@ -29,6 +29,41 @@ impl PhaseStats {
     }
 }
 
+/// A one-line description for the known instrumentation phases, so
+/// `apls trace` renders an annotated table instead of bare identifiers.
+///
+/// Covers the engine phases, the legacy service path, and the PR-9 reactor /
+/// streaming-frame phases. Unknown `(category, name)` pairs simply render
+/// without a note — the table never hides a phase it does not recognise.
+#[must_use]
+pub fn phase_note(cat: &str, name: &str) -> Option<&'static str> {
+    Some(match (cat, name) {
+        // Engine phases.
+        ("portfolio", "portfolio_run") => "one multi-start portfolio run",
+        ("portfolio", "restart") => "one engine restart inside a portfolio run",
+        ("anneal", "anneal") => "one simulated-annealing descent",
+        ("anneal", "temp_step") => "per-temperature annealing progress",
+        ("anneal", "move_mix") => "accepted-move histogram for one descent",
+        ("tempering", "tempering") => "one parallel-tempering lane",
+        ("tempering", "swap_round") => "replica-swap round between temperatures",
+        // Service phases (legacy thread-per-connection and reactor).
+        ("service", "accept") => "TCP connection accepted",
+        ("service", "request") => "request line parsed and dispatched",
+        ("service", "place") => "place request: admission through final reply",
+        ("service", "enqueue") => "job admitted into the bounded queue",
+        ("service", "solve") => "worker solving one job",
+        ("service", "frame") => "streaming frame queued to a client",
+        ("service", "recovery_skip") => "journal replay skipped a completed job",
+        ("service", "journal_torn_tail") => "journal ended in a torn record",
+        ("service", "journal_write_failure") => "durable journal append failed",
+        ("service", "flight_dump") => "flight recorder dumped to disk",
+        ("service", "reactor_start") => "event-driven reactor came up",
+        // Reactor health phases.
+        ("reactor", "stall") => "one reactor iteration exceeded the stall threshold",
+        _ => return None,
+    })
+}
+
 /// Accumulates trace events into per-phase statistics.
 ///
 /// The caller parses the trace file (any JSON parser works — events are one
@@ -99,7 +134,7 @@ impl TraceSummary {
                 "phase", "count", "total ms", "mean µs", "min µs", "max µs"
             );
             for ((cat, name), stats) in rows {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{:<label_width$}  {:>8}  {:>12.3}  {:>10.1}  {:>10}  {:>10}",
                     format!("{cat}/{name}"),
@@ -109,6 +144,10 @@ impl TraceSummary {
                     stats.min_us,
                     stats.max_us,
                 );
+                if let Some(note) = phase_note(cat, name) {
+                    let _ = write!(out, "  {note}");
+                }
+                out.push('\n');
             }
         }
         if !self.instants.is_empty() {
@@ -117,7 +156,14 @@ impl TraceSummary {
             }
             let _ = writeln!(out, "instant events:");
             for ((cat, name), count) in &self.instants {
-                let _ = writeln!(out, "  {cat}/{name}: {count}");
+                match phase_note(cat, name) {
+                    Some(note) => {
+                        let _ = writeln!(out, "  {cat}/{name}: {count}  {note}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {cat}/{name}: {count}");
+                    }
+                }
             }
         }
         if out.is_empty() {
@@ -155,5 +201,22 @@ mod tests {
     #[test]
     fn empty_summary_renders_placeholder() {
         assert_eq!(TraceSummary::new().render(), "(empty trace)\n");
+    }
+
+    #[test]
+    fn known_reactor_and_streaming_phases_get_notes() {
+        let mut summary = TraceSummary::new();
+        summary.record_complete("service", "place", 50);
+        summary.record_instant("reactor", "stall");
+        summary.record_instant("service", "frame");
+        summary.record_instant("custom", "thing");
+        let table = summary.render();
+        assert!(table.contains("place request: admission through final reply"), "{table}");
+        assert!(table.contains("reactor/stall: 1  one reactor iteration exceeded"), "{table}");
+        assert!(table.contains("service/frame: 1  streaming frame queued"), "{table}");
+        // Unknown phases still render, just without a note.
+        assert!(table.contains("custom/thing: 1\n"), "{table}");
+        assert!(phase_note("service", "reactor_start").is_some());
+        assert!(phase_note("nope", "nope").is_none());
     }
 }

@@ -135,6 +135,7 @@ fn cli() -> Command {
         )
         .subcommand(serve_command())
         .subcommand(submit_command())
+        .subcommand(top_command())
         .subcommand(convert_command())
         .subcommand(gen_command())
         .subcommand(trace_command())
@@ -235,6 +236,24 @@ fn serve_command() -> Command {
                 .action(ArgAction::SetTrue)
                 .help("Escape hatch: one blocking handler thread per connection (the pre-reactor architecture)"),
         )
+        .arg(
+            Arg::new("metrics-addr")
+                .long("metrics-addr")
+                .value_name("HOST:PORT")
+                .help("Serve Prometheus /metrics, /healthz and /readyz on a sidecar HTTP listener (port 0 = ephemeral, printed at startup)"),
+        )
+        .arg(
+            Arg::new("flight-recorder")
+                .long("flight-recorder")
+                .value_name("FILE")
+                .help("Spill the flight-recorder ring to FILE.a/FILE.b as it records, and dump to FILE on panic, journal failure or the 'dump' op (default: a file under the temp dir, ring only)"),
+        )
+        .arg(
+            Arg::new("flight-recorder-events")
+                .long("flight-recorder-events")
+                .value_name("N")
+                .help("Flight-recorder ring capacity in events (default 2048; 0 disables the recorder)"),
+        )
 }
 
 fn submit_command() -> Command {
@@ -253,7 +272,7 @@ fn submit_command() -> Command {
                 .long("op")
                 .value_name("OP")
                 .default_value("place")
-                .help("place, ping, stats, or shutdown"),
+                .help("place, ping, stats, dump, or shutdown"),
         )
         .arg(
             Arg::new("circuit")
@@ -383,6 +402,40 @@ fn trace_command() -> Command {
                 .short('f')
                 .value_name("FILE")
                 .help("Trace file written by --trace or serve --trace"),
+        )
+}
+
+fn top_command() -> Command {
+    Command::new("top")
+        .about("Live terminal dashboard over a running placement service (polls 'stats')")
+        .arg(
+            Arg::new("addr")
+                .long("addr")
+                .short('a')
+                .value_name("HOST:PORT")
+                .default_value("127.0.0.1:7171")
+                .help("Service address"),
+        )
+        .arg(
+            Arg::new("interval-ms")
+                .long("interval-ms")
+                .value_name("MS")
+                .default_value("1000")
+                .help("Poll interval in milliseconds"),
+        )
+        .arg(
+            Arg::new("iterations")
+                .long("iterations")
+                .short('n')
+                .value_name("N")
+                .default_value("0")
+                .help("Stop after N refreshes (0 = run until interrupted)"),
+        )
+        .arg(
+            Arg::new("no-clear")
+                .long("no-clear")
+                .action(ArgAction::SetTrue)
+                .help("Append each refresh instead of redrawing the screen (for logs/pipes)"),
         )
 }
 
@@ -572,6 +625,13 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
         } else {
             ServeMode::EventLoop
         },
+        metrics_addr: matches.get_one::<String>("metrics-addr").cloned(),
+        flight_recorder: parse_optional(
+            matches.get_one::<String>("flight-recorder-events"),
+            "--flight-recorder-events",
+        )?
+        .unwrap_or(defaults.flight_recorder),
+        flight_recorder_path: matches.get_one::<String>("flight-recorder").map(Into::into),
     };
     if config.max_connections == 0 {
         return Err("--max-connections must be at least 1".to_string());
@@ -604,6 +664,9 @@ fn run_serve(matches: &ArgMatches) -> Result<(), String> {
         "apls service listening on {} ({mode_note}, {workers} worker(s), queue {queue}, cache {cache}{journal_note}{fault_note})",
         service.local_addr()
     );
+    if let Some(addr) = service.metrics_addr() {
+        println!("apls metrics listening on http://{addr}/metrics (also /healthz, /readyz)");
+    }
     println!("stop with: apls submit --addr {} --op shutdown", service.local_addr());
     service.join();
     println!("apls service stopped");
@@ -616,10 +679,11 @@ fn run_submit(matches: &ArgMatches) -> Result<(), String> {
         ServiceClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let op = matches.get_one::<String>("op").expect("defaulted");
     match op.as_str() {
-        "ping" | "stats" | "shutdown" => {
+        "ping" | "stats" | "dump" | "shutdown" => {
             let response = match op.as_str() {
                 "ping" => client.ping(),
                 "stats" => client.stats(),
+                "dump" => client.dump(),
                 _ => client.shutdown(),
             }
             .map_err(|e| format!("request failed: {e}"))?;
@@ -627,7 +691,7 @@ fn run_submit(matches: &ArgMatches) -> Result<(), String> {
             return Ok(());
         }
         "place" => {}
-        other => return Err(format!("unknown op '{other}' (place, ping, stats, shutdown)")),
+        other => return Err(format!("unknown op '{other}' (place, ping, stats, dump, shutdown)")),
     }
 
     let mut spec = match (matches.get_one::<String>("circuit"), matches.get_one::<String>("file")) {
@@ -949,11 +1013,123 @@ fn run_trace(matches: &ArgMatches) -> Result<(), String> {
     Ok(())
 }
 
+/// One dashboard frame rendered from a parsed `stats` reply.
+fn render_top(addr: &str, stats: &Json) -> String {
+    use std::fmt::Write as _;
+    let str_of = |key: &str| stats.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
+    let num = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let ready = stats.get("ready").and_then(Json::as_bool).unwrap_or(false);
+    let _ = writeln!(
+        out,
+        "apls top — {addr}  mode={} workers={} uptime={}s  {}",
+        str_of("mode"),
+        num("workers"),
+        num("uptime_seconds"),
+        if ready { "READY" } else { "NOT READY" },
+    );
+    let _ = writeln!(
+        out,
+        "jobs {}  queue {}/{}  in-flight {}  connections {}",
+        num("jobs_completed"),
+        num("queue_depth"),
+        num("queue_capacity"),
+        num("in_flight"),
+        num("connections"),
+    );
+    if let Some(cache) = stats.get("cache") {
+        let c = |key: &str| cache.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "cache {}/{} entries  hits {}  misses {}  evictions {}",
+            c("entries"),
+            c("capacity"),
+            c("hits"),
+            c("misses"),
+            c("evictions"),
+        );
+    }
+    let metrics = stats.get("metrics");
+    if let Some(counters) = metrics.and_then(|m| m.get("counters")) {
+        let c = |key: &str| counters.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "requests {}  errors {}  retries {}  timeouts {}  frames {}  stalls {}  dumps {}",
+            c("requests_total"),
+            c("errors_total"),
+            c("retries_total"),
+            c("timeouts_total"),
+            c("frames_sent_total"),
+            c("reactor_stalls_total"),
+            c("flight_dumps_total"),
+        );
+    }
+    if let Some(hists) = metrics.and_then(|m| m.get("histograms")) {
+        let _ = writeln!(
+            out,
+            "{:<14}  {:>8}  {:>9}  {:>9}  {:>9}",
+            "stage (ms)", "count", "p50", "p95", "p99"
+        );
+        for name in
+            ["admit_ms", "queue_ms", "solve_ms", "flush_ms", "total_ms", "poll_wait_ms", "loop_ms"]
+        {
+            let Some(h) = hists.get(name) else { continue };
+            let count = h.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let q = |key: &str| match h.get(key).and_then(Json::as_f64) {
+                Some(v) => format!("{v:.3}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<14}  {:>8}  {:>9}  {:>9}  {:>9}",
+                name.trim_end_matches("_ms"),
+                count,
+                q("p50"),
+                q("p95"),
+                q("p99"),
+            );
+        }
+    }
+    out
+}
+
+fn run_top(matches: &ArgMatches) -> Result<(), String> {
+    let addr = matches.get_one::<String>("addr").expect("defaulted");
+    let interval_ms: u64 = parse_number(matches.get_one::<String>("interval-ms"), "--interval-ms")?;
+    let iterations: u64 = parse_number(matches.get_one::<String>("iterations"), "--iterations")?;
+    let clear = !matches.get_flag("no-clear");
+    let mut shown: u64 = 0;
+    loop {
+        // one connection per refresh: the dashboard survives service restarts
+        let frame = ServiceClient::connect(addr)
+            .and_then(|mut client| client.stats())
+            .map_err(|e| format!("cannot poll {addr}: {e}"))
+            .and_then(|line| {
+                let stats =
+                    Json::parse(&line).map_err(|e| format!("bad stats reply from {addr}: {e}"))?;
+                Ok(render_top(addr, &stats))
+            })?;
+        if clear {
+            // ANSI clear-screen + home, like watch(1)
+            print!("\u{1b}[2J\u{1b}[H");
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if iterations != 0 && shown >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
 fn run() -> Result<(), String> {
     let matches = cli().get_matches();
     match matches.subcommand() {
         Some(("serve", sub)) => run_serve(sub),
         Some(("submit", sub)) => run_submit(sub),
+        Some(("top", sub)) => run_top(sub),
         Some(("convert", sub)) => run_convert(sub),
         Some(("gen", sub)) => run_gen(sub),
         Some(("trace", sub)) => run_trace(sub),

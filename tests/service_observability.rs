@@ -1,0 +1,282 @@
+//! The production observability surface (DESIGN.md §14): the Prometheus
+//! sidecar must expose honest metrics without becoming a second stateful
+//! protocol, readiness must track recovery and queue pressure, and the
+//! always-on flight recorder must produce a parseable dump after the exact
+//! failures it exists for — worker panics and hard kills.
+
+use analog_layout_synthesis::service::json::Json;
+use analog_layout_synthesis::service::{
+    FaultPlan, JobSpec, PlacementService, ServiceClient, ServiceConfig,
+};
+use std::io::{BufRead, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// A fresh flight-recorder path under a per-test temp directory.
+struct TempDump {
+    dir: PathBuf,
+    path: PathBuf,
+}
+
+impl TempDump {
+    fn new(tag: &str) -> TempDump {
+        let dir =
+            std::env::temp_dir().join(format!("apls-observability-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("flight.jsonl");
+        TempDump { dir, path }
+    }
+}
+
+impl Drop for TempDump {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// One blocking HTTP/1.1 GET against the sidecar; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("sidecar accepts");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("request writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response reads");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Every complete line of a flight-recorder file must round-trip through the
+/// service's own JSON parser; a final torn line (no trailing newline) is
+/// tolerated because a hard kill can cut the last write short.
+fn assert_dump_parses(path: &Path) -> usize {
+    let text = std::fs::read_to_string(path).expect("dump file readable");
+    let complete = match text.strip_suffix('\n') {
+        Some(whole) => whole,
+        None => text.rsplit_once('\n').map_or("", |(head, _torn)| head),
+    };
+    let mut events = 0;
+    for line in complete.lines() {
+        let event = Json::parse(line).unwrap_or_else(|e| panic!("bad dump line {line:?}: {e}"));
+        assert!(event.get("name").and_then(Json::as_str).is_some(), "unnamed event: {line}");
+        assert!(event.get("cat").and_then(Json::as_str).is_some(), "uncategorised event: {line}");
+        events += 1;
+    }
+    events
+}
+
+#[test]
+fn metrics_sidecar_serves_exposition_health_and_readiness() {
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let sidecar = service.metrics_addr().expect("sidecar bound");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let spec = JobSpec::bundled("miller_opamp_fig6").with_seed(7).with_restarts(1).with_fast(true);
+    assert!(client.place(&spec).expect("solves").is_ok());
+
+    let (status, body) = http_get(sidecar, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE apls_requests_total counter"), "{body}");
+    assert!(body.contains("apls_build_info{"), "{body}");
+    assert!(body.contains("apls_uptime_seconds"), "{body}");
+    assert!(body.contains("apls_total_ms_bucket{le=\"+Inf\"} 1"), "{body}");
+    assert!(body.contains("apls_total_ms_count 1"), "{body}");
+
+    let (status, body) = http_get(sidecar, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, body) = http_get(sidecar, "/readyz");
+    assert_eq!((status, body.as_str()), (200, "ready\n"));
+    let (status, _) = http_get(sidecar, "/nope");
+    assert_eq!(status, 404);
+
+    // the stats reply carries the same readiness and uptime surface
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"ready\":true"), "{stats}");
+    assert!(stats.contains("\"uptime_seconds\":"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn readyz_goes_unready_while_the_queue_sits_at_high_water() {
+    // One worker pinned on a slow job plus queue_capacity 1 puts the queue at
+    // its high-water mark (max(1, 0.9 * 1) = 1) while the second job waits.
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 0,
+        job_delay: Some(Duration::from_millis(800)),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let sidecar = service.metrics_addr().expect("sidecar bound");
+    let addr = service.local_addr();
+
+    let submit = |seed: u64| {
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connects");
+            let spec = JobSpec::bundled("miller_opamp_fig6")
+                .with_seed(seed)
+                .with_restarts(1)
+                .with_fast(true);
+            client.place(&spec).expect("solves")
+        })
+    };
+    let first = submit(1);
+    // wait for the worker to own job 1 before queueing job 2, so the second
+    // submission can never race job 1 for the single queue slot (a full
+    // queue would answer `retry` instead of waiting at high-water)
+    let mut stats_client = ServiceClient::connect(addr).expect("connects");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = stats_client.stats().expect("stats");
+        if stats.contains("\"in_flight\":1") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job 1 never reached a worker: {stats}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let second = submit(2);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_unready = false;
+    while Instant::now() < deadline {
+        let (status, body) = http_get(sidecar, "/readyz");
+        if status == 503 {
+            assert_eq!(body, "job queue above high-water\n");
+            saw_unready = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(saw_unready, "readiness never dipped while the queue was full");
+
+    assert!(first.join().expect("no panic").is_ok());
+    assert!(second.join().expect("no panic").is_ok());
+    let (status, _) = http_get(sidecar, "/readyz");
+    assert_eq!(status, 200, "readiness must recover once the queue drains");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn dump_op_writes_a_parseable_flight_recorder_file() {
+    let dump = TempDump::new("dump-op");
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        flight_recorder_path: Some(dump.path.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let spec = JobSpec::bundled("miller_opamp_fig6").with_seed(3).with_restarts(1).with_fast(true);
+    assert!(client.place(&spec).expect("solves").is_ok());
+
+    let reply = client.dump().expect("dump round-trips");
+    let reply = Json::parse(&reply).expect("dump reply is JSON");
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        reply.get("path").and_then(Json::as_str),
+        Some(dump.path.to_str().expect("utf-8 path"))
+    );
+    let reported = reply.get("events").and_then(Json::as_usize).expect("event count");
+    assert!(reported > 0, "an active service must have recorded events");
+    assert_eq!(assert_dump_parses(&dump.path), reported);
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"flight_dumps_total\":1"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn dump_op_without_a_recorder_answers_unavailable() {
+    let service =
+        PlacementService::start(ServiceConfig { flight_recorder: 0, ..ServiceConfig::default() })
+            .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let reply = client.dump().expect("round-trips");
+    assert!(reply.contains("\"kind\":\"unavailable\""), "{reply}");
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn a_worker_panic_dumps_the_flight_recorder() {
+    let dump = TempDump::new("panic");
+    let service = PlacementService::start(ServiceConfig {
+        workers: 1,
+        fault_plan: Some(FaultPlan::new().with_panic_job(0)),
+        flight_recorder_path: Some(dump.path.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let spec = JobSpec::bundled("miller_opamp_fig6").with_seed(5).with_restarts(1).with_fast(true);
+    let response = client.place(&spec).expect("round-trips");
+    assert!(!response.is_ok(), "job 0 is the sacrificial panic: {response:?}");
+
+    assert!(dump.path.exists(), "a worker panic must leave a dump on disk");
+    assert!(assert_dump_parses(&dump.path) > 0);
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"flight_dumps_total\":1"), "{stats}");
+
+    service.shutdown();
+    service.join();
+}
+
+/// A SIGKILL leaves no chance to dump, so the recorder's continuous spill
+/// files must carry the story: every complete line parses, and a torn final
+/// line is tolerated (each event is a single `write_all`, so only the very
+/// last line can tear).
+#[test]
+fn sigkilled_daemon_leaves_a_parseable_spill_file() {
+    let dump = TempDump::new("sigkill");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_apls"))
+        .args(["serve", "--host", "127.0.0.1", "--port", "0", "--workers", "1"])
+        .arg("--flight-recorder")
+        .arg(&dump.path)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped");
+    let mut daemon_lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = daemon_lines.next().expect("daemon prints its address").expect("readable");
+        if let Some(rest) = line.strip_prefix("apls service listening on ") {
+            break rest.split_whitespace().next().expect("address").to_string();
+        }
+    };
+    let drain = std::thread::spawn(move || while let Some(Ok(_)) = daemon_lines.next() {});
+
+    let mut client = ServiceClient::connect(addr.as_str()).expect("connects");
+    let spec = JobSpec::bundled("miller_opamp_fig6").with_seed(9).with_restarts(1).with_fast(true);
+    assert!(client.place(&spec).expect("solves").is_ok());
+
+    child.kill().expect("SIGKILL delivered");
+    let _ = child.wait();
+    drain.join().expect("drain thread exits");
+
+    let spill_a = {
+        let mut os = dump.path.clone().into_os_string();
+        os.push(".a");
+        PathBuf::from(os)
+    };
+    assert!(spill_a.exists(), "the always-on recorder must have been spilling");
+    let events = assert_dump_parses(&spill_a);
+    assert!(events > 0, "the spill must carry the pre-kill service events");
+}

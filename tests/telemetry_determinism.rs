@@ -68,3 +68,53 @@ fn service_reports_are_byte_identical_with_and_without_telemetry() {
         assert_eq!(a, b, "{name}: service report body changed under telemetry");
     }
 }
+
+/// Runs one job per bundled circuit against a service with `config` and
+/// returns the report bodies in submission order.
+fn collect_reports_with_config(config: ServiceConfig) -> Vec<String> {
+    let service = PlacementService::start(config).expect("service starts");
+    let mut client = ServiceClient::connect(service.local_addr()).expect("connects");
+    let reports = benchmarks::names()
+        .iter()
+        .map(|name| {
+            let spec = JobSpec::bundled(*name).with_seed(7).with_restarts(1).with_fast(true);
+            client.place(&spec).expect("solves").report.expect("ok response carries a report")
+        })
+        .collect();
+    client.shutdown().expect("acknowledged");
+    service.join();
+    reports
+}
+
+/// The full observability surface — metrics sidecar, always-on flight
+/// recorder with an on-disk spill — observes without participating: report
+/// bodies are byte-identical to a daemon with everything switched off.
+#[test]
+fn service_reports_are_byte_identical_with_observability_on_and_off() {
+    let off = collect_reports_with_config(ServiceConfig {
+        workers: 2,
+        flight_recorder: 0,
+        metrics_addr: None,
+        ..ServiceConfig::default()
+    });
+
+    let spill = std::env::temp_dir()
+        .join(format!("apls-telemetry-determinism-{}.jsonl", std::process::id()));
+    let on = collect_reports_with_config(ServiceConfig {
+        workers: 2,
+        flight_recorder: 2048,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        flight_recorder_path: Some(spill.clone()),
+        ..ServiceConfig::default()
+    });
+    for suffix in ["a", "b"] {
+        let mut os = spill.clone().into_os_string();
+        os.push(format!(".{suffix}"));
+        let _ = std::fs::remove_file(os);
+    }
+
+    assert_eq!(off.len(), benchmarks::names().len());
+    for ((name, a), b) in benchmarks::names().iter().zip(&off).zip(&on) {
+        assert_eq!(a, b, "{name}: report body changed with observability enabled");
+    }
+}
